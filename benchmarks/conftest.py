@@ -1,0 +1,19 @@
+"""Benchmark helpers: every bench prints the paper-vs-measured rows it
+regenerates, straight to the terminal (outside pytest's capture)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a report block to the real terminal from inside a test."""
+
+    def _print(title: str, lines: list[str]) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            for line in lines:
+                print(f"  {line}")
+
+    return _print

@@ -1,0 +1,19 @@
+"""Fig. 1 — client vs server execution-time breakdown (ResNet20-FHE)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig1_breakdown
+
+
+def test_fig1_breakdown(benchmark, report):
+    rows = benchmark(fig1_breakdown)
+    lines = [
+        f"{r.platform:32s} client {r.client_share*100:5.1f}%  "
+        f"server {r.server_share*100:5.1f}%  total {r.total_seconds*1e3:10.2f} ms"
+        for r in rows
+    ]
+    lines.append("paper anchor: [34] client share = 69.4%, server = 30.6%")
+    report("Fig. 1: execution-time breakdown", lines)
+
+    sota = next(r for r in rows if r.platform.startswith("[34]"))
+    assert abs(sota.client_share - 0.694) < 0.01

@@ -1,0 +1,24 @@
+"""Fig. 2 — op counts and composition of client-side CKKS tasks."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2_workload
+from repro.experiments.fig2 import PAPER_DEC_MOPS, PAPER_ENC_MOPS
+
+
+def test_fig2_workload(benchmark, report):
+    summary = benchmark(fig2_workload)
+    enc_shares = summary.encode_encrypt.shares()
+    dec_shares = summary.decode_decrypt.shares()
+    report(
+        "Fig. 2: workload analysis (N=2^16, 24-level enc / 2-level dec)",
+        [
+            f"encode+encrypt: {summary.enc_mops:6.2f} MOPs (paper {PAPER_ENC_MOPS})",
+            f"decode+decrypt: {summary.dec_mops:6.2f} MOPs (paper {PAPER_DEC_MOPS})",
+            f"imbalance ratio: {summary.ratio:4.1f}x (paper ~9.3x)",
+            "enc shares: " + "  ".join(f"{k}={v*100:.1f}%" for k, v in enc_shares.items()),
+            "dec shares: " + "  ".join(f"{k}={v*100:.1f}%" for k, v in dec_shares.items()),
+        ],
+    )
+    assert abs(summary.enc_mops - PAPER_ENC_MOPS) / PAPER_ENC_MOPS < 0.02
+    assert abs(summary.dec_mops - PAPER_DEC_MOPS) / PAPER_DEC_MOPS < 0.10

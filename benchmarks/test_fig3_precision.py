@@ -1,0 +1,42 @@
+"""Fig. 3(c) — boot precision vs FP mantissa width (the FP55 decision)."""
+
+from __future__ import annotations
+
+from repro.ckks.precision import measure_precision
+from repro.experiments import fig3_precision_sweep
+
+SLOTS = 1 << 12  # reduced ring for bench speed; shape matches 2^15 slots
+
+
+def test_fig3_precision_sweep(benchmark, report):
+    sweep = benchmark.pedantic(
+        fig3_precision_sweep,
+        kwargs={"slots": SLOTS, "mantissa_range": range(20, 53, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"mantissa {p.mantissa_bits:2d} bits -> precision {p.precision_bits:5.1f} bits"
+        for p in sweep.points
+    ]
+    lines += [
+        f"threshold: {sweep.threshold_bits} bits (paper [19])",
+        f"smallest passing mantissa: {sweep.chosen_mantissa} "
+        "(paper selects 43 after bootstrap-pipeline losses; see EXPERIMENTS.md)",
+    ]
+    report("Fig. 3(c): precision vs mantissa width", lines)
+
+    precisions = [p.precision_bits for p in sweep.points]
+    assert all(a < b for a, b in zip(precisions, precisions[1:]))
+
+
+def test_fp55_precision_point(benchmark, report):
+    """Timing + value of the single FP55 measurement (43 mantissa bits)."""
+    precision = benchmark.pedantic(
+        measure_precision, args=(SLOTS, 43), kwargs={"trials": 1}, rounds=1, iterations=1
+    )
+    report(
+        "Fig. 3(c): FP55 point",
+        [f"43 mantissa bits -> {precision:.2f} bits (paper: 23.39 after bootstrap)"],
+    )
+    assert precision > 19.29

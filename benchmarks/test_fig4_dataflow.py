@@ -1,0 +1,42 @@
+"""Fig. 4 — twiddle scheduling and multiplier-count design space."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4a_sfg_example, fig4b_design_space
+from repro.experiments.fig4 import PAPER_REDUCTION_VS_RADIX2, PAPER_REDUCTION_VS_RADIX22
+
+
+def test_fig4a_sfg_example(benchmark, report):
+    counts = benchmark(fig4a_sfg_example)
+    report(
+        "Fig. 4(a): 8-point SFG twiddle multiplications",
+        [
+            f"radix-2^n merged:          {counts['radix_2n_merged']} (paper: 12)",
+            f"radix-2 + pre-processing:  {counts['radix_2_preprocessing']} (paper: 13)",
+        ],
+    )
+    assert counts["radix_2n_merged"] == 12
+
+
+def test_fig4b_design_space(benchmark, report):
+    results = benchmark(fig4b_design_space)
+    lines = []
+    for r in results:
+        if r.degree != 1 << 16:
+            continue
+        head = ", ".join(f"{n}={c:.2f}" for n, c in r.normalized_counts()[:4])
+        lines.append(
+            f"{r.mode.upper()} N=2^16: {head}, ..., radix-2^n="
+            f"{r.normalized_counts()[-1][1]:.2f}"
+        )
+        lines.append(
+            f"  reductions: vs radix-2 {r.reduction_vs_radix2*100:.1f}% "
+            f"(paper {PAPER_REDUCTION_VS_RADIX2*100:.1f}), "
+            f"vs radix-2^2 {r.reduction_vs_radix22*100:.1f}% "
+            f"(paper {PAPER_REDUCTION_VS_RADIX22*100:.1f})"
+        )
+    report("Fig. 4(b): multiplier counts across radix designs", lines)
+
+    ntt = next(r for r in results if r.mode == "ntt" and r.degree == 1 << 16)
+    assert ntt.best.name == "radix-2^n"
+    assert abs(ntt.reduction_vs_radix2 - PAPER_REDUCTION_VS_RADIX2) < 0.05

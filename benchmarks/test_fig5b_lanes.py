@@ -1,0 +1,21 @@
+"""Fig. 5(b) — lanes-per-PNL sweep: the LPDDR5 knee at 8 lanes."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5b_lane_sweep, knee_lanes
+
+
+def test_fig5b_lane_sweep(benchmark, report):
+    points = benchmark(fig5b_lane_sweep)
+    lines = [
+        f"P={p.lanes:3d}: latency {p.latency_ms:7.3f} ms   "
+        f"throughput {p.throughput:7.0f} ct/s   bound by {p.result.bound_by}"
+        for p in points
+    ]
+    knee = knee_lanes(points)
+    lines.append(f"knee (no further gain): {knee} lanes (paper: 8, LPDDR5-capped)")
+    report("Fig. 5(b): lane sweep", lines)
+
+    assert knee == 8
+    lat = [p.result.latency_cycles for p in points]
+    assert all(a >= b for a, b in zip(lat, lat[1:]))

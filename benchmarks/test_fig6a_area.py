@@ -1,0 +1,23 @@
+"""Fig. 6(a) — RFE area as the three optimizations are applied."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6a_area_progression
+from repro.experiments.fig6 import PAPER_AREA_REDUCTION
+
+
+def test_fig6a_area_progression(benchmark, report):
+    rel = benchmark(fig6a_area_progression)
+    steps = ["baseline", "tf_scheduling", "montmul", "reconfigurable"]
+    lines = [f"{'(1234)'[i]} {name:16s} relative area {rel[name]:.3f}" for i, name in enumerate(steps)]
+    reduction = 1 - rel["reconfigurable"]
+    lines.append(
+        f"cumulative reduction: {reduction*100:.1f}% "
+        f"(paper {PAPER_AREA_REDUCTION*100:.0f}%; our structural model "
+        "over-credits — same ordering, see EXPERIMENTS.md)"
+    )
+    report("Fig. 6(a): RFE area optimization progression", lines)
+
+    assert rel["baseline"] == 1.0
+    assert rel["tf_scheduling"] > rel["montmul"] > rel["reconfigurable"]
+    assert reduction >= PAPER_AREA_REDUCTION

@@ -1,0 +1,29 @@
+"""Fig. 6(b) — on-chip generation vs DRAM fetch, across ring degrees."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6b_memory_ablation, memopt_speedup
+from repro.experiments.fig6 import PAPER_MEMOPT_SPEEDUP_RANGE
+
+DEGREES = (1 << 13, 1 << 14, 1 << 15, 1 << 16)
+
+
+def test_fig6b_memory_ablation(benchmark, report):
+    points = benchmark(fig6b_memory_ablation, DEGREES)
+    lines = []
+    for name in ("ABC-FHE_Base", "ABC-FHE_TF_Gen", "ABC-FHE_All"):
+        cells = "  ".join(
+            f"2^{d.bit_length()-1}:{p.latency_ms:7.3f}ms"
+            for d in DEGREES
+            for p in points
+            if p.config_name == name and p.degree == d
+        )
+        lines.append(f"{name:15s} {cells}")
+    lo, hi = PAPER_MEMOPT_SPEEDUP_RANGE
+    for d in DEGREES:
+        s = memopt_speedup(points, d)
+        lines.append(f"Base/All speed-up at N=2^{d.bit_length()-1}: {s:.2f}x (paper {lo}-{hi}x)")
+    report("Fig. 6(b): memory-optimization ablation", lines)
+
+    for d in DEGREES:
+        assert 7.5 <= memopt_speedup(points, d) <= 10.0

@@ -1,0 +1,73 @@
+"""Genuine software-kernel benchmarks of the library's hot paths.
+
+These are the operations the accelerator replaces; their wall-clock times
+make the CPU bars of Fig. 5(a) tangible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, toy_params
+from repro.nums import find_primes
+from repro.nums.modular import mulmod_vec
+from repro.transforms.fft import SpecialFft
+from repro.transforms.ntt import NttContext
+
+PRIME = find_primes(36, 1 << 16)[0].value
+
+
+@pytest.fixture(scope="module")
+def ckks_ctx():
+    return CkksContext.create(toy_params(degree=1 << 12, num_primes=8), seed=9)
+
+
+@pytest.mark.parametrize("log_n", [12, 14, 16])
+def test_ntt_forward(benchmark, log_n):
+    n = 1 << log_n
+    ntt = NttContext.create(n, PRIME)
+    a = np.random.default_rng(0).integers(0, PRIME, n).astype(np.uint64)
+    benchmark(ntt.forward, a)
+
+
+def test_ntt_negacyclic_mul(benchmark):
+    n = 1 << 14
+    ntt = NttContext.create(n, PRIME)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, PRIME, n).astype(np.uint64)
+    b = rng.integers(0, PRIME, n).astype(np.uint64)
+    benchmark(ntt.negacyclic_mul, a, b)
+
+
+@pytest.mark.parametrize("log_slots", [12, 15])
+def test_special_fft(benchmark, log_slots):
+    slots = 1 << log_slots
+    fft = SpecialFft.create(slots)
+    rng = np.random.default_rng(0)
+    v = rng.normal(size=slots) + 1j * rng.normal(size=slots)
+    benchmark(lambda: fft.forward(v.copy()))
+
+
+def test_mulmod_vec_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, PRIME, 1 << 16).astype(np.uint64)
+    b = rng.integers(0, PRIME, 1 << 16).astype(np.uint64)
+    benchmark(mulmod_vec, a, b, PRIME)
+
+
+def test_ckks_encode(benchmark, ckks_ctx):
+    msg = np.linspace(-1, 1, ckks_ctx.params.slots)
+    benchmark(ckks_ctx.encode, msg)
+
+
+def test_ckks_encode_encrypt(benchmark, ckks_ctx):
+    """The paper's client hot path, in software."""
+    msg = np.linspace(-1, 1, ckks_ctx.params.slots)
+    benchmark(ckks_ctx.encrypt, msg)
+
+
+def test_ckks_decrypt_decode(benchmark, ckks_ctx):
+    msg = np.linspace(-1, 1, ckks_ctx.params.slots)
+    ct = ckks_ctx.encrypt(msg, level=2)  # the 2-level server response
+    benchmark(ckks_ctx.decrypt_decode, ct)

@@ -1,0 +1,33 @@
+"""Section IV-B — client memory footprint and the usable-prime pool."""
+
+from __future__ import annotations
+
+from repro.experiments import sec4b_footprint, sec4b_prime_count
+from repro.transforms.twiddle import TwiddleMemoryModel
+
+
+def test_sec4b_footprint(benchmark, report):
+    fp = benchmark(sec4b_footprint)
+    mib = 2**20
+    tw = TwiddleMemoryModel(degree=1 << 16, num_primes=24, coeff_bits=44)
+    lines = [
+        f"public key:     {fp.public_key_bytes/mib:6.2f} MiB (paper 16.5 MB)",
+        f"masks + errors: {fp.masks_errors_bytes/mib:6.2f} MiB (paper 8.25 MB)",
+        f"twiddle tables: {fp.twiddle_bytes/mib:6.2f} MiB (paper 8.25 MB)",
+        f"with on-chip generation: {fp.total_with_generation} bytes "
+        f"({fp.seed_bytes} B PRNG seed + {fp.twiddle_seed_bytes} B TF seeds)",
+        f"storage reduction: {fp.reduction_ratio*100:.3f}% (paper >99.9%)",
+        f"TF-seed memory fits hardware budget: {tw.seed_bytes} B <= 26.4 KB",
+    ]
+    report("Section IV-B: client memory footprint", lines)
+    assert fp.public_key_bytes == int(16.5 * mib)
+    assert fp.reduction_ratio > 0.999
+
+
+def test_sec4b_prime_pool(benchmark, report):
+    count = benchmark.pedantic(sec4b_prime_count, rounds=1, iterations=1)
+    report(
+        "Section IV-A: NTT-friendly prime pool",
+        [f"36-bit primes usable at N=2^16: {count} (paper: 443 across 32-36 bits)"],
+    )
+    assert 400 <= count <= 500

@@ -1,0 +1,25 @@
+"""Table II — area/power breakdown of the full chip."""
+
+from __future__ import annotations
+
+from repro.accel import calibration as cal
+from repro.experiments import table2_breakdown
+
+
+def test_table2_breakdown(benchmark, report):
+    bd = benchmark(table2_breakdown)
+    lines = []
+    for row, paper_area in cal.TABLE2_AREA_MM2.items():
+        area = bd.area_mm2[row]
+        power = bd.power_w.get(row, float("nan"))
+        paper_power = cal.TABLE2_POWER_W.get(row, float("nan"))
+        lines.append(
+            f"{row:28s} area {area:7.3f} mm^2 (paper {paper_area:7.3f})   "
+            f"power {power:6.3f} W (paper {paper_power:6.3f})"
+        )
+    area7, power7 = bd.scaled_to_7nm()
+    lines.append(f"scaled to 7 nm: {area7:.2f} mm^2, {power7:.2f} W (paper ~0.9, ~2.1)")
+    report("Table II: area and power breakdown (28 nm)", lines)
+
+    assert abs(bd.total_area - 28.638) / 28.638 < 0.02
+    assert abs(bd.total_power - 5.654) / 5.654 < 0.03

@@ -1,0 +1,89 @@
+"""Design-space exploration with the ABC-FHE hardware model.
+
+Walks the paper's main hardware questions: how many lanes (Fig. 5b), what
+on-chip generation buys (Fig. 6b), what the chip costs (Table II) and how
+the multiplier choices shape the RFE (Table I / Fig. 4 / Fig. 6a).
+
+Run:  python examples/accelerator_design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.accel import (
+    ClientWorkload,
+    abc_fhe,
+    abc_fhe_base,
+    abc_fhe_tf_gen,
+    chip_area_breakdown,
+    modmul_area_um2,
+    rfe_area_progression,
+    sweep_degree,
+    sweep_lanes,
+    TechnologyScaler,
+)
+from repro.transforms.dataflow import design_space
+
+
+def lane_exploration(workload: ClientWorkload) -> None:
+    print("— lanes per PNL (Fig. 5b): where does LPDDR5 cap the design?")
+    for lanes, result in sweep_lanes(workload, abc_fhe()):
+        bar = "#" * max(1, int(result.latency_seconds * 1e6 / 25))
+        print(f"  P={lanes:3d}  {result.latency_seconds*1e6:8.1f} us  "
+              f"{result.throughput_per_second:7.0f} ct/s  "
+              f"[{result.bound_by:7s}] {bar}")
+    print()
+
+
+def generation_exploration() -> None:
+    print("— on-chip generation (Fig. 6b): latency across ring degrees")
+    configs = [
+        ("Base   (all from DRAM)", abc_fhe_base()),
+        ("TF_Gen (twiddles on-chip)", abc_fhe_tf_gen()),
+        ("All    (PRNG + TF Gen)", abc_fhe()),
+    ]
+    for name, cfg in configs:
+        cells = "  ".join(
+            f"2^{n.bit_length()-1}={r.latency_seconds*1e3:6.3f}ms"
+            for n, r in sweep_degree(cfg)
+        )
+        print(f"  {name:27s} {cells}")
+    print()
+
+
+def silicon_cost() -> None:
+    print("— silicon cost (Tables I, II; Fig. 6a)")
+    for algo in ("barrett", "montgomery", "ntt_friendly"):
+        print(f"  modular multiplier ({algo:13s}): "
+              f"{modmul_area_um2(36, algo):8.0f} um^2")
+    bd = chip_area_breakdown()
+    print(f"  full chip: {bd.total_area:.2f} mm^2, {bd.total_power:.2f} W at 28 nm")
+    for node in (16, 7):
+        s = TechnologyScaler(28, node)
+        print(f"   scaled to {node:2d} nm: {s.scale_area(bd.total_area):5.2f} mm^2, "
+              f"{s.scale_power(bd.total_power):4.2f} W")
+    prog = rfe_area_progression()
+    base = prog["baseline"]
+    print("  RFE optimization progression (relative area):")
+    for step, area in prog.items():
+        print(f"    {step:16s} {area/base:5.3f}")
+    print()
+
+
+def radix_exploration() -> None:
+    print("— radix design space (Fig. 4b, NTT mode, N = 2^16, P = 8)")
+    for d in design_space(1 << 16, 8, "ntt")[:4] + [design_space(1 << 16, 8, "ntt")[-1]]:
+        flag = " <- pattern-consistent (shipped)" if d.pattern_consistent else ""
+        print(f"  {d.name:10s} {d.total:4d} multipliers{flag}")
+    print()
+
+
+def main() -> None:
+    workload = ClientWorkload(degree=1 << 16, enc_levels=24, dec_levels=2)
+    lane_exploration(workload)
+    generation_exploration()
+    silicon_cost()
+    radix_exploration()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Bootstrapping demo — why "bootstrappable parameters" matter.
+
+The paper's whole premise: clients must encode/encrypt at large,
+bootstrappable parameters so the *server* can refresh exhausted
+ciphertexts.  This demo runs that refresh end to end on a reduced ring:
+
+1. encrypt at level 1 (a ciphertext that cannot absorb any more work);
+2. ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff;
+3. come out at a higher level, compute on the refreshed ciphertext,
+   and measure the bootstrapping precision (Fig. 3c's metric).
+
+Run:  python examples/bootstrapping_demo.py   (~1 min)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.ckks import Bootstrapper, BootstrapConfig, CkksContext, toy_params
+from repro.ckks.bootstrap import measure_bootstrap_precision
+
+
+def main() -> None:
+    params = replace(
+        toy_params(degree=128, num_primes=22), secret_hamming_weight=8
+    )
+    print("setting up context + bootstrapping keys "
+          f"(N={params.degree}, L={params.num_primes}, sparse secret h=8)...")
+    t0 = time.perf_counter()
+    ctx = CkksContext.create(params, seed=2025)
+    bs = Bootstrapper(
+        ctx, BootstrapConfig(input_scale_bits=25, eval_mod_degree=63, wraps=7)
+    )
+    print(f"  done in {time.perf_counter() - t0:.1f} s")
+    print(f"  level schedule: raise to {bs.top_level} -> CoeffToSlot -> "
+          f"EvalMod (sine deg {bs.config.eval_mod_degree}) -> SlotToCoeff "
+          f"-> output level {bs.output_level}\n")
+
+    rng = np.random.default_rng(3)
+    z = rng.uniform(-1, 1, ctx.params.slots)
+    exhausted = ctx.encryptor.encrypt(
+        ctx.encoder.encode(z, level=1, scale=bs.config.input_scale)
+    )
+    print(f"exhausted ciphertext: level {exhausted.level} "
+          "(no multiplications left)")
+
+    t0 = time.perf_counter()
+    refreshed = bs.bootstrap(exhausted)
+    dt = time.perf_counter() - t0
+    err = np.max(np.abs(ctx.decrypt_decode(refreshed).real - z))
+    print(f"bootstrapped in {dt:.1f} s -> level {refreshed.level}, "
+          f"precision {-np.log2(err):.1f} bits")
+
+    # The refreshed ciphertext supports further computation.
+    squared_input = ctx.evaluator.add(refreshed, refreshed)
+    err2 = np.max(np.abs(ctx.decrypt_decode(squared_input).real - 2 * z))
+    print(f"compute after refresh (2x): error {err2:.2e}\n")
+
+    print("bootstrapping precision across messages "
+          "(the quantity Fig. 3c sweeps against the FP mantissa):")
+    bits = measure_bootstrap_precision(ctx, bs, trials=2)
+    print(f"  measured boot precision: {bits:.1f} bits "
+          f"(paper threshold: 19.29; paper FP55 value: 23.39 at N=2^16 "
+          "with a production-grade sine degree)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Reproduce the FP55 datapath decision (Fig. 3c), then *use* it.
+
+Sweeps the special-FFT mantissa width, finds the narrowest format clearing
+the 19.29-bit precision threshold, and finally runs a real encrypt/decrypt
+round trip through an encoder quantized to the paper's FP55 format to show
+the end-to-end message error it implies.
+
+Run:  python examples/precision_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel import calibration as cal
+from repro.ckks import CkksContext, sweep_mantissa, toy_params
+from repro.transforms.fp_custom import FP55
+
+SLOTS = 1 << 12
+
+
+def main() -> None:
+    print(f"— mantissa sweep at {SLOTS} slots (paper Fig. 3c; threshold "
+          f"{cal.BOOT_PRECISION_THRESHOLD} bits)")
+    points = sweep_mantissa(SLOTS, range(20, 53, 4), fft_passes=3, trials=1)
+    for p in points:
+        marker = " <-- FP55 neighborhood" if p.mantissa_bits == 44 else ""
+        bar = "*" * int(p.precision_bits)
+        print(f"  mantissa {p.mantissa_bits:2d}: {p.precision_bits:5.1f} bits  {bar}{marker}")
+
+    passing = [p for p in points if p.precision_bits >= cal.BOOT_PRECISION_THRESHOLD]
+    print(f"  narrowest swept format above threshold: "
+          f"{passing[0].mantissa_bits} mantissa bits")
+    print(f"  (the paper lands on 43 bits = FP55 after including bootstrap "
+          f"losses; its measured value there is {cal.BOOT_PRECISION_AT_FP55} bits)\n")
+
+    print("— end-to-end check: CKKS round trip on an FP55-quantized encoder")
+    params = toy_params(degree=1 << 10, num_primes=6, fp_format=FP55)
+    ctx = CkksContext.create(params, seed=13)
+    rng = np.random.default_rng(0)
+    msg = rng.uniform(-1, 1, params.slots)
+    out = ctx.decrypt_decode(ctx.encrypt(msg)).real
+    err = float(np.max(np.abs(out - msg)))
+    print(f"  max message error: {err:.3e} = 2^{np.log2(err):.1f}")
+    print(f"  usable precision:  {-np.log2(err):.1f} bits "
+          f"(>= {cal.BOOT_PRECISION_THRESHOLD} required) -> FP55 is sufficient")
+
+
+if __name__ == "__main__":
+    main()

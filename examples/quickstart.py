@@ -1,0 +1,61 @@
+"""Quickstart: encrypt a message, compute on it, decrypt — then ask the
+accelerator model what ABC-FHE would do with the same client workload.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel import ClientSimulator, ClientWorkload, CpuModel, abc_fhe
+from repro.ckks import CkksContext, toy_params
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A working CKKS client (reduced ring so this runs in seconds).
+    # ------------------------------------------------------------------
+    params = toy_params(degree=1 << 10, num_primes=8)
+    ctx = CkksContext.create(params, seed=2025)
+    print(f"ring degree N = {params.degree}, slots = {params.slots}, "
+          f"levels = {params.num_primes}, scale = 2^{params.scale_bits}")
+
+    message = np.array([3.14, -1.5, 2.0 + 1.0j, 0.25])
+    ciphertext = ctx.encrypt(message)
+    print(f"encrypted at level {ciphertext.level} "
+          f"({ciphertext.size} polynomial parts)")
+
+    # Homomorphic work: (x + x) on the server, no key needed.
+    doubled = ctx.evaluator.add(ciphertext, ciphertext)
+    decrypted = ctx.decrypt_decode(doubled)
+    print("decrypt(2 * x)  =", np.round(decrypted[:4], 6))
+    print("expected        =", np.round(2 * message, 6))
+    error = np.max(np.abs(decrypted[:4] - 2 * message))
+    print(f"max error       = {error:.2e}\n")
+
+    # ------------------------------------------------------------------
+    # 2. The same client tasks on the modeled ABC-FHE accelerator,
+    #    at the paper's bootstrappable parameters (N = 2^16, 24 levels).
+    # ------------------------------------------------------------------
+    workload = ClientWorkload(degree=1 << 16, enc_levels=24, dec_levels=2)
+    sim = ClientSimulator(config=abc_fhe(), workload=workload)
+    enc = sim.encode_encrypt()
+    dec = sim.decode_decrypt()
+    cpu = CpuModel()
+
+    print("ABC-FHE model at bootstrappable parameters (N = 2^16):")
+    print(f"  encode+encrypt : {enc.latency_seconds*1e6:8.1f} us "
+          f"({enc.bound_by}-bound)")
+    print(f"  decode+decrypt : {dec.latency_seconds*1e6:8.1f} us "
+          f"({dec.bound_by}-bound)")
+    print(f"  CPU (Lattigo-class, 1 core) encode+encrypt: "
+          f"{cpu.encode_encrypt_seconds(workload)*1e3:7.1f} ms "
+          f"-> {cpu.encode_encrypt_seconds(workload)/enc.latency_seconds:6.0f}x speed-up")
+    print(f"  CPU decode+decrypt:                          "
+          f"{cpu.decode_decrypt_seconds(workload)*1e3:7.1f} ms "
+          f"-> {cpu.decode_decrypt_seconds(workload)/dec.latency_seconds:6.0f}x speed-up")
+
+
+if __name__ == "__main__":
+    main()

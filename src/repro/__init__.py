@@ -1,0 +1,25 @@
+"""ABC-FHE reproduction: client-side CKKS library + accelerator model.
+
+Reproduction of *ABC-FHE: A Resource-Efficient Accelerator Enabling
+Bootstrappable Parameters for Client-Side Fully Homomorphic Encryption*
+(DAC 2025, arXiv:2506.08461).
+
+Layout:
+
+* :mod:`repro.nums` — number theory (NTT-friendly primes, Montgomery/
+  Barrett reduction, CRT);
+* :mod:`repro.transforms` — negacyclic NTT, CKKS special FFT, FP55
+  emulation, on-the-fly twiddle generation, pipeline dataflow models;
+* :mod:`repro.prng` — 128-bit-seed XOF and lattice samplers;
+* :mod:`repro.rns` — RNS bases and polynomials;
+* :mod:`repro.ckks` — the CKKS scheme (encode/encrypt/decode/decrypt
+  plus a homomorphic evaluator);
+* :mod:`repro.accel` — the ABC-FHE accelerator performance/area model;
+* :mod:`repro.experiments` — one function per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.ckks import CkksContext, bootstrappable_params, toy_params
+
+__all__ = ["CkksContext", "bootstrappable_params", "toy_params", "__version__"]

@@ -1,0 +1,229 @@
+"""Analytic area/power model (Tables I and II, Fig. 6a).
+
+Unit model fit to Table I: a modular multiplier's area is
+
+    area = ALPHA * bw^2 * (multiplier_equivalents + OVERHEAD)
+
+with multiplier-equivalents 4 / 2 / 1 for Barrett / vanilla Montgomery /
+NTT-friendly Montgomery (fit residual < 0.2 % on all three Table I rows).
+Component areas then compose structurally: a PNL is ``P/2 * log2(N)``
+reconfigurable butterflies plus its commutator FIFOs; an RSC adds the
+unified OTF TF Gen, seed memory, MSE, PRNG and local scratchpad; the chip
+is two RSCs plus the global scratchpad and top-level control.
+
+Power uses three fitted density classes (pipeline logic, SIMD/serial
+logic, SRAM) — each validated against its Table II row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel import calibration as cal
+from repro.accel.config import AcceleratorConfig
+from repro.transforms.dataflow import pipeline_multipliers
+from repro.utils.bitops import ilog2
+
+__all__ = [
+    "modmul_area_um2",
+    "sram_area_mm2",
+    "AreaBreakdown",
+    "chip_area_breakdown",
+    "rfe_area_progression",
+]
+
+# Power density classes (W/mm^2), fit from Table II rows:
+#   pipeline logic  <- 4x PNL row (1.397 / 10.717)
+#   SIMD logic      <- MSE + PRNG rows (higher toggle rate)
+#   SRAM            <- scratchpad rows
+_POWER_PIPELINE = 0.1303
+_POWER_SIMD = 0.40
+_POWER_SRAM = 0.49
+_POWER_TOP = 0.85
+
+_BUTTERFLY_DATAPATH_FACTOR = 2.0
+"""Butterfly area over its bare multiplier: modular adder/subtractor,
+FP55 exponent datapath, reconfiguration muxes (calibrated so 4 PNLs land
+on Table II's 10.717 mm^2)."""
+
+_RECONFIG_MUX_FACTOR = 1.15
+"""Area overhead of making a datapath NTT/FFT-reconfigurable."""
+
+_FP_FIFO_FACTOR = 55 / 44
+"""FIFO width ratio when sized for the FP55 word."""
+
+
+def modmul_area_um2(bitwidth: int, algorithm: str) -> float:
+    """Table I model: modular-multiplier area in µm² at 28 nm / 600 MHz."""
+    try:
+        equiv = cal.MODMUL_EQUIV[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; pick from {sorted(cal.MODMUL_EQUIV)}"
+        ) from None
+    return cal.MODMUL_ALPHA_UM2_PER_BIT2 * bitwidth**2 * (equiv + cal.MODMUL_OVERHEAD_EQUIV)
+
+
+def fp_mult_area_um2(total_bits: int) -> float:
+    """Plain (non-modular) multiplier area for an FP datapath lane.
+
+    A significand multiplier of ~``mantissa+1`` bits dominates; we charge
+    the 44-bit array the RFE actually reuses (Eq. 12 reconfigurability)."""
+    return cal.MODMUL_ALPHA_UM2_PER_BIT2 * min(total_bits, 44) ** 2
+
+
+def sram_area_mm2(nbytes: float, double_buffered: bool = False) -> float:
+    """SRAM macro area from the Table II scratchpad densities."""
+    per_kb = cal.SRAM_DOUBLE_BUFFERED_MM2_PER_KB if double_buffered else cal.SRAM_MM2_PER_KB
+    return nbytes / 1024 * per_kb
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Component-level area (mm^2) and power (W) — the Table II rows."""
+
+    area_mm2: dict[str, float]
+    power_w: dict[str, float]
+
+    @property
+    def total_area(self) -> float:
+        return self.area_mm2["Total"]
+
+    @property
+    def total_power(self) -> float:
+        return self.power_w["Total"]
+
+    def scaled_to_7nm(self) -> tuple[float, float]:
+        """(area, power) after the paper's DeepScaleTool 28->7 nm factors."""
+        return (
+            self.total_area / cal.SCALE_28_TO_7_AREA,
+            self.total_power / cal.SCALE_28_TO_7_POWER,
+        )
+
+
+def _pnl_area_mm2(config: AcceleratorConfig, degree: int) -> float:
+    """One pipelined NTT lane: butterflies + commutator FIFOs."""
+    log_n = ilog2(degree)
+    butterflies = (config.lanes_per_pnl // 2) * log_n
+    mult = modmul_area_um2(config.coeff_bits, "ntt_friendly") / 1e6
+    datapath = butterflies * mult * _BUTTERFLY_DATAPATH_FACTOR
+    # MDC commutator FIFOs: total capacity ~N coefficients (2n FIFO per
+    # stage, doubling — Fig. 3c), double-buffered SRAM per Section V-A.
+    fifo_bytes = degree * config.coeff_bits / 8
+    return datapath + sram_area_mm2(fifo_bytes)
+
+
+def _tf_gen_area_mm2(config: AcceleratorConfig) -> float:
+    """Unified OTF TF Gen: one running-product multiplier per streaming
+    path (every path consumes one merged twiddle per cycle), shared across
+    the RSC's PNLs, NTT/FFT-reconfigurable."""
+    mults = config.lanes_per_pnl * config.pnls_per_rsc
+    mult = modmul_area_um2(config.coeff_bits, "ntt_friendly") / 1e6
+    return mults * mult * 1.29  # reconfig + exponent-schedule control
+
+
+def _mse_area_mm2(config: AcceleratorConfig) -> float:
+    """Modular streaming engine: one MAC lane per streaming path."""
+    macs = config.lanes_per_pnl * config.pnls_per_rsc
+    mult = modmul_area_um2(config.coeff_bits, "ntt_friendly") / 1e6
+    return macs * mult * 1.45  # accumulators + RNS/CRT constant banks
+
+
+def chip_area_breakdown(
+    config: AcceleratorConfig | None = None, degree: int = 1 << 16
+) -> AreaBreakdown:
+    """Compose the full Table II breakdown for a configuration."""
+    config = config or AcceleratorConfig()
+    pnl4 = 4 * _pnl_area_mm2(config, degree) * config.pnls_per_rsc / 4
+    tf_gen = _tf_gen_area_mm2(config)
+    seed_mem = sram_area_mm2(cal.TWIDDLE_SEED_MEMORY_BYTES)
+    mse = _mse_area_mm2(config)
+    prng = cal.TABLE2_AREA_MM2["PRNG"]  # calibrated unit (SHAKE core + samplers)
+    local_sp = sram_area_mm2(config.local_scratchpad_bytes)
+    rsc = pnl4 + tf_gen + seed_mem + mse + prng + local_sp
+    global_sp = sram_area_mm2(config.global_scratchpad_bytes, double_buffered=True)
+    top = cal.TABLE2_AREA_MM2["Top CTRL, DMA, Etc."]  # calibrated unit
+    total = config.num_rscs * rsc + global_sp + top
+
+    area = {
+        "4x PNL": pnl4,
+        "Unified OTF TF Gen": tf_gen,
+        "Twiddle Factor Seed Memory": seed_mem,
+        "MSE": mse,
+        "PRNG": prng,
+        "Local Scratchpad": local_sp,
+        "RSC": rsc,
+        "2x RSC": config.num_rscs * rsc,
+        "Global Scratchpad": global_sp,
+        "Top CTRL, DMA, Etc.": top,
+        "Total": total,
+    }
+    power = {
+        "4x PNL": pnl4 * _POWER_PIPELINE,
+        "Unified OTF TF Gen": tf_gen * _POWER_PIPELINE,
+        "Twiddle Factor Seed Memory": seed_mem * _POWER_SRAM,
+        "MSE": mse * _POWER_SIMD,
+        "PRNG": prng * _POWER_SIMD,
+        "Local Scratchpad": local_sp * _POWER_SRAM,
+        "Global Scratchpad": global_sp * _POWER_SRAM,
+        "Top CTRL, DMA, Etc.": top * _POWER_TOP,
+    }
+    power["RSC"] = (
+        power["4x PNL"]
+        + power["Unified OTF TF Gen"]
+        + power["Twiddle Factor Seed Memory"]
+        + power["MSE"]
+        + power["PRNG"]
+        + power["Local Scratchpad"]
+    )
+    power["2x RSC"] = config.num_rscs * power["RSC"]
+    power["Total"] = power["2x RSC"] + power["Global Scratchpad"] + power["Top CTRL, DMA, Etc."]
+    return AreaBreakdown(area_mm2=area, power_w=power)
+
+
+def rfe_area_progression(
+    degree: int = 1 << 16, lanes: int = 8, num_pnls: int = 4
+) -> dict[str, float]:
+    """Fig. 6(a): RFE area as the three optimizations land.
+
+    All four design points deliver one FFT result and four NTT results
+    (the paper's fairness condition):
+
+    1. ``baseline`` — radix-2 pipelines, vanilla Montgomery, separate
+       NTT and FFT hardware;
+    2. ``tf_scheduling`` — radix-2^n twiddle scheduling (fewer mults);
+    3. ``montmul`` — NTT-friendly Montgomery multipliers;
+    4. ``reconfigurable`` — single RFE whose modular lanes reconfigure
+       into the FP complex datapath (Eq. 12), absorbing the FFT engine.
+    """
+    log_n = ilog2(degree)
+    butterflies = (lanes // 2) * log_n
+    mont = modmul_area_um2(44, "montgomery") / 1e6
+    nttf = modmul_area_um2(44, "ntt_friendly") / 1e6
+    fpm = fp_mult_area_um2(55) / 1e6
+    bfly_overhead = butterflies * nttf  # adders/shuffle per butterfly slot
+    fifo = sram_area_mm2(degree * 44 / 8)
+    fifo_fp = fifo * _FP_FIFO_FACTOR
+
+    def ntt_engine(radix_log: int, mult_area: float) -> float:
+        mults = pipeline_multipliers(degree, lanes, radix_log, "ntt").total
+        return mults * mult_area + bfly_overhead + fifo
+
+    def fft_engine(radix_log: int) -> float:
+        real_mults = pipeline_multipliers(degree, lanes, radix_log, "fft").total
+        return real_mults * fpm + bfly_overhead * _FP_FIFO_FACTOR + fifo_fp
+
+    baseline = num_pnls * ntt_engine(1, mont) + fft_engine(1)
+    tf_sched = num_pnls * ntt_engine(log_n, mont) + fft_engine(log_n)
+    montmul = num_pnls * ntt_engine(log_n, nttf) + fft_engine(log_n)
+    reconfigurable = num_pnls * (
+        (pipeline_multipliers(degree, lanes, log_n, "ntt").total * nttf + bfly_overhead)
+        * _RECONFIG_MUX_FACTOR
+        + fifo * _FP_FIFO_FACTOR
+    )
+    return {
+        "baseline": baseline,
+        "tf_scheduling": tf_sched,
+        "montmul": montmul,
+        "reconfigurable": reconfigurable,
+    }

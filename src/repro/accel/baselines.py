@@ -1,0 +1,90 @@
+"""Baseline platform models for Fig. 1 and Fig. 5(a).
+
+The paper compares against (i) a PC-grade CPU running Lattigo, and
+(ii) prior client-side accelerators — [34] (TCAS-II'24, the SOTA) and
+[22] ALOHA-HE (DATE'24).  Since those designs "do not support
+bootstrappable parameters, their reported latency was scaled by the
+proportion of operations for fair comparison" and frequency-normalized to
+600 MHz — i.e., the paper itself compares against *derived* numbers.  We
+model them the same way: a slowdown factor relative to ABC-FHE taken from
+the paper's reported speed-ups, with op-proportional scaling available for
+other parameter points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel import calibration as cal
+from repro.accel.workload import ClientWorkload
+
+__all__ = ["CpuModel", "ScaledAcceleratorModel", "baseline_suite"]
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Single-core CPU latency model: ``ops / rate + fixed overhead``.
+
+    The fixed overhead captures allocation / planning costs that dominate
+    small jobs (2-level decode+decrypt) but amortize over large ones —
+    which is why the paper's CPU speed-ups differ between the two tasks
+    (1112x vs 963x) more than raw op counts alone would suggest.
+    """
+
+    ops_per_second: float = cal.CPU_EFFECTIVE_OPS_PER_SEC
+    fixed_overhead_s: float = cal.CPU_FIXED_OVERHEAD_S
+
+    def latency_seconds(self, ops: float) -> float:
+        return ops / self.ops_per_second + self.fixed_overhead_s
+
+    def encode_encrypt_seconds(self, workload: ClientWorkload) -> float:
+        return self.latency_seconds(workload.encode_encrypt_ops().total)
+
+    def decode_decrypt_seconds(self, workload: ClientWorkload) -> float:
+        return self.latency_seconds(workload.decode_decrypt_ops().total)
+
+
+@dataclass(frozen=True)
+class ScaledAcceleratorModel:
+    """A prior accelerator expressed as a slowdown vs ABC-FHE.
+
+    Attributes:
+        name: publication tag ("[34]", "[22] ALOHA-HE").
+        enc_slowdown: encode+encrypt latency relative to ABC-FHE after the
+            paper's op-proportion + frequency normalization.
+        dec_slowdown: same for decode+decrypt.
+        native_degree: the largest ring the original design supports (all
+            prior client accelerators stop at 2^13, the paper's first
+            criticism).
+    """
+
+    name: str
+    enc_slowdown: float
+    dec_slowdown: float
+    native_degree: int = 1 << 13
+
+    def encode_encrypt_seconds(self, abc_latency_s: float) -> float:
+        return abc_latency_s * self.enc_slowdown
+
+    def decode_decrypt_seconds(self, abc_latency_s: float) -> float:
+        return abc_latency_s * self.dec_slowdown
+
+    def supports(self, degree: int) -> bool:
+        """Whether the original hardware could run this ring at all."""
+        return degree <= self.native_degree
+
+
+def baseline_suite() -> dict[str, ScaledAcceleratorModel]:
+    """The two prior-work baselines of Fig. 5(a)."""
+    return {
+        "[34]": ScaledAcceleratorModel(
+            name="[34]",
+            enc_slowdown=cal.SOTA_CLIENT_ENC_SLOWDOWN,
+            dec_slowdown=cal.SOTA_CLIENT_DEC_SLOWDOWN,
+        ),
+        "[22] ALOHA-HE": ScaledAcceleratorModel(
+            name="[22] ALOHA-HE",
+            enc_slowdown=cal.ALOHA_HE_ENC_SLOWDOWN,
+            dec_slowdown=cal.ALOHA_HE_DEC_SLOWDOWN,
+        ),
+    }

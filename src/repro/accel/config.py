@@ -1,0 +1,93 @@
+"""Accelerator configuration: the knobs Figs. 5(b) and 6(b) sweep.
+
+``AcceleratorConfig`` describes one hardware design point.  The three
+presets mirror the paper's ablation:
+
+* :func:`abc_fhe` — the full design (on-chip PRNG + unified OTF TF Gen);
+* :func:`abc_fhe_tf_gen` — twiddles generated on-chip, everything else
+  (public key, masks, errors) fetched from DRAM;
+* :func:`abc_fhe_base` — all parameters fetched from DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.accel import calibration as cal
+
+__all__ = ["AcceleratorConfig", "abc_fhe", "abc_fhe_tf_gen", "abc_fhe_base"]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One ABC-FHE hardware design point.
+
+    Attributes:
+        lanes_per_pnl: streaming paths P in each pipelined NTT lane
+            (8 in the shipped design; Fig. 5b sweeps 1..64).
+        pnls_per_rsc: pipelined NTT lanes per streaming core (4).
+        num_rscs: reconfigurable streaming cores (2).
+        clock_hz: operating frequency (600 MHz).
+        dram_bytes_per_sec: external-memory bandwidth (LPDDR5, 68.4 GB/s).
+        coeff_bits: integer datapath/storage width (44).
+        fp_bits: floating-point datapath width (55).
+        on_chip_twiddles: unified OTF TF Gen present (vs DRAM twiddles).
+        on_chip_randomness: PRNG present — masks, errors and the
+            seed-shared key component generated on-chip (vs DRAM).
+        seed_shared_c1: fresh ciphertexts transmit c1 as a 16-byte seed
+            (symmetric/seeded encryption), halving output traffic.
+        global_scratchpad_bytes / local_scratchpad_bytes: SRAM capacities.
+    """
+
+    lanes_per_pnl: int = 8
+    pnls_per_rsc: int = 4
+    num_rscs: int = 2
+    clock_hz: float = cal.CLOCK_HZ
+    dram_bytes_per_sec: float = cal.LPDDR5_BYTES_PER_SEC
+    coeff_bits: int = cal.COEFF_BITS
+    fp_bits: int = cal.FP_BITS
+    on_chip_twiddles: bool = True
+    on_chip_randomness: bool = True
+    seed_shared_c1: bool = True
+    global_scratchpad_bytes: int = cal.GLOBAL_SCRATCHPAD_BYTES
+    local_scratchpad_bytes: int = cal.LOCAL_SCRATCHPAD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.lanes_per_pnl < 1:
+            raise ValueError("need at least one lane")
+        if self.pnls_per_rsc < 1 or self.num_rscs < 1:
+            raise ValueError("need at least one PNL and one RSC")
+
+    @property
+    def total_transform_engines(self) -> int:
+        """Concurrent N-point transforms (one per PNL across all RSCs)."""
+        return self.pnls_per_rsc * self.num_rscs
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_bytes_per_sec / self.clock_hz
+
+    def with_lanes(self, lanes: int) -> "AcceleratorConfig":
+        """The Fig. 5(b) sweep knob."""
+        return replace(self, lanes_per_pnl=lanes)
+
+
+def abc_fhe(lanes: int = 8) -> AcceleratorConfig:
+    """The full ABC-FHE design (ABC-FHE_All in Fig. 6b)."""
+    return AcceleratorConfig(lanes_per_pnl=lanes)
+
+
+def abc_fhe_tf_gen(lanes: int = 8) -> AcceleratorConfig:
+    """Twiddles on-chip, randomness/keys from DRAM (ABC-FHE_TF_Gen)."""
+    return AcceleratorConfig(
+        lanes_per_pnl=lanes, on_chip_twiddles=True, on_chip_randomness=False,
+        seed_shared_c1=False,
+    )
+
+
+def abc_fhe_base(lanes: int = 8) -> AcceleratorConfig:
+    """Everything fetched from DRAM (ABC-FHE_Base in Fig. 6b)."""
+    return AcceleratorConfig(
+        lanes_per_pnl=lanes, on_chip_twiddles=False, on_chip_randomness=False,
+        seed_shared_c1=False,
+    )

@@ -1,0 +1,101 @@
+"""Cycle models of the ABC-FHE compute engines (Fig. 3b/c).
+
+A pipelined NTT lane (PNL) is a P-path MDC pipeline: it consumes and
+produces P coefficients per cycle, so an N-point transform occupies it for
+``N/P`` cycles plus a fill latency (commutator FIFOs + multiplier pipeline
+stages).  The RFE reconfigures the same lanes between 44-bit modular and
+55-bit floating-point complex mode (four modular multipliers make one
+complex multiplier, Eq. 12).
+
+The MSE performs element-wise work (RNS expand, CRT combine, mask/key
+products, error additions) at the same streaming rate, *chained* with the
+transform stream — its cycles are reported for visibility but overlap the
+PNL stream in steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bitops import ilog2
+
+__all__ = ["PnlModel", "MseModel", "GeneratorModel"]
+
+_MULT_PIPELINE_STAGES = 3  # NTT-friendly Montgomery (Table I)
+
+
+@dataclass(frozen=True)
+class PnlModel:
+    """One pipelined NTT lane.
+
+    Attributes:
+        lanes: streaming paths P.
+    """
+
+    lanes: int
+
+    def fill_cycles(self, degree: int) -> int:
+        """Pipeline fill: commutator FIFO occupancy plus multiplier depth.
+
+        The MDC shuffling FIFOs hold ~N/(4P) elements before the first
+        output emerges; each of the log2(N) stages adds the modular
+        multiplier's pipeline depth.
+        """
+        return degree // (4 * self.lanes) + _MULT_PIPELINE_STAGES * ilog2(degree)
+
+    def transform_occupancy(self, degree: int) -> int:
+        """Cycles one N-point NTT/INTT occupies the lane (steady stream)."""
+        return degree // self.lanes
+
+    def transform_latency(self, degree: int) -> int:
+        """First-in to last-out latency of a single transform."""
+        return self.transform_occupancy(degree) + self.fill_cycles(degree)
+
+    def fft_occupancy(self, slots: int) -> int:
+        """Cycles for one special FFT/IFFT over ``slots`` complex values.
+
+        In FP mode the P integer paths pair into P/2 complex paths, but
+        each complex value is two words wide, so the throughput in
+        values/cycle is P/2 complex = P words — the occupancy matches the
+        integer case per word streamed.
+        """
+        return (2 * slots) // self.lanes
+
+    def fft_latency(self, slots: int) -> int:
+        return self.fft_occupancy(slots) + self.fill_cycles(2 * slots)
+
+
+@dataclass(frozen=True)
+class MseModel:
+    """Modular streaming engine: element-wise SIMD work.
+
+    Attributes:
+        width: elements processed per cycle (matched to the aggregate PNL
+            output rate so the chained stream never stalls).
+    """
+
+    width: int
+
+    def elementwise_cycles(self, elements: int) -> int:
+        """Standalone cycles for an element-wise pass (RNS, CRT, MAC)."""
+        return -(-elements // self.width)
+
+
+@dataclass(frozen=True)
+class GeneratorModel:
+    """On-chip value generator (PRNG or OTF TF Gen).
+
+    Attributes:
+        values_per_cycle: generation rate.  The shipped design sizes both
+            generators to the PNL consumption rate (P values/cycle/lane),
+            so they never stall the stream; the ablation benches can
+            under-size them.
+    """
+
+    values_per_cycle: int
+
+    def stall_factor(self, required_per_cycle: int) -> float:
+        """Slowdown multiplier when generation cannot keep up."""
+        if self.values_per_cycle >= required_per_cycle:
+            return 1.0
+        return required_per_cycle / self.values_per_cycle

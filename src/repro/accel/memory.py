@@ -1,0 +1,150 @@
+"""External-memory traffic and on-chip footprint models (Section IV-B).
+
+Two questions the paper answers quantitatively:
+
+1. *How much would the client need to store/fetch without on-chip
+   generation?*  For N = 2^16, 44-bit, 24 levels: 16.5 MB of public key,
+   8.25 MB of masks+errors, 8.25 MB of twiddle factors
+   (:func:`client_memory_footprint` reproduces these numbers exactly).
+2. *How much DRAM traffic does each task actually move under each
+   hardware configuration?*  (:class:`TrafficModel`, consumed by the
+   cycle simulator for Figs. 5b and 6b.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.workload import ClientWorkload
+from repro.transforms.twiddle import TwiddleMemoryModel
+
+__all__ = ["MemoryFootprint", "client_memory_footprint", "TrafficBreakdown", "TrafficModel"]
+
+_MESSAGE_BYTES_PER_SLOT = 16  # complex128 from the host application
+_SEED_BYTES = 16
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Static parameter storage a client would need without on-chip gen."""
+
+    public_key_bytes: int
+    masks_errors_bytes: int
+    twiddle_bytes: int
+    seed_bytes: int
+    twiddle_seed_bytes: int
+
+    @property
+    def total_without_generation(self) -> int:
+        return self.public_key_bytes + self.masks_errors_bytes + self.twiddle_bytes
+
+    @property
+    def total_with_generation(self) -> int:
+        return self.seed_bytes + self.twiddle_seed_bytes
+
+    @property
+    def reduction_ratio(self) -> float:
+        """On-chip-generation storage saving (paper: > 99.9 %)."""
+        return 1.0 - self.total_with_generation / self.total_without_generation
+
+
+def client_memory_footprint(
+    degree: int = 1 << 16, levels: int = 24, coeff_bits: int = 44
+) -> MemoryFootprint:
+    """Section IV-B's storage accounting.
+
+    Public key: two level-L polynomials.  Masks+errors: one polynomial
+    equivalent (the paper's 8.25 MB line).  Twiddles: one residue per
+    coefficient per limb.
+    """
+    poly_bytes = levels * degree * coeff_bits // 8
+    twiddle = TwiddleMemoryModel(degree=degree, num_primes=levels, coeff_bits=coeff_bits)
+    return MemoryFootprint(
+        public_key_bytes=2 * poly_bytes,
+        masks_errors_bytes=poly_bytes,
+        twiddle_bytes=twiddle.full_table_bytes,
+        seed_bytes=_SEED_BYTES,
+        twiddle_seed_bytes=twiddle.seed_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """DRAM bytes moved for one task under one configuration.
+
+    ``streaming`` traffic (message/ciphertext I/O) overlaps with compute
+    through the double-buffered global scratchpad; ``fetch`` traffic
+    (parameters consumed mid-pipeline: twiddles, keys, masks, errors)
+    serializes with compute — fetch-dependent stalls are exactly what the
+    on-chip generators remove.
+    """
+
+    message_bytes: int
+    ciphertext_bytes: int
+    twiddle_bytes: int
+    key_bytes: int
+    randomness_bytes: int
+
+    @property
+    def streaming_bytes(self) -> int:
+        return self.message_bytes + self.ciphertext_bytes
+
+    @property
+    def fetch_bytes(self) -> int:
+        return self.twiddle_bytes + self.key_bytes + self.randomness_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.streaming_bytes + self.fetch_bytes
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Per-task DRAM traffic under a hardware configuration."""
+
+    config: AcceleratorConfig
+    workload: ClientWorkload
+
+    def _poly_bytes(self, levels: int) -> int:
+        return levels * self.workload.degree * self.config.coeff_bits // 8
+
+    def encode_encrypt(self) -> TrafficBreakdown:
+        """Fresh encryption: message in, ciphertext out, plus parameter
+        fetches when on-chip generation is disabled."""
+        w, c = self.workload, self.config
+        message = (w.degree // 2) * _MESSAGE_BYTES_PER_SLOT
+        ct_parts = 1 if c.seed_shared_c1 else 2
+        ciphertext = ct_parts * self._poly_bytes(w.enc_levels) + (
+            _SEED_BYTES if c.seed_shared_c1 else 0
+        )
+        twiddles = 0 if c.on_chip_twiddles else (
+            w.num_ntt_transforms_encrypt() * w.degree * c.coeff_bits // 8
+        )
+        keys = 0 if c.on_chip_randomness else 2 * self._poly_bytes(w.enc_levels)
+        randomness = 0 if c.on_chip_randomness else 3 * self._poly_bytes(w.enc_levels)
+        return TrafficBreakdown(
+            message_bytes=message,
+            ciphertext_bytes=ciphertext,
+            twiddle_bytes=twiddles,
+            key_bytes=keys,
+            randomness_bytes=randomness,
+        )
+
+    def decode_decrypt(self) -> TrafficBreakdown:
+        """Server response: ciphertext in, message out, twiddle fetches
+        when the OTF TF Gen is disabled.  Decryption consumes no PRNG
+        randomness; the secret key is small (ternary) and pinned on-chip."""
+        w, c = self.workload, self.config
+        message = (w.degree // 2) * _MESSAGE_BYTES_PER_SLOT
+        ciphertext = 2 * self._poly_bytes(w.dec_levels)
+        twiddles = 0 if c.on_chip_twiddles else (
+            w.num_ntt_transforms_decrypt() * w.degree * c.coeff_bits // 8
+        )
+        return TrafficBreakdown(
+            message_bytes=message,
+            ciphertext_bytes=ciphertext,
+            twiddle_bytes=twiddles,
+            key_bytes=0,
+            randomness_bytes=0,
+        )

@@ -1,0 +1,192 @@
+"""Cycle-level simulator for ABC-FHE client-side tasks.
+
+Latency model (Section III's streaming story, calibrated in
+EXPERIMENTS.md):
+
+* **Compute** — transform passes scheduled over the available engines
+  (``num_rscs * pnls_per_rsc`` concurrent N-point transforms, each a
+  P-path streaming pipeline).  Chained element-wise work (MSE) overlaps
+  the stream.
+* **Streaming I/O** (message in, ciphertext out) moves through the
+  double-buffered global scratchpad and overlaps compute:
+  ``max(compute, stream)``.
+* **Fetch traffic** (twiddles, keys, masks/errors when on-chip generation
+  is disabled) is consumed mid-pipeline and serializes with compute —
+  this is precisely the overhead the PRNG and unified OTF TF Gen remove
+  (Fig. 6b).
+
+Encode+encrypt flow: IFFT -> RNS expand -> { NTT(m), NTT(v) } over all
+limbs -> mask/key MACs -> ciphertext out (c1 seed-shared when enabled).
+Decode+decrypt flow: ciphertext in -> NTT(c1) -> c1*s -> INTT -> CRT ->
+FFT -> message out, with the per-limb chain streamed back-to-back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.engines import MseModel, PnlModel
+from repro.accel.memory import TrafficBreakdown, TrafficModel
+from repro.accel.workload import ClientWorkload
+
+__all__ = ["SimulationResult", "ClientSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one task on one configuration.
+
+    Attributes:
+        task: "encode_encrypt" or "decode_decrypt".
+        compute_cycles: engine-bound cycles (transform stream).
+        stream_cycles: DRAM cycles for overlap-able message/ciphertext I/O.
+        fetch_cycles: DRAM cycles for mid-pipeline parameter fetches.
+        latency_cycles: end-to-end latency, ``max(compute, stream) + fetch``.
+        clock_hz: frequency used to convert to seconds.
+        traffic: the underlying DRAM byte breakdown.
+    """
+
+    task: str
+    compute_cycles: int
+    stream_cycles: int
+    fetch_cycles: int
+    latency_cycles: int
+    clock_hz: float
+    traffic: TrafficBreakdown
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.latency_cycles / self.clock_hz
+
+    @property
+    def throughput_per_second(self) -> float:
+        """Steady-state ciphertexts/s with double-buffered overlap."""
+        steady = max(self.compute_cycles, self.stream_cycles) + self.fetch_cycles
+        return self.clock_hz / steady
+
+    @property
+    def bound_by(self) -> str:
+        """Which resource limits latency: "compute" or "memory"."""
+        if self.fetch_cycles > 0 and self.fetch_cycles >= self.compute_cycles:
+            return "memory"
+        return "compute" if self.compute_cycles >= self.stream_cycles else "memory"
+
+
+@dataclass(frozen=True)
+class ClientSimulator:
+    """Simulates CKKS client tasks on an :class:`AcceleratorConfig`."""
+
+    config: AcceleratorConfig
+    workload: ClientWorkload
+
+    def _pnl(self) -> PnlModel:
+        return PnlModel(lanes=self.config.lanes_per_pnl)
+
+    def _mse(self) -> MseModel:
+        return MseModel(width=self.config.lanes_per_pnl * self.config.pnls_per_rsc)
+
+    def _dram_cycles(self, nbytes: int) -> int:
+        return -(-int(nbytes) // max(1, int(self.config.dram_bytes_per_cycle)))
+
+    # ------------------------------------------------------------------
+    # Tasks
+    # ------------------------------------------------------------------
+
+    def encode_encrypt(self) -> SimulationResult:
+        """One fresh encryption at ``workload.enc_levels`` levels."""
+        w, c = self.workload, self.config
+        pnl = self._pnl()
+        engines = c.total_transform_engines
+
+        # IFFT runs first (FP mode) on one RSC's lanes; its result feeds
+        # the RNS expansion, so it serializes with the NTT phase.
+        ifft = pnl.fft_latency(w.degree // 2)
+        transforms = w.num_ntt_transforms_encrypt()
+        rounds = -(-transforms // engines)
+        ntt = rounds * pnl.transform_occupancy(w.degree) + pnl.fill_cycles(w.degree)
+        compute = ifft + ntt
+
+        traffic = TrafficModel(config=c, workload=w).encode_encrypt()
+        stream = self._dram_cycles(traffic.streaming_bytes)
+        fetch = self._dram_cycles(traffic.fetch_bytes)
+        latency = max(compute, stream) + fetch
+        return SimulationResult(
+            task="encode_encrypt",
+            compute_cycles=compute,
+            stream_cycles=stream,
+            fetch_cycles=fetch,
+            latency_cycles=latency,
+            clock_hz=c.clock_hz,
+            traffic=traffic,
+        )
+
+    def decode_decrypt(self) -> SimulationResult:
+        """One decryption of a ``workload.dec_levels``-level response.
+
+        The per-limb NTT -> pointwise -> INTT chain streams back-to-back
+        (one span plus both fills); the decode FFT follows the CRT
+        combine.
+        """
+        w, c = self.workload, self.config
+        pnl = self._pnl()
+        engines = c.total_transform_engines
+
+        limb_rounds = -(-w.dec_levels // engines)  # NTT(c1) per limb
+        chain = (
+            limb_rounds * pnl.transform_occupancy(w.degree)
+            + 2 * pnl.fill_cycles(w.degree)  # NTT fill + INTT fill, chained
+        )
+        fft = pnl.fft_latency(w.degree // 2)
+        compute = chain + fft
+
+        traffic = TrafficModel(config=c, workload=w).decode_decrypt()
+        stream = self._dram_cycles(traffic.streaming_bytes)
+        fetch = self._dram_cycles(traffic.fetch_bytes)
+        latency = max(compute, stream) + fetch
+        return SimulationResult(
+            task="decode_decrypt",
+            compute_cycles=compute,
+            stream_cycles=stream,
+            fetch_cycles=fetch,
+            latency_cycles=latency,
+            clock_hz=c.clock_hz,
+            traffic=traffic,
+        )
+
+    def run(self, task: str) -> SimulationResult:
+        if task == "encode_encrypt":
+            return self.encode_encrypt()
+        if task == "decode_decrypt":
+            return self.decode_decrypt()
+        raise ValueError(f"unknown task {task!r}")
+
+
+def sweep_lanes(
+    workload: ClientWorkload,
+    base_config: AcceleratorConfig,
+    lane_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    task: str = "encode_encrypt",
+) -> list[tuple[int, SimulationResult]]:
+    """The Fig. 5(b) sweep: latency/throughput vs lanes per PNL."""
+    out = []
+    for lanes in lane_counts:
+        sim = ClientSimulator(config=base_config.with_lanes(lanes), workload=workload)
+        out.append((lanes, sim.run(task)))
+    return out
+
+
+def sweep_degree(
+    config: AcceleratorConfig,
+    degrees: tuple[int, ...] = (1 << 13, 1 << 14, 1 << 15, 1 << 16),
+    enc_levels: int = 24,
+    dec_levels: int = 2,
+    task: str = "encode_encrypt",
+) -> list[tuple[int, SimulationResult]]:
+    """The Fig. 6(b) x-axis: latency vs polynomial degree."""
+    out = []
+    for n in degrees:
+        w = ClientWorkload(degree=n, enc_levels=enc_levels, dec_levels=dec_levels)
+        sim = ClientSimulator(config=config, workload=w)
+        out.append((n, sim.run(task)))
+    return out

@@ -1,0 +1,150 @@
+"""Client-side CKKS workload analysis (paper Fig. 2).
+
+Operation accounting rules (documented here because the paper does not
+publish its exact accounting; EXPERIMENTS.md compares the results):
+
+* one modular butterfly = **1 op** (one modular multiplier slot);
+* one complex FFT butterfly = **2 ops** (its four real multiplies occupy
+  the reconfigured datapath for two modular-multiplier-pair slots, Eq. 12);
+* RNS expansion / CRT combination = 1 op per (coefficient, limb);
+* element-wise MACs (mask-times-key products, error additions) are tracked
+  separately in ``other_ops`` — they ride the MSE's adders/multipliers in
+  parallel with the transform stream and are not multiplier-bound.
+
+Flow assumptions (Fig. 2a):
+
+* encode+encrypt at level L: one special IFFT, RNS expansion to L limbs,
+  then NTT of the message and of the encryption mask v over all L limbs
+  (errors are PRNG-generated directly in the evaluation domain — the
+  hardware-friendly choice that the on-chip PRNG enables);
+* decode+decrypt at level l: ciphertexts arrive in the coefficient domain,
+  so c1 is NTT-ed, multiplied by s, the result INTT-ed (l limbs each),
+  CRT-combined, and decoded with one special FFT.
+
+With N = 2^16, L = 24, l = 2 this lands at 27.2 MOPs vs the paper's
+27.0 MOPs (+0.8 %) and 2.72 MOPs vs 2.9 MOPs (−6 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bitops import ilog2
+
+__all__ = ["OpCounts", "ClientWorkload", "resnet20_client_ops"]
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Operation tally for one client-side task.
+
+    Attributes:
+        fft_ops: special FFT/IFFT butterfly ops (2 per complex butterfly).
+        ntt_ops: NTT/INTT modular butterfly ops.
+        rns_ops: RNS-expand / CRT-combine residue conversions.
+        other_ops: element-wise MACs (mask products, error adds).
+    """
+
+    fft_ops: int
+    ntt_ops: int
+    rns_ops: int
+    other_ops: int
+
+    @property
+    def total(self) -> int:
+        """Multiplier-bound ops (the Fig. 2b headline count)."""
+        return self.fft_ops + self.ntt_ops + self.rns_ops
+
+    @property
+    def total_with_other(self) -> int:
+        return self.total + self.other_ops
+
+    def shares(self) -> dict[str, float]:
+        """Fractional composition including element-wise work (Fig. 2b)."""
+        denom = self.total_with_other
+        return {
+            "i_fft": self.fft_ops / denom,
+            "i_ntt": self.ntt_ops / denom,
+            "rns_crt": self.rns_ops / denom,
+            "others": self.other_ops / denom,
+        }
+
+
+@dataclass(frozen=True)
+class ClientWorkload:
+    """Op counts for one ciphertext at the paper's parameter point.
+
+    Attributes:
+        degree: ring degree N.
+        enc_levels: fresh-encryption level (24 in Section V-B).
+        dec_levels: level of server responses (2 in Section V-B).
+    """
+
+    degree: int
+    enc_levels: int = 24
+    dec_levels: int = 2
+
+    def __post_init__(self) -> None:
+        ilog2(self.degree)
+
+    # -- transform primitives ------------------------------------------------
+
+    def ntt_butterflies(self) -> int:
+        """Butterflies in one N-point merged negacyclic NTT."""
+        return (self.degree // 2) * ilog2(self.degree)
+
+    def fft_ops_one_transform(self) -> int:
+        """Ops in one special FFT over N/2 slots (2 per complex butterfly)."""
+        slots = self.degree // 2
+        return 2 * (slots // 2) * ilog2(slots)
+
+    # -- encode + encrypt ----------------------------------------------------
+
+    def num_ntt_transforms_encrypt(self) -> int:
+        """NTT passes per fresh encryption: message + mask, every limb."""
+        return 2 * self.enc_levels
+
+    def encode_encrypt_ops(self) -> OpCounts:
+        l = self.enc_levels
+        n = self.degree
+        return OpCounts(
+            fft_ops=self.fft_ops_one_transform(),
+            ntt_ops=self.num_ntt_transforms_encrypt() * self.ntt_butterflies(),
+            rns_ops=l * n,
+            other_ops=2 * l * n + 2 * l * n,  # v*pk products + error/message adds
+        )
+
+    # -- decode + decrypt ----------------------------------------------------
+
+    def num_ntt_transforms_decrypt(self) -> int:
+        """NTT(c1) + INTT(c0 + c1*s), every limb of the arriving level."""
+        return 2 * self.dec_levels
+
+    def decode_decrypt_ops(self) -> OpCounts:
+        l = self.dec_levels
+        n = self.degree
+        return OpCounts(
+            fft_ops=self.fft_ops_one_transform(),
+            ntt_ops=self.num_ntt_transforms_decrypt() * self.ntt_butterflies(),
+            rns_ops=l * n,
+            other_ops=l * n + l * n,  # c1*s products + c0 adds
+        )
+
+    def imbalance_ratio(self) -> float:
+        """Encode+encrypt over decode+decrypt op ratio (paper: ~9.3x)."""
+        return self.encode_encrypt_ops().total / self.decode_decrypt_ops().total
+
+
+def resnet20_client_ops(
+    degree: int = 1 << 16,
+    enc_levels: int = 24,
+    dec_levels: int = 2,
+    input_ciphertexts: int = 1,
+    output_ciphertexts: int = 1,
+) -> dict[str, int]:
+    """Client-side op totals for one ResNet20-FHE inference (Fig. 1 input)."""
+    w = ClientWorkload(degree, enc_levels, dec_levels)
+    return {
+        "encode_encrypt": input_ciphertexts * w.encode_encrypt_ops().total,
+        "decode_decrypt": output_ciphertexts * w.decode_decrypt_ops().total,
+    }

@@ -1,0 +1,69 @@
+"""Plaintext and ciphertext containers with scale/level bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rns.poly import EVAL, RnsPolynomial
+
+__all__ = ["Plaintext", "Ciphertext"]
+
+
+@dataclass
+class Plaintext:
+    """An encoded message: one RNS polynomial plus its scale.
+
+    Attributes:
+        poly: the encoded polynomial (coefficient domain by convention).
+        scale: the Δ this plaintext was scaled by at encoding.
+    """
+
+    poly: RnsPolynomial
+    scale: float
+
+    @property
+    def level(self) -> int:
+        return self.poly.level
+
+
+@dataclass
+class Ciphertext:
+    """A CKKS ciphertext: tuple of polynomials under one (level, scale).
+
+    Fresh ciphertexts have two parts (c0, c1); a tensor product before
+    relinearization has three.  All parts are kept in the NTT (evaluation)
+    domain, matching how the accelerator streams them.
+    """
+
+    parts: list[RnsPolynomial]
+    scale: float
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("ciphertext needs at least c0 and c1")
+        lvl = self.parts[0].level
+        for p in self.parts:
+            if p.level != lvl:
+                raise ValueError("ciphertext parts at inconsistent levels")
+            if p.domain != EVAL:
+                raise ValueError("ciphertext parts must be in the NTT domain")
+
+    @property
+    def level(self) -> int:
+        return self.parts[0].level
+
+    @property
+    def size(self) -> int:
+        """Number of polynomial parts (2 normally, 3 pre-relinearization)."""
+        return len(self.parts)
+
+    @property
+    def c0(self) -> RnsPolynomial:
+        return self.parts[0]
+
+    @property
+    def c1(self) -> RnsPolynomial:
+        return self.parts[1]
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext([p.copy() for p in self.parts], self.scale)

@@ -1,0 +1,104 @@
+"""One-stop CKKS context: parameters + basis + encoder + keys + engines.
+
+``CkksContext.create`` is the public entry point most users want::
+
+    from repro.ckks import CkksContext, toy_params
+
+    ctx = CkksContext.create(toy_params(), seed=2024)
+    ct = ctx.encrypt([1.5, 2.5 - 1j])
+    print(ctx.decrypt_decode(ct)[:2])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.containers import Ciphertext, Plaintext
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.encryptor import Decryptor, Encryptor
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator, PublicKey, SecretKey, SwitchingKey
+from repro.ckks.params import CkksParameters
+from repro.prng.xof import Xof
+from repro.rns.basis import RnsBasis
+
+__all__ = ["CkksContext"]
+
+
+@dataclass
+class CkksContext:
+    """Bound parameter set with generated keys and ready-made engines.
+
+    Attributes:
+        params: the CKKS configuration.
+        basis: RNS chain generated for it.
+        encoder: message <-> plaintext codec.
+        encryptor / decryptor / evaluator: the three engines.
+        secret_key / public_key: generated key material.
+    """
+
+    params: CkksParameters
+    basis: RnsBasis
+    encoder: CkksEncoder
+    keygen: KeyGenerator
+    secret_key: SecretKey
+    public_key: PublicKey
+    encryptor: Encryptor
+    decryptor: Decryptor
+    evaluator: Evaluator
+
+    @classmethod
+    def create(cls, params: CkksParameters, seed: int = 0) -> "CkksContext":
+        """Generate a full context (basis, keys, engines) from a seed."""
+        basis = RnsBasis.create(params.degree, params.num_primes, params.prime_bits)
+        master = Xof.from_int(seed)
+        keygen = KeyGenerator(params=params, basis=basis, xof=master.derive(b"keygen"))
+        sk = keygen.gen_secret()
+        pk = keygen.gen_public(sk)
+        return cls(
+            params=params,
+            basis=basis,
+            encoder=CkksEncoder.create(params, basis),
+            keygen=keygen,
+            secret_key=sk,
+            public_key=pk,
+            encryptor=Encryptor(
+                params=params, basis=basis, public_key=pk, xof=master.derive(b"enc")
+            ),
+            decryptor=Decryptor(params=params, secret_key=sk),
+            evaluator=Evaluator(params=params, basis=basis),
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+
+    def encode(self, values, level: int | None = None) -> Plaintext:
+        return self.encoder.encode(np.asarray(values), level=level)
+
+    def decode(self, plaintext: Plaintext) -> np.ndarray:
+        return self.encoder.decode(plaintext)
+
+    def encrypt(self, values, level: int | None = None) -> Ciphertext:
+        """Encode + encrypt in one step (the paper's encode+encrypt task)."""
+        return self.encryptor.encrypt(self.encode(values, level=level))
+
+    def decrypt_decode(self, ciphertext: Ciphertext) -> np.ndarray:
+        """Decrypt + decode in one step (the decode+decrypt task)."""
+        return self.decode(self.decryptor.decrypt(ciphertext))
+
+    def relin_keys(self, levels: list[int] | None = None) -> dict[int, SwitchingKey]:
+        """Generate relinearization keys for the given levels."""
+        if levels is None:
+            levels = list(range(2, self.params.num_primes + 1))
+        return self.keygen.gen_relin(self.secret_key, levels)
+
+    def galois_keys(
+        self, rotations: list[int], levels: list[int] | None = None
+    ) -> dict[tuple[int, int], SwitchingKey]:
+        """Generate Galois keys for the given rotations and levels."""
+        if levels is None:
+            levels = list(range(2, self.params.num_primes + 1))
+        return self.keygen.gen_galois(self.secret_key, rotations, levels)

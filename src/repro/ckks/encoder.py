@@ -1,0 +1,86 @@
+"""CKKS encoder / decoder: messages <-> scaled integer polynomials.
+
+Encoding (Fig. 2a, top path): message slots -> special IFFT -> fold the
+complex output into 2*slots real coefficients -> scale by Δ and round ->
+expand into RNS residues.  Decoding is the exact reverse (Combine CRT ->
+unfold -> special FFT).
+
+The rounding step produces ~72-bit integers under the paper's double-scale
+Δ, so the lift goes through exact Python integers — this is the same
+big-int-to-RNS "Expand RNS" step the MSE hardware performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.containers import Plaintext
+from repro.ckks.params import CkksParameters
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import RnsPolynomial
+from repro.transforms.fft import SpecialFft
+
+__all__ = ["CkksEncoder"]
+
+
+@dataclass(frozen=True)
+class CkksEncoder:
+    """Encoder bound to one parameter set and RNS basis.
+
+    Attributes:
+        params: CKKS parameters (ring degree, scale, FP format).
+        basis: the RNS modulus chain plaintexts are expanded onto.
+        fft: the special FFT kernel, running in ``params.fp_format``.
+    """
+
+    params: CkksParameters
+    basis: RnsBasis
+    fft: SpecialFft
+
+    @classmethod
+    def create(cls, params: CkksParameters, basis: RnsBasis) -> "CkksEncoder":
+        if basis.degree != params.degree:
+            raise ValueError("basis degree does not match parameters")
+        return cls(params=params, basis=basis, fft=SpecialFft.create(params.slots, params.fp_format))
+
+    def encode(
+        self,
+        values: np.ndarray,
+        level: int | None = None,
+        scale: float | None = None,
+    ) -> Plaintext:
+        """Encode up to ``slots`` complex values into a plaintext.
+
+        Shorter inputs are zero-padded.  ``scale`` defaults to the
+        parameter set's Δ; ``level`` to the full chain.
+        """
+        level = self.params.top_level if level is None else level
+        scale = self.params.scale if scale is None else scale
+        slots = self.params.slots
+        values = np.asarray(values, dtype=np.complex128).ravel()
+        if len(values) > slots:
+            raise ValueError(f"at most {slots} slots, got {len(values)}")
+        if len(values) < slots:
+            values = np.concatenate([values, np.zeros(slots - len(values), dtype=np.complex128)])
+
+        folded = self.fft.inverse(values)
+        # Unfold: coefficient k gets Re, coefficient k + slots gets Im.
+        real_coeffs = np.concatenate([folded.real, folded.imag])
+        ints = [int(round(float(c) * scale)) for c in real_coeffs]
+        poly = RnsPolynomial.from_bigint_coeffs(self.basis, level, ints)
+        return Plaintext(poly=poly, scale=scale)
+
+    def decode(self, plaintext: Plaintext) -> np.ndarray:
+        """Decode a plaintext back to its complex slot values."""
+        poly = plaintext.poly
+        if poly.domain != "coeff":
+            poly = poly.to_coeff()
+        slots = self.params.slots
+        big = poly.to_bigints(center=True)
+        folded = np.array(
+            [big[k] + 1j * big[k + slots] for k in range(slots)], dtype=np.complex128
+        )
+        folded /= plaintext.scale
+        return self.fft.forward(folded)

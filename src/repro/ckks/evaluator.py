@@ -1,0 +1,224 @@
+"""Homomorphic operations (the server-side counterpart, for end-to-end use).
+
+ABC-FHE itself accelerates only the client side, but a usable library —
+and the Fig. 1 end-to-end breakdown — needs the server's homomorphic
+add / multiply / relinearize / rescale / rotate, so they are implemented
+here with the same RNS substrate.
+
+Key switching uses per-limb CRT-idempotent digits: decomposing a
+polynomial into its residue rows keeps each digit below one prime, so the
+switching noise stays ~q_j-sized rather than Q-sized.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ckks.containers import Ciphertext, Plaintext
+from repro.ckks.keys import SwitchingKey
+from repro.ckks.params import CkksParameters
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import COEFF, EVAL, RnsPolynomial
+
+__all__ = ["Evaluator"]
+
+_SCALE_RTOL = 1e-9
+
+
+@dataclass
+class Evaluator:
+    """Stateless homomorphic evaluator over one parameter set.
+
+    Attributes:
+        params: CKKS parameters.
+        basis: the shared RNS chain.
+    """
+
+    params: CkksParameters
+    basis: RnsBasis
+
+    # ------------------------------------------------------------------
+    # Linear operations
+    # ------------------------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Slot-wise addition; scales must match."""
+        self._check_scales(a, b)
+        lvl = min(a.level, b.level)
+        n = max(a.size, b.size)
+        parts = []
+        for i in range(n):
+            pa = a.parts[i].drop_limbs(lvl) if i < a.size else None
+            pb = b.parts[i].drop_limbs(lvl) if i < b.size else None
+            if pa is None:
+                parts.append(pb)
+            elif pb is None:
+                parts.append(pa)
+            else:
+                parts.append(pa + pb)
+        return Ciphertext(parts=parts, scale=a.scale)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Slot-wise subtraction; scales must match."""
+        self._check_scales(a, b)
+        neg = Ciphertext(parts=[-p for p in b.parts], scale=b.scale)
+        return self.add(a, neg)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return Ciphertext(parts=[-p for p in a.parts], scale=a.scale)
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """Add an encoded plaintext (scales must match)."""
+        if not math.isclose(ct.scale, pt.scale, rel_tol=_SCALE_RTOL):
+            raise ValueError(f"scale mismatch: {ct.scale} vs {pt.scale}")
+        m = pt.poly.drop_limbs(ct.level).to_eval()
+        parts = [ct.parts[0] + m] + [p.copy() for p in ct.parts[1:]]
+        return Ciphertext(parts=parts, scale=ct.scale)
+
+    def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """Multiply by an encoded plaintext; output scale is the product."""
+        m = pt.poly.drop_limbs(ct.level).to_eval()
+        parts = [p * m for p in ct.parts]
+        return Ciphertext(parts=parts, scale=ct.scale * pt.scale)
+
+    # ------------------------------------------------------------------
+    # Multiplication / relinearization / rescaling
+    # ------------------------------------------------------------------
+
+    def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Tensor product of two degree-1 ciphertexts (3 parts, pre-relin)."""
+        if a.size != 2 or b.size != 2:
+            raise ValueError("multiply expects relinearized (2-part) inputs")
+        lvl = min(a.level, b.level)
+        a0, a1 = (p.drop_limbs(lvl) for p in a.parts)
+        b0, b1 = (p.drop_limbs(lvl) for p in b.parts)
+        return Ciphertext(
+            parts=[a0 * b0, a0 * b1 + a1 * b0, a1 * b1],
+            scale=a.scale * b.scale,
+        )
+
+    def relinearize(self, ct: Ciphertext, relin_keys: dict[int, SwitchingKey]) -> Ciphertext:
+        """Fold the quadratic part back to degree 1 using the level's key."""
+        if ct.size == 2:
+            return ct.copy()
+        if ct.size != 3:
+            raise ValueError(f"can only relinearize 3-part ciphertexts, got {ct.size}")
+        key = relin_keys.get(ct.level)
+        if key is None:
+            raise KeyError(f"no relinearization key for level {ct.level}")
+        ks0, ks1 = self._key_switch(ct.parts[2], key)
+        return Ciphertext(
+            parts=[ct.parts[0] + ks0, ct.parts[1] + ks1], scale=ct.scale
+        )
+
+    def rescale(self, ct: Ciphertext, times: int = 1) -> Ciphertext:
+        """Drop ``times`` primes, dividing the scale accordingly.
+
+        Under the double-scale technique a multiplication is followed by
+        ``times = 2`` rescalings (Section V-B's 36-bit primes).
+        """
+        parts = ct.parts
+        scale = ct.scale
+        for _ in range(times):
+            lvl = parts[0].level
+            q_last = self.basis.moduli[lvl - 1]
+            parts = [p.to_coeff().rescale().to_eval() for p in parts]
+            scale /= q_last
+        return Ciphertext(parts=parts, scale=scale)
+
+    def multiply_relin_rescale(
+        self, a: Ciphertext, b: Ciphertext, relin_keys: dict[int, SwitchingKey]
+    ) -> Ciphertext:
+        """The standard multiply pipeline: tensor, relinearize, rescale x2."""
+        prod = self.relinearize(self.multiply(a, b), relin_keys)
+        return self.rescale(prod, times=self.params.levels_per_multiplication)
+
+    # ------------------------------------------------------------------
+    # Rotations
+    # ------------------------------------------------------------------
+
+    def rotate(
+        self,
+        ct: Ciphertext,
+        steps: int,
+        galois_keys: dict[tuple[int, int], SwitchingKey],
+    ) -> Ciphertext:
+        """Cyclically rotate message slots by ``steps`` positions."""
+        key = galois_keys.get((steps, ct.level))
+        if key is None:
+            raise KeyError(f"no Galois key for rotation {steps} at level {ct.level}")
+        galois_elt = pow(5, steps % self.params.slots, 2 * self.basis.degree)
+        return self.apply_galois(ct, galois_elt, key)
+
+    def conjugate(
+        self, ct: Ciphertext, conj_keys: dict[int, SwitchingKey]
+    ) -> Ciphertext:
+        """Complex-conjugate every slot (automorphism X -> X^{-1})."""
+        key = conj_keys.get(ct.level)
+        if key is None:
+            raise KeyError(f"no conjugation key at level {ct.level}")
+        return self.apply_galois(ct, 2 * self.basis.degree - 1, key)
+
+    def apply_galois(
+        self, ct: Ciphertext, galois_elt: int, key: SwitchingKey
+    ) -> Ciphertext:
+        """Apply an arbitrary Galois automorphism and switch back to s."""
+        if ct.size != 2:
+            raise ValueError("relinearize before applying automorphisms")
+        c0r = ct.parts[0].to_coeff().automorphism(galois_elt).to_eval()
+        c1r = ct.parts[1].to_coeff().automorphism(galois_elt).to_eval()
+        ks0, ks1 = self._key_switch(c1r, key)
+        return Ciphertext(parts=[c0r + ks0, ks1], scale=ct.scale)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _key_switch(
+        self, poly: RnsPolynomial, key: SwitchingKey
+    ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Apply a switching key to an NTT-domain polynomial.
+
+        Digits are the coefficient-domain residue rows; each is re-expanded
+        across all limbs (values < q_j, so the signed lift is exact) and
+        multiplied against the key pair.
+        """
+        if poly.domain != EVAL:
+            raise ValueError("key switching expects an NTT-domain polynomial")
+        lvl = poly.level
+        if key.level != lvl:
+            raise ValueError(f"switching key level {key.level} != poly level {lvl}")
+        coeff = poly.to_coeff()
+        out0: RnsPolynomial | None = None
+        out1: RnsPolynomial | None = None
+        for j in range(lvl):
+            digit_row = coeff.data[j]  # residues mod q_j
+            digit = RnsPolynomial(
+                self.basis,
+                _broadcast_digit(digit_row, self.basis, lvl),
+                COEFF,
+            ).to_eval()
+            b_j, a_j = key.pairs[j]
+            t0 = digit * b_j
+            t1 = digit * a_j
+            out0 = t0 if out0 is None else out0 + t0
+            out1 = t1 if out1 is None else out1 + t1
+        assert out0 is not None and out1 is not None
+        return out0, out1
+
+    def _check_scales(self, a: Ciphertext, b: Ciphertext) -> None:
+        if not math.isclose(a.scale, b.scale, rel_tol=_SCALE_RTOL):
+            raise ValueError(
+                f"scale mismatch: {a.scale:g} vs {b.scale:g}; rescale first"
+            )
+
+
+def _broadcast_digit(digit_row, basis: RnsBasis, level: int):
+    """Residues mod q_j, re-reduced onto every limb of the level."""
+    import numpy as np
+
+    rows = []
+    for q in basis.moduli[:level]:
+        rows.append((digit_row % np.uint64(q)).astype(np.uint64))
+    return np.stack(rows)

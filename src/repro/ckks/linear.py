@@ -1,0 +1,122 @@
+"""Homomorphic linear transforms: slot-space matrix-vector products.
+
+Bootstrapping's CoeffToSlot/SlotToCoeff steps — and most CKKS
+applications (convolutions, dense layers) — are linear maps on the slot
+vector.  A dense map decomposes into rotated diagonals::
+
+    (M x)_j = sum_i  diag_i(M)_j * x_{j+i}
+
+so ``M x = sum_i diag_i(M) ⊙ rot_i(x)``.  :class:`HomomorphicLinearTransform`
+evaluates this with the baby-step/giant-step grouping (``~2 sqrt(n)``
+rotations instead of ``n``), pre-rotating giant-block diagonals so the
+inner sums share one rotation each.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ckks.containers import Ciphertext, Plaintext
+from repro.ckks.context import CkksContext
+from repro.ckks.keys import SwitchingKey
+
+__all__ = ["HomomorphicLinearTransform"]
+
+
+@dataclass
+class HomomorphicLinearTransform:
+    """A slot-space matrix fixed at construction, evaluatable on
+    ciphertexts at one level.
+
+    Attributes:
+        ctx: the CKKS context.
+        matrix: dense (slots x slots) complex matrix.
+        level: ciphertext level this transform is compiled for.
+        baby_steps: BSGS group size (default ~sqrt(slots)).
+    """
+
+    ctx: CkksContext
+    matrix: np.ndarray
+    level: int
+    baby_steps: int = 0
+    _diagonals: dict[tuple[int, int], Plaintext] = field(init=False, repr=False)
+    _nonzero: list[tuple[int, int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        n = self.ctx.params.slots
+        self.matrix = np.asarray(self.matrix, dtype=np.complex128)
+        if self.matrix.shape != (n, n):
+            raise ValueError(f"matrix must be ({n}, {n}); got {self.matrix.shape}")
+        if self.baby_steps <= 0:
+            self.baby_steps = max(1, 1 << (int(math.isqrt(n)).bit_length() - 1))
+        self._compile()
+
+    def _diag(self, i: int) -> np.ndarray:
+        """The i-th generalized diagonal: d_j = M[j, (j + i) mod n]."""
+        n = self.ctx.params.slots
+        j = np.arange(n)
+        return self.matrix[j, (j + i) % n]
+
+    def _compile(self) -> None:
+        """Encode every nonzero diagonal, pre-rotated by its giant step."""
+        n = self.ctx.params.slots
+        bs = self.baby_steps
+        self._diagonals = {}
+        self._nonzero = []
+        scale = self.ctx.params.scale
+        for i in range(n):
+            d = self._diag(i)
+            if np.max(np.abs(d)) < 1e-15:
+                continue
+            g, j = divmod(i, bs)
+            # Pre-rotate by -g*bs so the inner sum needs only rot_j(x).
+            pre = np.roll(d, g * bs)
+            self._diagonals[(g, j)] = self.ctx.encoder.encode(
+                pre, level=self.level, scale=scale
+            )
+            self._nonzero.append((g, j))
+
+    def required_rotations(self) -> list[int]:
+        """Slot rotations the evaluation needs keys for (at ``level``)."""
+        baby = sorted({j for _, j in self._nonzero if j != 0})
+        giants = sorted({g * self.baby_steps for g, _ in self._nonzero if g != 0})
+        return baby + giants
+
+    def apply(
+        self,
+        ct: Ciphertext,
+        galois_keys: dict[tuple[int, int], SwitchingKey],
+    ) -> Ciphertext:
+        """Evaluate M·x on a ciphertext at the compiled level.
+
+        Output scale is ``ct.scale * Delta`` (caller rescales when ready —
+        CoeffToSlot sums several transforms before a single rescale).
+        """
+        if ct.level != self.level:
+            raise ValueError(f"transform compiled for level {self.level}, got {ct.level}")
+        ev = self.ctx.evaluator
+        bs = self.baby_steps
+
+        rotated: dict[int, Ciphertext] = {0: ct}
+        for j in sorted({j for _, j in self._nonzero if j != 0}):
+            rotated[j] = ev.rotate(ct, j, galois_keys)
+
+        by_giant: dict[int, list[int]] = {}
+        for g, j in self._nonzero:
+            by_giant.setdefault(g, []).append(j)
+
+        acc: Ciphertext | None = None
+        for g, js in sorted(by_giant.items()):
+            inner: Ciphertext | None = None
+            for j in js:
+                term = ev.multiply_plain(rotated[j], self._diagonals[(g, j)])
+                inner = term if inner is None else ev.add(inner, term)
+            assert inner is not None
+            if g != 0:
+                inner = ev.rotate(inner, g * bs, galois_keys)
+            acc = inner if acc is None else ev.add(acc, inner)
+        assert acc is not None
+        return acc

@@ -1,0 +1,121 @@
+"""CKKS parameter sets, including the paper's bootstrappable configuration.
+
+The evaluation setup of Section V-B: polynomial degree 2^16, 36-bit primes
+following the double-scale technique [1] (so the encoding scale is a ~72-bit
+quantity spread over *two* rescalings), and 24 levels (doubled from the
+standard 12).  Client messages are encrypted to 24-level ciphertexts;
+server responses arrive at 2 levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.prng.samplers import ERROR_STDDEV
+from repro.transforms.fp_custom import FP64, FloatFormat
+from repro.utils.bitops import ilog2
+
+__all__ = ["CkksParameters", "bootstrappable_params", "toy_params"]
+
+
+@dataclass(frozen=True)
+class CkksParameters:
+    """Static CKKS configuration.
+
+    Attributes:
+        degree: ring degree N (power of two); N/2 complex slots.
+        num_primes: RNS chain length L (the maximum level).
+        prime_bits: nominal bitwidth of each RNS prime (36 in the paper).
+        scale_bits: log2 of the encoding scale Δ.  With the double-scale
+            technique Δ ≈ two primes' product, so ``scale_bits ≈
+            2 * prime_bits`` and one multiplication consumes two levels.
+        error_stddev: Gaussian error σ (3.2 per the HE standard).
+        secret_hamming_weight: nonzeros in the ternary secret; None for a
+            dense ternary secret.
+        fp_format: floating-point datapath for the encoder FFT (FP64
+            reference or the accelerator's FP55).
+        encrypt_level: level fresh ciphertexts are encrypted at.
+        decrypt_level: level at which server responses arrive (2 in the
+            paper's evaluation, "to minimize computational overhead on
+            the client").
+    """
+
+    degree: int
+    num_primes: int
+    prime_bits: int = 36
+    scale_bits: int = 72
+    error_stddev: float = ERROR_STDDEV
+    secret_hamming_weight: int | None = None
+    fp_format: FloatFormat = field(default=FP64)
+    encrypt_level: int | None = None
+    decrypt_level: int = 2
+
+    def __post_init__(self) -> None:
+        ilog2(self.degree)
+        if self.num_primes < 1:
+            raise ValueError("need at least one prime")
+        if self.decrypt_level > self.num_primes:
+            raise ValueError("decrypt level exceeds chain length")
+        if self.encrypt_level is not None and not (
+            1 <= self.encrypt_level <= self.num_primes
+        ):
+            raise ValueError("encrypt level outside [1, num_primes]")
+
+    @property
+    def slots(self) -> int:
+        """Number of complex message slots (N/2)."""
+        return self.degree // 2
+
+    @property
+    def scale(self) -> float:
+        """The encoding scale Δ."""
+        return float(2.0**self.scale_bits)
+
+    @property
+    def top_level(self) -> int:
+        """Level of a fresh ciphertext."""
+        return self.encrypt_level if self.encrypt_level is not None else self.num_primes
+
+    @property
+    def levels_per_multiplication(self) -> int:
+        """Rescalings per homomorphic multiply (2 under double-scale)."""
+        return max(1, round(self.scale_bits / self.prime_bits))
+
+
+def bootstrappable_params(
+    degree: int = 1 << 16, fp_format: FloatFormat = FP64
+) -> CkksParameters:
+    """The paper's evaluation configuration (Section V-B).
+
+    N = 2^16, 36-bit primes, 24 levels (doubled from 12 by the double-scale
+    technique), encrypt at 24 levels, decrypt at 2.
+    """
+    return CkksParameters(
+        degree=degree,
+        num_primes=24,
+        prime_bits=36,
+        scale_bits=72,
+        fp_format=fp_format,
+        decrypt_level=2,
+    )
+
+
+def toy_params(
+    degree: int = 256,
+    num_primes: int = 6,
+    fp_format: FloatFormat = FP64,
+    scale_bits: int = 72,
+) -> CkksParameters:
+    """Small parameters for unit tests and quick examples.
+
+    Same 36-bit/double-scale structure as the paper's set, shrunk ring.
+    Not secure — functional testing only.
+    """
+    return CkksParameters(
+        degree=degree,
+        num_primes=num_primes,
+        prime_bits=36,
+        scale_bits=scale_bits,
+        fp_format=fp_format,
+        decrypt_level=min(2, num_primes),
+    )

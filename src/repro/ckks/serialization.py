@@ -1,0 +1,159 @@
+"""Wire formats for ciphertexts and keys, with residue bit-packing.
+
+The accelerator's DRAM-traffic accounting (Section IV-B, Fig. 6b) counts
+residues at their *datapath width* — 44 bits — not at a lazy 64 bits, and
+fresh uploads ship ``(c0, seed)`` instead of two full polynomials.  This
+module implements exactly those formats so the byte counts the
+performance model charges are the byte counts the library really emits:
+
+* :func:`pack_residues` / :func:`unpack_residues` — arbitrary-width bit
+  packing of uint64 residue arrays;
+* :func:`serialize_ciphertext` / :func:`deserialize_ciphertext` — full
+  ciphertexts (any number of parts);
+* :func:`serialize_seeded` / :func:`deserialize_seeded` — the compressed
+  ``(c0, seed)`` upload format (halves the client's write traffic).
+
+Integration tests assert these sizes equal the
+:class:`repro.accel.memory.TrafficModel` predictions.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.ckks.containers import Ciphertext
+from repro.ckks.keys import expand_uniform_poly
+from repro.prng.xof import Xof
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import EVAL, RnsPolynomial
+
+__all__ = [
+    "pack_residues",
+    "unpack_residues",
+    "serialize_ciphertext",
+    "deserialize_ciphertext",
+    "serialize_seeded",
+    "deserialize_seeded",
+    "ciphertext_wire_bytes",
+]
+
+_MAGIC_FULL = b"CTF1"
+_MAGIC_SEED = b"CTS1"
+
+
+def pack_residues(values: np.ndarray, bits: int) -> bytes:
+    """Pack uint64 residues at ``bits`` bits each (little-endian bitstream)."""
+    values = np.asarray(values, dtype=np.uint64).ravel()
+    if bits < 1 or bits > 64:
+        raise ValueError(f"bits must be in [1, 64], got {bits}")
+    if len(values) and int(values.max()).bit_length() > bits:
+        raise ValueError(
+            f"value {values.max()} does not fit in {bits} bits"
+        )
+    shifts = np.arange(bits, dtype=np.uint64)
+    bitmat = ((values[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bitmat.ravel(), bitorder="little").tobytes()
+
+
+def unpack_residues(blob: bytes, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_residues`."""
+    raw = np.unpackbits(np.frombuffer(blob, dtype=np.uint8), bitorder="little")
+    needed = bits * count
+    if len(raw) < needed:
+        raise ValueError(f"blob too short: {len(raw)} bits < {needed}")
+    bitmat = raw[:needed].reshape(count, bits).astype(np.uint64)
+    shifts = np.arange(bits, dtype=np.uint64)
+    return (bitmat << shifts).sum(axis=1, dtype=np.uint64)
+
+
+def _poly_payload(poly: RnsPolynomial, bits: int) -> bytes:
+    return b"".join(pack_residues(poly.data[i], bits) for i in range(poly.level))
+
+
+def _poly_from_payload(
+    basis: RnsBasis, blob: bytes, offset: int, level: int, bits: int, domain: str
+) -> tuple[RnsPolynomial, int]:
+    n = basis.degree
+    row_bytes = (bits * n + 7) // 8
+    rows = []
+    for _ in range(level):
+        rows.append(unpack_residues(blob[offset : offset + row_bytes], bits, n))
+        offset += row_bytes
+    return RnsPolynomial(basis, np.stack(rows), domain), offset
+
+
+def _header(magic: bytes, ct: Ciphertext, bits: int) -> bytes:
+    return magic + struct.pack(
+        "<IIHHd",
+        ct.parts[0].degree,
+        0,
+        ct.level,
+        bits,
+        float(np.log2(ct.scale)),
+    ) + struct.pack("<H", ct.size)
+
+
+_HEADER_LEN = 4 + struct.calcsize("<IIHHd") + struct.calcsize("<H")
+
+
+def serialize_ciphertext(ct: Ciphertext, coeff_bits: int = 44) -> bytes:
+    """Full ciphertext: header + every part's packed residues."""
+    for part in ct.parts:
+        if part.domain != EVAL:
+            raise ValueError("serialize NTT-domain ciphertexts (the wire form)")
+    body = b"".join(_poly_payload(p, coeff_bits) for p in ct.parts)
+    return _header(_MAGIC_FULL, ct, coeff_bits) + body
+
+
+def deserialize_ciphertext(blob: bytes, basis: RnsBasis) -> Ciphertext:
+    if blob[:4] != _MAGIC_FULL:
+        raise ValueError("not a full-ciphertext blob")
+    degree, _, level, bits, log_scale = struct.unpack(
+        "<IIHHd", blob[4 : 4 + struct.calcsize("<IIHHd")]
+    )
+    (size,) = struct.unpack("<H", blob[_HEADER_LEN - 2 : _HEADER_LEN])
+    if degree != basis.degree:
+        raise ValueError(f"degree mismatch: blob {degree}, basis {basis.degree}")
+    offset = _HEADER_LEN
+    parts = []
+    for _ in range(size):
+        poly, offset = _poly_from_payload(basis, blob, offset, level, bits, EVAL)
+        parts.append(poly)
+    return Ciphertext(parts=parts, scale=float(2.0**log_scale))
+
+
+def serialize_seeded(ct: Ciphertext, seed: bytes, coeff_bits: int = 44) -> bytes:
+    """Compressed upload: header + packed c0 + 16-byte seed for c1."""
+    if ct.size != 2:
+        raise ValueError("seeded format carries exactly (c0, seed)")
+    if len(seed) != 16:
+        raise ValueError("seed must be 16 bytes")
+    return _header(_MAGIC_SEED, ct, coeff_bits) + _poly_payload(ct.c0, coeff_bits) + seed
+
+
+def deserialize_seeded(blob: bytes, basis: RnsBasis) -> Ciphertext:
+    """Rebuild the full ciphertext server-side, re-expanding c1."""
+    if blob[:4] != _MAGIC_SEED:
+        raise ValueError("not a seeded-ciphertext blob")
+    degree, _, level, bits, log_scale = struct.unpack(
+        "<IIHHd", blob[4 : 4 + struct.calcsize("<IIHHd")]
+    )
+    if degree != basis.degree:
+        raise ValueError(f"degree mismatch: blob {degree}, basis {basis.degree}")
+    offset = _HEADER_LEN
+    c0, offset = _poly_from_payload(basis, blob, offset, level, bits, EVAL)
+    seed = blob[offset : offset + 16]
+    c1 = expand_uniform_poly(basis, level, Xof(seed), b"sym-c1")
+    return Ciphertext(parts=[c0, c1], scale=float(2.0**log_scale))
+
+
+def ciphertext_wire_bytes(
+    degree: int, level: int, parts: int, coeff_bits: int = 44, seeded: bool = False
+) -> int:
+    """Predicted wire size — must match TrafficModel's accounting."""
+    row = (coeff_bits * degree + 7) // 8
+    if seeded:
+        return _HEADER_LEN + level * row + 16
+    return _HEADER_LEN + parts * level * row

@@ -1,0 +1,61 @@
+"""One function per paper table/figure — the reproduction index.
+
+Each module returns plain data (dataclasses / dicts); the ``benchmarks/``
+tree prints the same rows/series the paper reports, and EXPERIMENTS.md
+records paper-vs-measured for each.
+"""
+
+from repro.experiments.fig1 import BreakdownRow, fig1_breakdown
+from repro.experiments.fig2 import WorkloadSummary, fig2_workload
+from repro.experiments.fig3 import PrecisionSweep, fig3_precision_sweep
+from repro.experiments.fig4 import (
+    DesignSpaceResult,
+    fig4a_sfg_example,
+    fig4b_design_space,
+)
+from repro.experiments.fig5 import (
+    LanePoint,
+    PlatformLatency,
+    fig5a_speedups,
+    fig5b_lane_sweep,
+    knee_lanes,
+)
+from repro.experiments.fig6 import (
+    MemOptPoint,
+    fig6a_area_progression,
+    fig6b_memory_ablation,
+    memopt_speedup,
+)
+from repro.experiments.tables import (
+    Table1Row,
+    sec4b_footprint,
+    sec4b_prime_count,
+    table1_modmul_areas,
+    table2_breakdown,
+)
+
+__all__ = [
+    "BreakdownRow",
+    "DesignSpaceResult",
+    "LanePoint",
+    "MemOptPoint",
+    "PlatformLatency",
+    "PrecisionSweep",
+    "Table1Row",
+    "WorkloadSummary",
+    "fig1_breakdown",
+    "fig2_workload",
+    "fig3_precision_sweep",
+    "fig4a_sfg_example",
+    "fig4b_design_space",
+    "fig5a_speedups",
+    "fig5b_lane_sweep",
+    "fig6a_area_progression",
+    "fig6b_memory_ablation",
+    "knee_lanes",
+    "memopt_speedup",
+    "sec4b_footprint",
+    "sec4b_prime_count",
+    "table1_modmul_areas",
+    "table2_breakdown",
+]

@@ -1,0 +1,74 @@
+"""Fig. 1 — end-to-end client/server execution-time breakdown.
+
+The paper's motivating figure: running ResNet20 over FHE, once a SOTA
+server ASIC ([9]) handles homomorphic evaluation, the *client* becomes the
+bottleneck — 69.4 % of total time with the best prior client accelerator
+[34], versus 30.6 % on the server.  ABC-FHE collapses the client share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel import calibration as cal
+from repro.accel.baselines import CpuModel, baseline_suite
+from repro.accel.config import abc_fhe
+from repro.accel.simulator import ClientSimulator
+from repro.accel.workload import ClientWorkload
+
+__all__ = ["BreakdownRow", "fig1_breakdown"]
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One bar of Fig. 1."""
+
+    platform: str
+    client_seconds: float
+    server_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.client_seconds + self.server_seconds
+
+    @property
+    def client_share(self) -> float:
+        return self.client_seconds / self.total_seconds
+
+    @property
+    def server_share(self) -> float:
+        return self.server_seconds / self.total_seconds
+
+
+def fig1_breakdown(degree: int = 1 << 16) -> list[BreakdownRow]:
+    """Client+server time for each client platform (server fixed to [9]).
+
+    Client time = encode+encrypt of the inputs plus decode+decrypt of the
+    outputs for one ResNet20-FHE inference.
+    """
+    w = ClientWorkload(
+        degree=degree,
+        enc_levels=24,
+        dec_levels=2,
+    )
+    sim = ClientSimulator(config=abc_fhe(), workload=w)
+    abc_enc = sim.encode_encrypt().latency_seconds * cal.RESNET20_INPUT_CIPHERTEXTS
+    abc_dec = sim.decode_decrypt().latency_seconds * cal.RESNET20_OUTPUT_CIPHERTEXTS
+
+    cpu = CpuModel()
+    cpu_client = (
+        cpu.encode_encrypt_seconds(w) * cal.RESNET20_INPUT_CIPHERTEXTS
+        + cpu.decode_decrypt_seconds(w) * cal.RESNET20_OUTPUT_CIPHERTEXTS
+    )
+    sota = baseline_suite()["[34]"]
+    sota_client = (
+        sota.encode_encrypt_seconds(abc_enc) + sota.decode_decrypt_seconds(abc_dec)
+    )
+
+    server = cal.SERVER_ASIC_EVAL_SECONDS
+    return [
+        BreakdownRow("CPU client + [9] server", cpu_client, server),
+        BreakdownRow("CPU client + CPU server", cpu_client, cal.SERVER_CPU_EVAL_SECONDS),
+        BreakdownRow("[34] client + [9] server", sota_client, server),
+        BreakdownRow("ABC-FHE client + [9] server", abc_enc + abc_dec, server),
+    ]

@@ -1,0 +1,51 @@
+"""Fig. 2 — workload analysis of CKKS client-side operations.
+
+(a) the operational flow is implemented functionally in :mod:`repro.ckks`;
+(b) the op-count ratio — encode+encrypt ≈ 27.0 MOPs vs decode+decrypt ≈
+2.9 MOPs at N = 2^16 with 24-level encryption and 2-level decryption —
+is reproduced by :func:`fig2_workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.workload import ClientWorkload, OpCounts
+
+__all__ = ["WorkloadSummary", "fig2_workload"]
+
+PAPER_ENC_MOPS = 27.0
+PAPER_DEC_MOPS = 2.9
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """Both panels' numbers for one parameter point."""
+
+    degree: int
+    encode_encrypt: OpCounts
+    decode_decrypt: OpCounts
+
+    @property
+    def enc_mops(self) -> float:
+        return self.encode_encrypt.total / 1e6
+
+    @property
+    def dec_mops(self) -> float:
+        return self.decode_decrypt.total / 1e6
+
+    @property
+    def ratio(self) -> float:
+        return self.encode_encrypt.total / self.decode_decrypt.total
+
+
+def fig2_workload(
+    degree: int = 1 << 16, enc_levels: int = 24, dec_levels: int = 2
+) -> WorkloadSummary:
+    """Fig. 2(b) at the paper's parameter point (or any other)."""
+    w = ClientWorkload(degree=degree, enc_levels=enc_levels, dec_levels=dec_levels)
+    return WorkloadSummary(
+        degree=degree,
+        encode_encrypt=w.encode_encrypt_ops(),
+        decode_decrypt=w.decode_decrypt_ops(),
+    )

@@ -1,0 +1,50 @@
+"""Fig. 3(c) — bootstrapping precision vs floating-point mantissa width.
+
+Sweeps the special-FFT datapath mantissa and measures round-trip message
+precision (see :mod:`repro.ckks.precision` for the exact protocol and for
+how our measured quantity relates to the paper's "Boot. prec.").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel import calibration as cal
+from repro.ckks.precision import PrecisionPoint, drop_off_point, sweep_mantissa
+
+__all__ = ["PrecisionSweep", "fig3_precision_sweep"]
+
+
+@dataclass(frozen=True)
+class PrecisionSweep:
+    """The Fig. 3(c) curve plus the datapath decision it implies."""
+
+    slots: int
+    points: list[PrecisionPoint]
+    threshold_bits: float
+    chosen_mantissa: int
+
+    def precision_at(self, mantissa_bits: int) -> float:
+        for p in self.points:
+            if p.mantissa_bits == mantissa_bits:
+                return p.precision_bits
+        raise KeyError(f"mantissa {mantissa_bits} not in sweep")
+
+
+def fig3_precision_sweep(
+    slots: int = 1 << 15,
+    mantissa_range: range = range(20, 53, 3),
+    fft_passes: int = 3,
+) -> PrecisionSweep:
+    """Run the sweep at the paper's ring size (N = 2^16 -> 2^15 slots).
+
+    ``chosen_mantissa`` is the smallest swept width clearing the paper's
+    19.29-bit threshold — the FP-format decision of Section III.
+    """
+    points = sweep_mantissa(slots, mantissa_range, fft_passes=fft_passes)
+    return PrecisionSweep(
+        slots=slots,
+        points=points,
+        threshold_bits=cal.BOOT_PRECISION_THRESHOLD,
+        chosen_mantissa=drop_off_point(points, cal.BOOT_PRECISION_THRESHOLD),
+    )

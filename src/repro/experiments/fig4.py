@@ -1,0 +1,74 @@
+"""Fig. 4 — twiddle-factor scheduling and multiplier-count design space.
+
+(a) exact SFG multiplication counts for the 8-point example (merged
+radix-2^n = 12, conventional radix-2 with pre-processing = more);
+(b) the multiplier-count distribution across radix-2^k pipeline designs
+for N = 2^14 … 2^16, in NTT and FFT modes, with the radix-2^n reductions
+the paper headlines (29.7 % vs radix-2, 22.3 % vs radix-2^2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.transforms.dataflow import (
+    MultiplierCount,
+    design_space,
+    reduction_vs,
+    sfg_multiplications_merged,
+    sfg_multiplications_unmerged,
+)
+
+__all__ = ["DesignSpaceResult", "fig4a_sfg_example", "fig4b_design_space"]
+
+PAPER_REDUCTION_VS_RADIX2 = 0.297
+PAPER_REDUCTION_VS_RADIX22 = 0.223
+
+
+@dataclass(frozen=True)
+class DesignSpaceResult:
+    """Fig. 4(b) for one (degree, mode) pair."""
+
+    degree: int
+    mode: str
+    designs: list[MultiplierCount]
+    reduction_vs_radix2: float
+    reduction_vs_radix22: float
+
+    @property
+    def best(self) -> MultiplierCount:
+        return min(self.designs, key=lambda d: d.total)
+
+    def normalized_counts(self) -> list[tuple[str, float]]:
+        """Counts normalized to the radix-2 design (the figure's x-axis)."""
+        base = self.designs[0].total
+        return [(d.name, d.total / base) for d in self.designs]
+
+
+def fig4a_sfg_example(degree: int = 8) -> dict[str, int]:
+    """The 8-point signal-flow-graph counts of Fig. 4(a)."""
+    return {
+        "radix_2n_merged": sfg_multiplications_merged(degree),
+        "radix_2_preprocessing": sfg_multiplications_unmerged(degree),
+    }
+
+
+def fig4b_design_space(
+    degrees: tuple[int, ...] = (1 << 14, 1 << 15, 1 << 16),
+    lanes: int = 8,
+    modes: tuple[str, ...] = ("ntt", "fft"),
+) -> list[DesignSpaceResult]:
+    """Every radix design point for each degree and mode."""
+    out = []
+    for mode in modes:
+        for n in degrees:
+            out.append(
+                DesignSpaceResult(
+                    degree=n,
+                    mode=mode,
+                    designs=design_space(n, lanes, mode),
+                    reduction_vs_radix2=reduction_vs(n, lanes, 1, mode),
+                    reduction_vs_radix22=reduction_vs(n, lanes, 2, mode),
+                )
+            )
+    return out

@@ -1,0 +1,94 @@
+"""Fig. 5 — headline performance results.
+
+(a) execution time and speed-up of ABC-FHE vs the CPU and prior
+accelerators, for encode+encrypt and decode+decrypt;
+(b) the lanes-per-PNL sweep showing LPDDR5 capping the benefit at 8 lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.baselines import CpuModel, baseline_suite
+from repro.accel.config import AcceleratorConfig, abc_fhe
+from repro.accel.simulator import ClientSimulator, SimulationResult, sweep_lanes
+from repro.accel.workload import ClientWorkload
+
+__all__ = ["PlatformLatency", "fig5a_speedups", "LanePoint", "fig5b_lane_sweep"]
+
+PAPER_SPEEDUP_CPU_ENC = 1112.0
+PAPER_SPEEDUP_CPU_DEC = 963.0
+PAPER_SPEEDUP_SOTA_ENC = 214.0
+PAPER_SPEEDUP_SOTA_DEC = 82.0
+
+
+@dataclass(frozen=True)
+class PlatformLatency:
+    """One bar pair of Fig. 5(a)."""
+
+    platform: str
+    encode_encrypt_s: float
+    decode_decrypt_s: float
+
+
+def fig5a_speedups(degree: int = 1 << 16) -> tuple[list[PlatformLatency], dict[str, float]]:
+    """Latency table and ABC-FHE speed-up factors.
+
+    Returns (platform rows, speedups) where speedups holds
+    ``cpu_enc``, ``cpu_dec``, ``sota_enc``, ``sota_dec``.
+    """
+    w = ClientWorkload(degree=degree, enc_levels=24, dec_levels=2)
+    sim = ClientSimulator(config=abc_fhe(), workload=w)
+    abc_enc = sim.encode_encrypt().latency_seconds
+    abc_dec = sim.decode_decrypt().latency_seconds
+
+    cpu = CpuModel()
+    cpu_enc = cpu.encode_encrypt_seconds(w)
+    cpu_dec = cpu.decode_decrypt_seconds(w)
+
+    rows = [PlatformLatency("ABC-FHE", abc_enc, abc_dec),
+            PlatformLatency("CPU (i7-12700, Lattigo)", cpu_enc, cpu_dec)]
+    speedups = {"cpu_enc": cpu_enc / abc_enc, "cpu_dec": cpu_dec / abc_dec}
+    for name, model in baseline_suite().items():
+        enc = model.encode_encrypt_seconds(abc_enc)
+        dec = model.decode_decrypt_seconds(abc_dec)
+        rows.append(PlatformLatency(name, enc, dec))
+        key = "sota" if name == "[34]" else "aloha"
+        speedups[f"{key}_enc"] = enc / abc_enc
+        speedups[f"{key}_dec"] = dec / abc_dec
+    return rows, speedups
+
+
+@dataclass(frozen=True)
+class LanePoint:
+    """One x-position of Fig. 5(b)."""
+
+    lanes: int
+    result: SimulationResult
+
+    @property
+    def latency_ms(self) -> float:
+        return self.result.latency_seconds * 1e3
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput_per_second
+
+
+def fig5b_lane_sweep(
+    degree: int = 1 << 16,
+    lane_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    config: AcceleratorConfig | None = None,
+) -> list[LanePoint]:
+    """Latency/throughput vs lanes; the knee marks the LPDDR5 cap."""
+    w = ClientWorkload(degree=degree, enc_levels=24, dec_levels=2)
+    base = config or abc_fhe()
+    return [LanePoint(l, r) for l, r in sweep_lanes(w, base, lane_counts)]
+
+
+def knee_lanes(points: list[LanePoint], gain_threshold: float = 1.05) -> int:
+    """First lane count beyond which latency stops improving meaningfully."""
+    for a, b in zip(points, points[1:]):
+        if a.result.latency_cycles / b.result.latency_cycles < gain_threshold:
+            return a.lanes
+    return points[-1].lanes

@@ -1,0 +1,67 @@
+"""Fig. 6 — area optimization and on-chip memory-optimization ablations.
+
+(a) RFE area as the three optimizations are applied cumulatively
+(TF scheduling -> Montgomery optimization -> reconfigurability);
+(b) execution time vs polynomial degree for ABC-FHE_Base / _TF_Gen /
+_All, reproducing the 8.2–9.3x latency reduction from on-chip generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.area import rfe_area_progression
+from repro.accel.config import abc_fhe, abc_fhe_base, abc_fhe_tf_gen
+from repro.accel.simulator import SimulationResult, sweep_degree
+
+__all__ = ["fig6a_area_progression", "MemOptPoint", "fig6b_memory_ablation"]
+
+PAPER_AREA_REDUCTION = 0.31
+PAPER_MEMOPT_SPEEDUP_RANGE = (8.2, 9.3)
+
+
+def fig6a_area_progression(degree: int = 1 << 16) -> dict[str, float]:
+    """Relative RFE area at each optimization step (baseline = 1.0)."""
+    absolute = rfe_area_progression(degree=degree)
+    base = absolute["baseline"]
+    return {name: area / base for name, area in absolute.items()}
+
+
+@dataclass(frozen=True)
+class MemOptPoint:
+    """One (config, degree) cell of Fig. 6(b)."""
+
+    config_name: str
+    degree: int
+    result: SimulationResult
+
+    @property
+    def latency_ms(self) -> float:
+        return self.result.latency_seconds * 1e3
+
+
+def fig6b_memory_ablation(
+    degrees: tuple[int, ...] = (1 << 13, 1 << 14, 1 << 15, 1 << 16),
+    enc_levels: int = 24,
+) -> list[MemOptPoint]:
+    """Encode+encrypt latency for the three generation configurations."""
+    out: list[MemOptPoint] = []
+    for name, cfg in (
+        ("ABC-FHE_Base", abc_fhe_base()),
+        ("ABC-FHE_TF_Gen", abc_fhe_tf_gen()),
+        ("ABC-FHE_All", abc_fhe()),
+    ):
+        for degree, result in sweep_degree(cfg, degrees, enc_levels=enc_levels):
+            out.append(MemOptPoint(config_name=name, degree=degree, result=result))
+    return out
+
+
+def memopt_speedup(points: list[MemOptPoint], degree: int) -> float:
+    """Base-over-All latency ratio at one degree (paper: 8.2–9.3x)."""
+    base = next(
+        p for p in points if p.config_name == "ABC-FHE_Base" and p.degree == degree
+    )
+    full = next(
+        p for p in points if p.config_name == "ABC-FHE_All" and p.degree == degree
+    )
+    return base.result.latency_cycles / full.result.latency_cycles

@@ -1,0 +1,65 @@
+"""Tables I and II plus the Section IV-B storage numbers.
+
+Table I: modular-multiplier areas (Barrett / Montgomery / NTT-friendly).
+Table II: component area/power breakdown of the full chip.
+Section IV-B: client memory footprint and the on-chip-generation saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel import calibration as cal
+from repro.accel.area import AreaBreakdown, chip_area_breakdown, modmul_area_um2
+from repro.accel.memory import MemoryFootprint, client_memory_footprint
+from repro.nums.primegen import count_primes
+
+__all__ = [
+    "Table1Row",
+    "table1_modmul_areas",
+    "table2_breakdown",
+    "sec4b_footprint",
+    "sec4b_prime_count",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I."""
+
+    algorithm: str
+    area_um2: float
+    pipeline_stages: int
+    paper_area_um2: float
+
+    @property
+    def relative_error(self) -> float:
+        return self.area_um2 / self.paper_area_um2 - 1.0
+
+
+def table1_modmul_areas(bitwidth: int = 36) -> list[Table1Row]:
+    """Model vs paper for the three reduction algorithms."""
+    return [
+        Table1Row(
+            algorithm=a,
+            area_um2=modmul_area_um2(bitwidth, a),
+            pipeline_stages=cal.MODMUL_PIPELINE_STAGES[a],
+            paper_area_um2=cal.TABLE1_AREAS_UM2[a],
+        )
+        for a in ("barrett", "montgomery", "ntt_friendly")
+    ]
+
+
+def table2_breakdown() -> AreaBreakdown:
+    """The full chip breakdown at the shipped configuration."""
+    return chip_area_breakdown()
+
+
+def sec4b_footprint(degree: int = 1 << 16, levels: int = 24) -> MemoryFootprint:
+    """Section IV-B's 16.5 / 8.25 / 8.25 MB accounting."""
+    return client_memory_footprint(degree=degree, levels=levels)
+
+
+def sec4b_prime_count(degree: int = 1 << 16) -> int:
+    """Usable 32–36-bit NTT-friendly primes (paper: 443)."""
+    return count_primes((36,), degree)

@@ -1,0 +1,53 @@
+"""Number-theory substrate: primes, modular reduction, CRT.
+
+This package is the exact-integer foundation of the CKKS library and the
+reference model for the accelerator's modular-arithmetic hardware:
+
+* :mod:`repro.nums.primality` — deterministic Miller–Rabin;
+* :mod:`repro.nums.primegen` — NTT-friendly prime search (paper Eq. 8);
+* :mod:`repro.nums.modular` — scalar + vectorized modular kernels;
+* :mod:`repro.nums.barrett` / :mod:`repro.nums.montgomery` — the three
+  reducer designs compared in Table I;
+* :mod:`repro.nums.crt` — RNS decompose / CRT combine.
+"""
+
+from repro.nums.barrett import BarrettReducer
+from repro.nums.crt import CrtSystem
+from repro.nums.modular import (
+    addmod_vec,
+    centered,
+    mod_inv,
+    mod_pow,
+    mulmod_vec,
+    negmod_vec,
+    nth_root_of_unity,
+    powmod_vec,
+    primitive_root,
+    submod_vec,
+)
+from repro.nums.montgomery import MontgomeryReducer, NttFriendlyMontgomeryReducer
+from repro.nums.primality import is_prime, next_prime
+from repro.nums.primegen import NttFriendlyPrime, count_primes, find_primes, prime_chain
+
+__all__ = [
+    "BarrettReducer",
+    "CrtSystem",
+    "MontgomeryReducer",
+    "NttFriendlyMontgomeryReducer",
+    "NttFriendlyPrime",
+    "addmod_vec",
+    "centered",
+    "count_primes",
+    "find_primes",
+    "is_prime",
+    "mod_inv",
+    "mod_pow",
+    "mulmod_vec",
+    "negmod_vec",
+    "next_prime",
+    "nth_root_of_unity",
+    "powmod_vec",
+    "prime_chain",
+    "primitive_root",
+    "submod_vec",
+]

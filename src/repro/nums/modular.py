@@ -1,0 +1,195 @@
+"""Scalar and vectorized modular arithmetic.
+
+Two layers live here:
+
+* exact scalar helpers on Python ints (``mod_pow``, ``mod_inv``,
+  ``primitive_root`` …) used for parameter generation and test oracles;
+* vectorized uint64 kernels (``mulmod_vec`` and friends) used by the RNS
+  polynomial layer.  Products of two < 2^36 residues need 72 bits, which
+  overflows uint64, so ``mulmod_vec`` splits one operand into 18-bit halves
+  — every intermediate then fits in 54 bits.  This mirrors the way the
+  accelerator's datapath is sized (44-bit integers, Section III) without
+  resorting to Python-object arrays.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "mod_pow",
+    "mod_inv",
+    "multiplicative_order",
+    "primitive_root",
+    "nth_root_of_unity",
+    "centered",
+    "mulmod_vec",
+    "addmod_vec",
+    "submod_vec",
+    "negmod_vec",
+    "powmod_vec",
+]
+
+# Residues handled by the vectorized kernels must stay below 2^SPLIT_LIMIT
+# so the 18-bit split keeps intermediates inside uint64: the largest partial
+# product is a * b_hi < 2^limit * 2^(limit - SPLIT_BITS), so limit <= 41.
+# 36-bit primes (the paper's double-scale choice) fit with room to spare.
+SPLIT_BITS = 18
+SPLIT_LIMIT = 41
+
+
+def mod_pow(base: int, exponent: int, modulus: int) -> int:
+    """``base ** exponent mod modulus`` on exact ints."""
+    return pow(base, exponent, modulus)
+
+
+def mod_inv(value: int, modulus: int) -> int:
+    """Modular inverse; raises ValueError when gcd(value, modulus) != 1."""
+    try:
+        return pow(value, -1, modulus)
+    except ValueError as exc:  # non-invertible
+        raise ValueError(f"{value} is not invertible mod {modulus}") from exc
+
+
+def multiplicative_order(value: int, modulus: int, factored_group_order: dict[int, int]) -> int:
+    """Order of ``value`` in (Z/modulus)* given the factored group order.
+
+    ``factored_group_order`` maps prime -> multiplicity for the group order
+    (``modulus - 1`` when the modulus is prime).
+    """
+    order = 1
+    for prime, mult in factored_group_order.items():
+        order *= prime**mult
+    for prime, mult in factored_group_order.items():
+        for _ in range(mult):
+            if pow(value, order // prime, modulus) == 1:
+                order //= prime
+            else:
+                break
+    return order
+
+
+def _factorize(n: int) -> dict[int, int]:
+    """Trial-division factorization, adequate for q-1 of 32–60-bit primes.
+
+    q-1 for NTT-friendly primes is 2^big * small_cofactor, so trial division
+    after stripping twos terminates quickly.
+    """
+    factors: dict[int, int] = {}
+    for p in (2, 3, 5, 7, 11, 13):
+        while n % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            n //= p
+    f = 17
+    while f * f <= n:
+        while n % f == 0:
+            factors[f] = factors.get(f, 0) + 1
+            n //= f
+        f += 2
+    if n > 1:
+        factors[n] = factors.get(n, 0) + 1
+    return factors
+
+
+def primitive_root(prime: int) -> int:
+    """Smallest primitive root modulo an odd prime."""
+    group = prime - 1
+    factors = _factorize(group)
+    for candidate in range(2, prime):
+        if all(pow(candidate, group // p, prime) != 1 for p in factors):
+            return candidate
+    raise ValueError(f"no primitive root found for {prime} (is it prime?)")
+
+
+def nth_root_of_unity(n: int, prime: int) -> int:
+    """A primitive n-th root of unity mod ``prime`` (requires n | prime-1)."""
+    if (prime - 1) % n != 0:
+        raise ValueError(f"{n} does not divide {prime}-1; no n-th root exists")
+    g = primitive_root(prime)
+    root = pow(g, (prime - 1) // n, prime)
+    # Verify primitivity: root^(n/p) != 1 for every prime divisor p of n.
+    for p in _factorize(n):
+        if pow(root, n // p, prime) == 1:
+            raise ArithmeticError("derived root is not primitive; bad primitive root")
+    return root
+
+
+def centered(value: int, modulus: int) -> int:
+    """Map a residue in [0, modulus) to the centered range (-q/2, q/2]."""
+    value %= modulus
+    if value > modulus // 2:
+        value -= modulus
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Vectorized uint64 kernels
+# ---------------------------------------------------------------------------
+
+
+def _check_modulus(q: int) -> None:
+    if q.bit_length() > SPLIT_LIMIT:
+        raise ValueError(
+            f"modulus {q} has {q.bit_length()} bits; vectorized kernels support "
+            f"at most {SPLIT_LIMIT} bits (paper uses 32–36-bit primes)"
+        )
+
+
+def mulmod_vec(a: np.ndarray, b: np.ndarray | int, q: int) -> np.ndarray:
+    """Elementwise ``a * b mod q`` on uint64 arrays without overflow.
+
+    Splits ``b`` into high/low 18-bit halves: ``a*b = (a*b_hi mod q) << 18
+    + a*b_lo`` with every partial product below 2^(46+18) — safely inside
+    uint64 after the interleaved reductions.
+    """
+    _check_modulus(q)
+    qq = np.uint64(q)
+    a = np.asarray(a, dtype=np.uint64) % qq
+    b_arr = np.asarray(b, dtype=np.uint64) % qq
+    b_hi = b_arr >> np.uint64(SPLIT_BITS)
+    b_lo = b_arr & np.uint64((1 << SPLIT_BITS) - 1)
+    hi = (a * b_hi) % qq
+    hi = (hi << np.uint64(SPLIT_BITS)) % qq
+    lo = (a * b_lo) % qq
+    return (hi + lo) % qq
+
+
+def addmod_vec(a: np.ndarray, b: np.ndarray | int, q: int) -> np.ndarray:
+    """Elementwise modular addition."""
+    qq = np.uint64(q)
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    return (a % qq + b % qq) % qq
+
+
+def submod_vec(a: np.ndarray, b: np.ndarray | int, q: int) -> np.ndarray:
+    """Elementwise modular subtraction (wraps into [0, q))."""
+    qq = np.uint64(q)
+    a = np.asarray(a, dtype=np.uint64) % qq
+    b = np.asarray(b, dtype=np.uint64) % qq
+    return (a + (qq - b)) % qq
+
+
+def negmod_vec(a: np.ndarray, q: int) -> np.ndarray:
+    """Elementwise modular negation."""
+    qq = np.uint64(q)
+    a = np.asarray(a, dtype=np.uint64) % qq
+    return (qq - a) % qq
+
+
+def powmod_vec(a: np.ndarray, exponent: int, q: int) -> np.ndarray:
+    """Elementwise ``a ** exponent mod q`` by square-and-multiply."""
+    _check_modulus(q)
+    if exponent < 0:
+        raise ValueError("negative exponents not supported; invert first")
+    result = np.ones_like(np.asarray(a, dtype=np.uint64))
+    base = np.asarray(a, dtype=np.uint64) % np.uint64(q)
+    e = exponent
+    while e:
+        if e & 1:
+            result = mulmod_vec(result, base, q)
+        base = mulmod_vec(base, base, q)
+        e >>= 1
+    return result

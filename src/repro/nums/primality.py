@@ -1,0 +1,60 @@
+"""Deterministic Miller–Rabin primality testing for 64-bit-class integers.
+
+The NTT-friendly prime search (`repro.nums.primegen`) scans thousands of
+candidates of 32–60 bits; a deterministic witness set makes the search
+reproducible with no false positives in that range.
+"""
+
+from __future__ import annotations
+
+__all__ = ["is_prime", "next_prime"]
+
+# These witnesses are deterministic for all n < 3.3 * 10^24
+# (Sorenson & Webster 2015), far beyond the 60-bit primes used here.
+_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+    53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin for n < 3.3e24 (covers all FHE primes)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    for a in _WITNESSES:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate

@@ -1,0 +1,170 @@
+"""NTT-friendly prime generation (Section IV-A, Eq. 8 of the paper).
+
+The paper restricts moduli to primes of the form::
+
+    Q = 2^bw + k * 2^(n+1) + 1                       (Eq. 8)
+
+with ``k = ±2^a ± 2^b ± 2^c`` and ``k >= 2^(bw/2 - 1 - n)``.  Two properties
+follow:
+
+* ``Q ≡ 1 (mod 2^(n+1))`` so a 2N-th root of unity exists whenever
+  ``2N | 2^(n+1)`` — the negacyclic NTT of degree N is supported;
+* ``QInv = -Q^{-1} mod 2^r`` collapses to a three-term shift-add expression
+  (Eq. 11), which removes two of the three multipliers in a Montgomery
+  reduction.  The paper reports 443 usable 32–36-bit primes for N = 2^16,
+  "more than adequate" for 20–40 levels.
+
+`find_primes` reproduces that search; `prime_chain` builds an RNS basis out
+of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nums.primality import is_prime
+from repro.utils.bitops import ilog2, signed_power_terms
+
+__all__ = ["NttFriendlyPrime", "find_primes", "prime_chain", "count_primes"]
+
+
+@dataclass(frozen=True)
+class NttFriendlyPrime:
+    """A prime of the Eq. 8 form, with its shift-add decomposition.
+
+    Attributes:
+        value: the prime Q itself.
+        bitwidth: the nominal bw in Eq. 8 (Q is within a bit of 2^bw).
+        k: the signed cofactor in Eq. 8.
+        n_exp: the n of Eq. 8 — Q ≡ 1 (mod 2^(n+1)).
+        k_terms: signed-power-of-two decomposition of k, at most 3 terms,
+            as (sign, exponent) pairs.  Determines adder count in the
+            NTT-friendly Montgomery reducer.
+    """
+
+    value: int
+    bitwidth: int
+    k: int
+    n_exp: int
+    k_terms: tuple[tuple[int, int], ...] = field(default=())
+
+    @property
+    def max_ntt_degree(self) -> int:
+        """Largest power-of-two negacyclic NTT degree this prime supports.
+
+        Degree N needs a primitive 2N-th root, i.e. 2N | Q - 1.
+        """
+        q_minus_1 = self.value - 1
+        two_adicity = (q_minus_1 & -q_minus_1).bit_length() - 1
+        return 1 << (two_adicity - 1)
+
+    def supports_degree(self, degree: int) -> bool:
+        """True when a negacyclic NTT of ``degree`` points is possible."""
+        return (self.value - 1) % (2 * degree) == 0
+
+    @property
+    def shift_add_adders(self) -> int:
+        """Adders needed by the shift-add QInv datapath (Eq. 11).
+
+        One adder per k-term plus one for the -2^(p*bw) term and one for
+        the trailing +1 — the quantity the Table I area model consumes.
+        """
+        return len(self.k_terms) + 2
+
+
+def find_primes(
+    bitwidth: int,
+    degree: int,
+    max_count: int | None = None,
+    max_k_terms: int = 3,
+) -> list[NttFriendlyPrime]:
+    """Enumerate NTT-friendly primes of a given bitwidth for a given degree.
+
+    Scans Eq. 8 with ``n + 1 = log2(2 * degree)`` so that every returned
+    prime supports the negacyclic NTT of ``degree`` points.  ``k`` runs over
+    both signs; a candidate qualifies only if
+
+    * ``Q`` is prime and has exactly ``bitwidth`` bits,
+    * ``|k|`` admits a <= ``max_k_terms`` signed-power decomposition, and
+    * ``|k| >= 2^(bitwidth/2 - 1 - n)`` (the paper's sufficiency condition
+      for the Eq. 11 simplification).
+
+    Results are sorted by absolute distance from 2^bitwidth, which keeps the
+    RNS scale drift of the double-scale technique minimal.
+    """
+    n_exp = ilog2(2 * degree) - 1  # Q ≡ 1 (mod 2^(n_exp+1)) with 2^(n_exp+1) = 2N
+    step = 1 << (n_exp + 1)
+    base = 1 << bitwidth
+    threshold = max(1, 1 << max(0, bitwidth // 2 - 1 - n_exp))
+
+    # |k * step| must stay below 2^(bitwidth-1) to keep the bit length at
+    # exactly `bitwidth` for negative k (and bitwidth+0 for small positive k).
+    k_limit = (base // 2) // step
+
+    found: list[NttFriendlyPrime] = []
+    for abs_k in range(threshold, k_limit + 1):
+        # |k| ascends, so distance from 2^bitwidth ascends too: once
+        # max_count primes are found, no later candidate can displace them.
+        if max_count is not None and len(found) >= max_count:
+            break
+        terms = signed_power_terms(abs_k, max_terms=max_k_terms)
+        if terms is None:
+            continue
+        for sign in (1, -1):
+            k = sign * abs_k
+            q = base + k * step + 1
+            if q.bit_length() != bitwidth and not (
+                sign > 0 and q.bit_length() == bitwidth + 1 and q < base + base // 2
+            ):
+                # Keep strictly-bitwidth primes plus the narrow band just
+                # above 2^bw that still fits the datapath.
+                continue
+            if not is_prime(q):
+                continue
+            signed_terms = tuple((sign * s, e) for s, e in terms)
+            found.append(
+                NttFriendlyPrime(
+                    value=q, bitwidth=bitwidth, k=k, n_exp=n_exp, k_terms=signed_terms
+                )
+            )
+    found.sort(key=lambda p: abs(p.value - base))
+    if max_count is not None:
+        found = found[:max_count]
+    return found
+
+
+def count_primes(bitwidths: tuple[int, ...], degree: int) -> int:
+    """Total usable primes across several bitwidths (Section IV-A's "443")."""
+    return sum(len(find_primes(bw, degree)) for bw in bitwidths)
+
+
+def prime_chain(
+    degree: int,
+    count: int,
+    bitwidth: int = 36,
+    extra_bitwidths: tuple[int, ...] = (35, 34, 33, 32),
+) -> list[NttFriendlyPrime]:
+    """Build an RNS modulus chain of ``count`` distinct NTT-friendly primes.
+
+    Prefers primes at ``bitwidth`` (closest to 2^bitwidth first) and falls
+    back to the extra widths when the preferred pool is exhausted — matching
+    the paper's "32–36 bit" pool for N = 2^16.
+    """
+    chain: list[NttFriendlyPrime] = []
+    seen: set[int] = set()
+    for bw in (bitwidth, *extra_bitwidths):
+        if len(chain) >= count:
+            break
+        for p in find_primes(bw, degree, max_count=count):
+            if p.value in seen:
+                continue
+            chain.append(p)
+            seen.add(p.value)
+            if len(chain) >= count:
+                break
+    if len(chain) < count:
+        raise ValueError(
+            f"only {len(chain)} NTT-friendly primes available for degree {degree} "
+            f"at bitwidths {(bitwidth, *extra_bitwidths)}; requested {count}"
+        )
+    return chain

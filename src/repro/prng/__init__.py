@@ -1,0 +1,23 @@
+"""On-chip PRNG model: 128-bit-seed XOF plus lattice samplers.
+
+Models the accelerator's PRNG unit (Fig. 3a) — masks, errors, keys and
+seed-shared public polynomials are all expanded from a 128-bit seed rather
+than fetched from DRAM (Section IV-B).
+"""
+
+from repro.prng.samplers import (
+    ERROR_STDDEV,
+    DiscreteGaussianSampler,
+    TernarySampler,
+    UniformSampler,
+)
+from repro.prng.xof import SEED_BYTES, Xof
+
+__all__ = [
+    "ERROR_STDDEV",
+    "DiscreteGaussianSampler",
+    "SEED_BYTES",
+    "TernarySampler",
+    "UniformSampler",
+    "Xof",
+]

@@ -1,0 +1,152 @@
+"""Lattice samplers driven by the on-chip PRNG model.
+
+Three distributions cover all CKKS client-side randomness:
+
+* **uniform mod q** — the public polynomial ``a`` of the public key and
+  the ``c1`` seed-shared ciphertext component;
+* **ternary** — secret keys and encryption masks ``v`` with coefficients
+  in {-1, 0, 1} (sparse or dense);
+* **centered discrete Gaussian** (σ = 3.2, the homomorphic-encryption
+  standard the paper's 128-bit parameter sets follow) — error polynomials
+  ``e0, e1``, sampled by inverse-CDF over a precomputed table, which is
+  also how compact hardware samplers are built.
+
+All samplers are deterministic functions of ``(Xof, domain, counter)`` so
+tests can replay exact streams.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.prng.xof import Xof
+
+__all__ = ["UniformSampler", "TernarySampler", "DiscreteGaussianSampler", "ERROR_STDDEV"]
+
+ERROR_STDDEV = 3.2
+"""Standard deviation of the CKKS error distribution (HE-standard choice)."""
+
+
+@dataclass(frozen=True)
+class UniformSampler:
+    """Uniform residues in [0, q) by rejection from 64-bit words.
+
+    Rejection keeps the output exactly uniform: a 64-bit word is accepted
+    when it falls below the largest multiple of q representable in 64 bits.
+    """
+
+    modulus: int
+
+    def sample(self, xof: Xof, domain: bytes, count: int, counter: int = 0) -> np.ndarray:
+        q = self.modulus
+        if q < 2 or q.bit_length() > 62:
+            raise ValueError(f"modulus out of supported range: {q}")
+        limit = (1 << 64) - ((1 << 64) % q)
+        out = np.empty(count, dtype=np.uint64)
+        filled = 0
+        block = counter
+        while filled < count:
+            need = count - filled
+            words = xof.uint64_stream(domain, max(need + need // 8 + 16, 32), block)
+            accepted = words[words < np.uint64(limit)] % np.uint64(q)
+            take = min(len(accepted), need)
+            out[filled : filled + take] = accepted[:take]
+            filled += take
+            block += 1 << 32  # jump far so refill blocks never collide
+        return out
+
+
+@dataclass(frozen=True)
+class TernarySampler:
+    """Coefficients in {-1, 0, 1}, represented as residues mod q.
+
+    ``hamming_weight`` selects the sparse variant (exactly h nonzeros,
+    used for secret keys in bootstrappable parameter sets); without it,
+    each coefficient is independently -1/0/1 with probability 1/4, 1/2,
+    1/4 (two PRNG bits per coefficient, the dense-mask hardware layout).
+    """
+
+    modulus: int
+    hamming_weight: int | None = None
+
+    def sample_signed(self, xof: Xof, domain: bytes, count: int, counter: int = 0) -> np.ndarray:
+        """Signed coefficients in {-1, 0, 1} as int64."""
+        if self.hamming_weight is None:
+            return self._dense(xof, domain, count, counter)
+        return self._sparse(xof, domain, count, counter)
+
+    def sample(self, xof: Xof, domain: bytes, count: int, counter: int = 0) -> np.ndarray:
+        """Residues mod q (−1 mapped to q−1)."""
+        signed = self.sample_signed(xof, domain, count, counter)
+        q = np.uint64(self.modulus)
+        return (signed.astype(np.int64) % np.int64(self.modulus)).astype(np.uint64) % q
+
+    def _dense(self, xof: Xof, domain: bytes, count: int, counter: int) -> np.ndarray:
+        words = xof.uint64_stream(domain, (count + 31) // 32, counter)
+        bits = np.unpackbits(words.view(np.uint8))[: 2 * count]
+        pairs = bits.reshape(count, 2)
+        # 00 -> -1, 01/10 -> 0, 11 -> +1: mean 0, variance 1/2.
+        return (pairs[:, 0].astype(np.int64) + pairs[:, 1].astype(np.int64)) - 1
+
+    def _sparse(self, xof: Xof, domain: bytes, count: int, counter: int) -> np.ndarray:
+        h = self.hamming_weight
+        if h is None or h > count:
+            raise ValueError(f"hamming weight {h} exceeds length {count}")
+        out = np.zeros(count, dtype=np.int64)
+        # Fisher–Yates-style selection of h positions from the XOF stream.
+        chosen: list[int] = []
+        taken = np.zeros(count, dtype=bool)
+        word_idx = 0
+        words = xof.uint64_stream(domain, 4 * h + 64, counter)
+        for _ in range(h):
+            while True:
+                if word_idx >= len(words):
+                    counter += 1 << 32
+                    words = xof.uint64_stream(domain, 4 * h + 64, counter)
+                    word_idx = 0
+                pos = int(words[word_idx] % np.uint64(count))
+                sign_bit = int(words[word_idx] >> np.uint64(63))
+                word_idx += 1
+                if not taken[pos]:
+                    taken[pos] = True
+                    chosen.append(pos)
+                    out[pos] = 1 if sign_bit else -1
+                    break
+        return out
+
+
+@dataclass(frozen=True)
+class DiscreteGaussianSampler:
+    """Centered discrete Gaussian over Z via inverse-CDF table lookup.
+
+    The cumulative table covers ±6σ (tail mass < 2^-55, the paper-level
+    security regime); each sample consumes one 64-bit PRNG word.
+    """
+
+    stddev: float = ERROR_STDDEV
+    _table: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.stddev <= 0:
+            raise ValueError("stddev must be positive")
+        tail = int(math.ceil(6 * self.stddev))
+        support = np.arange(-tail, tail + 1)
+        weights = np.exp(-(support.astype(float) ** 2) / (2 * self.stddev**2))
+        cdf = np.cumsum(weights / weights.sum())
+        object.__setattr__(self, "_table", (support, cdf))
+
+    def sample_signed(self, xof: Xof, domain: bytes, count: int, counter: int = 0) -> np.ndarray:
+        """Signed integer errors (int64)."""
+        support, cdf = self._table
+        words = xof.uint64_stream(domain, count, counter)
+        u = (words >> np.uint64(11)).astype(np.float64) * (2.0**-53)
+        idx = np.searchsorted(cdf, u, side="left")
+        return support[np.minimum(idx, len(support) - 1)].astype(np.int64)
+
+    def sample(self, xof: Xof, domain: bytes, count: int, modulus: int, counter: int = 0) -> np.ndarray:
+        """Errors as residues mod q."""
+        signed = self.sample_signed(xof, domain, count, counter)
+        return (signed % np.int64(modulus)).astype(np.uint64)

@@ -1,0 +1,67 @@
+"""128-bit-seeded extendable-output PRNG (the on-chip PRNG of Fig. 3a).
+
+ABC-FHE keeps only a 128-bit seed on-chip and expands every random object —
+encryption masks, error polynomials, key material, and the seed-shared
+public-key "a" component — through a PRNG, eliminating 8.25 MB of
+mask/error traffic and (with seed-shared keys) most of the 16.5 MB public
+key (Section IV-B).
+
+We model the XOF with SHAKE-128, which matches the 128-bit security target
+and, like the hardware unit, supports *domain separation*: every consumer
+derives an independent stream from (seed, domain, counter), so encrypting
+two messages or sampling two error polynomials never reuses randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Xof", "SEED_BYTES"]
+
+SEED_BYTES = 16  # 128-bit seed, matching the paper's security accounting
+
+
+@dataclass(frozen=True)
+class Xof:
+    """Deterministic extendable-output function keyed by a 128-bit seed.
+
+    Attributes:
+        seed: exactly 16 bytes of key material.
+    """
+
+    seed: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.seed) != SEED_BYTES:
+            raise ValueError(f"seed must be {SEED_BYTES} bytes, got {len(self.seed)}")
+
+    @classmethod
+    def from_int(cls, value: int) -> "Xof":
+        """Convenience constructor for tests and examples."""
+        return cls(value.to_bytes(SEED_BYTES, "little", signed=False))
+
+    def stream(self, domain: bytes, nbytes: int, counter: int = 0) -> bytes:
+        """Expand ``nbytes`` of output for a (domain, counter) pair.
+
+        Separate (domain, counter) pairs yield computationally independent
+        streams; the same pair always yields the same bytes — the property
+        that lets client and server re-derive seed-shared polynomials.
+        """
+        shake = hashlib.shake_128()
+        shake.update(self.seed)
+        shake.update(len(domain).to_bytes(2, "little"))
+        shake.update(domain)
+        shake.update(counter.to_bytes(8, "little"))
+        return shake.digest(nbytes)
+
+    def uint64_stream(self, domain: bytes, count: int, counter: int = 0) -> np.ndarray:
+        """``count`` uniform 64-bit words as a numpy array."""
+        raw = self.stream(domain, 8 * count, counter)
+        return np.frombuffer(raw, dtype=np.uint64).copy()
+
+    def derive(self, label: bytes) -> "Xof":
+        """Child XOF with an independent 128-bit seed (key hierarchy)."""
+        return Xof(self.stream(b"derive:" + label, SEED_BYTES))

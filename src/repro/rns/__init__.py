@@ -1,0 +1,6 @@
+"""Residue-number-system layer: modulus chains and RNS polynomials."""
+
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import COEFF, EVAL, RnsPolynomial
+
+__all__ = ["COEFF", "EVAL", "RnsBasis", "RnsPolynomial"]

@@ -1,0 +1,84 @@
+"""RNS modulus chains with per-prime NTT contexts.
+
+A CKKS modulus ``Q = q_0 * q_1 * ... * q_{L-1}`` is held as a chain of
+NTT-friendly primes.  The paper follows the double-scale technique of [1]:
+instead of ~72-bit scaling primes it uses pairs of 32–36-bit primes and
+doubles the level count (12 -> 24 for N = 2^16), which is what lets the
+datapath stay at 44 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.nums.crt import CrtSystem
+from repro.nums.primegen import NttFriendlyPrime, prime_chain
+from repro.transforms.ntt import NttContext
+from repro.utils.bitops import ilog2
+
+__all__ = ["RnsBasis"]
+
+
+@dataclass(frozen=True)
+class RnsBasis:
+    """An RNS basis: ordered NTT-friendly primes plus transform tables.
+
+    Attributes:
+        degree: polynomial degree N shared by every limb.
+        primes: the modulus chain (limb 0 first — the base prime that
+            survives down to level 1).
+    """
+
+    degree: int
+    primes: tuple[NttFriendlyPrime, ...]
+
+    @classmethod
+    def create(
+        cls,
+        degree: int,
+        num_primes: int,
+        bitwidth: int = 36,
+    ) -> "RnsBasis":
+        """Generate a fresh basis of ``num_primes`` NTT-friendly primes."""
+        ilog2(degree)
+        chain = prime_chain(degree, num_primes, bitwidth=bitwidth)
+        return cls(degree=degree, primes=tuple(chain))
+
+    def __post_init__(self) -> None:
+        values = [p.value for p in self.primes]
+        if len(set(values)) != len(values):
+            raise ValueError("RNS primes must be distinct")
+        for p in self.primes:
+            if not p.supports_degree(self.degree):
+                raise ValueError(f"prime {p.value} cannot run a degree-{self.degree} NTT")
+
+    @property
+    def num_primes(self) -> int:
+        return len(self.primes)
+
+    @property
+    def moduli(self) -> tuple[int, ...]:
+        return tuple(p.value for p in self.primes)
+
+    @cached_property
+    def ntt_contexts(self) -> tuple[NttContext, ...]:
+        """One merged-twiddle NTT context per limb (built lazily)."""
+        return tuple(NttContext.create(self.degree, q) for q in self.moduli)
+
+    def crt(self, level: int) -> CrtSystem:
+        """CRT data for the first ``level`` limbs."""
+        self._check_level(level)
+        return CrtSystem.for_moduli(self.moduli[:level])
+
+    def modulus_at(self, level: int) -> int:
+        """The composite modulus ``q_0 * … * q_{level-1}``."""
+        self._check_level(level)
+        product = 1
+        for q in self.moduli[:level]:
+            product *= q
+        return product
+
+    def _check_level(self, level: int) -> None:
+        if level < 1 or level > self.num_primes:
+            raise ValueError(f"level must be in [1, {self.num_primes}], got {level}")

@@ -1,0 +1,256 @@
+"""RNS polynomials: the data type everything in CKKS computes on.
+
+An :class:`RnsPolynomial` is an element of ``Z_Q[X]/(X^N+1)`` stored as an
+``(L, N)`` uint64 matrix of residues — one row per RNS limb — together with
+a domain tag (coefficient vs NTT/evaluation).  Domain misuse (adding a
+coefficient-domain poly to an evaluation-domain one, multiplying outside
+the evaluation domain, …) raises immediately rather than silently
+corrupting ciphertexts.
+
+The big-integer lift (:meth:`to_bigints`) and its inverse are the exact
+CRT reference paths the MSE hardware implements as "Expand RNS" and
+"Combine CRT" (Fig. 2a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nums.modular import addmod_vec, mulmod_vec, negmod_vec, submod_vec
+from repro.rns.basis import RnsBasis
+
+__all__ = ["RnsPolynomial", "COEFF", "EVAL"]
+
+COEFF = "coeff"
+EVAL = "eval"
+
+
+@dataclass
+class RnsPolynomial:
+    """A polynomial over an RNS basis prefix.
+
+    Attributes:
+        basis: the modulus chain this polynomial lives on.
+        data: ``(level, N)`` uint64 residue matrix.
+        domain: ``"coeff"`` or ``"eval"`` (NTT domain).
+    """
+
+    basis: RnsBasis
+    data: np.ndarray
+    domain: str = COEFF
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.uint64)
+        if self.data.ndim != 2 or self.data.shape[1] != self.basis.degree:
+            raise ValueError(
+                f"data must be (level, {self.basis.degree}); got {self.data.shape}"
+            )
+        if not 1 <= self.data.shape[0] <= self.basis.num_primes:
+            raise ValueError(f"level {self.data.shape[0]} outside basis range")
+        if self.domain not in (COEFF, EVAL):
+            raise ValueError(f"unknown domain {self.domain!r}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zero(cls, basis: RnsBasis, level: int, domain: str = COEFF) -> "RnsPolynomial":
+        return cls(basis, np.zeros((level, basis.degree), dtype=np.uint64), domain)
+
+    @classmethod
+    def from_signed_coeffs(
+        cls, basis: RnsBasis, level: int, coeffs: np.ndarray
+    ) -> "RnsPolynomial":
+        """Small signed integer coefficients -> residues on every limb.
+
+        For |coeff| < q_min/2 this is the exact centered embedding; used
+        for errors, ternary secrets, and already-rounded plaintexts.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        if coeffs.shape != (basis.degree,):
+            raise ValueError(f"expected {basis.degree} coefficients")
+        rows = [
+            (coeffs % np.int64(q)).astype(np.uint64) for q in basis.moduli[:level]
+        ]
+        return cls(basis, np.stack(rows), COEFF)
+
+    @classmethod
+    def from_bigint_coeffs(
+        cls, basis: RnsBasis, level: int, coeffs: list[int]
+    ) -> "RnsPolynomial":
+        """Arbitrary-precision coefficients -> RNS (the Expand-RNS step)."""
+        if len(coeffs) != basis.degree:
+            raise ValueError(f"expected {basis.degree} coefficients")
+        rows = []
+        for q in basis.moduli[:level]:
+            rows.append(np.array([c % q for c in coeffs], dtype=np.uint64))
+        return cls(basis, np.stack(rows), COEFF)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        """Number of active limbs."""
+        return self.data.shape[0]
+
+    @property
+    def degree(self) -> int:
+        return self.basis.degree
+
+    def moduli(self) -> tuple[int, ...]:
+        return self.basis.moduli[: self.level]
+
+    def copy(self) -> "RnsPolynomial":
+        return RnsPolynomial(self.basis, self.data.copy(), self.domain)
+
+    # ------------------------------------------------------------------
+    # Domain transforms
+    # ------------------------------------------------------------------
+
+    def to_eval(self) -> "RnsPolynomial":
+        """Coefficient -> NTT domain, limb by limb."""
+        if self.domain == EVAL:
+            return self.copy()
+        rows = [
+            self.basis.ntt_contexts[i].forward(self.data[i]) for i in range(self.level)
+        ]
+        return RnsPolynomial(self.basis, np.stack(rows), EVAL)
+
+    def to_coeff(self) -> "RnsPolynomial":
+        """NTT -> coefficient domain, limb by limb."""
+        if self.domain == COEFF:
+            return self.copy()
+        rows = [
+            self.basis.ntt_contexts[i].inverse(self.data[i]) for i in range(self.level)
+        ]
+        return RnsPolynomial(self.basis, np.stack(rows), COEFF)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def _check_compatible(self, other: "RnsPolynomial") -> int:
+        if self.basis is not other.basis and self.basis.moduli != other.basis.moduli:
+            raise ValueError("polynomials live on different bases")
+        if self.domain != other.domain:
+            raise ValueError(f"domain mismatch: {self.domain} vs {other.domain}")
+        return min(self.level, other.level)
+
+    def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        lvl = self._check_compatible(other)
+        rows = [
+            addmod_vec(self.data[i], other.data[i], self.basis.moduli[i])
+            for i in range(lvl)
+        ]
+        return RnsPolynomial(self.basis, np.stack(rows), self.domain)
+
+    def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        lvl = self._check_compatible(other)
+        rows = [
+            submod_vec(self.data[i], other.data[i], self.basis.moduli[i])
+            for i in range(lvl)
+        ]
+        return RnsPolynomial(self.basis, np.stack(rows), self.domain)
+
+    def __neg__(self) -> "RnsPolynomial":
+        rows = [negmod_vec(self.data[i], self.basis.moduli[i]) for i in range(self.level)]
+        return RnsPolynomial(self.basis, np.stack(rows), self.domain)
+
+    def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Pointwise product — only legal in the evaluation domain."""
+        if self.domain != EVAL or other.domain != EVAL:
+            raise ValueError("polynomial products require the NTT domain; call to_eval()")
+        lvl = self._check_compatible(other)
+        rows = [
+            mulmod_vec(self.data[i], other.data[i], self.basis.moduli[i])
+            for i in range(lvl)
+        ]
+        return RnsPolynomial(self.basis, np.stack(rows), EVAL)
+
+    def scale_scalar(self, scalars: int | list[int]) -> "RnsPolynomial":
+        """Multiply by a scalar (single int, or one residue per limb)."""
+        if isinstance(scalars, int):
+            per_limb = [scalars % q for q in self.moduli()]
+        else:
+            if len(scalars) != self.level:
+                raise ValueError("need one scalar per active limb")
+            per_limb = [int(s) % q for s, q in zip(scalars, self.moduli())]
+        rows = [
+            mulmod_vec(self.data[i], per_limb[i], self.basis.moduli[i])
+            for i in range(self.level)
+        ]
+        return RnsPolynomial(self.basis, np.stack(rows), self.domain)
+
+    def automorphism(self, k: int) -> "RnsPolynomial":
+        """Apply X -> X^k (k odd) in the coefficient domain.
+
+        The Galois automorphisms behind CKKS slot rotations; negacyclic
+        wrap-around flips signs for exponents that cross N.
+        """
+        if self.domain != COEFF:
+            raise ValueError("apply automorphisms in the coefficient domain")
+        n = self.degree
+        if k % 2 == 0:
+            raise ValueError("automorphism index must be odd")
+        k %= 2 * n
+        src = np.arange(n, dtype=np.int64)
+        dest = (src * k) % (2 * n)
+        wrap = dest >= n
+        dest_idx = np.where(wrap, dest - n, dest)
+        rows = []
+        for i in range(self.level):
+            q = self.basis.moduli[i]
+            out = np.zeros(n, dtype=np.uint64)
+            vals = self.data[i]
+            out[dest_idx] = np.where(wrap, (np.uint64(q) - vals) % np.uint64(q), vals)
+            rows.append(out)
+        return RnsPolynomial(self.basis, np.stack(rows), COEFF)
+
+    # ------------------------------------------------------------------
+    # Level manipulation (rescale / mod-down)
+    # ------------------------------------------------------------------
+
+    def drop_limbs(self, new_level: int) -> "RnsPolynomial":
+        """Forget trailing limbs (plain modulus reduction, no division)."""
+        if not 1 <= new_level <= self.level:
+            raise ValueError(f"new level must be in [1, {self.level}]")
+        return RnsPolynomial(self.basis, self.data[:new_level].copy(), self.domain)
+
+    def rescale(self) -> "RnsPolynomial":
+        """Divide by the last limb's prime (CKKS rescale), dropping one level.
+
+        Computes ``(x - [x]_{q_last}) * q_last^{-1}`` limb-wise — the exact
+        RNS rescaling of Cheon et al.'s RNS-CKKS variant.  Requires the
+        coefficient domain is NOT required: the correction term is the last
+        limb's residues, which must first be brought to the coefficient
+        domain if in NTT form; for simplicity we require coefficient domain.
+        """
+        if self.level < 2:
+            raise ValueError("cannot rescale below one limb")
+        if self.domain != COEFF:
+            raise ValueError("rescale operates in the coefficient domain")
+        q_last = self.basis.moduli[self.level - 1]
+        last = self.data[self.level - 1]
+        rows = []
+        for i in range(self.level - 1):
+            q_i = self.basis.moduli[i]
+            inv = pow(q_last, -1, q_i)
+            diff = submod_vec(self.data[i], last % np.uint64(q_i), q_i)
+            rows.append(mulmod_vec(diff, inv, q_i))
+        return RnsPolynomial(self.basis, np.stack(rows), COEFF)
+
+    # ------------------------------------------------------------------
+    # Exact lifts
+    # ------------------------------------------------------------------
+
+    def to_bigints(self, center: bool = True) -> list[int]:
+        """CRT-combine every coefficient into a Python int (Combine CRT)."""
+        if self.domain != COEFF:
+            raise ValueError("lift from the coefficient domain")
+        crt = self.basis.crt(self.level)
+        return crt.combine_array([self.data[i] for i in range(self.level)], center=center)

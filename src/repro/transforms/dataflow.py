@@ -1,0 +1,191 @@
+"""Pipelined Fourier-engine dataflow models (paper Fig. 4, Section IV-A).
+
+Two complementary accountings live here:
+
+1. **Exact SFG counting** — build the actual signal-flow graph of a
+   negacyclic NTT (merged or unmerged ψ handling) and count how many
+   butterfly edges carry a non-trivial twiddle.  This reproduces the
+   Fig. 4(a) 8-point example: the merged radix-2^n arrangement needs
+   exactly ``(N/2) * log2(N)`` multiplications (12 for N = 8) while a
+   conventional radix-2 with standalone pre-processing needs more.
+
+2. **Pipeline multiplier counting** — hardware multipliers in a P-lane
+   MDC pipeline for each radix-2^k design, in NTT and FFT modes
+   (Fig. 4b).  The paper's headline: only radix-2^n keeps the merged
+   twiddle pattern consistent across stages, reaching the theoretical
+   minimum ``P/2 * log2(N)`` modular multipliers; radix-2 / radix-2^2
+   designs insert extra rotator columns where the ψ-merge pattern breaks.
+
+   Modeling assumption (the paper's counting is not published): each
+   misaligned group boundary costs one extra column of ``P/2`` modular
+   multipliers in NTT mode; in FFT mode intra-group rotations are trivial
+   or constant (cheap CSD rotators) while group boundaries need general
+   complex rotators of 4 real multipliers each (Eq. 12).  EXPERIMENTS.md
+   compares the resulting reduction percentages against the paper's
+   29.7 % / 22.3 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bitops import bit_reverse, ilog2
+
+__all__ = [
+    "sfg_multiplications_merged",
+    "sfg_multiplications_unmerged",
+    "MultiplierCount",
+    "pipeline_multipliers",
+    "design_space",
+    "reduction_vs",
+]
+
+
+def sfg_multiplications_merged(degree: int) -> int:
+    """Twiddle multiplications in the fully ψ-merged negacyclic CT NTT.
+
+    Every butterfly carries a merged factor ``psi^bitrev(j)`` with j >= 1,
+    none of which is ±1, so the count is exactly ``(N/2) * log2(N)`` —
+    the paper's "12 multiplications" for the 8-point radix-2^n example.
+    """
+    log_n = ilog2(degree)
+    count = 0
+    for s in range(log_n):
+        m = 1 << s
+        butterflies_per_block = degree // (2 * m)
+        for i in range(m):
+            exponent = bit_reverse(m + i, log_n)  # psi exponent, in [1, N)
+            # Merged exponents are odd multiples of N/(2m); psi^0 = 1 and
+            # psi^N = -1 never occur, so every butterfly multiplies.
+            if exponent % degree != 0:
+                count += butterflies_per_block
+    return count
+
+
+def sfg_multiplications_unmerged(degree: int, count_negation: bool = False) -> int:
+    """Twiddle multiplications for cyclic CT NTT + standalone pre-processing.
+
+    The conventional radix-2 arrangement: first scale all N inputs by
+    ``psi^i`` (N-1 non-trivial products, since psi^0 = 1), then run a
+    cyclic NTT whose stage twiddles are ``omega^bitrev(j)`` with
+    ``omega = psi^2``.  Factors equal to 1 are free; -1 is a negation and
+    only counts when ``count_negation`` is set (a modular negation is an
+    adder, not a multiplier).
+    """
+    log_n = ilog2(degree)
+    preprocessing = degree - 1
+    count = preprocessing
+    half = degree // 2  # omega^half = -1
+    for s in range(log_n):
+        m = 1 << s
+        butterflies_per_block = degree // (2 * m)
+        for i in range(m):
+            # Cyclic twiddle table uses omega^bitrev(m+i, log_n) with
+            # omega = psi^2 of order N.
+            omega_exp = bit_reverse(m + i, log_n) % degree
+            if omega_exp == 0:
+                continue  # multiply by 1
+            if omega_exp == half and not count_negation:
+                continue  # multiply by -1: negation only
+            count += butterflies_per_block
+    return count
+
+
+@dataclass(frozen=True)
+class MultiplierCount:
+    """Hardware multiplier tally for one pipelined design point.
+
+    Attributes:
+        name: design label ("radix-2", "radix-2^2", …, "radix-2^n").
+        radix_log: k of radix-2^k (log2(N) for the radix-2^n design).
+        butterfly_multipliers: modular/real multipliers inside stages.
+        extra_multipliers: pattern-break / pre-processing columns.
+        pattern_consistent: True when the merged ψ pattern holds at every
+            stage (the paper: true only for radix-2^n).
+    """
+
+    name: str
+    radix_log: int
+    butterfly_multipliers: int
+    extra_multipliers: int
+    pattern_consistent: bool
+
+    @property
+    def total(self) -> int:
+        return self.butterfly_multipliers + self.extra_multipliers
+
+
+def pipeline_multipliers(
+    degree: int, lanes: int, radix_log: int, mode: str = "ntt"
+) -> MultiplierCount:
+    """Multipliers in a P-lane MDC pipeline for a radix-2^k design.
+
+    NTT mode: every stage needs ``P/2`` modular multipliers (merged
+    twiddles are never trivial); each group boundary where the merged
+    pattern misaligns adds an extra rotator column.  Within a radix-2^k
+    group a fraction ``1/2^k`` of the boundary rotations coincide with the
+    merged ψ progression and are absorbed for free, so a boundary costs
+    ``(P/2) * (1 - 2^-k)`` multipliers.  The radix-2^n design
+    (``radix_log == log2 N``) has no boundaries — the paper's minimum
+    ``P/2 * log2 N``.
+
+    FFT mode: the CKKS *special* FFT (powers-of-5 canonical-embedding
+    ordering) has non-classical twiddles at every stage, so the same
+    boundary-misalignment structure applies; each complex rotator costs
+    4 real multipliers (Eq. 12).  Counted in real multipliers, an FFT
+    design is exactly 4x its NTT counterpart — which is what makes the
+    RFE's 4-modular-multipliers-per-FP-complex-multiplier
+    reconfigurability lossless.
+    """
+    log_n = ilog2(degree)
+    if radix_log < 1 or radix_log > log_n:
+        raise ValueError(f"radix_log must be in [1, {log_n}], got {radix_log}")
+    if lanes < 2 or lanes % 2:
+        raise ValueError("lanes must be an even count of streaming paths")
+    groups = -(-log_n // radix_log)  # ceil
+    boundaries = groups - 1
+    is_full = radix_log == log_n
+    name = "radix-2^n" if is_full else (f"radix-2^{radix_log}" if radix_log > 1 else "radix-2")
+
+    if mode == "ntt":
+        butterfly = (lanes // 2) * log_n
+        misaligned_fraction = 1.0 - 2.0 ** (-radix_log)
+        extra = round(boundaries * (lanes // 2) * misaligned_fraction)
+        return MultiplierCount(
+            name=name,
+            radix_log=radix_log,
+            butterfly_multipliers=butterfly,
+            extra_multipliers=extra,
+            pattern_consistent=is_full,
+        )
+    if mode == "fft":
+        rotator_cost = 4  # real multipliers per complex rotator (Eq. 12)
+        butterfly = (lanes // 2) * log_n * rotator_cost
+        misaligned_fraction = 1.0 - 2.0 ** (-radix_log)
+        extra = round(boundaries * (lanes // 2) * misaligned_fraction) * rotator_cost
+        return MultiplierCount(
+            name=name,
+            radix_log=radix_log,
+            butterfly_multipliers=butterfly,
+            extra_multipliers=extra,
+            pattern_consistent=is_full,
+        )
+    raise ValueError(f"mode must be 'ntt' or 'fft', got {mode!r}")
+
+
+def design_space(degree: int, lanes: int, mode: str = "ntt") -> list[MultiplierCount]:
+    """All radix-2^k design points for one degree — the Fig. 4(b) sweep."""
+    log_n = ilog2(degree)
+    return [pipeline_multipliers(degree, lanes, k, mode) for k in range(1, log_n + 1)]
+
+
+def reduction_vs(degree: int, lanes: int, baseline_log: int, mode: str = "ntt") -> float:
+    """Fractional multiplier reduction of radix-2^n vs a baseline radix.
+
+    The paper's 29.7 % (vs radix-2) and 22.3 % (vs radix-2^2) numbers for
+    NTT; our model's values are compared in EXPERIMENTS.md.
+    """
+    log_n = ilog2(degree)
+    best = pipeline_multipliers(degree, lanes, log_n, mode).total
+    base = pipeline_multipliers(degree, lanes, baseline_log, mode).total
+    return 1.0 - best / base

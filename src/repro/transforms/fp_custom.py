@@ -1,0 +1,87 @@
+"""Reduced-precision floating-point emulation (the paper's FP55 format).
+
+Section III (Fig. 3c) shrinks the FFT datapath from FP64 to a custom 55-bit
+float — 1 sign, 11 exponent, 43 mantissa bits — after sweeping the mantissa
+width and measuring the resulting bootstrapping precision.  We emulate any
+such format on top of FP64 by re-quantizing the mantissa after every
+arithmetic step (round-to-nearest-even via ``frexp``/``ldexp``), which is
+exact as long as the emulated mantissa is at most 52 bits.
+
+``FloatFormat.quantize`` is the hook the special-FFT kernels call between
+butterfly stages, so a transform "computed in FP55" accumulates exactly the
+rounding the hardware datapath would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FloatFormat", "FP64", "FP55", "FP32_LIKE"]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A custom floating-point format emulated over float64.
+
+    Attributes:
+        sign_bits: always 1; kept for total-width bookkeeping.
+        exponent_bits: exponent field width (range is not emulated — CKKS
+            values stay far from float64 overflow, matching the paper's
+            focus on mantissa precision only).
+        mantissa_bits: stored fraction bits (excluding the implicit leading
+            one), the swept quantity of Fig. 3(c).
+    """
+
+    sign_bits: int
+    exponent_bits: int
+    mantissa_bits: int
+
+    def __post_init__(self) -> None:
+        if self.mantissa_bits < 1 or self.mantissa_bits > 52:
+            raise ValueError(
+                f"emulatable mantissa range is 1..52 bits, got {self.mantissa_bits}"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width (Fig. 3c's FP55 = 1 + 11 + 43)."""
+        return self.sign_bits + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def is_native(self) -> bool:
+        """True when quantization is a no-op (the FP64 reference datapath)."""
+        return self.mantissa_bits >= 52
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round values to this format's mantissa (nearest, ties-to-even).
+
+        Handles real or complex arrays; complex parts are rounded
+        independently, matching a hardware datapath with separate real and
+        imaginary lanes.
+        """
+        if self.is_native:
+            return np.asarray(x)
+        x = np.asarray(x)
+        if np.iscomplexobj(x):
+            return self.quantize(x.real) + 1j * self.quantize(x.imag)
+        mantissa, exponent = np.frexp(x)
+        # frexp mantissa is in [0.5, 1); it carries mantissa_bits+1
+        # significant bits including the leading one.
+        scaled = np.ldexp(mantissa, self.mantissa_bits + 1)
+        return np.ldexp(np.rint(scaled), exponent - self.mantissa_bits - 1)
+
+    def ulp(self, magnitude: float = 1.0) -> float:
+        """Unit in the last place at the given magnitude."""
+        return float(2.0 ** (np.floor(np.log2(abs(magnitude))) - self.mantissa_bits))
+
+
+FP64 = FloatFormat(sign_bits=1, exponent_bits=11, mantissa_bits=52)
+"""The reference double-precision datapath prior works rely on."""
+
+FP55 = FloatFormat(sign_bits=1, exponent_bits=11, mantissa_bits=43)
+"""ABC-FHE's custom format: 43 mantissa bits ⇒ 23.39-bit boot precision."""
+
+FP32_LIKE = FloatFormat(sign_bits=1, exponent_bits=8, mantissa_bits=23)
+"""Single-precision-like format, below the Fig. 3(c) drop-off point."""

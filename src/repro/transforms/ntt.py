@@ -1,0 +1,166 @@
+"""Negacyclic number-theoretic transform with merged ψ pre/post-processing.
+
+CKKS polynomials live in ``Z_q[X] / (X^N + 1)``; multiplying them needs the
+*negacyclic* NTT, which classically requires pre-scaling inputs by powers of
+a 2N-th root ψ (Eq. 2) and post-scaling by ψ^{-k} (Eq. 3).  Following the
+merging technique the paper cites ([30] Roy et al., [27] Pöppelmann et al.),
+the ψ powers are folded into the per-stage butterfly twiddles so no separate
+pre/post multiplier columns are needed — the property that lets the RFE hit
+the theoretical minimum of ``P/2 * log2 N`` pipeline multipliers.
+
+The kernels are fully vectorized: each stage reshapes the coefficient array
+into ``(blocks, 2, half)`` and applies one broadcasted modular multiply,
+mirroring one pipeline stage of a PNL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nums.modular import mod_inv, mulmod_vec, nth_root_of_unity
+from repro.utils.bitops import bit_reverse, ilog2
+
+__all__ = ["NttContext", "negacyclic_mul_naive"]
+
+
+@dataclass(frozen=True)
+class NttContext:
+    """Precomputed tables for negacyclic NTT/INTT of one (degree, prime) pair.
+
+    Attributes:
+        degree: polynomial degree N (power of two).
+        modulus: NTT-friendly prime q with 2N | q-1.
+        psi: primitive 2N-th root of unity mod q.
+        psi_rev: merged Cooley–Tukey twiddles, ``psi^{bitrev(j)}``.
+        psi_inv_rev: merged Gentleman–Sande twiddles for the inverse.
+        n_inv: ``N^{-1} mod q`` folded into the inverse's last stage.
+    """
+
+    degree: int
+    modulus: int
+    psi: int
+    psi_rev: np.ndarray
+    psi_inv_rev: np.ndarray
+    n_inv: int
+
+    @classmethod
+    def create(cls, degree: int, modulus: int, psi: int | None = None) -> "NttContext":
+        """Build tables; derives ψ from the field structure unless given."""
+        log_n = ilog2(degree)
+        if (modulus - 1) % (2 * degree) != 0:
+            raise ValueError(
+                f"modulus {modulus} is not NTT-friendly for degree {degree}: "
+                f"2N must divide q-1"
+            )
+        if psi is None:
+            psi = nth_root_of_unity(2 * degree, modulus)
+        elif pow(psi, 2 * degree, modulus) != 1 or pow(psi, degree, modulus) == 1:
+            raise ValueError("psi is not a primitive 2N-th root of unity")
+
+        psi_inv = mod_inv(psi, modulus)
+        psi_rev = np.zeros(degree, dtype=np.uint64)
+        psi_inv_rev = np.zeros(degree, dtype=np.uint64)
+        power = 1
+        power_inv = 1
+        # psi_rev[bitrev(i)] = psi^i — the merged twiddle layout of [30].
+        for i in range(degree):
+            j = bit_reverse(i, log_n)
+            psi_rev[j] = power
+            psi_inv_rev[j] = power_inv
+            power = power * psi % modulus
+            power_inv = power_inv * psi_inv % modulus
+        return cls(
+            degree=degree,
+            modulus=modulus,
+            psi=psi,
+            psi_rev=psi_rev,
+            psi_inv_rev=psi_inv_rev,
+            n_inv=mod_inv(degree, modulus),
+        )
+
+    # ------------------------------------------------------------------
+    # Transforms
+    # ------------------------------------------------------------------
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Coefficient -> evaluation domain (merged negacyclic CT NTT).
+
+        Input in natural order, output in bit-reversed order; the inverse
+        consumes that order directly, so no explicit permutation is needed
+        for multiply-round-trips (exactly how the streaming hardware chains
+        NTT -> pointwise -> INTT).
+        """
+        n, q = self.degree, self.modulus
+        a = np.asarray(coeffs, dtype=np.uint64) % np.uint64(q)
+        if a.shape != (n,):
+            raise ValueError(f"expected shape ({n},), got {a.shape}")
+        m = 1
+        t = n
+        while m < n:
+            t //= 2
+            view = a.reshape(m, 2, t)
+            factors = self.psi_rev[m : 2 * m].reshape(m, 1)
+            u = view[:, 0, :].copy()
+            v = mulmod_vec(view[:, 1, :], factors, q)
+            view[:, 0, :] = (u + v) % np.uint64(q)
+            view[:, 1, :] = (u + np.uint64(q) - v) % np.uint64(q)
+            m *= 2
+        return a
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """Evaluation -> coefficient domain (merged GS INTT, scales by 1/N)."""
+        n, q = self.degree, self.modulus
+        a = np.asarray(evals, dtype=np.uint64) % np.uint64(q)
+        if a.shape != (n,):
+            raise ValueError(f"expected shape ({n},), got {a.shape}")
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            view = a.reshape(h, 2, t)
+            factors = self.psi_inv_rev[h : 2 * h].reshape(h, 1)
+            u = view[:, 0, :].copy()
+            v = view[:, 1, :].copy()
+            view[:, 0, :] = (u + v) % np.uint64(q)
+            view[:, 1, :] = mulmod_vec((u + np.uint64(q) - v) % np.uint64(q), factors, q)
+            t *= 2
+            m = h
+        return mulmod_vec(a, self.n_inv, q)
+
+    # ------------------------------------------------------------------
+    # Convenience operations in the evaluation domain
+    # ------------------------------------------------------------------
+
+    def pointwise_mul(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:
+        """Hadamard product of two evaluation-domain polynomials."""
+        return mulmod_vec(a_eval, b_eval, self.modulus)
+
+    def negacyclic_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Full polynomial product in Z_q[X]/(X^N+1) via NTT round trip."""
+        return self.inverse(self.pointwise_mul(self.forward(a), self.forward(b)))
+
+
+def negacyclic_mul_naive(a, b, modulus: int) -> np.ndarray:
+    """Schoolbook negacyclic product — the O(N^2) oracle used by tests.
+
+    Works on exact Python ints so there is no overflow for any modulus.
+    """
+    a = [int(x) % modulus for x in a]
+    b = [int(x) % modulus for x in b]
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("length mismatch")
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            k = i + j
+            term = ai * bj
+            if k < n:
+                out[k] = (out[k] + term) % modulus
+            else:
+                out[k - n] = (out[k - n] - term) % modulus
+    return np.array([x % modulus for x in out], dtype=np.uint64)

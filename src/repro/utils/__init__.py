@@ -1,0 +1,19 @@
+"""Shared low-level helpers (bit manipulation, validation)."""
+
+from repro.utils.bitops import (
+    bit_reverse,
+    bit_reverse_indices,
+    ilog2,
+    is_power_of_two,
+    popcount,
+    signed_power_terms,
+)
+
+__all__ = [
+    "bit_reverse",
+    "bit_reverse_indices",
+    "ilog2",
+    "is_power_of_two",
+    "popcount",
+    "signed_power_terms",
+]

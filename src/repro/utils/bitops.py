@@ -1,0 +1,99 @@
+"""Bit-level helpers shared across the transform and number-theory layers.
+
+These small utilities exist because both the NTT/FFT kernels and the
+pipelined-dataflow models (Fig. 4 of the paper) reason about indices in
+bit-reversed order, and because parameter validation repeatedly needs
+power-of-two checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "bit_reverse",
+    "bit_reverse_indices",
+    "popcount",
+    "signed_power_terms",
+]
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return True when ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises ValueError for non powers of two so silent mis-sizing of
+    transform tables is impossible.
+    """
+    if not is_power_of_two(x):
+        raise ValueError(f"expected a power of two, got {x}")
+    return x.bit_length() - 1
+
+
+def bit_reverse(value: int, bits: int) -> int:
+    """Reverse the lowest ``bits`` bits of ``value``."""
+    if value < 0 or value >= (1 << bits):
+        raise ValueError(f"value {value} does not fit in {bits} bits")
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Vector of bit-reversed indices for a transform of power-of-two size."""
+    bits = ilog2(n)
+    idx = np.arange(n, dtype=np.uint64)
+    out = np.zeros(n, dtype=np.uint64)
+    for _ in range(bits):
+        out = (out << np.uint64(1)) | (idx & np.uint64(1))
+        idx >>= np.uint64(1)
+    return out.astype(np.int64)
+
+
+def popcount(x: int) -> int:
+    """Number of set bits (used by the shift-add cost model)."""
+    return bin(x).count("1")
+
+
+def signed_power_terms(k: int, max_terms: int = 3) -> list[tuple[int, int]] | None:
+    """Decompose ``k`` as a sum of at most ``max_terms`` signed powers of two.
+
+    Returns a list of ``(sign, exponent)`` pairs with ``sign in {+1, -1}``
+    such that ``k == sum(sign * 2**exponent)``, or ``None`` when no such
+    decomposition exists.  This is the ``k = ±2^a ± 2^b ± 2^c`` condition of
+    Eq. (11) in the paper: primes whose ``k`` admits this form let the
+    Montgomery ``QInv`` multiply collapse into shift-and-add hardware.
+
+    The search uses canonical signed-digit recoding: at each step peel the
+    lowest set bit, choosing ``+2^e`` or ``-2^e`` to clear as many trailing
+    bits as possible.
+    """
+    if k == 0:
+        return []
+
+    terms: list[tuple[int, int]] = []
+    remaining = k
+    while remaining != 0 and len(terms) < max_terms:
+        sign = 1 if remaining > 0 else -1
+        mag = abs(remaining)
+        low = mag & -mag  # lowest set bit
+        exponent = low.bit_length() - 1
+        # Decide between +2^e and +2^(e+1)-ish via NAF-style rule: if the
+        # next bit up is also set, subtracting -2^e leaves fewer set bits.
+        if (mag >> exponent) & 0b11 == 0b11:
+            term = -sign * (1 << exponent)
+        else:
+            term = sign * (1 << exponent)
+        terms.append((1 if term > 0 else -1, exponent))
+        remaining -= term
+    if remaining != 0:
+        return None
+    return terms

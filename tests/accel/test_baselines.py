@@ -1,0 +1,74 @@
+"""Baseline models and the Fig. 5(a) speed-up anchors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.baselines import CpuModel, ScaledAcceleratorModel, baseline_suite
+from repro.accel.config import abc_fhe
+from repro.accel.simulator import ClientSimulator
+from repro.accel.workload import ClientWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ClientWorkload(degree=1 << 16, enc_levels=24, dec_levels=2)
+
+
+@pytest.fixture(scope="module")
+def abc_latencies(workload):
+    sim = ClientSimulator(abc_fhe(), workload)
+    return sim.encode_encrypt().latency_seconds, sim.decode_decrypt().latency_seconds
+
+
+class TestCpuModel:
+    def test_latency_increases_with_ops(self):
+        cpu = CpuModel()
+        assert cpu.latency_seconds(1e8) > cpu.latency_seconds(1e6)
+
+    def test_fixed_overhead_floors_small_jobs(self):
+        cpu = CpuModel()
+        assert cpu.latency_seconds(0) == cpu.fixed_overhead_s
+
+    def test_paper_speedup_enc(self, workload, abc_latencies):
+        """Abstract: 1112x on encoding+encryption."""
+        enc, _ = abc_latencies
+        speedup = CpuModel().encode_encrypt_seconds(workload) / enc
+        assert speedup == pytest.approx(1112, rel=0.03)
+
+    def test_paper_speedup_dec(self, workload, abc_latencies):
+        """Abstract: 963x on decoding+decryption."""
+        _, dec = abc_latencies
+        speedup = CpuModel().decode_decrypt_seconds(workload) / dec
+        assert speedup == pytest.approx(963, rel=0.03)
+
+    def test_cpu_latency_plausible(self, workload):
+        """Fig. 5(a): CPU encode+encrypt sits in the 10^2 ms decade."""
+        t = CpuModel().encode_encrypt_seconds(workload)
+        assert 0.05 < t < 0.5
+
+
+class TestScaledAccelerators:
+    def test_suite_contents(self):
+        suite = baseline_suite()
+        assert set(suite) == {"[34]", "[22] ALOHA-HE"}
+
+    def test_sota_speedups(self, abc_latencies):
+        """Abstract: 214x (enc) and 82x (dec) over the SOTA accelerator."""
+        enc, dec = abc_latencies
+        sota = baseline_suite()["[34]"]
+        assert sota.encode_encrypt_seconds(enc) / enc == pytest.approx(214)
+        assert sota.decode_decrypt_seconds(dec) / dec == pytest.approx(82)
+
+    def test_aloha_slower_than_sota(self, abc_latencies):
+        enc, _ = abc_latencies
+        suite = baseline_suite()
+        assert suite["[22] ALOHA-HE"].encode_encrypt_seconds(enc) > suite[
+            "[34]"
+        ].encode_encrypt_seconds(enc)
+
+    def test_prior_work_degree_limit(self):
+        """The paper's first criticism: prior designs stop at N = 2^13."""
+        model = ScaledAcceleratorModel("x", 10, 10)
+        assert model.supports(1 << 13)
+        assert not model.supports(1 << 14)

@@ -1,0 +1,94 @@
+"""Accelerator configs and the Section IV-B memory models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.config import AcceleratorConfig, abc_fhe, abc_fhe_base, abc_fhe_tf_gen
+from repro.accel.memory import TrafficModel, client_memory_footprint
+from repro.accel.workload import ClientWorkload
+
+
+class TestConfig:
+    def test_shipped_design(self):
+        c = abc_fhe()
+        assert c.lanes_per_pnl == 8
+        assert c.pnls_per_rsc == 4
+        assert c.num_rscs == 2
+        assert c.total_transform_engines == 8
+        assert c.on_chip_twiddles and c.on_chip_randomness
+
+    def test_presets_differ_in_generation_flags(self):
+        assert not abc_fhe_base().on_chip_twiddles
+        assert not abc_fhe_base().on_chip_randomness
+        assert abc_fhe_tf_gen().on_chip_twiddles
+        assert not abc_fhe_tf_gen().on_chip_randomness
+
+    def test_with_lanes(self):
+        c = abc_fhe().with_lanes(16)
+        assert c.lanes_per_pnl == 16
+        assert c.on_chip_twiddles  # other fields preserved
+
+    def test_dram_bytes_per_cycle(self):
+        c = abc_fhe()
+        assert c.dram_bytes_per_cycle == pytest.approx(68.4e9 / 600e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lane"):
+            AcceleratorConfig(lanes_per_pnl=0)
+        with pytest.raises(ValueError, match="PNL"):
+            AcceleratorConfig(num_rscs=0)
+
+
+class TestFootprint:
+    def test_paper_numbers_exact(self):
+        """Section IV-B: 16.5 MB pk, 8.25 MB masks/errors, 8.25 MB twiddles."""
+        fp = client_memory_footprint(degree=1 << 16, levels=24, coeff_bits=44)
+        mib = 2**20
+        assert fp.public_key_bytes == int(16.5 * mib)
+        assert fp.masks_errors_bytes == int(8.25 * mib)
+        assert fp.twiddle_bytes == int(8.25 * mib)
+
+    def test_reduction_over_99_9_percent(self):
+        fp = client_memory_footprint()
+        assert fp.reduction_ratio > 0.999
+
+    def test_seed_is_128_bits(self):
+        assert client_memory_footprint().seed_bytes == 16
+
+
+class TestTraffic:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return ClientWorkload(degree=1 << 16, enc_levels=24, dec_levels=2)
+
+    def test_all_config_has_no_fetch_traffic(self, workload):
+        t = TrafficModel(config=abc_fhe(), workload=workload).encode_encrypt()
+        assert t.fetch_bytes == 0
+        assert t.streaming_bytes > 0
+
+    def test_base_fetches_everything(self, workload):
+        t = TrafficModel(config=abc_fhe_base(), workload=workload).encode_encrypt()
+        assert t.twiddle_bytes > 0
+        assert t.key_bytes > 0
+        assert t.randomness_bytes > 0
+
+    def test_tf_gen_skips_only_twiddles(self, workload):
+        t = TrafficModel(config=abc_fhe_tf_gen(), workload=workload).encode_encrypt()
+        assert t.twiddle_bytes == 0
+        assert t.key_bytes > 0
+
+    def test_seed_sharing_halves_ciphertext(self, workload):
+        seeded = TrafficModel(config=abc_fhe(), workload=workload).encode_encrypt()
+        full = TrafficModel(config=abc_fhe_tf_gen(), workload=workload).encode_encrypt()
+        assert seeded.ciphertext_bytes < 0.51 * full.ciphertext_bytes
+
+    def test_decrypt_needs_no_randomness(self, workload):
+        t = TrafficModel(config=abc_fhe_base(), workload=workload).decode_decrypt()
+        assert t.randomness_bytes == 0
+        assert t.key_bytes == 0
+        assert t.twiddle_bytes > 0  # base still fetches twiddles
+
+    def test_totals_add_up(self, workload):
+        t = TrafficModel(config=abc_fhe_base(), workload=workload).encode_encrypt()
+        assert t.total_bytes == t.streaming_bytes + t.fetch_bytes

@@ -1,0 +1,52 @@
+"""RSC operating-mode scheduling policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.config import abc_fhe
+from repro.accel.scheduler import RequestQueue, RscScheduler
+from repro.accel.workload import ClientWorkload
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    return RscScheduler(
+        config=abc_fhe(), workload=ClientWorkload(degree=1 << 16)
+    )
+
+
+class TestPolicies:
+    def test_dynamic_never_loses(self, scheduler):
+        for enc, dec in ((16, 16), (32, 4), (4, 32), (1, 1), (20, 0), (0, 20)):
+            results = {r.policy: r.makespan_cycles for r in scheduler.compare(RequestQueue(enc, dec))}
+            assert results["dynamic"] <= results["static_split"] + 1
+            assert results["dynamic"] <= results["dual_batched"] + 1
+
+    def test_dynamic_beats_static_on_imbalanced_queue(self, scheduler):
+        """Many encrypts + few decrypts: a pinned decrypt core idles."""
+        q = RequestQueue(encode_encrypt=32, decode_decrypt=2)
+        results = {r.policy: r.makespan_cycles for r in scheduler.compare(q)}
+        assert results["dynamic"] < results["static_split"]
+
+    def test_pure_encrypt_queue_uses_dual_mode(self, scheduler):
+        q = RequestQueue(encode_encrypt=10, decode_decrypt=0)
+        dyn = scheduler.dynamic(q)
+        dual = scheduler.dual_batched(q)
+        assert dyn.makespan_cycles == dual.makespan_cycles
+
+    def test_makespan_scales_with_queue(self, scheduler):
+        small = scheduler.dynamic(RequestQueue(4, 4)).makespan_cycles
+        big = scheduler.dynamic(RequestQueue(8, 8)).makespan_cycles
+        assert 1.8 < big / small < 2.2
+
+    def test_single_rsc_slower_than_dual(self, scheduler):
+        """Mode multiplexing only helps because there are two cores."""
+        one_enc = scheduler._task_cycles("encode_encrypt", 1)
+        two_enc = scheduler._task_cycles("encode_encrypt", 2)
+        assert one_enc > two_enc
+
+    def test_compare_sorted(self, scheduler):
+        results = scheduler.compare(RequestQueue(8, 8))
+        spans = [r.makespan_cycles for r in results]
+        assert spans == sorted(spans)

@@ -1,0 +1,120 @@
+"""Cycle simulator: paper anchors (Figs. 5 and 6b) and model behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.config import abc_fhe, abc_fhe_base, abc_fhe_tf_gen
+from repro.accel.engines import GeneratorModel, MseModel, PnlModel
+from repro.accel.simulator import ClientSimulator, sweep_degree, sweep_lanes
+from repro.accel.workload import ClientWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ClientWorkload(degree=1 << 16, enc_levels=24, dec_levels=2)
+
+
+class TestEngines:
+    def test_transform_occupancy(self):
+        pnl = PnlModel(lanes=8)
+        assert pnl.transform_occupancy(1 << 16) == (1 << 16) // 8
+
+    def test_fill_smaller_than_occupancy(self):
+        pnl = PnlModel(lanes=8)
+        assert 0 < pnl.fill_cycles(1 << 16) < pnl.transform_occupancy(1 << 16)
+
+    def test_latency_is_occupancy_plus_fill(self):
+        pnl = PnlModel(lanes=4)
+        n = 1 << 14
+        assert pnl.transform_latency(n) == pnl.transform_occupancy(n) + pnl.fill_cycles(n)
+
+    def test_mse_ceil_division(self):
+        assert MseModel(width=32).elementwise_cycles(33) == 2
+
+    def test_generator_stall(self):
+        g = GeneratorModel(values_per_cycle=4)
+        assert g.stall_factor(4) == 1.0
+        assert g.stall_factor(8) == 2.0
+
+
+class TestEncodeEncrypt:
+    def test_paper_latency_magnitude(self, workload):
+        """ABC-FHE encode+encrypt should land in the 0.1–0.3 ms range
+        (Fig. 5a shows ~10^-1 ms)."""
+        r = ClientSimulator(abc_fhe(), workload).encode_encrypt()
+        assert 50e-6 < r.latency_seconds < 300e-6
+
+    def test_latency_composition(self, workload):
+        r = ClientSimulator(abc_fhe(), workload).encode_encrypt()
+        assert r.latency_cycles == max(r.compute_cycles, r.stream_cycles) + r.fetch_cycles
+
+    def test_all_config_no_fetch(self, workload):
+        assert ClientSimulator(abc_fhe(), workload).encode_encrypt().fetch_cycles == 0
+
+    def test_decode_faster_than_encode(self, workload):
+        sim = ClientSimulator(abc_fhe(), workload)
+        assert (
+            sim.decode_decrypt().latency_cycles < sim.encode_encrypt().latency_cycles
+        )
+
+    def test_run_dispatch(self, workload):
+        sim = ClientSimulator(abc_fhe(), workload)
+        assert sim.run("encode_encrypt").task == "encode_encrypt"
+        assert sim.run("decode_decrypt").task == "decode_decrypt"
+        with pytest.raises(ValueError, match="unknown task"):
+            sim.run("bootstrap")
+
+
+class TestFig5bLaneSweep:
+    def test_latency_monotone_nonincreasing(self, workload):
+        points = sweep_lanes(workload, abc_fhe())
+        lats = [r.latency_cycles for _, r in points]
+        assert all(a >= b for a, b in zip(lats, lats[1:]))
+
+    def test_knee_at_8_lanes(self, workload):
+        """Paper: LPDDR5 caps the benefit at 8 lanes."""
+        points = dict(sweep_lanes(workload, abc_fhe()))
+        gain_4_to_8 = points[4].latency_cycles / points[8].latency_cycles
+        gain_8_to_16 = points[8].latency_cycles / points[16].latency_cycles
+        assert gain_4_to_8 > 1.2  # still improving into 8
+        assert gain_8_to_16 < 1.05  # flat beyond 8
+
+    def test_memory_bound_at_high_lanes(self, workload):
+        points = dict(sweep_lanes(workload, abc_fhe()))
+        assert points[64].bound_by == "memory"
+        assert points[1].bound_by == "compute"
+
+    def test_peak_throughput_magnitude(self, workload):
+        """Fig. 5(b) shows ~6000 ciphertexts/s peak; we land nearby."""
+        points = dict(sweep_lanes(workload, abc_fhe()))
+        peak = max(r.throughput_per_second for r in points.values())
+        assert 4000 < peak < 12000
+
+
+class TestFig6bMemoryAblation:
+    def test_base_over_all_ratio(self, workload):
+        """Paper: on-chip generation wins 8.2–9.3x."""
+        base = ClientSimulator(abc_fhe_base(), workload).encode_encrypt()
+        full = ClientSimulator(abc_fhe(), workload).encode_encrypt()
+        ratio = base.latency_cycles / full.latency_cycles
+        assert 8.0 <= ratio <= 9.5
+
+    def test_tf_gen_intermediate(self, workload):
+        base = ClientSimulator(abc_fhe_base(), workload).encode_encrypt()
+        tf = ClientSimulator(abc_fhe_tf_gen(), workload).encode_encrypt()
+        full = ClientSimulator(abc_fhe(), workload).encode_encrypt()
+        assert full.latency_cycles < tf.latency_cycles < base.latency_cycles
+
+    def test_ratio_stable_across_degrees(self):
+        """Fig. 6(b): the 8.2–9.3x band holds for N = 2^13 … 2^16."""
+        for degree in (1 << 13, 1 << 14, 1 << 15, 1 << 16):
+            w = ClientWorkload(degree=degree, enc_levels=24, dec_levels=2)
+            base = ClientSimulator(abc_fhe_base(), w).encode_encrypt()
+            full = ClientSimulator(abc_fhe(), w).encode_encrypt()
+            assert 7.5 <= base.latency_cycles / full.latency_cycles <= 10.0
+
+    def test_degree_sweep_monotone(self):
+        results = sweep_degree(abc_fhe())
+        lats = [r.latency_cycles for _, r in results]
+        assert all(a < b for a, b in zip(lats, lats[1:]))

@@ -1,0 +1,70 @@
+"""Fig. 2 op-count model: anchors and scaling behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.workload import ClientWorkload, resnet20_client_ops
+
+
+@pytest.fixture(scope="module")
+def paper_workload() -> ClientWorkload:
+    return ClientWorkload(degree=1 << 16, enc_levels=24, dec_levels=2)
+
+
+class TestPaperAnchors:
+    def test_encode_encrypt_mops(self, paper_workload):
+        """Paper: 27.0 MOPs; our accounting lands within 2 %."""
+        mops = paper_workload.encode_encrypt_ops().total / 1e6
+        assert mops == pytest.approx(27.0, rel=0.02)
+
+    def test_decode_decrypt_mops(self, paper_workload):
+        """Paper: 2.9 MOPs; our accounting lands within 10 %."""
+        mops = paper_workload.decode_decrypt_ops().total / 1e6
+        assert mops == pytest.approx(2.9, rel=0.10)
+
+    def test_imbalance_ratio(self, paper_workload):
+        """Paper: "nearly ten times greater"."""
+        assert 8.0 <= paper_workload.imbalance_ratio() <= 11.0
+
+    def test_ntt_dominates_encrypt(self, paper_workload):
+        shares = paper_workload.encode_encrypt_ops().shares()
+        assert shares["i_ntt"] > 0.5  # Fig. 2(b): NTT is the dominant class
+
+    def test_shares_sum_to_one(self, paper_workload):
+        for ops in (
+            paper_workload.encode_encrypt_ops(),
+            paper_workload.decode_decrypt_ops(),
+        ):
+            assert sum(ops.shares().values()) == pytest.approx(1.0)
+
+
+class TestScaling:
+    def test_ops_scale_superlinearly_with_degree(self):
+        small = ClientWorkload(degree=1 << 13).encode_encrypt_ops().total
+        big = ClientWorkload(degree=1 << 16).encode_encrypt_ops().total
+        assert big > 8 * small  # N log N growth
+
+    def test_ops_scale_with_levels(self):
+        lo = ClientWorkload(degree=1 << 14, enc_levels=12).encode_encrypt_ops().total
+        hi = ClientWorkload(degree=1 << 14, enc_levels=24).encode_encrypt_ops().total
+        assert hi > 1.9 * lo
+
+    def test_transform_counts(self, paper_workload):
+        assert paper_workload.num_ntt_transforms_encrypt() == 48  # 2 x 24
+        assert paper_workload.num_ntt_transforms_decrypt() == 4  # 2 x 2
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ClientWorkload(degree=1000)
+
+
+class TestResnet20:
+    def test_client_ops(self):
+        ops = resnet20_client_ops()
+        assert ops["encode_encrypt"] > ops["decode_decrypt"]
+
+    def test_multiple_ciphertexts(self):
+        one = resnet20_client_ops(input_ciphertexts=1)
+        four = resnet20_client_ops(input_ciphertexts=4)
+        assert four["encode_encrypt"] == 4 * one["encode_encrypt"]

@@ -1,0 +1,96 @@
+"""Chebyshev approximation and homomorphic polynomial evaluation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, toy_params
+from repro.ckks.cheby import ChebyshevSeries, evaluate_chebyshev, sine_mod_series
+
+
+class TestInterpolation:
+    def test_sin_high_accuracy(self):
+        s = ChebyshevSeries.interpolate(math.sin, (-3, 3), 23)
+        assert s.max_error(math.sin) < 1e-12
+
+    def test_polynomial_exact(self):
+        """Interpolating a cubic at degree >= 3 is exact."""
+        f = lambda x: 2 * x**3 - x + 0.5
+        s = ChebyshevSeries.interpolate(f, (-2, 2), 3)
+        xs = np.linspace(-2, 2, 50)
+        assert np.max(np.abs(s(xs) - f(xs))) < 1e-12
+
+    def test_error_decreases_with_degree(self):
+        errs = [
+            ChebyshevSeries.interpolate(math.exp, (-1, 1), d).max_error(math.exp)
+            for d in (3, 7, 15)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError, match="a < b"):
+            ChebyshevSeries.interpolate(math.sin, (1, 1), 5)
+
+    def test_odd_function_has_odd_coeffs(self):
+        s = ChebyshevSeries.interpolate(math.sin, (-2, 2), 15)
+        even = [abs(c) for c in s.coeffs[::2]]
+        assert max(even) < 1e-12
+
+
+class TestSineModSeries:
+    def test_approximates_centered_mod(self):
+        q = 64.0
+        s = sine_mod_series(q, wraps=3, degree=47)
+        for k in range(-3, 4):
+            for frac in (-0.9, -0.3, 0.0, 0.4, 0.9):
+                x = k * q + frac
+                want = x - q * round(x / q)
+                assert abs(s(x) - want) < 2e-3 + abs(frac) ** 3 / q**2 * 10
+
+    def test_interval_covers_wraps(self):
+        s = sine_mod_series(100.0, wraps=5, degree=31)
+        assert s.interval[1] >= 5 * 100
+
+
+class TestHomomorphicEvaluation:
+    @pytest.fixture(scope="class")
+    def deep_ctx(self):
+        ctx = CkksContext.create(toy_params(degree=128, num_primes=14), seed=17)
+        rlk = ctx.relin_keys(levels=list(range(2, 15)))
+        return ctx, rlk
+
+    def test_sine(self, deep_ctx):
+        ctx, rlk = deep_ctx
+        series = ChebyshevSeries.interpolate(math.sin, (-3, 3), 15)
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-3, 3, ctx.params.slots)
+        out = evaluate_chebyshev(ctx, series, ctx.encrypt(x), rlk)
+        got = ctx.decrypt_decode(out).real
+        assert np.max(np.abs(got - np.sin(x))) < 1e-5
+
+    def test_even_function(self, deep_ctx):
+        ctx, rlk = deep_ctx
+        series = ChebyshevSeries.interpolate(lambda v: v * v, (-2, 2), 4)
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-2, 2, ctx.params.slots)
+        out = evaluate_chebyshev(ctx, series, ctx.encrypt(x), rlk)
+        assert np.max(np.abs(ctx.decrypt_decode(out).real - x * x)) < 1e-6
+
+    def test_depth_consumption(self, deep_ctx):
+        """Depth must be ~2 + log2(degree) rungs, not O(degree)."""
+        ctx, rlk = deep_ctx
+        series = ChebyshevSeries.interpolate(math.sin, (-1, 1), 15)
+        ct = ctx.encrypt(np.zeros(ctx.params.slots))
+        out = evaluate_chebyshev(ctx, series, ct, rlk)
+        rung = ctx.params.levels_per_multiplication
+        expected_levels = rung * (2 + 4)  # affine + depth(15)=4 + combo
+        assert ct.level - out.level == expected_levels
+
+    def test_rejects_constant_series(self, deep_ctx):
+        ctx, rlk = deep_ctx
+        flat = ChebyshevSeries(coeffs=(1.0,), interval=(-1, 1))
+        with pytest.raises(ValueError, match="degree >= 1"):
+            evaluate_chebyshev(ctx, flat, ctx.encrypt(np.zeros(2)), rlk)

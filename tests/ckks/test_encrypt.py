@@ -1,0 +1,96 @@
+"""Encryption/decryption: correctness, randomness hygiene, seed sharing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, toy_params
+
+
+class TestRoundtrip:
+    def test_basic(self, ctx, rng):
+        msg = rng.normal(size=ctx.params.slots) + 1j * rng.normal(size=ctx.params.slots)
+        out = ctx.decrypt_decode(ctx.encrypt(msg))
+        assert np.max(np.abs(out - msg)) < 1e-6
+
+    def test_at_reduced_level(self, ctx, rng):
+        """The paper's decrypt-side scenario: a low-level ciphertext."""
+        msg = rng.normal(size=4)
+        ct = ctx.encrypt(msg, level=ctx.params.decrypt_level)
+        assert ct.level == ctx.params.decrypt_level
+        assert np.max(np.abs(ctx.decrypt_decode(ct)[:4] - msg)) < 1e-6
+
+    def test_noise_is_small_but_nonzero(self, ctx):
+        msg = np.ones(ctx.params.slots)
+        out = ctx.decrypt_decode(ctx.encrypt(msg))
+        err = np.max(np.abs(out - msg))
+        assert 0 < err < 1e-6  # encryption adds bounded noise
+
+    def test_level_above_plaintext_rejected(self, ctx):
+        pt = ctx.encode([1.0], level=2)
+        with pytest.raises(ValueError, match="above the plaintext"):
+            ctx.encryptor.encrypt(pt, level=4)
+
+
+class TestRandomnessHygiene:
+    def test_fresh_masks_per_encryption(self, ctx):
+        """Two encryptions of the same message must differ (counter)."""
+        pt = ctx.encode([1.0])
+        c1 = ctx.encryptor.encrypt(pt)
+        c2 = ctx.encryptor.encrypt(pt)
+        assert not np.array_equal(c1.c0.data, c2.c0.data)
+        assert not np.array_equal(c1.c1.data, c2.c1.data)
+
+    def test_both_decrypt_correctly(self, ctx):
+        pt = ctx.encode([2.5])
+        for _ in range(3):
+            ct = ctx.encryptor.encrypt(pt)
+            assert abs(ctx.decrypt_decode(ct)[0] - 2.5) < 1e-6
+
+    def test_wrong_key_garbage(self, rng):
+        p = toy_params(degree=128, num_primes=3)
+        alice = CkksContext.create(p, seed=1)
+        eve = CkksContext.create(p, seed=2)
+        msg = np.ones(4)
+        ct = alice.encrypt(msg)
+        leaked = eve.decryptor.decrypt(ct)
+        # Decrypting with the wrong key yields enormous "noise".
+        assert max(abs(x) for x in leaked.poly.to_bigints()) > alice.params.scale
+
+
+class TestSymmetricSeeded:
+    def test_roundtrip(self, ctx, rng):
+        msg = rng.normal(size=4)
+        pt = ctx.encode(msg)
+        ct, seed = ctx.encryptor.encrypt_symmetric_seeded(pt, ctx.secret_key)
+        assert len(seed) == 16
+        assert np.max(np.abs(ctx.decrypt_decode(ct)[:4] - msg)) < 1e-6
+
+    def test_c1_regenerable_from_seed(self, ctx):
+        """Only c0 + the seed need transmitting — the bandwidth trick the
+        streaming write-out exploits."""
+        from repro.ckks.keys import expand_uniform_poly
+        from repro.prng.xof import Xof
+
+        pt = ctx.encode([1.0])
+        ct, seed = ctx.encryptor.encrypt_symmetric_seeded(pt, ctx.secret_key)
+        c1_again = expand_uniform_poly(ctx.basis, ct.level, Xof(seed), b"sym-c1")
+        assert np.array_equal(c1_again.data, ct.c1.data)
+
+    def test_distinct_seeds_per_call(self, ctx):
+        pt = ctx.encode([1.0])
+        _, s1 = ctx.encryptor.encrypt_symmetric_seeded(pt, ctx.secret_key)
+        _, s2 = ctx.encryptor.encrypt_symmetric_seeded(pt, ctx.secret_key)
+        assert s1 != s2
+
+
+class TestDecryptor:
+    def test_three_part_ciphertext(self, ctx, rng):
+        """Decrypt handles pre-relinearization (c0, c1, c2) directly."""
+        msg = rng.normal(size=4)
+        ct = ctx.encrypt(msg)
+        prod = ctx.evaluator.multiply(ct, ctx.encrypt(np.ones(4)))
+        out = ctx.decode(ctx.decryptor.decrypt(prod))
+        # scale is squared; decode uses the ciphertext's scale tracking.
+        assert np.max(np.abs(out[:4] - msg)) < 1e-5

@@ -1,0 +1,148 @@
+"""Homomorphic evaluator: arithmetic laws under encryption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def msgs(ctx):
+    rng = np.random.default_rng(99)
+    slots = ctx.params.slots
+    a = rng.uniform(-1, 1, slots) + 1j * rng.uniform(-1, 1, slots)
+    b = rng.uniform(-1, 1, slots) + 1j * rng.uniform(-1, 1, slots)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def rlk(ctx):
+    return ctx.relin_keys(levels=[ctx.params.num_primes])
+
+
+class TestLinear:
+    def test_add(self, ctx, msgs):
+        a, b = msgs
+        out = ctx.decrypt_decode(ctx.evaluator.add(ctx.encrypt(a), ctx.encrypt(b)))
+        assert np.max(np.abs(out - (a + b))) < 1e-6
+
+    def test_sub(self, ctx, msgs):
+        a, b = msgs
+        out = ctx.decrypt_decode(ctx.evaluator.sub(ctx.encrypt(a), ctx.encrypt(b)))
+        assert np.max(np.abs(out - (a - b))) < 1e-6
+
+    def test_negate(self, ctx, msgs):
+        a, _ = msgs
+        out = ctx.decrypt_decode(ctx.evaluator.negate(ctx.encrypt(a)))
+        assert np.max(np.abs(out + a)) < 1e-6
+
+    def test_add_plain(self, ctx, msgs):
+        a, b = msgs
+        out = ctx.decrypt_decode(ctx.evaluator.add_plain(ctx.encrypt(a), ctx.encode(b)))
+        assert np.max(np.abs(out - (a + b))) < 1e-6
+
+    def test_multiply_plain(self, ctx, msgs):
+        a, b = msgs
+        ct = ctx.evaluator.multiply_plain(ctx.encrypt(a), ctx.encode(b))
+        out = ctx.decrypt_decode(ct)
+        assert np.max(np.abs(out - a * b)) < 1e-5
+
+    def test_scale_mismatch_rejected(self, ctx, msgs):
+        a, b = msgs
+        ct = ctx.encrypt(a)
+        pt_wrong = ctx.encoder.encode(np.asarray(b), scale=2.0**30)
+        with pytest.raises(ValueError, match="scale mismatch"):
+            ctx.evaluator.add_plain(ct, pt_wrong)
+
+    def test_add_at_different_levels(self, ctx, msgs):
+        a, b = msgs
+        lo = ctx.encrypt(a, level=3)
+        hi = ctx.encrypt(b)
+        out = ctx.evaluator.add(lo, hi)
+        assert out.level == 3
+        assert np.max(np.abs(ctx.decrypt_decode(out) - (a + b))) < 1e-6
+
+
+class TestMultiply:
+    def test_tensor_then_relin_then_rescale(self, ctx, msgs, rlk):
+        a, b = msgs
+        out_ct = ctx.evaluator.multiply_relin_rescale(ctx.encrypt(a), ctx.encrypt(b), rlk)
+        assert out_ct.size == 2
+        assert out_ct.level == ctx.params.num_primes - 2  # double-scale: 2 levels
+        out = ctx.decrypt_decode(out_ct)
+        assert np.max(np.abs(out - a * b)) < 1e-4
+
+    def test_multiply_requires_two_parts(self, ctx, msgs, rlk):
+        a, b = msgs
+        three = ctx.evaluator.multiply(ctx.encrypt(a), ctx.encrypt(b))
+        with pytest.raises(ValueError, match="2-part"):
+            ctx.evaluator.multiply(three, ctx.encrypt(a))
+
+    def test_relinearize_without_key(self, ctx, msgs):
+        a, b = msgs
+        three = ctx.evaluator.multiply(ctx.encrypt(a), ctx.encrypt(b))
+        with pytest.raises(KeyError, match="no relinearization key"):
+            ctx.evaluator.relinearize(three, {})
+
+    def test_relinearize_two_part_noop(self, ctx, msgs, rlk):
+        a, _ = msgs
+        ct = ctx.encrypt(a)
+        again = ctx.evaluator.relinearize(ct, rlk)
+        assert np.array_equal(again.c0.data, ct.c0.data)
+
+    def test_scale_squares(self, ctx, msgs):
+        a, b = msgs
+        prod = ctx.evaluator.multiply(ctx.encrypt(a), ctx.encrypt(b))
+        assert prod.scale == pytest.approx(ctx.params.scale**2)
+
+    def test_rescale_divides_scale(self, ctx, msgs):
+        a, _ = msgs
+        ct = ctx.encrypt(a)
+        resc = ctx.evaluator.rescale(ct, times=1)
+        q_last = ctx.basis.moduli[ct.level - 1]
+        assert resc.scale == pytest.approx(ct.scale / q_last)
+        assert resc.level == ct.level - 1
+
+    def test_squaring(self, ctx, msgs, rlk):
+        a, _ = msgs
+        ct = ctx.encrypt(a)
+        sq = ctx.evaluator.multiply_relin_rescale(ct, ct, rlk)
+        assert np.max(np.abs(ctx.decrypt_decode(sq) - a * a)) < 1e-4
+
+
+class TestDepth:
+    def test_two_sequential_multiplies(self, ctx, msgs):
+        """Exercises the double-scale chain: 2 multiplies = 4 levels."""
+        a, b = msgs
+        L = ctx.params.num_primes
+        keys = ctx.relin_keys(levels=[L, L - 2])
+        ev = ctx.evaluator
+        ab = ev.multiply_relin_rescale(ctx.encrypt(a), ctx.encrypt(b), keys)
+        # Re-encrypt b at the new level/scale to continue the chain.
+        b2 = ctx.encryptor.encrypt(
+            ctx.encoder.encode(np.asarray(b), level=ab.level, scale=ab.scale)
+        )
+        abb = ev.multiply_relin_rescale(ab, b2, keys)
+        out = ctx.decrypt_decode(abb)
+        assert np.max(np.abs(out - a * b * b)) < 1e-3
+
+
+class TestRotation:
+    def test_rotate_by_one(self, ctx):
+        slots = ctx.params.slots
+        msg = np.arange(slots, dtype=float)
+        gk = ctx.galois_keys([1], levels=[ctx.params.num_primes])
+        rot = ctx.evaluator.rotate(ctx.encrypt(msg), 1, gk)
+        out = ctx.decrypt_decode(rot)
+        assert np.max(np.abs(out - np.roll(msg, -1))) < 1e-4
+
+    def test_rotate_by_k(self, ctx):
+        slots = ctx.params.slots
+        msg = np.arange(slots, dtype=float)
+        gk = ctx.galois_keys([5], levels=[ctx.params.num_primes])
+        out = ctx.decrypt_decode(ctx.evaluator.rotate(ctx.encrypt(msg), 5, gk))
+        assert np.max(np.abs(out - np.roll(msg, -5))) < 1e-4
+
+    def test_missing_galois_key(self, ctx):
+        with pytest.raises(KeyError, match="no Galois key"):
+            ctx.evaluator.rotate(ctx.encrypt(np.ones(2)), 3, {})

@@ -1,0 +1,86 @@
+"""Key generation: public-key identity, seed sharing, switching keys."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, toy_params
+from repro.ckks.keys import expand_uniform_poly
+from repro.prng.xof import Xof
+
+
+class TestSecretKey:
+    def test_ternary_support(self, ctx):
+        sk_coeffs = ctx.secret_key.poly.to_coeff().to_bigints()
+        assert set(sk_coeffs) <= {-1, 0, 1}
+
+    def test_at_level_prefix(self, ctx):
+        s2 = ctx.secret_key.at_level(2)
+        assert s2.level == 2
+        assert np.array_equal(s2.data, ctx.secret_key.poly.data[:2])
+
+    def test_sparse_secret(self):
+        from dataclasses import replace
+
+        params = replace(toy_params(degree=256, num_primes=3), secret_hamming_weight=32)
+        c = CkksContext.create(params, seed=11)
+        coeffs = c.secret_key.poly.to_coeff().to_bigints()
+        assert sum(1 for x in coeffs if x != 0) == 32
+
+
+class TestPublicKey:
+    def test_pk_identity(self, ctx):
+        """b + a*s must equal the (small) error polynomial."""
+        pk, sk = ctx.public_key, ctx.secret_key
+        residual = (pk.b + pk.a * sk.poly).to_coeff().to_bigints()
+        bound = 6 * ctx.params.error_stddev + 1
+        assert all(abs(x) <= bound for x in residual)
+
+    def test_a_is_seed_expanded(self, ctx):
+        """The stored ``a`` must be reproducible from its 16-byte seed."""
+        again = expand_uniform_poly(
+            ctx.basis, ctx.basis.num_primes, Xof(ctx.public_key.a_seed), b"pk-a"
+        )
+        assert np.array_equal(again.data, ctx.public_key.a.data)
+
+    def test_different_seeds_different_keys(self):
+        p = toy_params(degree=64, num_primes=2)
+        a = CkksContext.create(p, seed=1).public_key
+        b = CkksContext.create(p, seed=2).public_key
+        assert not np.array_equal(a.b.data, b.b.data)
+
+    def test_keygen_deterministic(self):
+        p = toy_params(degree=64, num_primes=2)
+        a = CkksContext.create(p, seed=5).public_key
+        b = CkksContext.create(p, seed=5).public_key
+        assert np.array_equal(a.b.data, b.b.data)
+        assert a.a_seed == b.a_seed
+
+
+class TestSwitchingKeys:
+    def test_relin_key_identity(self, ctx):
+        """Each relin pair must satisfy b_j + a_j*s = e_j + idem_j * s^2."""
+        level = 3
+        rlk = ctx.keygen.gen_relin(ctx.secret_key, [level])[level]
+        sk = ctx.secret_key.at_level(level)
+        s_sq = sk * sk
+        crt = ctx.basis.crt(level)
+        bound = 6 * ctx.params.error_stddev + 1
+        big_q = crt.modulus
+        for j, (b_j, a_j) in enumerate(rlk.pairs):
+            idem = crt.q_hat[j] * crt.q_hat_inv[j] % big_q
+            gadget = s_sq.scale_scalar([idem % q for q in crt.moduli])
+            residual = (b_j + a_j * sk - gadget).to_coeff().to_bigints()
+            assert all(abs(x) <= bound for x in residual), j
+
+    def test_relin_key_levels(self, ctx):
+        keys = ctx.relin_keys(levels=[2, 4])
+        assert set(keys) == {2, 4}
+        assert keys[2].level == 2
+        assert len(keys[4].pairs) == 4
+
+    def test_galois_key_shape(self, ctx):
+        gk = ctx.galois_keys([1, 2], levels=[3])
+        assert set(gk) == {(1, 3), (2, 3)}
+        assert len(gk[(1, 3)].pairs) == 3

@@ -1,0 +1,96 @@
+"""Homomorphic linear transforms (BSGS) and conjugation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, toy_params
+from repro.ckks.linear import HomomorphicLinearTransform
+from repro.transforms.fft import embedding_matrix
+
+
+@pytest.fixture(scope="module")
+def lctx():
+    return CkksContext.create(toy_params(degree=128, num_primes=6), seed=31)
+
+
+def _apply(ctx, matrix, x, level=6):
+    lt = HomomorphicLinearTransform(ctx, matrix, level=level)
+    gk = ctx.galois_keys(lt.required_rotations(), levels=[level])
+    out = lt.apply(ctx.encrypt(x), gk)
+    return ctx.decrypt_decode(ctx.evaluator.rescale(out, times=2))
+
+
+class TestMatVec:
+    def test_dense_complex_matrix(self, lctx):
+        n = lctx.params.slots
+        rng = np.random.default_rng(4)
+        m = 0.2 * (rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n)))
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        got = _apply(lctx, m, x)
+        assert np.max(np.abs(got - m @ x)) < 1e-5
+
+    def test_identity(self, lctx):
+        n = lctx.params.slots
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=n)
+        got = _apply(lctx, np.eye(n), x)
+        assert np.max(np.abs(got - x)) < 1e-6
+
+    def test_permutation_matrix(self, lctx):
+        n = lctx.params.slots
+        perm = np.roll(np.eye(n), 3, axis=1)  # x -> rot_3(x)
+        x = np.arange(n, dtype=float)
+        got = _apply(lctx, perm, x).real
+        assert np.max(np.abs(got - np.roll(x, -3))) < 1e-5
+
+    def test_sparse_diagonals_need_few_rotations(self, lctx):
+        """A tridiagonal-ish matrix must not pay dense-BSGS rotations."""
+        n = lctx.params.slots
+        m = np.eye(n) + np.roll(np.eye(n), 1, axis=1) * 0.5
+        lt = HomomorphicLinearTransform(lctx, m, level=6)
+        assert len(lt.required_rotations()) <= 2
+
+    def test_embedding_inverse_roundtrip(self, lctx):
+        """The CoeffToSlot matrix composed with SlotToCoeff is identity."""
+        n = lctx.params.slots
+        e = embedding_matrix(n)
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        mid = _apply(lctx, np.linalg.inv(e), x)
+        assert np.max(np.abs(e @ mid - x)) < 1e-4
+
+    def test_shape_validation(self, lctx):
+        with pytest.raises(ValueError, match="matrix must be"):
+            HomomorphicLinearTransform(lctx, np.eye(3), level=6)
+
+    def test_level_check(self, lctx):
+        n = lctx.params.slots
+        lt = HomomorphicLinearTransform(lctx, np.eye(n), level=4)
+        gk = lctx.galois_keys(lt.required_rotations() or [1], levels=[4])
+        with pytest.raises(ValueError, match="compiled for level"):
+            lt.apply(lctx.encrypt(np.ones(n)), gk)  # ct at level 6
+
+
+class TestConjugation:
+    def test_conjugate_slots(self, lctx):
+        n = lctx.params.slots
+        rng = np.random.default_rng(7)
+        z = rng.normal(size=n) + 1j * rng.normal(size=n)
+        ck = lctx.keygen.gen_conjugation(lctx.secret_key, levels=[6])
+        out = lctx.evaluator.conjugate(lctx.encrypt(z), ck)
+        assert np.max(np.abs(lctx.decrypt_decode(out) - np.conj(z))) < 1e-6
+
+    def test_involution(self, lctx):
+        n = lctx.params.slots
+        z = np.linspace(0, 1, n) + 1j * np.linspace(1, 0, n)
+        ck = lctx.keygen.gen_conjugation(lctx.secret_key, levels=[6])
+        twice = lctx.evaluator.conjugate(
+            lctx.evaluator.conjugate(lctx.encrypt(z), ck), ck
+        )
+        assert np.max(np.abs(lctx.decrypt_decode(twice) - z)) < 1e-5
+
+    def test_missing_key(self, lctx):
+        with pytest.raises(KeyError, match="no conjugation key"):
+            lctx.evaluator.conjugate(lctx.encrypt(np.ones(2)), {})

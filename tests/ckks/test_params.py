@@ -1,0 +1,59 @@
+"""CKKS parameter sets and the paper's evaluation configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckks.params import CkksParameters, bootstrappable_params, toy_params
+from repro.transforms.fp_custom import FP55
+
+
+class TestBootstrappable:
+    def test_paper_configuration(self):
+        """Section V-B: N = 2^16, 36-bit primes, 24 levels, decrypt at 2."""
+        p = bootstrappable_params()
+        assert p.degree == 1 << 16
+        assert p.num_primes == 24
+        assert p.prime_bits == 36
+        assert p.decrypt_level == 2
+        assert p.top_level == 24
+
+    def test_double_scale(self):
+        """scale_bits = 72 = 2 x 36: one multiply consumes two levels."""
+        p = bootstrappable_params()
+        assert p.scale_bits == 72
+        assert p.levels_per_multiplication == 2
+
+    def test_slots(self):
+        assert bootstrappable_params().slots == 1 << 15
+
+    def test_fp55_variant(self):
+        p = bootstrappable_params(fp_format=FP55)
+        assert p.fp_format.mantissa_bits == 43
+
+
+class TestToyParams:
+    def test_structure_matches_paper(self):
+        p = toy_params()
+        assert p.prime_bits == 36
+        assert p.levels_per_multiplication == 2
+
+    def test_decrypt_level_clamped(self):
+        assert toy_params(num_primes=1).decrypt_level == 1
+
+
+class TestValidation:
+    def test_degree_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CkksParameters(degree=100, num_primes=2)
+
+    def test_decrypt_level_bound(self):
+        with pytest.raises(ValueError, match="decrypt level"):
+            CkksParameters(degree=64, num_primes=2, decrypt_level=3)
+
+    def test_encrypt_level_bound(self):
+        with pytest.raises(ValueError, match="encrypt level"):
+            CkksParameters(degree=64, num_primes=2, encrypt_level=5, decrypt_level=1)
+
+    def test_scale_value(self):
+        assert CkksParameters(degree=64, num_primes=2, scale_bits=40, decrypt_level=1).scale == 2.0**40

@@ -1,0 +1,54 @@
+"""Fig. 3(c) precision measurement machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckks.precision import (
+    PrecisionPoint,
+    drop_off_point,
+    measure_precision,
+    sweep_mantissa,
+)
+
+
+class TestMeasure:
+    def test_monotone_in_mantissa(self):
+        p20 = measure_precision(256, 20, trials=1)
+        p35 = measure_precision(256, 35, trials=1)
+        p50 = measure_precision(256, 50, trials=1)
+        assert p20 < p35 < p50
+
+    def test_roughly_tracks_mantissa(self):
+        """Precision stays within a bounded offset of the mantissa width."""
+        for m in (25, 35, 45):
+            p = measure_precision(512, m, trials=1)
+            assert m - 15 < p < m + 5
+
+    def test_more_passes_lose_precision(self):
+        one = measure_precision(256, 30, fft_passes=1, trials=1)
+        many = measure_precision(256, 30, fft_passes=8, trials=1)
+        assert many <= one
+
+    def test_fp55_point_clears_threshold(self):
+        """43 mantissa bits must exceed the paper's 19.29-bit threshold."""
+        assert measure_precision(512, 43, trials=1) > 19.29
+
+
+class TestSweep:
+    def test_sweep_points(self):
+        pts = sweep_mantissa(128, range(20, 45, 8), trials=1)
+        assert [p.mantissa_bits for p in pts] == [20, 28, 36, 44]
+        assert all(p.precision_bits > 0 for p in pts)
+
+    def test_drop_off_point(self):
+        pts = [
+            PrecisionPoint(20, 15.0),
+            PrecisionPoint(25, 19.5),
+            PrecisionPoint(30, 25.0),
+        ]
+        assert drop_off_point(pts, threshold_bits=19.29) == 25
+
+    def test_drop_off_unreachable(self):
+        with pytest.raises(ValueError, match="threshold"):
+            drop_off_point([PrecisionPoint(20, 5.0)], threshold_bits=19.29)

@@ -1,0 +1,66 @@
+"""HE-standard security validation of parameter sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckks import bootstrappable_params
+from repro.ckks.security import (
+    check_parameters,
+    estimate_security_bits,
+    max_modulus_bits,
+)
+
+
+class TestStandardTable:
+    def test_known_rows(self):
+        assert max_modulus_bits(32768, 128) == 881
+        assert max_modulus_bits(65536, 128) == 1772
+
+    def test_higher_security_means_smaller_modulus(self):
+        for n in (8192, 32768, 65536):
+            assert (
+                max_modulus_bits(n, 128)
+                > max_modulus_bits(n, 192)
+                > max_modulus_bits(n, 256)
+            )
+
+    def test_unknown_degree(self):
+        with pytest.raises(ValueError, match="not in the HE-standard"):
+            max_modulus_bits(512, 128)
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError, match="security level"):
+            max_modulus_bits(8192, 100)
+
+
+class TestEstimate:
+    def test_table_consistency(self):
+        """At each table row's limit, the estimate is near its level."""
+        for n in (16384, 32768, 65536):
+            est = estimate_security_bits(n, max_modulus_bits(n, 128))
+            assert 100 <= est <= 165
+
+    def test_monotone_in_modulus(self):
+        assert estimate_security_bits(32768, 400) > estimate_security_bits(32768, 800)
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError, match="positive"):
+            estimate_security_bits(32768, 0)
+
+
+class TestPaperParameters:
+    def test_bootstrappable_set_is_128_bit_secure(self):
+        """Section V-B: N = 2^16 with 24 x 36-bit primes (864 bits)."""
+        report = check_parameters(bootstrappable_params())
+        assert report.secure
+        assert report.total_modulus_bits == 864
+        assert report.margin_bits > 800  # room for bootstrap aux moduli
+
+    def test_overstuffed_chain_flagged(self):
+        from dataclasses import replace
+
+        too_many = replace(bootstrappable_params(), num_primes=50)
+        report = check_parameters(too_many)
+        assert not report.secure
+        assert report.margin_bits < 0

@@ -1,0 +1,139 @@
+"""Wire formats: bit-packing exactness and traffic-model agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import CkksContext, toy_params
+from repro.ckks.serialization import (
+    ciphertext_wire_bytes,
+    deserialize_ciphertext,
+    deserialize_seeded,
+    pack_residues,
+    serialize_ciphertext,
+    serialize_seeded,
+    unpack_residues,
+)
+
+
+@pytest.fixture(scope="module")
+def sctx():
+    return CkksContext.create(toy_params(degree=128, num_primes=4), seed=55)
+
+
+class TestPacking:
+    def test_roundtrip_36_bits(self, rng):
+        vals = rng.integers(0, 1 << 36, 1000).astype(np.uint64)
+        blob = pack_residues(vals, 36)
+        assert len(blob) == (36 * 1000 + 7) // 8
+        assert np.array_equal(unpack_residues(blob, 36, 1000), vals)
+
+    def test_roundtrip_odd_width(self, rng):
+        vals = rng.integers(0, 1 << 13, 257).astype(np.uint64)
+        assert np.array_equal(unpack_residues(pack_residues(vals, 13), 13, 257), vals)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            pack_residues(np.array([1 << 40], dtype=np.uint64), 36)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError, match="bits must be"):
+            pack_residues(np.array([1], dtype=np.uint64), 0)
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            unpack_residues(b"\x00", 36, 100)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=63),
+        st.lists(st.integers(min_value=0), min_size=1, max_size=64),
+    )
+    def test_hypothesis_roundtrip(self, bits, raw):
+        vals = np.array([v % (1 << bits) for v in raw], dtype=np.uint64)
+        assert np.array_equal(
+            unpack_residues(pack_residues(vals, bits), bits, len(vals)), vals
+        )
+
+
+class TestFullCiphertext:
+    def test_roundtrip(self, sctx):
+        msg = np.linspace(-1, 1, sctx.params.slots)
+        ct = sctx.encrypt(msg)
+        back = deserialize_ciphertext(serialize_ciphertext(ct), sctx.basis)
+        assert back.level == ct.level
+        assert back.scale == pytest.approx(ct.scale)
+        assert np.array_equal(back.c0.data, ct.c0.data)
+        assert np.array_equal(back.c1.data, ct.c1.data)
+
+    def test_decrypts_after_roundtrip(self, sctx):
+        msg = np.array([2.5, -1.25])
+        ct = sctx.encrypt(msg)
+        back = deserialize_ciphertext(serialize_ciphertext(ct), sctx.basis)
+        assert np.max(np.abs(sctx.decrypt_decode(back)[:2] - msg)) < 1e-6
+
+    def test_size_prediction_exact(self, sctx):
+        ct = sctx.encrypt(np.ones(4))
+        blob = serialize_ciphertext(ct, coeff_bits=44)
+        assert len(blob) == ciphertext_wire_bytes(
+            sctx.params.degree, ct.level, ct.size, 44
+        )
+
+    def test_rejects_wrong_magic(self, sctx):
+        with pytest.raises(ValueError, match="not a full-ciphertext"):
+            deserialize_ciphertext(b"XXXX" + b"\x00" * 64, sctx.basis)
+
+    def test_rejects_coeff_domain(self, sctx):
+        from repro.ckks.containers import Ciphertext
+
+        ct = sctx.encrypt(np.ones(2))
+        bad = Ciphertext.__new__(Ciphertext)
+        bad.parts = [p.to_coeff() for p in ct.parts]
+        bad.scale = ct.scale
+        with pytest.raises(ValueError, match="NTT-domain"):
+            serialize_ciphertext(bad)
+
+
+class TestSeededCiphertext:
+    def test_roundtrip_halves_size(self, sctx):
+        msg = np.linspace(0, 1, sctx.params.slots)
+        pt = sctx.encode(msg)
+        ct, seed = sctx.encryptor.encrypt_symmetric_seeded(pt, sctx.secret_key)
+        seeded = serialize_seeded(ct, seed)
+        full = serialize_ciphertext(ct)
+        assert len(seeded) < 0.55 * len(full)
+        back = deserialize_seeded(seeded, sctx.basis)
+        assert np.max(np.abs(sctx.decrypt_decode(back) - msg)) < 1e-6
+
+    def test_size_prediction_exact(self, sctx):
+        pt = sctx.encode([1.0])
+        ct, seed = sctx.encryptor.encrypt_symmetric_seeded(pt, sctx.secret_key)
+        blob = serialize_seeded(ct, seed, coeff_bits=44)
+        assert len(blob) == ciphertext_wire_bytes(
+            sctx.params.degree, ct.level, 2, 44, seeded=True
+        )
+
+    def test_matches_traffic_model_accounting(self, sctx):
+        """The performance model's per-poly bytes equal the real wire
+        payload (minus the fixed header)."""
+        from repro.accel.memory import TrafficModel
+        from repro.accel.workload import ClientWorkload
+        from repro.accel.config import abc_fhe
+
+        w = ClientWorkload(degree=sctx.params.degree, enc_levels=4, dec_levels=2)
+        traffic = TrafficModel(config=abc_fhe(), workload=w).encode_encrypt()
+        pt = sctx.encode([1.0])
+        ct, seed = sctx.encryptor.encrypt_symmetric_seeded(pt, sctx.secret_key)
+        wire = len(serialize_seeded(ct, seed, coeff_bits=44))
+        from repro.ckks.serialization import _HEADER_LEN
+
+        assert traffic.ciphertext_bytes == wire - _HEADER_LEN
+
+    def test_three_part_rejected(self, sctx):
+        ct = sctx.encrypt(np.ones(2))
+        prod = sctx.evaluator.multiply(ct, ct)
+        with pytest.raises(ValueError, match="exactly"):
+            serialize_seeded(prod, b"\x00" * 16)

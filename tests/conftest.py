@@ -1,0 +1,36 @@
+"""Shared fixtures: small parameter sets so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, toy_params
+from repro.nums import find_primes
+from repro.rns import RnsBasis
+
+TEST_DEGREE = 256
+TEST_PRIMES = 6
+
+
+@pytest.fixture(scope="session")
+def small_prime() -> int:
+    """One NTT-friendly 36-bit prime supporting degree 4096."""
+    return find_primes(36, 1 << 12)[0].value
+
+
+@pytest.fixture(scope="session")
+def basis() -> RnsBasis:
+    """A degree-256, 6-prime RNS basis shared across tests."""
+    return RnsBasis.create(TEST_DEGREE, TEST_PRIMES)
+
+
+@pytest.fixture(scope="session")
+def ctx() -> CkksContext:
+    """A full toy CKKS context (keys generated once per session)."""
+    return CkksContext.create(toy_params(degree=TEST_DEGREE, num_primes=TEST_PRIMES), seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

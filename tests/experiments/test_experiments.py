@@ -1,0 +1,130 @@
+"""Experiment index: every fig/table function reproduces its paper anchor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig1_breakdown,
+    fig2_workload,
+    fig3_precision_sweep,
+    fig4a_sfg_example,
+    fig4b_design_space,
+    fig5a_speedups,
+    fig5b_lane_sweep,
+    fig6a_area_progression,
+    fig6b_memory_ablation,
+    knee_lanes,
+    memopt_speedup,
+    sec4b_footprint,
+    sec4b_prime_count,
+    table1_modmul_areas,
+    table2_breakdown,
+)
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig1_breakdown()
+
+    def test_sota_client_share(self, rows):
+        """Paper: client 69.4 % / server 30.6 % with [34] + [9]."""
+        sota = next(r for r in rows if r.platform.startswith("[34]"))
+        assert sota.client_share == pytest.approx(0.694, abs=0.01)
+
+    def test_abc_fhe_removes_bottleneck(self, rows):
+        abc = next(r for r in rows if r.platform.startswith("ABC-FHE"))
+        assert abc.client_share < 0.05
+
+    def test_cpu_server_dominates_everything(self, rows):
+        cpu_cpu = next(r for r in rows if "CPU server" in r.platform)
+        assert cpu_cpu.server_share > 0.999
+
+    def test_shares_sum_to_one(self, rows):
+        for r in rows:
+            assert r.client_share + r.server_share == pytest.approx(1.0)
+
+
+class TestFig2:
+    def test_paper_point(self):
+        w = fig2_workload()
+        assert w.enc_mops == pytest.approx(27.0, rel=0.02)
+        assert w.dec_mops == pytest.approx(2.9, rel=0.10)
+        assert 8 <= w.ratio <= 11
+
+
+class TestFig3:
+    def test_sweep_shape(self):
+        """Monotone rise with mantissa width; FP55 point clears threshold."""
+        sweep = fig3_precision_sweep(slots=256, mantissa_range=range(20, 53, 8))
+        precisions = [p.precision_bits for p in sweep.points]
+        assert all(a < b for a, b in zip(precisions, precisions[1:]))
+        assert sweep.precision_at(44) > sweep.threshold_bits
+        assert sweep.chosen_mantissa <= 44
+
+
+class TestFig4:
+    def test_8_point_example(self):
+        counts = fig4a_sfg_example()
+        assert counts["radix_2n_merged"] == 12  # the paper's "12"
+        assert counts["radix_2_preprocessing"] > 12  # the paper's "13"
+
+    def test_design_space(self):
+        results = fig4b_design_space(degrees=(1 << 16,), lanes=8)
+        for r in results:
+            assert r.best.name == "radix-2^n"
+            assert r.reduction_vs_radix2 > r.reduction_vs_radix22 > 0
+        ntt = next(r for r in results if r.mode == "ntt")
+        assert ntt.reduction_vs_radix2 == pytest.approx(0.297, abs=0.05)
+        assert ntt.reduction_vs_radix22 == pytest.approx(0.223, abs=0.05)
+
+    def test_normalized_counts_start_at_one(self):
+        r = fig4b_design_space(degrees=(1 << 14,), lanes=8, modes=("ntt",))[0]
+        names_and_counts = r.normalized_counts()
+        assert names_and_counts[0][1] == 1.0
+
+
+class TestFig5:
+    def test_speedups(self):
+        _, sp = fig5a_speedups()
+        assert sp["cpu_enc"] == pytest.approx(1112, rel=0.03)
+        assert sp["cpu_dec"] == pytest.approx(963, rel=0.03)
+        assert sp["sota_enc"] == pytest.approx(214, rel=0.01)
+        assert sp["sota_dec"] == pytest.approx(82, rel=0.01)
+
+    def test_rows_ordering(self):
+        rows, _ = fig5a_speedups()
+        abc = next(r for r in rows if r.platform == "ABC-FHE")
+        for r in rows:
+            assert r.encode_encrypt_s >= abc.encode_encrypt_s
+
+    def test_lane_knee(self):
+        assert knee_lanes(fig5b_lane_sweep()) == 8
+
+
+class TestFig6:
+    def test_area_progression(self):
+        p = fig6a_area_progression()
+        assert p["baseline"] == 1.0
+        assert p["reconfigurable"] < p["montmul"] < p["tf_scheduling"] < 1.0
+
+    def test_memopt_band(self):
+        pts = fig6b_memory_ablation(degrees=(1 << 14, 1 << 16))
+        for degree in (1 << 14, 1 << 16):
+            assert 7.5 <= memopt_speedup(pts, degree) <= 10.0
+
+
+class TestTables:
+    def test_table1(self):
+        for row in table1_modmul_areas():
+            assert row.area_um2 == pytest.approx(row.paper_area_um2, rel=0.005)
+
+    def test_table2(self):
+        bd = table2_breakdown()
+        assert bd.total_area == pytest.approx(28.638, rel=0.02)
+
+    def test_sec4b(self):
+        fp = sec4b_footprint()
+        assert fp.public_key_bytes == int(16.5 * 2**20)
+        assert 400 <= sec4b_prime_count() <= 500  # paper: 443

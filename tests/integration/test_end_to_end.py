@@ -1,0 +1,107 @@
+"""End-to-end flows tying the crypto library and the accelerator model
+together — the client/server story of Fig. 1 and Fig. 2(a)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.config import abc_fhe
+from repro.accel.simulator import ClientSimulator
+from repro.accel.workload import ClientWorkload
+from repro.ckks import CkksContext, toy_params
+
+
+class TestClientServerRoundTrip:
+    """A full privacy-preserving outsourced computation."""
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        ctx = CkksContext.create(toy_params(degree=256, num_primes=8), seed=21)
+        rlk = ctx.relin_keys(levels=[8])
+        return ctx, rlk
+
+    def test_outsourced_polynomial_evaluation(self, setting):
+        """Client encrypts x; server computes 0.5*x^2 + x + 1; client
+        decrypts at a reduced level — the exact Fig. 2(a) task split."""
+        ctx, rlk = setting
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-1, 1, ctx.params.slots)
+
+        # --- client: encode + encrypt (the paper's accelerated hot path)
+        ct = ctx.encrypt(x)
+        assert ct.level == 8
+
+        # --- server: homomorphic evaluation
+        ev = ctx.evaluator
+        x_sq = ev.multiply_relin_rescale(ct, ct, rlk)  # level 6, scale ~Delta
+        half = ctx.encoder.encode(
+            np.full(ctx.params.slots, 0.5), level=x_sq.level, scale=x_sq.scale
+        )
+        term2 = ev.multiply_plain(x_sq, half)
+        term2 = ev.rescale(term2, times=2)  # back to ~Delta at level 4
+        x_aligned = ctx.encryptor.encrypt(
+            ctx.encoder.encode(x, level=term2.level, scale=term2.scale)
+        )
+        acc = ev.add(term2, x_aligned)
+        one = ctx.encoder.encode(
+            np.ones(ctx.params.slots), level=acc.level, scale=acc.scale
+        )
+        acc = ev.add_plain(acc, one)
+
+        # --- client: decode + decrypt at reduced level
+        out = ctx.decrypt_decode(acc)
+        expected = 0.5 * x**2 + x + 1
+        assert np.max(np.abs(out - expected)) < 1e-3
+        assert acc.level < ct.level  # server consumed levels, as in Fig. 2
+
+    def test_seeded_upload_roundtrip(self, setting):
+        """Client uploads (c0, seed); server reconstructs c1 and computes."""
+        from repro.ckks.keys import expand_uniform_poly
+        from repro.prng.xof import Xof
+        from repro.ckks.containers import Ciphertext
+
+        ctx, _ = setting
+        msg = np.linspace(-1, 1, ctx.params.slots)
+        ct, seed = ctx.encryptor.encrypt_symmetric_seeded(
+            ctx.encode(msg), ctx.secret_key
+        )
+        # Server side: rebuild the full ciphertext from (c0, seed).
+        c1 = expand_uniform_poly(ctx.basis, ct.level, Xof(seed), b"sym-c1")
+        rebuilt = Ciphertext(parts=[ct.c0.copy(), c1], scale=ct.scale)
+        doubled = ctx.evaluator.add(rebuilt, rebuilt)
+        out = ctx.decrypt_decode(doubled)
+        assert np.max(np.abs(out - 2 * msg)) < 1e-5
+
+
+class TestModelConsistency:
+    """The performance model must describe the same flow the library runs."""
+
+    def test_simulator_transform_counts_match_library_flow(self):
+        """Encrypting really performs 2L NTT passes (message + mask)."""
+        w = ClientWorkload(degree=256, enc_levels=6, dec_levels=2)
+        # The functional encryptor transforms: m (L limbs) + v (L limbs);
+        # errors are sampled per limb too but the model folds them into
+        # PRNG-domain generation. The modeled count is 2L.
+        assert w.num_ntt_transforms_encrypt() == 12
+
+    def test_ops_and_cycles_scale_together(self):
+        """More limbs -> proportionally more modeled ops AND cycles."""
+        w12 = ClientWorkload(degree=1 << 14, enc_levels=12)
+        w24 = ClientWorkload(degree=1 << 14, enc_levels=24)
+        ops_ratio = (
+            w24.encode_encrypt_ops().ntt_ops / w12.encode_encrypt_ops().ntt_ops
+        )
+        c12 = ClientSimulator(abc_fhe(), w12).encode_encrypt().compute_cycles
+        c24 = ClientSimulator(abc_fhe(), w24).encode_encrypt().compute_cycles
+        assert ops_ratio == pytest.approx(2.0)
+        assert 1.5 < c24 / c12 <= 2.1
+
+    def test_footprint_matches_library_object_sizes(self):
+        """The 16.5 MB public-key estimate equals the real pk's payload."""
+        from repro.accel.memory import client_memory_footprint
+
+        ctx = CkksContext.create(toy_params(degree=256, num_primes=6), seed=1)
+        pk_residues = ctx.public_key.b.data.size + ctx.public_key.a.data.size
+        fp = client_memory_footprint(degree=256, levels=6, coeff_bits=44)
+        assert fp.public_key_bytes == pk_residues * 44 // 8

@@ -1,0 +1,120 @@
+"""Barrett, vanilla Montgomery and NTT-friendly Montgomery reducers.
+
+The central claim under test: all three compute identical modular products
+(Table I compares their *areas*, not their semantics), and the NTT-friendly
+variant's shift-add QInv path is bit-exact with the multiplier-based one.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nums.barrett import BarrettReducer
+from repro.nums.montgomery import MontgomeryReducer, NttFriendlyMontgomeryReducer
+from repro.nums.primegen import find_primes
+
+PRIMES = [find_primes(bw, 1 << 12)[0] for bw in (32, 34, 36)]
+
+
+@pytest.fixture(params=PRIMES, ids=lambda p: f"bw{p.bitwidth}")
+def prime(request):
+    return request.param
+
+
+class TestBarrett:
+    def test_reduce_matches_mod(self, prime, rng):
+        red = BarrettReducer.for_modulus(prime.value)
+        for x in rng.integers(0, prime.value, 100):
+            for y in rng.integers(0, prime.value, 3):
+                assert red.reduce(int(x) * int(y)) == int(x) * int(y) % prime.value
+
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ValueError, match="odd modulus"):
+            BarrettReducer.for_modulus(16)
+
+    def test_rejects_out_of_range(self, prime):
+        red = BarrettReducer.for_modulus(prime.value)
+        with pytest.raises(ValueError, match="q\\^2"):
+            red.reduce(prime.value * prime.value)
+        with pytest.raises(ValueError):
+            red.reduce(-1)
+
+    def test_table1_metadata(self):
+        assert BarrettReducer.NUM_MULTIPLIERS == 3
+        assert BarrettReducer.PIPELINE_STAGES == 4
+
+
+class TestVanillaMontgomery:
+    def test_domain_roundtrip(self, prime, rng):
+        red = MontgomeryReducer.for_modulus(prime.value)
+        for x in rng.integers(0, prime.value, 50):
+            assert red.from_montgomery(red.to_montgomery(int(x))) == int(x)
+
+    def test_mul_plain(self, prime, rng):
+        red = MontgomeryReducer.for_modulus(prime.value)
+        for x, y in zip(rng.integers(0, prime.value, 50), rng.integers(0, prime.value, 50)):
+            assert red.mul_plain(int(x), int(y)) == int(x) * int(y) % prime.value
+
+    def test_r_exceeds_q(self, prime):
+        red = MontgomeryReducer.for_modulus(prime.value)
+        assert red.r > prime.value
+
+    def test_reduce_range_check(self, prime):
+        red = MontgomeryReducer.for_modulus(prime.value)
+        with pytest.raises(ValueError, match="q\\*R"):
+            red.reduce(prime.value << red.r_bits)
+
+
+class TestNttFriendlyMontgomery:
+    def test_qinv_series_equals_inverse(self, prime):
+        red = NttFriendlyMontgomeryReducer.for_prime(prime)
+        r = red.r
+        qinv = 0
+        for t in red.qinv_terms:
+            qinv = (qinv + t) % r
+        assert qinv == pow(prime.value, -1, r)
+
+    def test_agrees_with_vanilla(self, prime, rng):
+        nttf = NttFriendlyMontgomeryReducer.for_prime(prime)
+        vanilla = MontgomeryReducer.for_modulus(prime.value)
+        for x, y in zip(rng.integers(0, prime.value, 100), rng.integers(0, prime.value, 100)):
+            assert nttf.mul_plain(int(x), int(y)) == vanilla.mul_plain(int(x), int(y))
+
+    def test_agrees_with_barrett(self, prime, rng):
+        nttf = NttFriendlyMontgomeryReducer.for_prime(prime)
+        barrett = BarrettReducer.for_modulus(prime.value)
+        for x, y in zip(rng.integers(0, prime.value, 100), rng.integers(0, prime.value, 100)):
+            assert nttf.mul_plain(int(x), int(y)) == barrett.mul(int(x), int(y))
+
+    def test_single_multiplier_claim(self):
+        assert NttFriendlyMontgomeryReducer.NUM_MULTIPLIERS == 1
+        assert NttFriendlyMontgomeryReducer.PIPELINE_STAGES == 3
+
+    def test_shift_add_cost_positive(self, prime):
+        red = NttFriendlyMontgomeryReducer.for_prime(prime)
+        assert red.shift_add_cost >= 3
+        # A handful of adders, not a multiplier's worth (~bw of them).
+        assert red.shift_add_cost < prime.bitwidth
+
+    def test_series_terminates_quickly(self, prime):
+        red = NttFriendlyMontgomeryReducer.for_prime(prime)
+        # ceil(r / (n+1)) terms: 36-bit prime, n+1 = 13 for degree 2^12.
+        assert red.num_series_terms <= -(-red.r_bits // (prime.n_exp + 1)) + 1
+
+    def test_edge_operands(self, prime):
+        red = NttFriendlyMontgomeryReducer.for_prime(prime)
+        q = prime.value
+        for x, y in [(0, 0), (0, q - 1), (q - 1, q - 1), (1, 1), (1, q - 1)]:
+            assert red.mul_plain(x, y) == x * y % q
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_hypothesis_agreement(self, data):
+        prime = data.draw(st.sampled_from(PRIMES))
+        q = prime.value
+        x = data.draw(st.integers(min_value=0, max_value=q - 1))
+        y = data.draw(st.integers(min_value=0, max_value=q - 1))
+        red = NttFriendlyMontgomeryReducer.for_prime(prime)
+        assert red.mul_plain(x, y) == x * y % q

@@ -1,0 +1,119 @@
+"""Lattice samplers: support, moments, determinism, exactness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prng.samplers import (
+    DiscreteGaussianSampler,
+    ERROR_STDDEV,
+    TernarySampler,
+    UniformSampler,
+)
+from repro.prng.xof import Xof
+
+Q = (1 << 36) + 3 * (1 << 17) + 1
+XOF = Xof.from_int(2024)
+
+
+class TestUniform:
+    def test_range(self):
+        s = UniformSampler(Q).sample(XOF, b"u", 5000)
+        assert s.min() >= 0
+        assert s.max() < Q
+
+    def test_deterministic(self):
+        a = UniformSampler(Q).sample(XOF, b"u", 100)
+        b = UniformSampler(Q).sample(XOF, b"u", 100)
+        assert np.array_equal(a, b)
+
+    def test_mean_near_q_half(self):
+        s = UniformSampler(Q).sample(XOF, b"u", 50000).astype(float)
+        assert abs(s.mean() / (Q / 2) - 1) < 0.02
+
+    def test_uniform_buckets(self):
+        """Chi-square-style bucket check on 16 equal bins."""
+        s = UniformSampler(Q).sample(XOF, b"bins", 64000)
+        counts = np.bincount((s // np.uint64(Q // 16 + 1)).astype(int), minlength=16)
+        assert np.all(np.abs(counts - 4000) < 400)
+
+    def test_small_modulus(self):
+        s = UniformSampler(3).sample(XOF, b"u", 3000)
+        assert set(s.tolist()) == {0, 1, 2}
+
+    def test_rejects_wide_modulus(self):
+        with pytest.raises(ValueError, match="out of supported range"):
+            UniformSampler(1 << 63).sample(XOF, b"u", 1)
+
+    def test_exact_count(self):
+        assert len(UniformSampler(Q).sample(XOF, b"u", 777)) == 777
+
+
+class TestTernary:
+    def test_dense_support(self):
+        s = TernarySampler(Q).sample_signed(XOF, b"t", 10000)
+        assert set(s.tolist()) <= {-1, 0, 1}
+
+    def test_dense_distribution(self):
+        """P(-1)=P(+1)=1/4, P(0)=1/2 from two PRNG bits."""
+        s = TernarySampler(Q).sample_signed(XOF, b"t", 200000)
+        assert abs((s == 0).mean() - 0.5) < 0.01
+        assert abs((s == 1).mean() - 0.25) < 0.01
+        assert abs(s.mean()) < 0.01
+
+    def test_sparse_exact_weight(self):
+        s = TernarySampler(Q, hamming_weight=64).sample_signed(XOF, b"t", 1024)
+        assert (s != 0).sum() == 64
+        assert set(s.tolist()) <= {-1, 0, 1}
+
+    def test_sparse_weight_too_large(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            TernarySampler(Q, hamming_weight=100).sample_signed(XOF, b"t", 50)
+
+    def test_residue_mapping(self):
+        signed = TernarySampler(Q).sample_signed(XOF, b"t", 1000)
+        residues = TernarySampler(Q).sample(XOF, b"t", 1000)
+        expected = np.where(signed < 0, np.int64(Q) + signed, signed).astype(np.uint64)
+        assert np.array_equal(residues, expected)
+
+    def test_deterministic(self):
+        a = TernarySampler(Q).sample_signed(XOF, b"t", 100)
+        b = TernarySampler(Q).sample_signed(XOF, b"t", 100)
+        assert np.array_equal(a, b)
+
+
+class TestGaussian:
+    def test_moments(self):
+        s = DiscreteGaussianSampler().sample_signed(XOF, b"g", 200000).astype(float)
+        assert abs(s.mean()) < 0.05
+        assert abs(s.std() - ERROR_STDDEV) < 0.05
+
+    def test_tail_bound(self):
+        s = DiscreteGaussianSampler().sample_signed(XOF, b"g", 100000)
+        assert np.abs(s).max() <= int(np.ceil(6 * ERROR_STDDEV))
+
+    def test_custom_stddev(self):
+        s = DiscreteGaussianSampler(stddev=1.0).sample_signed(XOF, b"g", 100000)
+        assert abs(s.astype(float).std() - 1.0) < 0.05
+
+    def test_invalid_stddev(self):
+        with pytest.raises(ValueError, match="positive"):
+            DiscreteGaussianSampler(stddev=0.0)
+
+    def test_residue_mapping(self):
+        signed = DiscreteGaussianSampler().sample_signed(XOF, b"g", 500)
+        residues = DiscreteGaussianSampler().sample(XOF, b"g", 500, Q)
+        for s, r in zip(signed.tolist(), residues.tolist()):
+            assert r == s % Q
+
+    def test_deterministic(self):
+        a = DiscreteGaussianSampler().sample_signed(XOF, b"g", 64)
+        b = DiscreteGaussianSampler().sample_signed(XOF, b"g", 64)
+        assert np.array_equal(a, b)
+
+    def test_symmetry(self):
+        s = DiscreteGaussianSampler().sample_signed(XOF, b"sym", 200000)
+        pos = (s > 0).sum()
+        neg = (s < 0).sum()
+        assert abs(pos - neg) / max(pos, neg) < 0.02

@@ -1,0 +1,215 @@
+"""RNS polynomials: domain discipline, exact lifts, ring laws, rescaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import COEFF, EVAL, RnsPolynomial
+from repro.transforms.ntt import negacyclic_mul_naive
+
+N = 256
+LEVEL = 4
+
+
+def poly_from(rng, basis, level=LEVEL, bound=1000):
+    return RnsPolynomial.from_signed_coeffs(
+        basis, level, rng.integers(-bound, bound, basis.degree)
+    )
+
+
+class TestConstruction:
+    def test_zero(self, basis):
+        z = RnsPolynomial.zero(basis, 3)
+        assert z.level == 3
+        assert np.all(z.data == 0)
+
+    def test_from_signed_roundtrip(self, basis, rng):
+        coeffs = rng.integers(-500, 500, basis.degree)
+        p = RnsPolynomial.from_signed_coeffs(basis, LEVEL, coeffs)
+        assert p.to_bigints() == coeffs.tolist()
+
+    def test_from_bigint_roundtrip(self, basis):
+        big = basis.modulus_at(LEVEL)
+        coeffs = [0, 1, -1 % big, big // 3, big - 7] + [0] * (basis.degree - 5)
+        p = RnsPolynomial.from_bigint_coeffs(basis, LEVEL, coeffs)
+        assert p.to_bigints(center=False) == [c % big for c in coeffs]
+
+    def test_shape_validation(self, basis):
+        with pytest.raises(ValueError, match="data must be"):
+            RnsPolynomial(basis, np.zeros((2, 3), dtype=np.uint64))
+
+    def test_level_validation(self, basis):
+        with pytest.raises(ValueError, match="level"):
+            RnsPolynomial(basis, np.zeros((basis.num_primes + 1, N), dtype=np.uint64))
+
+    def test_domain_validation(self, basis):
+        with pytest.raises(ValueError, match="unknown domain"):
+            RnsPolynomial(basis, np.zeros((1, N), dtype=np.uint64), "frequency")
+
+    def test_wrong_coeff_count(self, basis):
+        with pytest.raises(ValueError, match="expected"):
+            RnsPolynomial.from_signed_coeffs(basis, 2, np.zeros(N - 1, dtype=np.int64))
+
+
+class TestDomains:
+    def test_eval_roundtrip(self, basis, rng):
+        p = poly_from(rng, basis)
+        back = p.to_eval().to_coeff()
+        assert np.array_equal(back.data, p.data)
+
+    def test_idempotent_conversions(self, basis, rng):
+        p = poly_from(rng, basis)
+        assert p.to_coeff().domain == COEFF
+        assert p.to_eval().to_eval().domain == EVAL
+
+    def test_mul_requires_eval(self, basis, rng):
+        a, b = poly_from(rng, basis), poly_from(rng, basis)
+        with pytest.raises(ValueError, match="NTT domain"):
+            a * b
+
+    def test_mixed_domain_add_rejected(self, basis, rng):
+        a, b = poly_from(rng, basis), poly_from(rng, basis)
+        with pytest.raises(ValueError, match="domain mismatch"):
+            a + b.to_eval()
+
+    def test_lift_requires_coeff(self, basis, rng):
+        with pytest.raises(ValueError, match="coefficient domain"):
+            poly_from(rng, basis).to_eval().to_bigints()
+
+
+class TestArithmetic:
+    def test_add_is_exact(self, basis, rng):
+        a, b = poly_from(rng, basis), poly_from(rng, basis)
+        got = (a + b).to_bigints()
+        expect = [x + y for x, y in zip(a.to_bigints(), b.to_bigints())]
+        assert got == expect
+
+    def test_sub_neg_consistency(self, basis, rng):
+        a, b = poly_from(rng, basis), poly_from(rng, basis)
+        assert np.array_equal((a - b).data, (a + (-b)).data)
+
+    def test_mul_matches_naive_per_limb(self, basis, rng):
+        a, b = poly_from(rng, basis, bound=50), poly_from(rng, basis, bound=50)
+        prod = (a.to_eval() * b.to_eval()).to_coeff()
+        for i in range(LEVEL):
+            ref = negacyclic_mul_naive(a.data[i], b.data[i], basis.moduli[i])
+            assert np.array_equal(prod.data[i], ref)
+
+    def test_scale_scalar_int(self, basis, rng):
+        a = poly_from(rng, basis)
+        got = a.scale_scalar(7).to_bigints()
+        assert got == [7 * c for c in a.to_bigints()]
+
+    def test_scale_scalar_per_limb(self, basis, rng):
+        a = poly_from(rng, basis, level=2)
+        scalars = [3 % basis.moduli[0], 3 % basis.moduli[1]]
+        assert np.array_equal(a.scale_scalar(scalars).data, a.scale_scalar(3).data)
+
+    def test_scale_scalar_wrong_count(self, basis, rng):
+        with pytest.raises(ValueError, match="one scalar per"):
+            poly_from(rng, basis, level=2).scale_scalar([1, 2, 3])
+
+    def test_level_mismatch_takes_min(self, basis, rng):
+        a, b = poly_from(rng, basis, level=4), poly_from(rng, basis, level=2)
+        assert (a + b).level == 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=N, max_size=N))
+    def test_add_commutes_hypothesis(self, coeffs):
+        basis = RnsBasis.create(N, 3)
+        a = RnsPolynomial.from_signed_coeffs(basis, 2, np.array(coeffs))
+        b = RnsPolynomial.from_signed_coeffs(basis, 2, np.array(coeffs[::-1]))
+        assert np.array_equal((a + b).data, (b + a).data)
+
+
+class TestAutomorphism:
+    def test_monomial_mapping(self, basis):
+        mono = np.zeros(N, dtype=np.int64)
+        mono[2] = 1
+        p = RnsPolynomial.from_signed_coeffs(basis, 2, mono)
+        out = p.automorphism(5).to_bigints()
+        assert out[10] == 1 and sum(abs(c) for c in out) == 1
+
+    def test_negacyclic_wrap_sign(self, basis):
+        """X^k with k*g >= N wraps with a sign flip."""
+        mono = np.zeros(N, dtype=np.int64)
+        mono[N - 1] = 1
+        out = RnsPolynomial.from_signed_coeffs(basis, 2, mono).automorphism(3).to_bigints()
+        # (N-1)*3 = 3N - 3 -> X^(3N-3) = X^(N-3) * (X^N)^2 = +X^(N-3)
+        assert out[N - 3] == 1
+
+    def test_identity_automorphism(self, basis, rng):
+        p = poly_from(rng, basis)
+        assert np.array_equal(p.automorphism(1).data, p.data)
+
+    def test_composition(self, basis, rng):
+        p = poly_from(rng, basis)
+        lhs = p.automorphism(3).automorphism(5)
+        rhs = p.automorphism(15)
+        assert np.array_equal(lhs.data, rhs.data)
+
+    def test_even_index_rejected(self, basis, rng):
+        with pytest.raises(ValueError, match="odd"):
+            poly_from(rng, basis).automorphism(2)
+
+    def test_eval_domain_rejected(self, basis, rng):
+        with pytest.raises(ValueError, match="coefficient domain"):
+            poly_from(rng, basis).to_eval().automorphism(3)
+
+    def test_is_ring_homomorphism(self, basis, rng):
+        """automorphism(a * b) == automorphism(a) * automorphism(b)."""
+        a, b = poly_from(rng, basis, bound=30), poly_from(rng, basis, bound=30)
+        prod = (a.to_eval() * b.to_eval()).to_coeff()
+        lhs = prod.automorphism(5)
+        rhs = (a.automorphism(5).to_eval() * b.automorphism(5).to_eval()).to_coeff()
+        assert np.array_equal(lhs.data, rhs.data)
+
+
+class TestRescale:
+    def test_exact_multiple(self, basis, rng):
+        q_last = basis.moduli[LEVEL - 1]
+        coeffs = rng.integers(-1000, 1000, N)
+        scaled = RnsPolynomial.from_bigint_coeffs(
+            basis, LEVEL, [int(c) * q_last for c in coeffs]
+        )
+        assert scaled.rescale().to_bigints() == coeffs.tolist()
+
+    def test_rounding_error_at_most_one(self, basis, rng):
+        q_last = basis.moduli[LEVEL - 1]
+        coeffs = [int(c) for c in rng.integers(0, q_last, N)]
+        p = RnsPolynomial.from_bigint_coeffs(
+            basis, LEVEL, [c * q_last + int(r) for c, r in zip(coeffs, rng.integers(0, q_last, N))]
+        )
+        got = p.rescale().to_bigints(center=False)
+        for g, c in zip(got, coeffs):
+            assert abs(g - c) <= 1 or abs(g - c - 1) <= 1
+
+    def test_level_drops(self, basis, rng):
+        assert poly_from(rng, basis, level=3).rescale().level == 2
+
+    def test_cannot_rescale_level_one(self, basis, rng):
+        with pytest.raises(ValueError, match="below one limb"):
+            poly_from(rng, basis, level=1).rescale()
+
+    def test_requires_coeff_domain(self, basis, rng):
+        with pytest.raises(ValueError, match="coefficient domain"):
+            poly_from(rng, basis).to_eval().rescale()
+
+
+class TestDropLimbs:
+    def test_prefix_preserved(self, basis, rng):
+        p = poly_from(rng, basis, level=4)
+        d = p.drop_limbs(2)
+        assert d.level == 2
+        assert np.array_equal(d.data, p.data[:2])
+
+    def test_bounds(self, basis, rng):
+        p = poly_from(rng, basis, level=3)
+        with pytest.raises(ValueError):
+            p.drop_limbs(0)
+        with pytest.raises(ValueError):
+            p.drop_limbs(4)

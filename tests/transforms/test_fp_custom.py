@@ -1,0 +1,90 @@
+"""Reduced-mantissa float emulation: exactness, idempotence, bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms.fp_custom import FP32_LIKE, FP55, FP64, FloatFormat
+
+
+class TestFormats:
+    def test_fp55_definition(self):
+        assert FP55.total_bits == 55
+        assert FP55.mantissa_bits == 43  # the paper's chosen width
+
+    def test_fp64_is_native(self):
+        assert FP64.is_native
+        assert not FP55.is_native
+
+    def test_mantissa_bounds(self):
+        with pytest.raises(ValueError, match="1..52"):
+            FloatFormat(1, 11, 0)
+        with pytest.raises(ValueError, match="1..52"):
+            FloatFormat(1, 11, 53)
+
+
+class TestQuantize:
+    def test_native_passthrough(self, rng):
+        x = rng.normal(size=100)
+        assert np.array_equal(FP64.quantize(x), x)
+
+    def test_idempotent(self, rng):
+        x = rng.normal(size=100)
+        once = FP55.quantize(x)
+        assert np.array_equal(FP55.quantize(once), once)
+
+    def test_representable_values_unchanged(self):
+        # Powers of two and small integers fit any mantissa exactly.
+        x = np.array([1.0, -2.0, 0.5, 3.0, 0.0, 1024.0])
+        assert np.array_equal(FP32_LIKE.quantize(x), x)
+
+    def test_error_bounded_by_half_ulp(self, rng):
+        x = rng.normal(size=1000)
+        q = FP32_LIKE.quantize(x)
+        rel = np.abs(q - x) / np.abs(x)
+        assert np.max(rel) <= 2.0 ** (-FP32_LIKE.mantissa_bits) / 2 * 1.001
+
+    def test_complex_parts_rounded_independently(self, rng):
+        z = rng.normal(size=50) + 1j * rng.normal(size=50)
+        q = FP55.quantize(z)
+        assert np.array_equal(q.real, FP55.quantize(z.real))
+        assert np.array_equal(q.imag, FP55.quantize(z.imag))
+
+    def test_sign_preserved(self):
+        x = np.array([-1.2345678901234567, 1.2345678901234567])
+        q = FP32_LIKE.quantize(x)
+        assert q[0] == -q[1]
+
+    def test_zero_preserved(self):
+        assert FP32_LIKE.quantize(np.array([0.0]))[0] == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=-1e100, max_value=1e100, allow_nan=False))
+    def test_hypothesis_error_bound(self, x):
+        q = float(FP55.quantize(np.array([x]))[0])
+        if x == 0:
+            assert q == 0
+        else:
+            assert abs(q - x) <= abs(x) * 2.0**-43
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=5, max_value=52))
+    def test_monotone_in_mantissa(self, m):
+        """More mantissa bits never increase the rounding error."""
+        x = np.array([np.pi, np.e, 1 / 3, 1e10 / 7])
+        fmt = FloatFormat(1, 11, m)
+        fmt_more = FloatFormat(1, 11, min(52, m + 4))
+        err = np.abs(fmt.quantize(x) - x)
+        err_more = np.abs(fmt_more.quantize(x) - x)
+        assert np.all(err_more <= err + 1e-300)
+
+
+class TestUlp:
+    def test_ulp_at_one(self):
+        assert FP55.ulp(1.0) == 2.0**-43
+
+    def test_ulp_scales_with_magnitude(self):
+        assert FP55.ulp(1024.0) == 2.0**-33

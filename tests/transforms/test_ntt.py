@@ -1,0 +1,143 @@
+"""Negacyclic NTT: round trips, oracle agreement, algebraic laws."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nums.modular import mod_inv
+from repro.nums.primegen import find_primes
+from repro.transforms.ntt import NttContext, negacyclic_mul_naive
+
+PRIME = find_primes(36, 1 << 12)[0].value
+
+
+@pytest.fixture(scope="module", params=[16, 256, 1024], ids=lambda n: f"n{n}")
+def ntt(request) -> NttContext:
+    return NttContext.create(request.param, PRIME)
+
+
+def random_poly(rng, n, q=PRIME):
+    return rng.integers(0, q, n).astype(np.uint64)
+
+
+class TestConstruction:
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError, match="not NTT-friendly"):
+            NttContext.create(1 << 20, PRIME)  # 2N does not divide q-1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            NttContext.create(100, PRIME)
+
+    def test_rejects_bad_psi(self):
+        with pytest.raises(ValueError, match="primitive"):
+            NttContext.create(256, PRIME, psi=1)
+
+    def test_accepts_explicit_valid_psi(self):
+        base = NttContext.create(256, PRIME)
+        again = NttContext.create(256, PRIME, psi=base.psi)
+        assert np.array_equal(base.psi_rev, again.psi_rev)
+
+    def test_psi_order(self, ntt):
+        n, q = ntt.degree, ntt.modulus
+        assert pow(ntt.psi, 2 * n, q) == 1
+        assert pow(ntt.psi, n, q) == q - 1  # psi^N = -1: the negacyclic root
+
+    def test_n_inv(self, ntt):
+        assert ntt.n_inv == mod_inv(ntt.degree, ntt.modulus)
+
+
+class TestTransforms:
+    def test_roundtrip(self, ntt, rng):
+        a = random_poly(rng, ntt.degree)
+        assert np.array_equal(ntt.inverse(ntt.forward(a)), a)
+
+    def test_roundtrip_other_order(self, ntt, rng):
+        a = random_poly(rng, ntt.degree)
+        assert np.array_equal(ntt.forward(ntt.inverse(a)), a)
+
+    def test_forward_is_linear(self, ntt, rng):
+        q = ntt.modulus
+        a, b = random_poly(rng, ntt.degree), random_poly(rng, ntt.degree)
+        lhs = ntt.forward((a + b) % np.uint64(q))
+        rhs = (ntt.forward(a) + ntt.forward(b)) % np.uint64(q)
+        assert np.array_equal(lhs, rhs)
+
+    def test_constant_polynomial(self, ntt):
+        """NTT of a constant c is the all-c vector (X^0 evaluates to 1)."""
+        a = np.zeros(ntt.degree, dtype=np.uint64)
+        a[0] = 42
+        assert np.array_equal(ntt.forward(a), np.full(ntt.degree, 42, dtype=np.uint64))
+
+    def test_input_not_mutated(self, ntt, rng):
+        a = random_poly(rng, ntt.degree)
+        before = a.copy()
+        ntt.forward(a)
+        assert np.array_equal(a, before)
+
+    def test_shape_check(self, ntt):
+        with pytest.raises(ValueError, match="expected shape"):
+            ntt.forward(np.zeros(ntt.degree + 1, dtype=np.uint64))
+
+
+class TestMultiplication:
+    def test_matches_naive(self, ntt, rng):
+        a, b = random_poly(rng, ntt.degree), random_poly(rng, ntt.degree)
+        got = ntt.negacyclic_mul(a, b)
+        assert np.array_equal(got, negacyclic_mul_naive(a, b, ntt.modulus))
+
+    def test_x_to_n_is_minus_one(self, ntt):
+        """X^(N/2) * X^(N/2) = X^N = -1 in the negacyclic ring."""
+        n, q = ntt.degree, ntt.modulus
+        x_half = np.zeros(n, dtype=np.uint64)
+        x_half[n // 2] = 1
+        prod = ntt.negacyclic_mul(x_half, x_half)
+        expected = np.zeros(n, dtype=np.uint64)
+        expected[0] = q - 1
+        assert np.array_equal(prod, expected)
+
+    def test_multiplicative_identity(self, ntt, rng):
+        one = np.zeros(ntt.degree, dtype=np.uint64)
+        one[0] = 1
+        a = random_poly(rng, ntt.degree)
+        assert np.array_equal(ntt.negacyclic_mul(a, one), a)
+
+    def test_commutativity(self, ntt, rng):
+        a, b = random_poly(rng, ntt.degree), random_poly(rng, ntt.degree)
+        assert np.array_equal(ntt.negacyclic_mul(a, b), ntt.negacyclic_mul(b, a))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**36), st.integers(min_value=0, max_value=15))
+    def test_monomial_product_hypothesis(self, coeff, shift):
+        """c*X^i times X^j lands at X^(i+j) with negacyclic sign wrap."""
+        n = 16
+        ntt = NttContext.create(n, PRIME)
+        a = np.zeros(n, dtype=np.uint64)
+        a[shift] = coeff % PRIME
+        b = np.zeros(n, dtype=np.uint64)
+        b[n - 1] = 1
+        prod = ntt.negacyclic_mul(a, b)
+        k = shift + n - 1
+        expected = np.zeros(n, dtype=np.uint64)
+        if k < n:
+            expected[k] = coeff % PRIME
+        else:
+            expected[k - n] = (PRIME - coeff % PRIME) % PRIME
+        assert np.array_equal(prod, expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**36), min_size=32, max_size=32))
+    def test_random_poly_hypothesis(self, coeffs):
+        ntt = NttContext.create(32, PRIME)
+        a = np.array([c % PRIME for c in coeffs], dtype=np.uint64)
+        assert np.array_equal(ntt.inverse(ntt.forward(a)), a)
+
+
+class TestPointwise:
+    def test_pointwise_is_ring_product(self, ntt, rng):
+        a, b = random_poly(rng, ntt.degree), random_poly(rng, ntt.degree)
+        via_pointwise = ntt.inverse(ntt.pointwise_mul(ntt.forward(a), ntt.forward(b)))
+        assert np.array_equal(via_pointwise, ntt.negacyclic_mul(a, b))
