@@ -1,12 +1,20 @@
 """Table I — modular multiplier area, plus real software timing of the
-three reduction algorithms (the hardware table's software shadow)."""
+three reduction algorithms (the hardware table's software shadow).
+
+Two timing views: the scalar Python-int reducers (one residue at a time,
+as the hardware datapath computes) and the vectorized numpy backends
+(``repro.nums.kernels``) the library actually runs on."""
 
 from __future__ import annotations
 
 import random
 
+import numpy as np
+import pytest
+
 from repro.experiments import table1_modmul_areas
 from repro.nums import BarrettReducer, MontgomeryReducer, NttFriendlyMontgomeryReducer
+from repro.nums.kernels import available_backends, make_kernel
 from repro.nums.primegen import find_primes
 
 PRIME = find_primes(36, 1 << 16)[0]
@@ -60,3 +68,13 @@ def test_ntt_friendly_montgomery_software_timing(benchmark):
     red = NttFriendlyMontgomeryReducer.for_prime(PRIME)
     pairs = [(red.to_montgomery(a), red.to_montgomery(b)) for a, b in _pairs()]
     benchmark(_mul_loop, red.mul, pairs)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_vectorized_backend_timing(benchmark, backend):
+    """The same Table I algorithms as whole-array numpy kernels."""
+    kern = make_kernel(PRIME.value, backend)
+    rnd = np.random.default_rng(0)
+    a = rnd.integers(0, PRIME.value, 1 << 14).astype(np.uint64)
+    b = rnd.integers(0, PRIME.value, 1 << 14).astype(np.uint64)
+    benchmark(kern.mul, a, b)

@@ -8,6 +8,8 @@ vary them.
 
 from __future__ import annotations
 
+from repro.nums.kernels import REDUCER_SPECS
+
 # ---------------------------------------------------------------------------
 # Clock / memory system (Section V-A)
 # ---------------------------------------------------------------------------
@@ -66,13 +68,18 @@ MODMUL_OVERHEAD_EQUIV = 0.429
 """Fixed overhead (control, correction adders, shift-add network) as a
 fraction of one bw^2 multiplier array (fit to Table I)."""
 
-MODMUL_EQUIV = {"barrett": 4.0, "montgomery": 2.0, "ntt_friendly": 1.0}
+# The per-algorithm accounting lives in repro.nums.kernels.REDUCER_SPECS so
+# the *software* reducer backends and this area model are driven by the
+# same ReducerSpec rows — changing an algorithm's hardware assumptions
+# changes both views at once.
+
+MODMUL_EQUIV = {name: spec.multiplier_equivalents for name, spec in REDUCER_SPECS.items()}
 """Full-multiplier equivalents per reduction algorithm (fit to Table I)."""
 
-MODMUL_PIPELINE_STAGES = {"barrett": 4, "montgomery": 3, "ntt_friendly": 3}
+MODMUL_PIPELINE_STAGES = {name: spec.pipeline_stages for name, spec in REDUCER_SPECS.items()}
 """Pipeline depths reported in Table I."""
 
-TABLE1_AREAS_UM2 = {"barrett": 35054, "montgomery": 19255, "ntt_friendly": 11328}
+TABLE1_AREAS_UM2 = {name: spec.paper_area_um2 for name, spec in REDUCER_SPECS.items()}
 """Ground-truth Table I areas for regression checks."""
 
 # ---------------------------------------------------------------------------

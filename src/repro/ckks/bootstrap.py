@@ -20,7 +20,7 @@ the pieces built elsewhere in the library:
    a *higher* level than the input.
 
 The measured output precision of this pipeline is the quantity the paper
-calls *bootstrapping precision* (Fig. 3c): running the encoder/бtransform
+calls *bootstrapping precision* (Fig. 3c): running the encoder/transform
 stack at a reduced mantissa directly lowers it.
 """
 
@@ -36,6 +36,7 @@ from repro.ckks.containers import Ciphertext
 from repro.ckks.context import CkksContext
 from repro.ckks.keys import SwitchingKey
 from repro.ckks.linear import HomomorphicLinearTransform
+from repro.nums.modular import centered_vec
 from repro.rns.poly import RnsPolynomial
 from repro.transforms.fft import embedding_matrix
 
@@ -144,10 +145,8 @@ class Bootstrapper:
         parts = []
         for part in ct.parts:
             residues = part.to_coeff().data[0]
-            centered = residues.astype(np.int64)
-            centered = np.where(centered > q0 // 2, centered - q0, centered)
             lifted = RnsPolynomial.from_signed_coeffs(
-                self.ctx.basis, self.top_level, centered
+                self.ctx.basis, self.top_level, centered_vec(residues, q0)
             )
             parts.append(lifted.to_eval())
         raised = Ciphertext(parts=parts, scale=ct.scale)

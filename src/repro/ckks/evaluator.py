@@ -190,13 +190,14 @@ class Evaluator:
         if key.level != lvl:
             raise ValueError(f"switching key level {key.level} != poly level {lvl}")
         coeff = poly.to_coeff()
+        kern = self.basis.kernel(lvl)
         out0: RnsPolynomial | None = None
         out1: RnsPolynomial | None = None
         for j in range(lvl):
             digit_row = coeff.data[j]  # residues mod q_j
             digit = RnsPolynomial(
                 self.basis,
-                _broadcast_digit(digit_row, self.basis, lvl),
+                _broadcast_digit(digit_row, kern, lvl),
                 COEFF,
             ).to_eval()
             b_j, a_j = key.pairs[j]
@@ -214,11 +215,13 @@ class Evaluator:
             )
 
 
-def _broadcast_digit(digit_row, basis: RnsBasis, level: int):
-    """Residues mod q_j, re-reduced onto every limb of the level."""
+def _broadcast_digit(digit_row, kern, level: int):
+    """Residues mod q_j, re-reduced onto every limb of the level.
+
+    One whole-matrix ``reduce`` through the active reducer backend — the
+    digits are < q_j < 2^41, well inside every limb's q_i^2 input range.
+    """
     import numpy as np
 
-    rows = []
-    for q in basis.moduli[:level]:
-        rows.append((digit_row % np.uint64(q)).astype(np.uint64))
-    return np.stack(rows)
+    wide = np.broadcast_to(digit_row, (level, digit_row.shape[0]))
+    return kern.reduce(wide)

@@ -5,14 +5,32 @@ reference model for the accelerator's modular-arithmetic hardware:
 
 * :mod:`repro.nums.primality` — deterministic Miller–Rabin;
 * :mod:`repro.nums.primegen` — NTT-friendly prime search (paper Eq. 8);
-* :mod:`repro.nums.modular` — scalar + vectorized modular kernels;
+* :mod:`repro.nums.modular` — scalar helpers + legacy vectorized wrappers;
+* :mod:`repro.nums.kernels` — pluggable vectorized reducer backends
+  (``generic-split`` / ``barrett`` / ``montgomery``) with the registry
+  and the :class:`~repro.nums.kernels.ReducerSpec` Table I accounting;
 * :mod:`repro.nums.barrett` / :mod:`repro.nums.montgomery` — the three
-  reducer designs compared in Table I;
+  scalar reducer designs compared in Table I (exact-int references);
 * :mod:`repro.nums.crt` — RNS decompose / CRT combine.
 """
 
 from repro.nums.barrett import BarrettReducer
 from repro.nums.crt import CrtSystem
+from repro.nums.kernels import (
+    REDUCER_SPECS,
+    BarrettKernel,
+    GenericSplitKernel,
+    MontgomeryKernel,
+    ReducerKernel,
+    ReducerSpec,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    kernel_for_modulus,
+    make_kernel,
+    set_default_backend,
+    using_backend,
+)
 from repro.nums.modular import (
     addmod_vec,
     centered,
@@ -30,9 +48,22 @@ from repro.nums.primality import is_prime, next_prime
 from repro.nums.primegen import NttFriendlyPrime, count_primes, find_primes, prime_chain
 
 __all__ = [
+    "REDUCER_SPECS",
+    "BarrettKernel",
     "BarrettReducer",
     "CrtSystem",
+    "GenericSplitKernel",
+    "MontgomeryKernel",
     "MontgomeryReducer",
+    "ReducerKernel",
+    "ReducerSpec",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "kernel_for_modulus",
+    "make_kernel",
+    "set_default_backend",
+    "using_backend",
     "NttFriendlyMontgomeryReducer",
     "NttFriendlyPrime",
     "addmod_vec",

@@ -1,0 +1,566 @@
+"""Pluggable vectorized modular-reduction backends — the software Table I.
+
+The paper's central hardware argument (Section III, Table I) is that the
+choice of modular reducer dominates accelerator cost.  This module makes
+that choice a *software* knob as well: three interchangeable uint64 numpy
+kernels compute ``a * b mod q`` with identical results but very different
+instruction mixes, mirroring the area/pipeline trade-offs of the hardware
+candidates:
+
+* ``generic-split`` — the seed implementation: an 18-bit operand split
+  with six ``np.uint64 %`` divisions per multiply.  Correct and simple,
+  but integer division is the slowest ALU op on every ISA; kept as the
+  reference baseline.
+* ``barrett`` — quotient estimation by two shifted multiplications with a
+  per-prime precomputed ``mu = floor(2^{2r}/q)``; every ``%`` becomes
+  mul/shift/conditional-subtract (Table I row 1).
+* ``montgomery`` — word-size REDC with ``R = 2^64``; constants (twiddle
+  tables, scalars) are kept in the Montgomery domain so each product
+  costs a single REDC (Table I rows 2–3; the NTT-friendly variant differs
+  from vanilla Montgomery only in hardware cost, not semantics).
+
+Every kernel instance is bound to a modulus *array* — a scalar for one
+prime or an ``(L, 1)``/``(L, 1, 1)`` column for per-row broadcasting over
+whole ``(L, N)`` RNS residue matrices — and carries the precomputed
+tables it needs.  All kernels assume **canonical inputs** in ``[0, q)``;
+the RNS layers maintain that invariant, and ``reduce`` is available for
+values up to ``q^2``.
+
+The :class:`ReducerSpec` table is the single source of truth tying each
+algorithm to its Table I hardware accounting (multiplier equivalents and
+pipeline depth); :mod:`repro.accel.calibration` derives its area-model
+constants from it so the software kernels and the accelerator model are
+driven by the same data.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+__all__ = [
+    "ReducerSpec",
+    "REDUCER_SPECS",
+    "ReducerKernel",
+    "GenericSplitKernel",
+    "BarrettKernel",
+    "MontgomeryKernel",
+    "KERNEL_LIMIT_BITS",
+    "available_backends",
+    "get_backend",
+    "make_kernel",
+    "kernel_for_modulus",
+    "default_backend_name",
+    "set_default_backend",
+    "using_backend",
+]
+
+# Kernels accept moduli up to 41 bits: the generic-split path needs
+# a * b_hi < 2^64 with an 18-bit split, and Barrett's widened shifts assume
+# q^2 < 2^82.  The paper's 32–36-bit double-scale primes fit with margin.
+KERNEL_LIMIT_BITS = 41
+
+_U64 = np.uint64
+_MASK32 = _U64(0xFFFFFFFF)
+_S32 = _U64(32)
+
+
+# ---------------------------------------------------------------------------
+# Hardware accounting shared with the accelerator's Table I area model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReducerSpec:
+    """One Table I row: hardware accounting for a reduction algorithm.
+
+    Attributes:
+        algorithm: Table I key (``barrett`` / ``montgomery`` /
+            ``ntt_friendly``).
+        multiplier_equivalents: full ``bw^2`` multiplier arrays the
+            datapath instantiates (fit to Table I, residual < 0.2 %).
+        pipeline_stages: pipeline depth reported in Table I.
+        paper_area_um2: the ground-truth 28 nm area for regression checks.
+    """
+
+    algorithm: str
+    multiplier_equivalents: float
+    pipeline_stages: int
+    paper_area_um2: int
+
+
+REDUCER_SPECS: dict[str, ReducerSpec] = {
+    "barrett": ReducerSpec("barrett", 4.0, 4, 35054),
+    "montgomery": ReducerSpec("montgomery", 2.0, 3, 19255),
+    "ntt_friendly": ReducerSpec("ntt_friendly", 1.0, 3, 11328),
+}
+"""Table I rows, keyed by algorithm name (28 nm @ 600 MHz)."""
+
+
+# ---------------------------------------------------------------------------
+# Wide helper arithmetic on uint64 lanes
+# ---------------------------------------------------------------------------
+#
+# numpy integer arithmetic wraps modulo 2^64, which the carry chains below
+# account for exactly.  Conditionals are expressed with np.minimum instead
+# of np.where: for values known to sit in a narrow band, the wrapped
+# "wrong" branch is astronomically large, so the minimum selects the
+# correct branch in one cheap SIMD pass (np.where costs ~25x more).
+
+_SPLIT20 = _U64(20)
+_MASK20 = _U64((1 << 20) - 1)
+
+
+def _mul128_41(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Exact 128-bit product of two < 2^42 operands as a (hi, lo) pair.
+
+    Splits ``b`` at 20 bits so both partial products ``p1 = a * (b >> 20)``
+    and ``p0 = a * (b & mask)`` stay inside uint64; the high word is
+    ``p1 >> 44`` plus the carry out of the wrapped low-word sum.
+    """
+    b_hi = b >> _SPLIT20
+    b_lo = b & _MASK20
+    p1 = a * b_hi
+    p0 = a * b_lo
+    p1s = p1 << _SPLIT20
+    lo = p1s + p0
+    hi = (p1 >> _U64(44)) + (lo < p1s)
+    return hi, lo
+
+
+def _csub(x: np.ndarray, q) -> np.ndarray:
+    """One conditional subtract: maps [0, 2q) into [0, q).
+
+    Relies on wrap-around: when ``x < q`` the subtraction wraps to a huge
+    value and the minimum keeps ``x``.
+    """
+    return np.minimum(x, x - q)
+
+
+# ---------------------------------------------------------------------------
+# Kernel base class
+# ---------------------------------------------------------------------------
+
+
+class ReducerKernel:
+    """Vectorized modular arithmetic bound to one or more moduli.
+
+    ``moduli`` may be a Python int, or any uint64-convertible array whose
+    shape broadcasts against the operand arrays (e.g. an ``(L, 1)`` column
+    against ``(L, N)`` residue matrices).  Subclasses add precomputed
+    per-modulus tables in ``_precompute``.
+
+    All operands are assumed canonical (``0 <= x < q`` elementwise) except
+    where noted; outputs are always canonical.
+    """
+
+    name: ClassVar[str]
+    spec: ClassVar[ReducerSpec | None] = None
+
+    def __init__(self, moduli) -> None:
+        q = np.asarray(moduli, dtype=np.uint64)
+        flat = [int(v) for v in np.atleast_1d(q).ravel()]
+        for v in flat:
+            if v < 2:
+                raise ValueError(f"kernels need moduli >= 2, got {v}")
+            if v.bit_length() > KERNEL_LIMIT_BITS:
+                raise ValueError(
+                    f"modulus {v} has {v.bit_length()} bits; kernels support at "
+                    f"most {KERNEL_LIMIT_BITS} bits (paper uses 32–36-bit primes)"
+                )
+        self.q = q
+        self._precompute()
+
+    def _precompute(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    def _table(self, fn) -> np.ndarray:
+        """Per-modulus precomputed table, shaped like ``self.q``.
+
+        ``fn`` maps one Python-int modulus to one uint64-representable
+        value; the result follows the moduli array's (possibly 0-d) shape
+        so it broadcasts wherever ``self.q`` does.
+        """
+        shape = np.shape(self.q)
+        vals = np.array(
+            [fn(int(v)) for v in np.atleast_1d(self.q).ravel()], dtype=np.uint64
+        )
+        return vals.reshape(shape) if shape else vals.reshape(())
+
+    # -- multiplicative ------------------------------------------------
+
+    def mul(self, a: np.ndarray, b) -> np.ndarray:
+        """Elementwise ``a * b mod q`` for canonical operands."""
+        raise NotImplementedError
+
+    def pre(self, b) -> np.ndarray:
+        """Precompute a constant operand for repeated :meth:`mul_pre`.
+
+        The returned array is in whatever internal form the backend
+        multiplies fastest against (Montgomery domain for ``montgomery``,
+        plain residues otherwise).
+        """
+        return np.asarray(b, dtype=np.uint64)
+
+    def mul_pre(self, a: np.ndarray, b_pre: np.ndarray) -> np.ndarray:
+        """``a * b mod q`` where ``b_pre`` came from :meth:`pre`."""
+        return self.mul(a, b_pre)
+
+    def pow(self, a: np.ndarray, exponent: int) -> np.ndarray:
+        """Elementwise ``a ** exponent mod q`` by square-and-multiply."""
+        if exponent < 0:
+            raise ValueError("negative exponents not supported; invert first")
+        a = np.asarray(a, dtype=np.uint64)
+        result = np.ones(np.broadcast_shapes(a.shape, np.shape(self.q)), dtype=np.uint64)
+        base = a
+        e = exponent
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    # -- additive ------------------------------------------------------
+
+    def add(self, a: np.ndarray, b) -> np.ndarray:
+        """Elementwise modular addition (canonical in, canonical out)."""
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        return _csub(a + b, self.q)
+
+    def sub(self, a: np.ndarray, b) -> np.ndarray:
+        """Elementwise modular subtraction (canonical in, canonical out)."""
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        d = a - b  # wraps when a < b; then d + q is the canonical value
+        return np.minimum(d, d + self.q)
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise modular negation."""
+        a = np.asarray(a, dtype=np.uint64)
+        # q - a is canonical except at a == 0, where 0 - a == 0 wins the min.
+        return np.minimum(self.q - a, _U64(0) - a)
+
+    # -- reduction -----------------------------------------------------
+
+    def reduce(self, x: np.ndarray) -> np.ndarray:
+        """Reduce arbitrary values in ``[0, q^2)`` to canonical form."""
+        return np.asarray(x, dtype=np.uint64) % self.q
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(q={np.atleast_1d(self.q).ravel().tolist()})"
+
+
+# ---------------------------------------------------------------------------
+# generic-split: the seed's division-based kernel, generalized to array q
+# ---------------------------------------------------------------------------
+
+
+class GenericSplitKernel(ReducerKernel):
+    """18-bit operand split with ``%`` reductions — the seed hot path.
+
+    No Table I row: this is a pure-software baseline no hardware designer
+    would build (division is neither cheap nor pipelinable), retained so
+    the speedup of the reducer-aware kernels stays measurable.
+    """
+
+    name = "generic-split"
+    spec = None
+
+    _SPLIT = _U64(18)
+    _SPLIT_MASK = _U64((1 << 18) - 1)
+
+    def mul(self, a: np.ndarray, b) -> np.ndarray:
+        q = self.q
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        b_hi = b >> self._SPLIT
+        b_lo = b & self._SPLIT_MASK
+        hi = (a * b_hi) % q
+        hi = (hi << self._SPLIT) % q
+        lo = (a * b_lo) % q
+        return (hi + lo) % q
+
+
+# ---------------------------------------------------------------------------
+# barrett: shift-multiply quotient estimation with precomputed mu
+# ---------------------------------------------------------------------------
+
+
+class BarrettKernel(ReducerKernel):
+    """Vectorized Barrett reduction (Table I row 1).
+
+    For each modulus, ``mu = floor(2^{2r} / q)`` with ``r = bits(q)``.
+    A product ``x = a*b < q^2`` is reduced by estimating the quotient as
+    ``((x >> (r-1)) * mu) >> (r+1)``; the estimate undershoots by at most
+    2, fixed by two conditional subtracts.  The 82-bit intermediates are
+    carried as (hi, lo) uint64 pairs from :func:`_mul128`.
+    """
+
+    name = "barrett"
+    spec = REDUCER_SPECS["barrett"]
+
+    # mul_pre uses Shoup's variant of the same shift-multiply idea: for a
+    # *constant* operand w the whole scaled reciprocal w' = floor(w*2^64/q)
+    # is precomputable, so the quotient estimate needs only two shifted
+    # multiplications by the (static) high pieces of w'.
+    _SHOUP_S2 = _U64(21)
+    _SHOUP_S1 = _U64(42)
+
+    def _precompute(self) -> None:
+        table = self._table
+        # mu = floor(2^{2r}/q) < 2^{r+1} <= 2^42, statically split at 21 bits
+        # so the quotient-estimation product stays inside uint64.
+        self._mu_hi = table(lambda v: ((1 << (2 * v.bit_length())) // v) >> 21)
+        self._mu_lo = table(lambda v: ((1 << (2 * v.bit_length())) // v) & ((1 << 21) - 1))
+        self._s1 = table(lambda v: v.bit_length() - 1)  # x >> (r-1)
+        self._s1c = table(lambda v: 65 - v.bit_length())  # hi's share of that shift
+        self._s2 = table(lambda v: v.bit_length() + 1)  # ... >> (r+1)
+        self._s3 = table(lambda v: max(v.bit_length() - 20, 1))  # mu_hi's share
+        self._s4 = table(lambda v: max(v.bit_length() - 21, 1))  # fast-path x-shift
+        self._q2 = table(lambda v: 2 * v)
+        # For moduli of >= 22 bits (every RNS prime; toy moduli fall back),
+        # x >> (r-1) = (p1 + (p0 >> 20)) >> (r-21) exactly by the nested-
+        # floor identity — no 128-bit (hi, lo) assembly needed.
+        self._wide = all(
+            int(v).bit_length() >= 22 for v in np.atleast_1d(self.q).ravel()
+        )
+
+    def _reduce_wide(self, hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+        """Map an exact (hi, lo) value < q^2 to its canonical residue.
+
+        ``q_est = ((x >> (r-1)) * mu) >> (r+1)`` with the mu product split
+        as ``mu = mu_hi * 2^21 + mu_lo``; distributing the floor over the
+        two partials undershoots by at most one more than classic Barrett's
+        two, so the remainder lands in [0, 4q) and two conditional
+        subtracts (one by 2q, one by q) finish the reduction.
+        """
+        xs = (lo >> self._s1) | (hi << self._s1c)  # exact x >> (r-1), < 2^{r+1}
+        q_est = ((xs * self._mu_hi) >> self._s3) + ((xs * self._mu_lo) >> self._s2)
+        t = lo - q_est * self.q  # exact mod 2^64; true value in [0, 4q)
+        t = _csub(t, self._q2)
+        return _csub(t, self.q)
+
+    def mul(self, a: np.ndarray, b) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        if not self._wide:
+            return self._reduce_wide(*_mul128_41(a, b))
+        b_hi = b >> _SPLIT20
+        b_lo = b & _MASK20
+        p1 = a * b_hi
+        p0 = a * b_lo
+        xs = (p1 + (p0 >> _SPLIT20)) >> self._s4  # exact x >> (r-1)
+        q_est = ((xs * self._mu_hi) >> self._s3) + ((xs * self._mu_lo) >> self._s2)
+        t = a * b - q_est * self.q  # exact mod 2^64; true value in [0, 4q)
+        t = _csub(t, self._q2)
+        return _csub(t, self.q)
+
+    def reduce(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.uint64)
+        return self._reduce_wide(np.zeros_like(x), x)
+
+    def pre(self, b) -> np.ndarray:
+        """Stack ``[w, w' >> 43, (w' >> 22) & mask21]`` for Shoup quotients.
+
+        ``w' = floor(w * 2^64 / q)`` is computed exactly on Python ints
+        (a one-time cost — pre-forms are cached with the twiddle tables).
+        Only the top two 21-bit pieces of w' are kept: the discarded low
+        piece contributes < 1 to the quotient estimate, folded into the
+        conditional-subtract budget.
+        """
+        b = np.asarray(b, dtype=np.uint64)
+        shape = np.broadcast_shapes(b.shape, np.shape(self.q))
+        # 0-d object arrays decay to Python ints under ufuncs; compute 1-d.
+        shoup = (np.atleast_1d(b).astype(object) << 64) // np.atleast_1d(self.q).astype(object)
+        w2 = (shoup >> 43).astype(np.uint64).reshape(shape)
+        w1 = ((shoup >> 22) & ((1 << 21) - 1)).astype(np.uint64).reshape(shape)
+        return np.stack([np.broadcast_to(b, shape), w2, w1])
+
+    def mul_pre(self, a: np.ndarray, b_pre: np.ndarray) -> np.ndarray:
+        """``a * w mod q`` via the precomputed Shoup pieces of ``w``.
+
+        ``q_est = mulhi(a, w')`` undershoots by at most 2 (two dropped
+        floor corrections plus the discarded low piece), so the remainder
+        sits in [0, 4q) and the usual 2q/q cascade finishes.
+        """
+        a = np.asarray(a, dtype=np.uint64)
+        w, w2, w1 = b_pre[0], b_pre[1], b_pre[2]
+        q_est = ((a * w2) >> self._SHOUP_S2) + ((a * w1) >> self._SHOUP_S1)
+        t = a * w - q_est * self.q
+        t = _csub(t, self._q2)
+        return _csub(t, self.q)
+
+
+# ---------------------------------------------------------------------------
+# montgomery: word-size REDC with constants kept in the Montgomery domain
+# ---------------------------------------------------------------------------
+
+
+class MontgomeryKernel(ReducerKernel):
+    """Vectorized Montgomery REDC with ``R = 2^64`` (Table I rows 2–3).
+
+    ``mul(a, b)`` converts ``b`` into the Montgomery domain on the fly
+    (two REDCs total); hot paths precompute constants with :meth:`pre`
+    so every butterfly costs a single REDC — the software analogue of
+    keeping operands in the Montgomery domain across NTT stages.
+    """
+
+    name = "montgomery"
+    spec = REDUCER_SPECS["montgomery"]
+
+    def _precompute(self) -> None:
+        table = self._table
+        for v in np.atleast_1d(self.q).ravel():
+            if int(v) % 2 == 0:
+                raise ValueError(
+                    f"Montgomery needs odd moduli (q^-1 mod 2^64 must exist), got {int(v)}"
+                )
+        self._ninv = table(lambda v: (-pow(v, -1, 1 << 64)) % (1 << 64))
+        self._r2 = table(lambda v: (1 << 128) % v)
+        # 32/9-bit split of q for the m*q high-word product (m is full-width).
+        self._q_lo32 = table(lambda v: v & 0xFFFFFFFF)
+        self._q_hi32 = table(lambda v: v >> 32)
+
+    def _mulhi_mq(self, m: np.ndarray) -> np.ndarray:
+        """High 64 bits of ``m * q`` for full-width ``m`` (q < 2^41)."""
+        m_lo = m & _MASK32
+        m_hi = m >> _S32
+        ll = m_lo * self._q_lo32
+        lh = m_lo * self._q_hi32
+        hl = m_hi * self._q_lo32
+        mid = (ll >> _S32) + (lh & _MASK32) + (hl & _MASK32)
+        return m_hi * self._q_hi32 + (lh >> _S32) + (hl >> _S32) + (mid >> _S32)
+
+    def _redc(self, hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+        """REDC of a (hi, lo) value ``t < q * 2^64``: ``t * 2^-64 mod q``."""
+        m = lo * self._ninv  # wraps mod 2^64 — exactly t * (-q^-1) mod R
+        # t + m*q has zero low word; its high word is hi + mulhi(m, q) plus
+        # the carry out of the low word, which is 1 iff lo != 0 (mq_lo ≡ -lo).
+        u = hi + self._mulhi_mq(m) + (lo != 0)
+        return _csub(u, self.q)
+
+    def to_montgomery(self, a: np.ndarray) -> np.ndarray:
+        """Map canonical residues into the Montgomery domain (``a * R mod q``)."""
+        a = np.asarray(a, dtype=np.uint64)
+        return self._redc(*_mul128_41(a, self._r2))
+
+    def from_montgomery(self, a_mont: np.ndarray) -> np.ndarray:
+        """Map Montgomery-domain values back to canonical residues."""
+        a_mont = np.asarray(a_mont, dtype=np.uint64)
+        return self._redc(np.zeros_like(a_mont), a_mont)
+
+    def mul(self, a: np.ndarray, b) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        return self._redc(*_mul128_41(a, self.to_montgomery(b)))
+
+    def pre(self, b) -> np.ndarray:
+        return self.to_montgomery(np.asarray(b, dtype=np.uint64))
+
+    def mul_pre(self, a: np.ndarray, b_pre: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint64)
+        return self._redc(*_mul128_41(a, b_pre))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_BACKENDS: dict[str, type[ReducerKernel]] = {
+    GenericSplitKernel.name: GenericSplitKernel,
+    BarrettKernel.name: BarrettKernel,
+    MontgomeryKernel.name: MontgomeryKernel,
+}
+
+# Barrett is the default: it needs no domain bookkeeping and replaces every
+# division with mul/shift/csub — the biggest portable speed lever.  Override
+# process-wide with REPRO_REDUCER_BACKEND or set_default_backend().
+_DEFAULT_BACKEND = os.environ.get("REPRO_REDUCER_BACKEND", "barrett")
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered reducer backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str | None = None) -> type[ReducerKernel]:
+    """Look up a backend class by name (default backend when ``None``)."""
+    key = name or _DEFAULT_BACKEND
+    try:
+        return _BACKENDS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown reducer backend {key!r}; available: {available_backends()}"
+        ) from None
+
+
+def default_backend_name() -> str:
+    """The process-wide default backend name."""
+    if _DEFAULT_BACKEND not in _BACKENDS:
+        raise ValueError(
+            f"REPRO_REDUCER_BACKEND={_DEFAULT_BACKEND!r} is not one of "
+            f"{available_backends()}"
+        )
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(name: str) -> str:
+    """Switch the process-wide default backend; returns the previous name."""
+    global _DEFAULT_BACKEND
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown reducer backend {name!r}; available: {available_backends()}"
+        )
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = name
+    return previous
+
+
+class using_backend:
+    """Context manager scoping a default-backend override.
+
+    >>> with using_backend("montgomery"):
+    ...     ct = ctx.encrypt(msg)
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._previous: str | None = None
+
+    def __enter__(self) -> str:
+        self._previous = set_default_backend(self._name)
+        return self._name
+
+    def __exit__(self, *exc) -> None:
+        assert self._previous is not None
+        set_default_backend(self._previous)
+
+
+def make_kernel(moduli, backend: str | None = None) -> ReducerKernel:
+    """Instantiate a kernel for a modulus (array) under a backend."""
+    return get_backend(backend)(moduli)
+
+
+_SCALAR_KERNELS: dict[tuple[str, int], ReducerKernel] = {}
+
+
+def kernel_for_modulus(q: int, backend: str | None = None) -> ReducerKernel:
+    """Process-level cached scalar kernel for one modulus.
+
+    NTT contexts and ad-hoc callers share instances so per-prime tables
+    (``mu``, ``-q^-1 mod R``, ``R^2 mod q``) are computed once.
+    """
+    name = backend or default_backend_name()
+    key = (name, q)
+    kernel = _SCALAR_KERNELS.get(key)
+    if kernel is None:
+        kernel = make_kernel(q, name)
+        _SCALAR_KERNELS[key] = kernel
+    return kernel

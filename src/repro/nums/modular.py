@@ -4,19 +4,26 @@ Two layers live here:
 
 * exact scalar helpers on Python ints (``mod_pow``, ``mod_inv``,
   ``primitive_root`` …) used for parameter generation and test oracles;
-* vectorized uint64 kernels (``mulmod_vec`` and friends) used by the RNS
-  polynomial layer.  Products of two < 2^36 residues need 72 bits, which
-  overflows uint64, so ``mulmod_vec`` splits one operand into 18-bit halves
-  — every intermediate then fits in 54 bits.  This mirrors the way the
-  accelerator's datapath is sized (44-bit integers, Section III) without
-  resorting to Python-object arrays.
+* vectorized uint64 wrappers (``mulmod_vec`` and friends) that normalize
+  arbitrary inputs and dispatch to the process-default reducer backend in
+  :mod:`repro.nums.kernels`.  Hot paths (the RNS polynomial layer, NTT
+  butterflies) bind a :class:`~repro.nums.kernels.ReducerKernel` directly
+  and skip the normalization; these wrappers remain for ad-hoc callers
+  and as the stable legacy API.
+
+The root-finding helpers are memoized: parameter generation calls
+``nth_root_of_unity`` once per (degree, prime) pair but the underlying
+trial-division factorization of ``q - 1`` is shared across all of them.
 """
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 import numpy as np
+
+from repro.nums.kernels import kernel_for_modulus
 
 __all__ = [
     "mod_pow",
@@ -25,20 +32,13 @@ __all__ = [
     "primitive_root",
     "nth_root_of_unity",
     "centered",
+    "centered_vec",
     "mulmod_vec",
     "addmod_vec",
     "submod_vec",
     "negmod_vec",
     "powmod_vec",
 ]
-
-# Residues handled by the vectorized kernels must stay below 2^SPLIT_LIMIT
-# so the 18-bit split keeps intermediates inside uint64: the largest partial
-# product is a * b_hi < 2^limit * 2^(limit - SPLIT_BITS), so limit <= 41.
-# 36-bit primes (the paper's double-scale choice) fit with room to spare.
-SPLIT_BITS = 18
-SPLIT_LIMIT = 41
-
 
 def mod_pow(base: int, exponent: int, modulus: int) -> int:
     """``base ** exponent mod modulus`` on exact ints."""
@@ -71,6 +71,7 @@ def multiplicative_order(value: int, modulus: int, factored_group_order: dict[in
     return order
 
 
+@lru_cache(maxsize=None)
 def _factorize(n: int) -> dict[int, int]:
     """Trial-division factorization, adequate for q-1 of 32–60-bit primes.
 
@@ -93,8 +94,9 @@ def _factorize(n: int) -> dict[int, int]:
     return factors
 
 
+@lru_cache(maxsize=None)
 def primitive_root(prime: int) -> int:
-    """Smallest primitive root modulo an odd prime."""
+    """Smallest primitive root modulo an odd prime (memoized per prime)."""
     group = prime - 1
     factors = _factorize(group)
     for candidate in range(2, prime):
@@ -103,8 +105,13 @@ def primitive_root(prime: int) -> int:
     raise ValueError(f"no primitive root found for {prime} (is it prime?)")
 
 
+@lru_cache(maxsize=None)
 def nth_root_of_unity(n: int, prime: int) -> int:
-    """A primitive n-th root of unity mod ``prime`` (requires n | prime-1)."""
+    """A primitive n-th root of unity mod ``prime`` (requires n | prime-1).
+
+    Memoized: every ``NttContext.create`` for the same (degree, prime)
+    pair reuses the factorization and root search.
+    """
     if (prime - 1) % n != 0:
         raise ValueError(f"{n} does not divide {prime}-1; no n-th root exists")
     g = primitive_root(prime)
@@ -124,72 +131,59 @@ def centered(value: int, modulus: int) -> int:
     return value
 
 
-# ---------------------------------------------------------------------------
-# Vectorized uint64 kernels
-# ---------------------------------------------------------------------------
+def centered_vec(residues: np.ndarray, modulus: int) -> np.ndarray:
+    """Vectorized :func:`centered`: canonical residues -> int64 lifts."""
+    r = np.asarray(residues, dtype=np.uint64).astype(np.int64)
+    return np.where(r > modulus // 2, r - modulus, r)
 
 
-def _check_modulus(q: int) -> None:
-    if q.bit_length() > SPLIT_LIMIT:
-        raise ValueError(
-            f"modulus {q} has {q.bit_length()} bits; vectorized kernels support "
-            f"at most {SPLIT_LIMIT} bits (paper uses 32–36-bit primes)"
-        )
+# ---------------------------------------------------------------------------
+# Vectorized uint64 wrappers over the pluggable reducer backends
+# ---------------------------------------------------------------------------
 
 
 def mulmod_vec(a: np.ndarray, b: np.ndarray | int, q: int) -> np.ndarray:
     """Elementwise ``a * b mod q`` on uint64 arrays without overflow.
 
-    Splits ``b`` into high/low 18-bit halves: ``a*b = (a*b_hi mod q) << 18
-    + a*b_lo`` with every partial product below 2^(46+18) — safely inside
-    uint64 after the interleaved reductions.
+    Inputs of arbitrary magnitude are normalized into ``[0, q)`` first,
+    then the product is taken by the process-default reducer backend
+    (see :mod:`repro.nums.kernels`); with the ``barrett`` default no
+    integer division runs on the product path.
     """
-    _check_modulus(q)
+    kern = kernel_for_modulus(q)
     qq = np.uint64(q)
     a = np.asarray(a, dtype=np.uint64) % qq
     b_arr = np.asarray(b, dtype=np.uint64) % qq
-    b_hi = b_arr >> np.uint64(SPLIT_BITS)
-    b_lo = b_arr & np.uint64((1 << SPLIT_BITS) - 1)
-    hi = (a * b_hi) % qq
-    hi = (hi << np.uint64(SPLIT_BITS)) % qq
-    lo = (a * b_lo) % qq
-    return (hi + lo) % qq
+    return kern.mul(a, b_arr)
+
+
+# The additive wrappers need no reducer tables, so they keep the seed's
+# any-modulus contract (even or > 41-bit moduli included) instead of
+# routing through kernel construction.
 
 
 def addmod_vec(a: np.ndarray, b: np.ndarray | int, q: int) -> np.ndarray:
     """Elementwise modular addition."""
     qq = np.uint64(q)
-    a = np.asarray(a, dtype=np.uint64)
-    b = np.asarray(b, dtype=np.uint64)
-    return (a % qq + b % qq) % qq
+    s = np.asarray(a, dtype=np.uint64) % qq + np.asarray(b, dtype=np.uint64) % qq
+    return np.minimum(s, s - qq)  # s < 2q; the wrapped branch loses the min
 
 
 def submod_vec(a: np.ndarray, b: np.ndarray | int, q: int) -> np.ndarray:
     """Elementwise modular subtraction (wraps into [0, q))."""
     qq = np.uint64(q)
-    a = np.asarray(a, dtype=np.uint64) % qq
-    b = np.asarray(b, dtype=np.uint64) % qq
-    return (a + (qq - b)) % qq
+    d = np.asarray(a, dtype=np.uint64) % qq - np.asarray(b, dtype=np.uint64) % qq
+    return np.minimum(d, d + qq)  # d wrapped iff a < b; then d + q is canonical
 
 
 def negmod_vec(a: np.ndarray, q: int) -> np.ndarray:
     """Elementwise modular negation."""
     qq = np.uint64(q)
-    a = np.asarray(a, dtype=np.uint64) % qq
-    return (qq - a) % qq
+    r = np.asarray(a, dtype=np.uint64) % qq
+    return np.minimum(qq - r, np.uint64(0) - r)  # 0 - r wins only at r == 0
 
 
 def powmod_vec(a: np.ndarray, exponent: int, q: int) -> np.ndarray:
     """Elementwise ``a ** exponent mod q`` by square-and-multiply."""
-    _check_modulus(q)
-    if exponent < 0:
-        raise ValueError("negative exponents not supported; invert first")
-    result = np.ones_like(np.asarray(a, dtype=np.uint64))
-    base = np.asarray(a, dtype=np.uint64) % np.uint64(q)
-    e = exponent
-    while e:
-        if e & 1:
-            result = mulmod_vec(result, base, q)
-        base = mulmod_vec(base, base, q)
-        e >>= 1
-    return result
+    kern = kernel_for_modulus(q)
+    return kern.pow(np.asarray(a, dtype=np.uint64) % np.uint64(q), exponent)

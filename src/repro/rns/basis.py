@@ -1,20 +1,37 @@
-"""RNS modulus chains with per-prime NTT contexts.
+"""RNS modulus chains with per-prime NTT contexts and reducer tables.
 
 A CKKS modulus ``Q = q_0 * q_1 * ... * q_{L-1}`` is held as a chain of
 NTT-friendly primes.  The paper follows the double-scale technique of [1]:
 instead of ~72-bit scaling primes it uses pairs of 32–36-bit primes and
 doubles the level count (12 -> 24 for N = 2^16), which is what lets the
 datapath stay at 44 bits.
+
+The basis is also the cache root for everything precomputable per prime:
+
+* NTT contexts come from the process-level ``NttContext.cached`` store
+  keyed by ``(degree, modulus, backend)`` — two bases sharing primes
+  share twiddles;
+* ``kernel(level)`` hands out reducer kernels whose per-limb tables
+  (Barrett ``mu``, Montgomery ``-q^-1``/``R^2``) are broadcast as an
+  ``(level, 1)`` column over whole residue matrices;
+* ``batch_ntt(level)`` bundles the per-limb twiddles into one
+  :class:`~repro.transforms.ntt.BatchNtt` so a full ``(L, N)`` polynomial
+  transforms with one kernel dispatch per butterfly stage.
+
+Caches are keyed by the active reducer backend, so switching backends
+(e.g. ``with using_backend("montgomery")``) is safe mid-process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import cached_property
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.nums.crt import CrtSystem
+from repro.nums.kernels import ReducerKernel, default_backend_name, make_kernel
 from repro.nums.primegen import NttFriendlyPrime, prime_chain
-from repro.transforms.ntt import NttContext
+from repro.transforms.ntt import BatchNtt, NttContext
 from repro.utils.bitops import ilog2
 
 __all__ = ["RnsBasis"]
@@ -32,6 +49,12 @@ class RnsBasis:
 
     degree: int
     primes: tuple[NttFriendlyPrime, ...]
+    _kernel_cache: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+    _batch_ntt_cache: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
 
     @classmethod
     def create(
@@ -61,10 +84,47 @@ class RnsBasis:
     def moduli(self) -> tuple[int, ...]:
         return tuple(p.value for p in self.primes)
 
-    @cached_property
+    @property
     def ntt_contexts(self) -> tuple[NttContext, ...]:
-        """One merged-twiddle NTT context per limb (built lazily)."""
-        return tuple(NttContext.create(self.degree, q) for q in self.moduli)
+        """One merged-twiddle NTT context per limb.
+
+        A plain property (not cached on the basis): contexts come from
+        the process-level store keyed by the *active* backend, so a
+        ``using_backend`` switch is reflected immediately.
+        """
+        return tuple(NttContext.cached(self.degree, q) for q in self.moduli)
+
+    # ------------------------------------------------------------------
+    # Reducer tables (cached per level and active backend)
+    # ------------------------------------------------------------------
+
+    def kernel(self, level: int) -> ReducerKernel:
+        """Reducer kernel over the first ``level`` limbs as an (L, 1) column.
+
+        The returned kernel broadcasts per-row moduli over ``(level, N)``
+        residue matrices; its precomputed tables are cached on the basis
+        per (level, backend).
+        """
+        self._check_level(level)
+        key = (level, default_backend_name())
+        kern = self._kernel_cache.get(key)
+        if kern is None:
+            q_col = np.array(self.moduli[:level], dtype=np.uint64).reshape(-1, 1)
+            kern = make_kernel(q_col)
+            self._kernel_cache[key] = kern
+        return kern
+
+    def batch_ntt(self, level: int) -> BatchNtt:
+        """Whole-matrix NTT over the first ``level`` limbs (cached)."""
+        self._check_level(level)
+        key = (level, default_backend_name())
+        bat = self._batch_ntt_cache.get(key)
+        if bat is None:
+            bat = BatchNtt.create(self.degree, self.moduli[:level])
+            self._batch_ntt_cache[key] = bat
+        return bat
+
+    # ------------------------------------------------------------------
 
     def crt(self, level: int) -> CrtSystem:
         """CRT data for the first ``level`` limbs."""

@@ -7,6 +7,14 @@ coefficient-domain poly to an evaluation-domain one, multiplying outside
 the evaluation domain, …) raises immediately rather than silently
 corrupting ciphertexts.
 
+All arithmetic runs as whole-``(L, N)``-matrix kernel calls with per-row
+modulus broadcasting (``RnsBasis.kernel``) — one vectorized dispatch per
+operation instead of a Python loop over limbs — and the NTT round trips
+go through :class:`~repro.transforms.ntt.BatchNtt`, which butterflies all
+limbs in lockstep the way the accelerator streams its lanes.  The active
+reducer backend (Barrett by default) decides how each modular product is
+reduced; results are bit-identical across backends.
+
 The big-integer lift (:meth:`to_bigints`) and its inverse are the exact
 CRT reference paths the MSE hardware implements as "Expand RNS" and
 "Combine CRT" (Fig. 2a).
@@ -18,7 +26,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nums.modular import addmod_vec, mulmod_vec, negmod_vec, submod_vec
 from repro.rns.basis import RnsBasis
 
 __all__ = ["RnsPolynomial", "COEFF", "EVAL"]
@@ -72,10 +79,8 @@ class RnsPolynomial:
         coeffs = np.asarray(coeffs, dtype=np.int64)
         if coeffs.shape != (basis.degree,):
             raise ValueError(f"expected {basis.degree} coefficients")
-        rows = [
-            (coeffs % np.int64(q)).astype(np.uint64) for q in basis.moduli[:level]
-        ]
-        return cls(basis, np.stack(rows), COEFF)
+        moduli = np.array(basis.moduli[:level], dtype=np.int64).reshape(-1, 1)
+        return cls(basis, (coeffs[np.newaxis, :] % moduli).astype(np.uint64), COEFF)
 
     @classmethod
     def from_bigint_coeffs(
@@ -108,27 +113,26 @@ class RnsPolynomial:
     def copy(self) -> "RnsPolynomial":
         return RnsPolynomial(self.basis, self.data.copy(), self.domain)
 
+    def _kernel(self, level: int | None = None):
+        return self.basis.kernel(self.level if level is None else level)
+
     # ------------------------------------------------------------------
     # Domain transforms
     # ------------------------------------------------------------------
 
     def to_eval(self) -> "RnsPolynomial":
-        """Coefficient -> NTT domain, limb by limb."""
+        """Coefficient -> NTT domain, all limbs batched."""
         if self.domain == EVAL:
             return self.copy()
-        rows = [
-            self.basis.ntt_contexts[i].forward(self.data[i]) for i in range(self.level)
-        ]
-        return RnsPolynomial(self.basis, np.stack(rows), EVAL)
+        out = self.basis.batch_ntt(self.level).forward(self.data)
+        return RnsPolynomial(self.basis, out, EVAL)
 
     def to_coeff(self) -> "RnsPolynomial":
-        """NTT -> coefficient domain, limb by limb."""
+        """NTT -> coefficient domain, all limbs batched."""
         if self.domain == COEFF:
             return self.copy()
-        rows = [
-            self.basis.ntt_contexts[i].inverse(self.data[i]) for i in range(self.level)
-        ]
-        return RnsPolynomial(self.basis, np.stack(rows), COEFF)
+        out = self.basis.batch_ntt(self.level).inverse(self.data)
+        return RnsPolynomial(self.basis, out, COEFF)
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -143,34 +147,24 @@ class RnsPolynomial:
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         lvl = self._check_compatible(other)
-        rows = [
-            addmod_vec(self.data[i], other.data[i], self.basis.moduli[i])
-            for i in range(lvl)
-        ]
-        return RnsPolynomial(self.basis, np.stack(rows), self.domain)
+        out = self._kernel(lvl).add(self.data[:lvl], other.data[:lvl])
+        return RnsPolynomial(self.basis, out, self.domain)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         lvl = self._check_compatible(other)
-        rows = [
-            submod_vec(self.data[i], other.data[i], self.basis.moduli[i])
-            for i in range(lvl)
-        ]
-        return RnsPolynomial(self.basis, np.stack(rows), self.domain)
+        out = self._kernel(lvl).sub(self.data[:lvl], other.data[:lvl])
+        return RnsPolynomial(self.basis, out, self.domain)
 
     def __neg__(self) -> "RnsPolynomial":
-        rows = [negmod_vec(self.data[i], self.basis.moduli[i]) for i in range(self.level)]
-        return RnsPolynomial(self.basis, np.stack(rows), self.domain)
+        return RnsPolynomial(self.basis, self._kernel().neg(self.data), self.domain)
 
     def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Pointwise product — only legal in the evaluation domain."""
         if self.domain != EVAL or other.domain != EVAL:
             raise ValueError("polynomial products require the NTT domain; call to_eval()")
         lvl = self._check_compatible(other)
-        rows = [
-            mulmod_vec(self.data[i], other.data[i], self.basis.moduli[i])
-            for i in range(lvl)
-        ]
-        return RnsPolynomial(self.basis, np.stack(rows), EVAL)
+        out = self._kernel(lvl).mul(self.data[:lvl], other.data[:lvl])
+        return RnsPolynomial(self.basis, out, EVAL)
 
     def scale_scalar(self, scalars: int | list[int]) -> "RnsPolynomial":
         """Multiply by a scalar (single int, or one residue per limb)."""
@@ -180,11 +174,9 @@ class RnsPolynomial:
             if len(scalars) != self.level:
                 raise ValueError("need one scalar per active limb")
             per_limb = [int(s) % q for s, q in zip(scalars, self.moduli())]
-        rows = [
-            mulmod_vec(self.data[i], per_limb[i], self.basis.moduli[i])
-            for i in range(self.level)
-        ]
-        return RnsPolynomial(self.basis, np.stack(rows), self.domain)
+        col = np.array(per_limb, dtype=np.uint64).reshape(-1, 1)
+        out = self._kernel().mul(self.data, col)
+        return RnsPolynomial(self.basis, out, self.domain)
 
     def automorphism(self, k: int) -> "RnsPolynomial":
         """Apply X -> X^k (k odd) in the coefficient domain.
@@ -202,14 +194,10 @@ class RnsPolynomial:
         dest = (src * k) % (2 * n)
         wrap = dest >= n
         dest_idx = np.where(wrap, dest - n, dest)
-        rows = []
-        for i in range(self.level):
-            q = self.basis.moduli[i]
-            out = np.zeros(n, dtype=np.uint64)
-            vals = self.data[i]
-            out[dest_idx] = np.where(wrap, (np.uint64(q) - vals) % np.uint64(q), vals)
-            rows.append(out)
-        return RnsPolynomial(self.basis, np.stack(rows), COEFF)
+        out = np.empty_like(self.data)
+        negated = self._kernel().neg(self.data)
+        out[:, dest_idx] = np.where(wrap[np.newaxis, :], negated, self.data)
+        return RnsPolynomial(self.basis, out, COEFF)
 
     # ------------------------------------------------------------------
     # Level manipulation (rescale / mod-down)
@@ -225,24 +213,25 @@ class RnsPolynomial:
         """Divide by the last limb's prime (CKKS rescale), dropping one level.
 
         Computes ``(x - [x]_{q_last}) * q_last^{-1}`` limb-wise — the exact
-        RNS rescaling of Cheon et al.'s RNS-CKKS variant.  Requires the
-        coefficient domain is NOT required: the correction term is the last
-        limb's residues, which must first be brought to the coefficient
-        domain if in NTT form; for simplicity we require coefficient domain.
+        RNS rescaling of Cheon et al.'s RNS-CKKS variant — as two
+        whole-matrix kernel calls: the last limb's residues are re-reduced
+        onto every remaining row, subtracted, and scaled by the
+        per-row inverse column.
         """
         if self.level < 2:
             raise ValueError("cannot rescale below one limb")
         if self.domain != COEFF:
             raise ValueError("rescale operates in the coefficient domain")
-        q_last = self.basis.moduli[self.level - 1]
-        last = self.data[self.level - 1]
-        rows = []
-        for i in range(self.level - 1):
-            q_i = self.basis.moduli[i]
-            inv = pow(q_last, -1, q_i)
-            diff = submod_vec(self.data[i], last % np.uint64(q_i), q_i)
-            rows.append(mulmod_vec(diff, inv, q_i))
-        return RnsPolynomial(self.basis, np.stack(rows), COEFF)
+        lvl = self.level
+        q_last = self.basis.moduli[lvl - 1]
+        kern = self._kernel(lvl - 1)
+        last = np.broadcast_to(self.data[lvl - 1], (lvl - 1, self.degree))
+        diff = kern.sub(self.data[: lvl - 1], kern.reduce(last))
+        inv_col = np.array(
+            [pow(q_last, -1, q_i) for q_i in self.basis.moduli[: lvl - 1]],
+            dtype=np.uint64,
+        ).reshape(-1, 1)
+        return RnsPolynomial(self.basis, kern.mul(diff, inv_col), COEFF)
 
     # ------------------------------------------------------------------
     # Exact lifts

@@ -21,7 +21,7 @@ from repro.transforms.dataflow import (
 )
 from repro.transforms.fft import SpecialFft, embedding_matrix
 from repro.transforms.fp_custom import FP32_LIKE, FP55, FP64, FloatFormat
-from repro.transforms.ntt import NttContext, negacyclic_mul_naive
+from repro.transforms.ntt import BatchNtt, NttContext, negacyclic_mul_naive
 from repro.transforms.twiddle import (
     OnTheFlyTwiddleGenerator,
     StageSeed,
@@ -29,6 +29,7 @@ from repro.transforms.twiddle import (
 )
 
 __all__ = [
+    "BatchNtt",
     "FP32_LIKE",
     "FP55",
     "FP64",

@@ -8,21 +8,45 @@ the ψ powers are folded into the per-stage butterfly twiddles so no separate
 pre/post multiplier columns are needed — the property that lets the RFE hit
 the theoretical minimum of ``P/2 * log2 N`` pipeline multipliers.
 
-The kernels are fully vectorized: each stage reshapes the coefficient array
-into ``(blocks, 2, half)`` and applies one broadcasted modular multiply,
-mirroring one pipeline stage of a PNL.
+The kernels are fully vectorized and reducer-aware: every butterfly
+multiply goes through a pluggable :class:`~repro.nums.kernels.ReducerKernel`
+(Barrett by default — no integer division on the hot path), with the
+twiddle tables held in the backend's precomputed form (Montgomery domain
+for the ``montgomery`` backend, mirroring hardware that keeps operands in
+the domain across pipeline stages).  Butterfly sums use *lazy reduction*:
+stage outputs live in ``[0, 2q)`` and are renormalized once at the top of
+the next stage — one conditional subtract per element per stage instead of
+a full reduction per operation.
+
+Two transform front-ends share the tables:
+
+* :class:`NttContext` — one (degree, modulus) pair, the classic per-limb
+  API, with a process-level cache (:meth:`NttContext.cached`) so repeated
+  ``RnsBasis``/key-generation paths never rebuild twiddles;
+* :class:`BatchNtt` — all limbs of an RNS basis at once as one
+  ``(L, N)`` matrix op per stage with per-row modulus broadcasting, the
+  software analogue of the accelerator streaming all lanes in lockstep.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
-from repro.nums.modular import mod_inv, mulmod_vec, nth_root_of_unity
+from repro.nums.kernels import ReducerKernel, _csub, default_backend_name, kernel_for_modulus
+from repro.nums.modular import mod_inv, nth_root_of_unity
 from repro.utils.bitops import bit_reverse, ilog2
 
-__all__ = ["NttContext", "negacyclic_mul_naive"]
+__all__ = ["NttContext", "BatchNtt", "negacyclic_mul_naive"]
+
+
+def _canonicalize(a: np.ndarray, q) -> np.ndarray:
+    """Bring an arbitrary uint64 array into [0, q) (cheap when already there)."""
+    if int(a.max(initial=0)) >= int(np.max(q)):
+        return a % np.asarray(q, dtype=np.uint64)
+    return a
 
 
 @dataclass(frozen=True)
@@ -36,6 +60,10 @@ class NttContext:
         psi_rev: merged Cooley–Tukey twiddles, ``psi^{bitrev(j)}``.
         psi_inv_rev: merged Gentleman–Sande twiddles for the inverse.
         n_inv: ``N^{-1} mod q`` folded into the inverse's last stage.
+        backend: reducer-backend name the butterfly kernels run on.
+        kernel: the bound :class:`ReducerKernel` instance.
+        psi_pre / psi_inv_pre / n_inv_pre: twiddles in the backend's
+            precomputed constant form (see ``ReducerKernel.pre``).
     """
 
     degree: int
@@ -44,9 +72,16 @@ class NttContext:
     psi_rev: np.ndarray
     psi_inv_rev: np.ndarray
     n_inv: int
+    backend: str = field(default="", compare=False)
+    kernel: ReducerKernel = field(default=None, repr=False, compare=False)
+    psi_pre: np.ndarray = field(default=None, repr=False, compare=False)
+    psi_inv_pre: np.ndarray = field(default=None, repr=False, compare=False)
+    n_inv_pre: np.ndarray = field(default=None, repr=False, compare=False)
 
     @classmethod
-    def create(cls, degree: int, modulus: int, psi: int | None = None) -> "NttContext":
+    def create(
+        cls, degree: int, modulus: int, psi: int | None = None, backend: str | None = None
+    ) -> "NttContext":
         """Build tables; derives ψ from the field structure unless given."""
         log_n = ilog2(degree)
         if (modulus - 1) % (2 * degree) != 0:
@@ -71,14 +106,37 @@ class NttContext:
             psi_inv_rev[j] = power_inv
             power = power * psi % modulus
             power_inv = power_inv * psi_inv % modulus
+        backend_name = backend or default_backend_name()
+        kernel = kernel_for_modulus(modulus, backend_name)
+        n_inv = mod_inv(degree, modulus)
         return cls(
             degree=degree,
             modulus=modulus,
             psi=psi,
             psi_rev=psi_rev,
             psi_inv_rev=psi_inv_rev,
-            n_inv=mod_inv(degree, modulus),
+            n_inv=n_inv,
+            backend=backend_name,
+            kernel=kernel,
+            psi_pre=kernel.pre(psi_rev),
+            psi_inv_pre=kernel.pre(psi_inv_rev),
+            n_inv_pre=kernel.pre(np.uint64(n_inv)),
         )
+
+    # Process-level context cache: twiddle generation is O(N) Python work
+    # per (degree, prime), and RNS bases / key generators ask for the same
+    # pairs over and over.
+    _CACHE: ClassVar[dict[tuple[int, int, str], "NttContext"]] = {}
+
+    @classmethod
+    def cached(cls, degree: int, modulus: int, backend: str | None = None) -> "NttContext":
+        """Shared context for a (degree, modulus) pair under a backend."""
+        key = (degree, modulus, backend or default_backend_name())
+        ctx = cls._CACHE.get(key)
+        if ctx is None:
+            ctx = cls.create(degree, modulus, backend=key[2])
+            cls._CACHE[key] = ctx
+        return ctx
 
     # ------------------------------------------------------------------
     # Transforms
@@ -91,43 +149,50 @@ class NttContext:
         consumes that order directly, so no explicit permutation is needed
         for multiply-round-trips (exactly how the streaming hardware chains
         NTT -> pointwise -> INTT).
+
+        Lazy reduction: intermediate values live in [0, 2q) and are pulled
+        back below q once per stage (a conditional subtract), not per op.
         """
-        n, q = self.degree, self.modulus
-        a = np.asarray(coeffs, dtype=np.uint64) % np.uint64(q)
+        n, q = self.degree, np.uint64(self.modulus)
+        a = np.asarray(coeffs, dtype=np.uint64)
         if a.shape != (n,):
             raise ValueError(f"expected shape ({n},), got {a.shape}")
+        a = _canonicalize(a, q).copy()
+        kern = self.kernel
         m = 1
         t = n
         while m < n:
             t //= 2
             view = a.reshape(m, 2, t)
-            factors = self.psi_rev[m : 2 * m].reshape(m, 1)
-            u = view[:, 0, :].copy()
-            v = mulmod_vec(view[:, 1, :], factors, q)
-            view[:, 0, :] = (u + v) % np.uint64(q)
-            view[:, 1, :] = (u + np.uint64(q) - v) % np.uint64(q)
+            factors = self.psi_pre[..., m : 2 * m, None]
+            u = _csub(view[:, 0, :], q)
+            v = kern.mul_pre(_csub(view[:, 1, :], q), factors)
+            view[:, 0, :] = u + v
+            view[:, 1, :] = u + (q - v)
             m *= 2
-        return a
+        return _csub(a, q)
 
     def inverse(self, evals: np.ndarray) -> np.ndarray:
         """Evaluation -> coefficient domain (merged GS INTT, scales by 1/N)."""
-        n, q = self.degree, self.modulus
-        a = np.asarray(evals, dtype=np.uint64) % np.uint64(q)
+        n, q = self.degree, np.uint64(self.modulus)
+        a = np.asarray(evals, dtype=np.uint64)
         if a.shape != (n,):
             raise ValueError(f"expected shape ({n},), got {a.shape}")
+        a = _canonicalize(a, q).copy()
+        kern = self.kernel
         t = 1
         m = n
         while m > 1:
             h = m // 2
             view = a.reshape(h, 2, t)
-            factors = self.psi_inv_rev[h : 2 * h].reshape(h, 1)
-            u = view[:, 0, :].copy()
-            v = view[:, 1, :].copy()
-            view[:, 0, :] = (u + v) % np.uint64(q)
-            view[:, 1, :] = mulmod_vec((u + np.uint64(q) - v) % np.uint64(q), factors, q)
+            factors = self.psi_inv_pre[..., h : 2 * h, None]
+            u = _csub(view[:, 0, :], q)
+            v = _csub(view[:, 1, :], q)
+            view[:, 0, :] = u + v
+            view[:, 1, :] = kern.mul_pre(kern.sub(u, v), factors)
             t *= 2
             m = h
-        return mulmod_vec(a, self.n_inv, q)
+        return kern.mul_pre(_csub(a, q), self.n_inv_pre)
 
     # ------------------------------------------------------------------
     # Convenience operations in the evaluation domain
@@ -135,11 +200,116 @@ class NttContext:
 
     def pointwise_mul(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:
         """Hadamard product of two evaluation-domain polynomials."""
-        return mulmod_vec(a_eval, b_eval, self.modulus)
+        q = np.uint64(self.modulus)
+        a = _canonicalize(np.asarray(a_eval, dtype=np.uint64), q)
+        b = _canonicalize(np.asarray(b_eval, dtype=np.uint64), q)
+        return self.kernel.mul(a, b)
 
     def negacyclic_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Full polynomial product in Z_q[X]/(X^N+1) via NTT round trip."""
         return self.inverse(self.pointwise_mul(self.forward(a), self.forward(b)))
+
+
+@dataclass(frozen=True)
+class BatchNtt:
+    """All limbs of an RNS prefix transformed as one matrix per stage.
+
+    Stacks the per-limb merged twiddles into ``(L, N)`` tables and runs
+    each butterfly stage as a single broadcasted kernel call over the
+    whole residue matrix — one numpy dispatch per stage for *all* limbs,
+    with per-row moduli broadcast from an ``(L, 1, 1)`` column.  Results
+    are bit-identical to looping :meth:`NttContext.forward` limb by limb.
+    """
+
+    degree: int
+    moduli: tuple[int, ...]
+    backend: str
+    kernel: ReducerKernel = field(repr=False, compare=False)
+    psi_pre: np.ndarray = field(repr=False, compare=False)
+    psi_inv_pre: np.ndarray = field(repr=False, compare=False)
+    n_inv_pre: np.ndarray = field(repr=False, compare=False)
+
+    @classmethod
+    def create(
+        cls, degree: int, moduli: tuple[int, ...], backend: str | None = None
+    ) -> "BatchNtt":
+        """Stack (cached) per-limb twiddles and precompute batched tables.
+
+        Tables are shaped ``(..., L, 1, N)`` — the trailing singleton keeps
+        the per-row moduli column ``(L, 1, 1)`` broadcasting against the
+        3-D ``(L, m, t)`` stage views; a leading axis (if any) carries the
+        backend's precomputed companions (e.g. Barrett's Shoup pieces).
+        """
+        backend_name = backend or default_backend_name()
+        contexts = [NttContext.cached(degree, q, backend_name) for q in moduli]
+        q_col = np.array(moduli, dtype=np.uint64).reshape(-1, 1, 1)
+        kernel = type(contexts[0].kernel)(q_col)
+        psi = np.stack([c.psi_rev for c in contexts]).reshape(-1, 1, degree)
+        psi_inv = np.stack([c.psi_inv_rev for c in contexts]).reshape(-1, 1, degree)
+        n_inv = np.array([c.n_inv for c in contexts], dtype=np.uint64).reshape(-1, 1, 1)
+        return cls(
+            degree=degree,
+            moduli=tuple(moduli),
+            backend=backend_name,
+            kernel=kernel,
+            psi_pre=kernel.pre(psi),
+            psi_inv_pre=kernel.pre(psi_inv),
+            n_inv_pre=kernel.pre(n_inv),
+        )
+
+    @property
+    def num_limbs(self) -> int:
+        return len(self.moduli)
+
+    def _q_col(self) -> np.ndarray:
+        return self.kernel.q
+
+    def forward(self, mat: np.ndarray) -> np.ndarray:
+        """(L, N) coefficient rows -> evaluation rows, all limbs at once."""
+        lcount, n = self._check(mat)
+        q = self._q_col()
+        a = mat.astype(np.uint64, copy=True)
+        kern = self.kernel
+        m = 1
+        t = n
+        while m < n:
+            t //= 2
+            view = a.reshape(lcount, m, 2, t)
+            factors = self.psi_pre[..., 0, m : 2 * m, None]
+            u = _csub(view[:, :, 0, :], q)
+            v = kern.mul_pre(_csub(view[:, :, 1, :], q), factors)
+            view[:, :, 0, :] = u + v
+            view[:, :, 1, :] = u + (q - v)
+            m *= 2
+        return _csub(a.reshape(lcount, 1, n), q).reshape(lcount, n)
+
+    def inverse(self, mat: np.ndarray) -> np.ndarray:
+        """(L, N) evaluation rows -> coefficient rows, all limbs at once."""
+        lcount, n = self._check(mat)
+        q = self._q_col()
+        a = mat.astype(np.uint64, copy=True)
+        kern = self.kernel
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            view = a.reshape(lcount, h, 2, t)
+            factors = self.psi_inv_pre[..., 0, h : 2 * h, None]
+            u = _csub(view[:, :, 0, :], q)
+            v = _csub(view[:, :, 1, :], q)
+            view[:, :, 0, :] = u + v
+            view[:, :, 1, :] = kern.mul_pre(kern.sub(u, v), factors)
+            t *= 2
+            m = h
+        out = _csub(a.reshape(lcount, 1, n), q)
+        return kern.mul_pre(out, self.n_inv_pre).reshape(lcount, n)
+
+    def _check(self, mat: np.ndarray) -> tuple[int, int]:
+        if mat.ndim != 2 or mat.shape != (self.num_limbs, self.degree):
+            raise ValueError(
+                f"expected ({self.num_limbs}, {self.degree}) matrix, got {mat.shape}"
+            )
+        return mat.shape
 
 
 def negacyclic_mul_naive(a, b, modulus: int) -> np.ndarray:

@@ -1,0 +1,1 @@
+"""Test package (unique module namespace under pytest's import mode)."""

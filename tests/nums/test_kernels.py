@@ -1,0 +1,188 @@
+"""Property tests for the pluggable reducer backends.
+
+The contract under test: every backend computes *exactly* the same modular
+arithmetic as the Python-int oracle (``pow`` / ``%``) — the backends may
+only differ in instruction mix, never in results.  Probed across 32/36/41-
+bit NTT-friendly primes, the q^2 input boundary, zero/identity edge cases,
+and per-row matrix-moduli broadcasting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nums.kernels import (
+    KERNEL_LIMIT_BITS,
+    REDUCER_SPECS,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    kernel_for_modulus,
+    make_kernel,
+    set_default_backend,
+    using_backend,
+)
+from repro.nums.primegen import find_primes
+
+PRIMES = {bw: find_primes(bw, 1 << 12, max_count=1)[0].value for bw in (32, 36, 41)}
+BACKENDS = available_backends()
+
+
+@pytest.fixture(params=sorted(PRIMES), ids=lambda bw: f"bw{bw}")
+def prime(request):
+    return PRIMES[request.param]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def _edge_operands(q: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pairs hitting 0, 1, q-1 and the q^2 product boundary."""
+    edge = np.array([0, 1, q - 1, q // 2, q - 2], dtype=np.uint64)
+    a = np.concatenate([edge, edge, np.full(5, q - 1, dtype=np.uint64)])
+    b = np.concatenate([edge, edge[::-1], np.full(5, q - 1, dtype=np.uint64)])
+    return a, b
+
+
+class TestAgainstOracle:
+    def test_mul_random_and_edges(self, prime, backend, rng):
+        kern = make_kernel(prime, backend)
+        a = rng.integers(0, prime, 400).astype(np.uint64)
+        b = rng.integers(0, prime, 400).astype(np.uint64)
+        ea, eb = _edge_operands(prime)
+        a, b = np.concatenate([a, ea]), np.concatenate([b, eb])
+        expected = [int(x) * int(y) % prime for x, y in zip(a, b)]
+        assert kern.mul(a, b).tolist() == expected
+
+    def test_mul_pre_matches_mul(self, prime, backend, rng):
+        kern = make_kernel(prime, backend)
+        a = rng.integers(0, prime, 200).astype(np.uint64)
+        b = rng.integers(0, prime, 200).astype(np.uint64)
+        assert kern.mul_pre(a, kern.pre(b)).tolist() == kern.mul(a, b).tolist()
+
+    def test_add_sub_neg(self, prime, backend, rng):
+        kern = make_kernel(prime, backend)
+        a = rng.integers(0, prime, 300).astype(np.uint64)
+        b = rng.integers(0, prime, 300).astype(np.uint64)
+        ea, eb = _edge_operands(prime)
+        a, b = np.concatenate([a, ea]), np.concatenate([b, eb])
+        assert kern.add(a, b).tolist() == [(int(x) + int(y)) % prime for x, y in zip(a, b)]
+        assert kern.sub(a, b).tolist() == [(int(x) - int(y)) % prime for x, y in zip(a, b)]
+        assert kern.neg(a).tolist() == [(-int(x)) % prime for x in a]
+
+    def test_pow_matches_int_pow(self, prime, backend, rng):
+        kern = make_kernel(prime, backend)
+        a = rng.integers(0, prime, 40).astype(np.uint64)
+        for e in (0, 1, 2, 3, 17, 1 << 12):
+            assert kern.pow(a, e).tolist() == [pow(int(x), e, prime) for x in a]
+
+    def test_reduce_up_to_q_squared(self, prime, backend, rng):
+        kern = make_kernel(prime, backend)
+        hi = min(prime * prime, 1 << 63)
+        x = rng.integers(0, hi, 300).astype(np.uint64)
+        x = np.concatenate([x, np.array([0, 1, prime - 1, prime, 2 * prime - 1], dtype=np.uint64)])
+        assert kern.reduce(x).tolist() == [int(v) % prime for v in x]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_hypothesis_all_backends_agree(self, data):
+        q = data.draw(st.sampled_from(sorted(PRIMES.values())))
+        x = data.draw(st.integers(min_value=0, max_value=q - 1))
+        y = data.draw(st.integers(min_value=0, max_value=q - 1))
+        expected = x * y % q
+        for name in BACKENDS:
+            kern = kernel_for_modulus(q, name)
+            got = kern.mul(np.array([x], dtype=np.uint64), np.array([y], dtype=np.uint64))
+            assert int(got[0]) == expected, name
+
+
+class TestMatrixModuli:
+    """Per-row modulus broadcasting over (L, N) residue matrices."""
+
+    def test_column_broadcast(self, backend, rng):
+        moduli = sorted(PRIMES.values())
+        q_col = np.array(moduli, dtype=np.uint64).reshape(-1, 1)
+        kern = make_kernel(q_col, backend)
+        a = np.stack([rng.integers(0, m, 64) for m in moduli]).astype(np.uint64)
+        b = np.stack([rng.integers(0, m, 64) for m in moduli]).astype(np.uint64)
+        got = kern.mul(a, b)
+        for i, m in enumerate(moduli):
+            assert got[i].tolist() == [int(x) * int(y) % m for x, y in zip(a[i], b[i])]
+
+    def test_scalar_column_against_matrix(self, backend, rng):
+        moduli = sorted(PRIMES.values())
+        q_col = np.array(moduli, dtype=np.uint64).reshape(-1, 1)
+        kern = make_kernel(q_col, backend)
+        a = np.stack([rng.integers(0, m, 32) for m in moduli]).astype(np.uint64)
+        s = np.array([3, 5, 7], dtype=np.uint64).reshape(-1, 1)
+        got = kern.mul(a, s)
+        for i, m in enumerate(moduli):
+            assert got[i].tolist() == [int(x) * int(s[i, 0]) % m for x in a[i]]
+
+
+class TestRegistry:
+    def test_three_backends_registered(self):
+        assert set(BACKENDS) >= {"generic-split", "barrett", "montgomery"}
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown reducer backend"):
+            get_backend("fhe-on-an-abacus")
+        with pytest.raises(ValueError, match="unknown reducer backend"):
+            set_default_backend("fhe-on-an-abacus")
+
+    def test_using_backend_scopes_default(self):
+        before = default_backend_name()
+        other = next(n for n in BACKENDS if n != before)
+        with using_backend(other):
+            assert default_backend_name() == other
+        assert default_backend_name() == before
+
+    def test_kernel_for_modulus_is_cached(self):
+        q = PRIMES[36]
+        assert kernel_for_modulus(q, "barrett") is kernel_for_modulus(q, "barrett")
+
+    def test_rejects_wide_moduli(self, backend):
+        cls = get_backend(backend)
+        with pytest.raises(ValueError, match="at most"):
+            cls((1 << (KERNEL_LIMIT_BITS + 1)) + 1)
+
+    def test_even_moduli_montgomery_only(self, rng):
+        # Only Montgomery needs odd q (for q^-1 mod 2^64); the others keep
+        # the legacy any-modulus contract.
+        with pytest.raises(ValueError, match="odd"):
+            get_backend("montgomery")(1 << 20)
+        for q in (2, 100, (1 << 41) - 2):
+            a = rng.integers(0, q, 100).astype(np.uint64)
+            b = rng.integers(0, q, 100).astype(np.uint64)
+            expected = [int(x) * int(y) % q for x, y in zip(a, b)]
+            for name in ("barrett", "generic-split"):
+                assert make_kernel(q, name).mul(a, b).tolist() == expected, (name, q)
+
+    def test_specs_cover_table1(self):
+        assert set(REDUCER_SPECS) == {"barrett", "montgomery", "ntt_friendly"}
+        for spec in REDUCER_SPECS.values():
+            assert spec.multiplier_equivalents > 0
+            assert spec.pipeline_stages in (3, 4)
+
+    def test_hardware_spec_attached_to_kernels(self):
+        assert get_backend("barrett").spec is REDUCER_SPECS["barrett"]
+        assert get_backend("montgomery").spec is REDUCER_SPECS["montgomery"]
+        assert get_backend("generic-split").spec is None
+
+
+class TestMontgomeryDomain:
+    def test_domain_roundtrip(self, prime, rng):
+        kern = make_kernel(prime, "montgomery")
+        a = rng.integers(0, prime, 200).astype(np.uint64)
+        assert kern.from_montgomery(kern.to_montgomery(a)).tolist() == a.tolist()
+
+    def test_pre_is_montgomery_domain(self, prime):
+        kern = make_kernel(prime, "montgomery")
+        one = np.array([1], dtype=np.uint64)
+        # pre(1) = R mod q, the Montgomery image of the identity.
+        assert int(kern.pre(one)[0]) == (1 << 64) % prime

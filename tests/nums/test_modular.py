@@ -92,6 +92,16 @@ class TestVectorKernels:
         assert submod_vec(a, b, q).tolist() == [(int(x) - int(y)) % q for x, y in zip(a, b)]
         assert negmod_vec(a, q).tolist() == [(-int(x)) % q for x in a]
 
+    def test_additive_wrappers_accept_any_modulus(self, rng):
+        # add/sub/neg need no reducer tables, so even and > 41-bit moduli
+        # stay valid (the seed contract) — only mul/pow are kernel-bound.
+        for q in (100, 1 << 50):
+            a = rng.integers(0, q, 50).astype(np.uint64)
+            b = rng.integers(0, q, 50).astype(np.uint64)
+            assert addmod_vec(a, b, q).tolist() == [(int(x) + int(y)) % q for x, y in zip(a, b)]
+            assert submod_vec(a, b, q).tolist() == [(int(x) - int(y)) % q for x, y in zip(a, b)]
+            assert negmod_vec(a, q).tolist() == [(-int(x)) % q for x in a]
+
     def test_sub_then_add_roundtrip(self, rng):
         q = PRIME_SMALL
         a = rng.integers(0, q, 100).astype(np.uint64)

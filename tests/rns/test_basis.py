@@ -20,7 +20,16 @@ class TestCreate:
     def test_ntt_contexts_lazy_and_cached(self, basis):
         ctxs = basis.ntt_contexts
         assert len(ctxs) == basis.num_primes
-        assert basis.ntt_contexts is ctxs  # cached_property
+        # Contexts come from the process-level (degree, modulus, backend)
+        # store: identical instances on re-access under the same backend.
+        assert all(a is b for a, b in zip(ctxs, basis.ntt_contexts))
+
+    def test_ntt_contexts_follow_active_backend(self, basis):
+        from repro.nums.kernels import available_backends, using_backend
+
+        for name in available_backends():
+            with using_backend(name):
+                assert basis.ntt_contexts[0].backend == name
 
     def test_bad_degree(self):
         with pytest.raises(ValueError, match="power of two"):
