@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""Standalone performance runner for the key-switching engine.
+
+Times the hot primitives — mulmod, batched NTT, key switching, rotation
+(plain and hoisted), the BSGS linear layer, and a bootstrap step — against
+the pre-PR reference paths (per-digit loop key switching, coefficient-
+domain automorphisms, per-rotation digit expansion) and writes a
+machine-readable trajectory to ``BENCH_keyswitch.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --out path/to.json
+
+Runs from a checkout without installation (``src`` is added to the path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a bare checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.ckks import (
+    BootstrapConfig,
+    Bootstrapper,
+    Ciphertext,
+    CkksContext,
+    HomomorphicLinearTransform,
+    Plaintext,
+    toy_params,
+)
+from repro.ckks.keys import rotation_galois_elt
+from repro.nums.kernels import default_backend_name
+
+
+def _time(fn, repeats: int, warmup: int = 1) -> dict:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {"best_s": min(samples), "mean_s": sum(samples) / len(samples)}
+
+
+# ---------------------------------------------------------------------------
+# Pre-PR reference paths (per-digit loop, coeff-domain automorphisms)
+# ---------------------------------------------------------------------------
+
+
+def _rotate_reference(ev, ct: Ciphertext, steps: int, galois_keys) -> Ciphertext:
+    """The seed rotation: two coeff-domain automorphism round trips plus
+    the per-digit key-switch loop.
+
+    Decrypts to the same message as the engine's rotation but encodes a
+    different (equally valid) noise representative: the engine permutes
+    already-decomposed digits, the seed decomposed the permuted
+    polynomial (see ``KeySwitchEngine.permute``).
+    """
+    key = galois_keys[(steps, ct.level)]
+    galois_elt = rotation_galois_elt(steps, ev.params.slots, 2 * ev.basis.degree)
+    c0r = ct.parts[0].to_coeff().automorphism(galois_elt).to_eval()
+    c1r = ct.parts[1].to_coeff().automorphism(galois_elt).to_eval()
+    ks0, ks1 = ev.keyswitch.switch_reference(c1r, key)
+    return Ciphertext(parts=[c0r + ks0, ks1], scale=ct.scale)
+
+
+def _bsgs_reference(
+    hlt: HomomorphicLinearTransform, ct, galois_keys, coeff_diagonals
+) -> Ciphertext:
+    """The seed BSGS loop: one full rotation (no hoisting) per baby step
+    and coefficient-domain diagonals (one forward NTT per multiply)."""
+    ev = hlt.ctx.evaluator
+    bs = hlt.baby_steps
+    rotated = {0: ct}
+    for j in sorted({j for _, j in hlt._nonzero if j != 0}):
+        rotated[j] = _rotate_reference(ev, ct, j, galois_keys)
+    by_giant: dict[int, list[int]] = {}
+    for g, j in hlt._nonzero:
+        by_giant.setdefault(g, []).append(j)
+    acc = None
+    for g, js in sorted(by_giant.items()):
+        inner = None
+        for j in js:
+            term = ev.multiply_plain(rotated[j], coeff_diagonals[(g, j)])
+            inner = term if inner is None else ev.add(inner, term)
+        if g != 0:
+            inner = _rotate_reference(ev, inner, g * bs, galois_keys)
+        acc = inner if acc is None else ev.add(acc, inner)
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# Benches
+# ---------------------------------------------------------------------------
+
+
+def bench_kernels(ctx, repeats: int) -> dict:
+    lvl = ctx.params.num_primes
+    kern = ctx.basis.kernel(lvl)
+    bn = ctx.basis.batch_ntt(lvl)
+    rng = np.random.default_rng(11)
+    q_col = np.array(ctx.basis.moduli[:lvl], dtype=np.uint64).reshape(-1, 1)
+    a = rng.integers(0, 1 << 41, (lvl, ctx.basis.degree)).astype(np.uint64) % q_col
+    b = rng.integers(0, 1 << 41, (lvl, ctx.basis.degree)).astype(np.uint64) % q_col
+    fwd = bn.forward(a)
+    return {
+        "mulmod": _time(lambda: kern.mul(a, b), repeats),
+        "ntt_forward": _time(lambda: bn.forward(a), repeats),
+        "ntt_inverse": _time(lambda: bn.inverse(fwd), repeats),
+    }
+
+
+def bench_key_switch(ctx, repeats: int) -> dict:
+    lvl = ctx.params.num_primes
+    rlk = ctx.relin_keys(levels=[lvl])
+    key = rlk[lvl]
+    rng = np.random.default_rng(12)
+    msg = rng.uniform(-1, 1, ctx.params.slots)
+    poly = ctx.encrypt(msg).parts[1]
+    engine = ctx.evaluator.keyswitch
+    key.stacked()  # build the tensor cache outside the timed region
+    return {
+        "key_switch_loop": _time(lambda: engine.switch_reference(poly, key), repeats),
+        "key_switch_batched": _time(lambda: engine.switch(poly, key), repeats),
+    }
+
+
+HOIST_BATCH = 8  # rotations amortized per hoisted decomposition
+
+
+def bench_rotate(ctx, repeats: int) -> dict:
+    lvl = ctx.params.num_primes
+    steps = list(range(1, HOIST_BATCH + 1))
+    gks = ctx.galois_keys(steps, levels=[lvl])
+    rng = np.random.default_rng(13)
+    ct = ctx.encrypt(rng.uniform(-1, 1, ctx.params.slots))
+    ev = ctx.evaluator
+    for (r, l) in gks:
+        gks[(r, l)].stacked()
+    ev.rotate(ct, 1, gks)  # warm permutation/kernel caches
+
+    def hoisted_batch():
+        dec = ev.decompose(ct)
+        for s in steps:
+            ev.rotate(ct, s, gks, decomposed=dec)
+
+    def reference_batch():
+        for s in steps:
+            _rotate_reference(ev, ct, s, gks)
+
+    return {
+        "rotate_reference": _time(lambda: _rotate_reference(ev, ct, 1, gks), repeats),
+        "rotate": _time(lambda: ev.rotate(ct, 1, gks), repeats),
+        f"rotate_x{HOIST_BATCH}_reference": _time(reference_batch, repeats),
+        f"rotate_x{HOIST_BATCH}_hoisted": _time(hoisted_batch, repeats),
+    }
+
+
+def bench_bsgs(ctx, repeats: int) -> dict:
+    lvl = ctx.params.num_primes
+    slots = ctx.params.slots
+    rng = np.random.default_rng(14)
+    matrix = rng.uniform(-1, 1, (slots, slots)) + 1j * rng.uniform(-1, 1, (slots, slots))
+    hlt = HomomorphicLinearTransform(ctx, matrix, level=lvl)
+    gks = ctx.galois_keys(hlt.required_rotations(), levels=[lvl])
+    ct = ctx.encrypt(rng.uniform(-1, 1, slots))
+    # Pre-PR state: diagonals stored coefficient-domain, transformed on
+    # every multiply (the engine path caches them in the NTT domain).
+    coeff_diagonals = {
+        key: Plaintext(poly=pt.poly.to_coeff(), scale=pt.scale)
+        for key, pt in hlt._diagonals.items()
+    }
+    hlt.apply(ct, gks)  # warm caches
+    return {
+        "bsgs_matmul_reference": _time(
+            lambda: _bsgs_reference(hlt, ct, gks, coeff_diagonals), repeats
+        ),
+        "bsgs_matmul_hoisted": _time(lambda: hlt.apply(ct, gks), repeats),
+    }
+
+
+def bench_bootstrap_step(repeats: int) -> dict:
+    params = replace(toy_params(degree=64, num_primes=22), secret_hamming_weight=8)
+    ctx = CkksContext.create(params, seed=77)
+    bs = Bootstrapper(
+        ctx, BootstrapConfig(input_scale_bits=25, eval_mod_degree=63, wraps=7)
+    )
+    rng = np.random.default_rng(15)
+    ct = ctx.encryptor.encrypt(
+        ctx.encoder.encode(
+            rng.uniform(-1, 1, ctx.params.slots),
+            level=1,
+            scale=bs.config.input_scale,
+        )
+    )
+    raised = bs.mod_raise(ct)
+    return {"bootstrap_coeff_to_slot": _time(lambda: bs.coeff_to_slot(raised), repeats)}
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    ap.add_argument("--out", default="BENCH_keyswitch.json", help="output JSON path")
+    ap.add_argument("--degree", type=int, default=None, help="override ring degree")
+    ap.add_argument("--primes", type=int, default=None, help="override chain length")
+    args = ap.parse_args(argv)
+
+    degree = args.degree or (256 if args.quick else 1024)
+    primes = args.primes or (6 if args.quick else 10)
+    repeats = 3 if args.quick else 5
+
+    ctx = CkksContext.create(toy_params(degree=degree, num_primes=primes), seed=2025)
+    results: dict[str, dict] = {}
+    results.update(bench_kernels(ctx, repeats))
+    results.update(bench_key_switch(ctx, repeats))
+    results.update(bench_rotate(ctx, repeats))
+    results.update(bench_bsgs(ctx, repeats))
+    if not args.quick:
+        results.update(bench_bootstrap_step(max(1, repeats - 3)))
+
+    def ratio(slow: str, fast: str) -> float:
+        return results[slow]["best_s"] / results[fast]["best_s"]
+
+    speedups = {
+        "key_switch": ratio("key_switch_loop", "key_switch_batched"),
+        "rotate": ratio("rotate_reference", "rotate"),
+        f"rotate_hoisted_x{HOIST_BATCH}": ratio(
+            f"rotate_x{HOIST_BATCH}_reference", f"rotate_x{HOIST_BATCH}_hoisted"
+        ),
+        "bsgs_matmul": ratio("bsgs_matmul_reference", "bsgs_matmul_hoisted"),
+    }
+
+    payload = {
+        "meta": {
+            "bench": "keyswitch-engine",
+            "degree": degree,
+            "num_primes": primes,
+            "backend": default_backend_name(),
+            "quick": bool(args.quick),
+            "repeats": repeats,
+        },
+        "results_s": results,
+        "speedups_x": speedups,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(k) for k in results)
+    print(f"key-switch engine bench  (N=2^{degree.bit_length()-1}, L={primes}, "
+          f"backend={payload['meta']['backend']})")
+    for name, row in results.items():
+        print(f"  {name:<{width}}  best {row['best_s']*1e3:9.3f} ms")
+    print("speedups (reference / engine):")
+    for name, x in speedups.items():
+        print(f"  {name:<{width}}  {x:5.2f}x")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from repro.ckks.keys import (
     SwitchingKey,
     expand_uniform_poly,
 )
+from repro.ckks.keyswitch import DecomposedPoly, KeySwitchEngine
 from repro.ckks.params import CkksParameters, bootstrappable_params, toy_params
 from repro.ckks.security import (
     SecurityReport,
@@ -74,7 +75,9 @@ __all__ = [
     "Decryptor",
     "Encryptor",
     "Evaluator",
+    "DecomposedPoly",
     "KeyGenerator",
+    "KeySwitchEngine",
     "Plaintext",
     "PrecisionPoint",
     "PublicKey",

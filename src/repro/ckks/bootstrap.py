@@ -34,11 +34,12 @@ import numpy as np
 from repro.ckks.cheby import evaluate_chebyshev, sine_mod_series
 from repro.ckks.containers import Ciphertext
 from repro.ckks.context import CkksContext
-from repro.ckks.keys import SwitchingKey
+from repro.ckks.keys import SwitchingKey, rotation_galois_elt
 from repro.ckks.linear import HomomorphicLinearTransform
 from repro.nums.modular import centered_vec
 from repro.rns.poly import RnsPolynomial
 from repro.transforms.fft import embedding_matrix
+from repro.transforms.ntt import galois_permutation
 
 __all__ = ["BootstrapConfig", "Bootstrapper"]
 
@@ -124,6 +125,14 @@ class Bootstrapper:
         )
         relin_levels = list(range(2, self.evalmod_in_level + 1))
         self._relin = ctx.keygen.gen_relin(ctx.secret_key, relin_levels)
+
+        # Pre-warm the EVAL-domain automorphism permutation tables so the
+        # hoisted C2S/S2C rotations never pay the one-time O(N) table
+        # build inside the bootstrap hot path.
+        degree = ctx.basis.degree
+        for r in rotations:
+            galois_permutation(degree, rotation_galois_elt(r, slots, 2 * degree))
+        galois_permutation(degree, 2 * degree - 1)
 
     # ------------------------------------------------------------------
     # Pipeline stages (public for tests and instrumentation)

@@ -5,21 +5,31 @@ and the Fig. 1 end-to-end breakdown — needs the server's homomorphic
 add / multiply / relinearize / rescale / rotate, so they are implemented
 here with the same RNS substrate.
 
-Key switching uses per-limb CRT-idempotent digits: decomposing a
-polynomial into its residue rows keeps each digit below one prime, so the
-switching noise stays ~q_j-sized rather than Q-sized.
+Key switching goes through the batched, hoisting-aware
+:class:`~repro.ckks.keyswitch.KeySwitchEngine`: per-limb CRT-idempotent
+digits (decomposing a polynomial into its residue rows keeps each digit
+below one prime, so the switching noise stays ~q_j-sized rather than
+Q-sized), stacked into one ``(L, L, N)`` tensor and contracted against the
+key with fused multiply-accumulates.  Rotations and conjugations apply
+their Galois automorphisms directly on NTT-domain data (a slot
+permutation, zero transform round trips) and can *hoist* — decompose a
+ciphertext once, then rotate-and-switch against many keys — which is what
+the BSGS linear layer and bootstrapping exploit.  Multi-prime rescaling is
+fused: ``times`` primes are divided out in a single coeff<->eval round
+trip instead of one per prime.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.ckks.containers import Ciphertext, Plaintext
-from repro.ckks.keys import SwitchingKey
+from repro.ckks.keys import SwitchingKey, rotation_galois_elt
+from repro.ckks.keyswitch import DecomposedPoly, KeySwitchEngine
 from repro.ckks.params import CkksParameters
 from repro.rns.basis import RnsBasis
-from repro.rns.poly import COEFF, EVAL, RnsPolynomial
+from repro.rns.poly import RnsPolynomial
 
 __all__ = ["Evaluator"]
 
@@ -33,10 +43,15 @@ class Evaluator:
     Attributes:
         params: CKKS parameters.
         basis: the shared RNS chain.
+        keyswitch: the batched key-switching engine (built at init).
     """
 
     params: CkksParameters
     basis: RnsBasis
+    keyswitch: KeySwitchEngine = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.keyswitch = KeySwitchEngine(self.basis)
 
     # ------------------------------------------------------------------
     # Linear operations
@@ -107,7 +122,7 @@ class Evaluator:
         key = relin_keys.get(ct.level)
         if key is None:
             raise KeyError(f"no relinearization key for level {ct.level}")
-        ks0, ks1 = self._key_switch(ct.parts[2], key)
+        ks0, ks1 = self.keyswitch.switch(ct.parts[2], key)
         return Ciphertext(
             parts=[ct.parts[0] + ks0, ct.parts[1] + ks1], scale=ct.scale
         )
@@ -116,15 +131,18 @@ class Evaluator:
         """Drop ``times`` primes, dividing the scale accordingly.
 
         Under the double-scale technique a multiplication is followed by
-        ``times = 2`` rescalings (Section V-B's 36-bit primes).
+        ``times = 2`` rescalings (Section V-B's 36-bit primes).  The
+        division is fused: one coeff<->eval round trip per part covers all
+        ``times`` primes (:meth:`repro.rns.poly.RnsPolynomial.rescale`),
+        instead of a full round trip per dropped prime.
         """
-        parts = ct.parts
+        if times == 0:
+            return Ciphertext(parts=list(ct.parts), scale=ct.scale)
+        lvl = ct.level
         scale = ct.scale
-        for _ in range(times):
-            lvl = parts[0].level
-            q_last = self.basis.moduli[lvl - 1]
-            parts = [p.to_coeff().rescale().to_eval() for p in parts]
-            scale /= q_last
+        for t in range(times):
+            scale /= self.basis.moduli[lvl - 1 - t]
+        parts = [p.to_coeff().rescale(times).to_eval() for p in ct.parts]
         return Ciphertext(parts=parts, scale=scale)
 
     def multiply_relin_rescale(
@@ -138,18 +156,33 @@ class Evaluator:
     # Rotations
     # ------------------------------------------------------------------
 
+    def decompose(self, ct: Ciphertext) -> DecomposedPoly:
+        """Hoist a ciphertext's c1 decomposition for reuse across rotations.
+
+        Pass the result as ``decomposed=`` to :meth:`rotate` /
+        :meth:`apply_galois`: the expensive digit expansion (inverse NTT +
+        batched forward NTT) runs once, each rotation then costs only a
+        slot permutation plus the key contraction.
+        """
+        if ct.size != 2:
+            raise ValueError("hoisting expects relinearized (2-part) ciphertexts")
+        return self.keyswitch.decompose(ct.parts[1])
+
     def rotate(
         self,
         ct: Ciphertext,
         steps: int,
         galois_keys: dict[tuple[int, int], SwitchingKey],
+        decomposed: DecomposedPoly | None = None,
     ) -> Ciphertext:
         """Cyclically rotate message slots by ``steps`` positions."""
         key = galois_keys.get((steps, ct.level))
         if key is None:
             raise KeyError(f"no Galois key for rotation {steps} at level {ct.level}")
-        galois_elt = pow(5, steps % self.params.slots, 2 * self.basis.degree)
-        return self.apply_galois(ct, galois_elt, key)
+        galois_elt = rotation_galois_elt(
+            steps, self.params.slots, 2 * self.basis.degree
+        )
+        return self.apply_galois(ct, galois_elt, key, decomposed=decomposed)
 
     def conjugate(
         self, ct: Ciphertext, conj_keys: dict[int, SwitchingKey]
@@ -161,67 +194,33 @@ class Evaluator:
         return self.apply_galois(ct, 2 * self.basis.degree - 1, key)
 
     def apply_galois(
-        self, ct: Ciphertext, galois_elt: int, key: SwitchingKey
+        self,
+        ct: Ciphertext,
+        galois_elt: int,
+        key: SwitchingKey,
+        decomposed: DecomposedPoly | None = None,
     ) -> Ciphertext:
-        """Apply an arbitrary Galois automorphism and switch back to s."""
+        """Apply an arbitrary Galois automorphism and switch back to s.
+
+        Ciphertext parts stay in the NTT domain throughout: the
+        automorphism is an EVAL-domain slot permutation (zero NTT round
+        trips), and the key switch runs on the hoisted decomposition when
+        one is supplied.
+        """
         if ct.size != 2:
             raise ValueError("relinearize before applying automorphisms")
-        c0r = ct.parts[0].to_coeff().automorphism(galois_elt).to_eval()
-        c1r = ct.parts[1].to_coeff().automorphism(galois_elt).to_eval()
-        ks0, ks1 = self._key_switch(c1r, key)
+        engine = self.keyswitch
+        c0r = ct.parts[0].automorphism(galois_elt)
+        dec = decomposed if decomposed is not None else engine.decompose(ct.parts[1])
+        ks0, ks1 = engine.apply(engine.permute(dec, galois_elt), key)
         return Ciphertext(parts=[c0r + ks0, ks1], scale=ct.scale)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _key_switch(
-        self, poly: RnsPolynomial, key: SwitchingKey
-    ) -> tuple[RnsPolynomial, RnsPolynomial]:
-        """Apply a switching key to an NTT-domain polynomial.
-
-        Digits are the coefficient-domain residue rows; each is re-expanded
-        across all limbs (values < q_j, so the signed lift is exact) and
-        multiplied against the key pair.
-        """
-        if poly.domain != EVAL:
-            raise ValueError("key switching expects an NTT-domain polynomial")
-        lvl = poly.level
-        if key.level != lvl:
-            raise ValueError(f"switching key level {key.level} != poly level {lvl}")
-        coeff = poly.to_coeff()
-        kern = self.basis.kernel(lvl)
-        out0: RnsPolynomial | None = None
-        out1: RnsPolynomial | None = None
-        for j in range(lvl):
-            digit_row = coeff.data[j]  # residues mod q_j
-            digit = RnsPolynomial(
-                self.basis,
-                _broadcast_digit(digit_row, kern, lvl),
-                COEFF,
-            ).to_eval()
-            b_j, a_j = key.pairs[j]
-            t0 = digit * b_j
-            t1 = digit * a_j
-            out0 = t0 if out0 is None else out0 + t0
-            out1 = t1 if out1 is None else out1 + t1
-        assert out0 is not None and out1 is not None
-        return out0, out1
-
     def _check_scales(self, a: Ciphertext, b: Ciphertext) -> None:
         if not math.isclose(a.scale, b.scale, rel_tol=_SCALE_RTOL):
             raise ValueError(
                 f"scale mismatch: {a.scale:g} vs {b.scale:g}; rescale first"
             )
-
-
-def _broadcast_digit(digit_row, kern, level: int):
-    """Residues mod q_j, re-reduced onto every limb of the level.
-
-    One whole-matrix ``reduce`` through the active reducer backend — the
-    digits are < q_j < 2^41, well inside every limb's q_i^2 input range.
-    """
-    import numpy as np
-
-    wide = np.broadcast_to(digit_row, (level, digit_row.shape[0]))
-    return kern.reduce(wide)

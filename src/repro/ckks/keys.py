@@ -19,6 +19,7 @@ reconstructs exactly with small (one-limb-sized) digit coefficients.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -28,7 +29,24 @@ from repro.prng.xof import Xof
 from repro.rns.basis import RnsBasis
 from repro.rns.poly import EVAL, RnsPolynomial
 
-__all__ = ["SecretKey", "PublicKey", "SwitchingKey", "KeyGenerator", "expand_uniform_poly"]
+__all__ = [
+    "SecretKey",
+    "PublicKey",
+    "SwitchingKey",
+    "KeyGenerator",
+    "expand_uniform_poly",
+    "rotation_galois_elt",
+]
+
+
+@lru_cache(maxsize=None)
+def rotation_galois_elt(steps: int, slots: int, two_n: int) -> int:
+    """Memoized ``5^steps mod 2N`` — the automorphism behind a rotation.
+
+    The single source of truth for the rotation -> Galois-element mapping,
+    shared by key generation, the evaluator, and the bootstrap pre-warm.
+    """
+    return pow(5, steps % slots, two_n)
 
 
 @dataclass
@@ -68,6 +86,40 @@ class SwitchingKey:
 
     level: int
     pairs: list[tuple[RnsPolynomial, RnsPolynomial]]
+    _stacked: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _stacked_pre: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def stacked(self) -> tuple[np.ndarray, np.ndarray]:
+        """The key as two stacked ``(L, L, N)`` tensors ``(B, A)``.
+
+        ``B[j] = b_j.data`` / ``A[j] = a_j.data`` — the layout the batched
+        key-switch engine contracts digit tensors against with one fused
+        multiply-accumulate per component.  Built lazily, cached per key.
+        """
+        if self._stacked is None:
+            b = np.stack([pair[0].data for pair in self.pairs])
+            a = np.stack([pair[1].data for pair in self.pairs])
+            b.setflags(write=False)
+            a.setflags(write=False)
+            self._stacked = (b, a)
+        return self._stacked
+
+    def stacked_pre(self, kern) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`stacked` in ``kern``'s precomputed constant form.
+
+        Cached per backend so e.g. the Montgomery domain conversion of the
+        key tensors happens once per key, not once per switch.  Only call
+        when ``kern.constant_pre_cheap`` holds.
+        """
+        name = type(kern).name
+        cached = self._stacked_pre.get(name)
+        if cached is None:
+            b, a = self.stacked()
+            cached = (kern.pre(b), kern.pre(a))
+            self._stacked_pre[name] = cached
+        return cached
 
 
 def expand_uniform_poly(
@@ -170,7 +222,8 @@ class KeyGenerator:
         coefficient parts.
         """
         conj_elt = 2 * self.basis.degree - 1
-        s_conj = sk.poly.to_coeff().automorphism(conj_elt).to_eval()
+        # EVAL-domain automorphism: a pure slot permutation, no NTT trip.
+        s_conj = sk.poly.automorphism(conj_elt)
         return {
             lvl: self.gen_switching_key(sk, s_conj, lvl, b"conj-l%d" % lvl)
             for lvl in levels
@@ -188,8 +241,8 @@ class KeyGenerator:
         out: dict[tuple[int, int], SwitchingKey] = {}
         two_n = 2 * self.basis.degree
         for r in rotations:
-            galois_elt = pow(5, r % self.params.slots, two_n)
-            s_rot = sk.poly.to_coeff().automorphism(galois_elt).to_eval()
+            galois_elt = rotation_galois_elt(r, self.params.slots, two_n)
+            s_rot = sk.poly.automorphism(galois_elt)
             for lvl in levels:
                 out[(r, lvl)] = self.gen_switching_key(
                     sk, s_rot, lvl, b"galois-r%d-l%d" % (r, lvl)

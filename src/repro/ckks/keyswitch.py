@@ -1,0 +1,177 @@
+"""Batched, hoisting-aware key switching — the hot core of every rotation,
+relinearization, BSGS linear layer, and bootstrap step.
+
+The seed implementation looped over RNS digits: L separate digit
+broadcasts, L batched-NTT dispatches (O(L²) NTT rows issued one L-row
+matrix at a time), and 2L temporary polynomials per switch.  This engine
+tensorizes the whole pipeline:
+
+* **decompose** stacks all L digit rows into one ``(L, L, N)`` tensor
+  (``tensor[j, i] = [x]_{q_j}`` re-reduced mod ``q_i``), re-reduces it with
+  one whole-tensor kernel call, and forward-transforms it with exactly one
+  :class:`~repro.transforms.ntt.BatchNtt` dispatch over the flattened
+  ``(L·L, N)`` matrix;
+* **apply** contracts the digit tensor against a switching key's two
+  stacked ``(L, L, N)`` tensors with one fused multiply-accumulate per key
+  component (:meth:`~repro.nums.kernels.ReducerKernel.mul_accumulate`,
+  deferred reduction) — no per-digit temporaries;
+* **permute** applies a Galois automorphism to a *decomposed* polynomial
+  as a pure EVAL-domain slot permutation, which is what makes **hoisting**
+  work: decompose once, then rotate-and-apply against many keys.  The BSGS
+  inner loop and bootstrapping's CoeffToSlot/SlotToCoeff pay one inverse
+  NTT for a whole batch of rotations instead of one per rotation.
+
+``switch_reference`` preserves the seed's per-digit loop so tests can pin
+bit-identity and benchmarks can measure the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.keys import SwitchingKey
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import COEFF, EVAL, RnsPolynomial
+from repro.transforms.ntt import galois_permutation
+
+__all__ = ["DecomposedPoly", "KeySwitchEngine"]
+
+
+@dataclass(frozen=True)
+class DecomposedPoly:
+    """A polynomial's full gadget decomposition, NTT domain, ready to be
+    applied against any switching key at its level.
+
+    Attributes:
+        basis: the RNS chain.
+        tensor: ``(L, L, N)`` uint64 — row ``j`` holds digit ``j`` (the
+            coefficient-domain residues mod ``q_j``) re-expanded across all
+            L limbs and forward-transformed.
+    """
+
+    basis: RnsBasis
+    tensor: np.ndarray
+
+    @property
+    def level(self) -> int:
+        return self.tensor.shape[0]
+
+
+@dataclass(frozen=True)
+class KeySwitchEngine:
+    """Stateless batched key-switching engine over one RNS basis."""
+
+    basis: RnsBasis
+
+    # ------------------------------------------------------------------
+    # Hoisting API: decompose once, apply many
+    # ------------------------------------------------------------------
+
+    def decompose(self, poly: RnsPolynomial) -> DecomposedPoly:
+        """Gadget-decompose an NTT-domain polynomial (the hoistable half).
+
+        One inverse BatchNtt (the digits are coefficient-domain residue
+        rows), one whole-tensor re-reduction, and exactly one forward
+        BatchNtt dispatch over the stacked ``(L·L, N)`` digit matrix.
+        """
+        if poly.domain != EVAL:
+            raise ValueError("key switching expects an NTT-domain polynomial")
+        lvl = poly.level
+        coeff = poly.to_coeff()
+        kern = self.basis.kernel(lvl)
+        # tensor[j, i] = digit j broadcast onto limb i; digits are < q_j,
+        # inside every limb's q_i^2 reduce() input range.
+        wide = np.broadcast_to(
+            coeff.data[:, np.newaxis, :], (lvl, lvl, self.basis.degree)
+        )
+        digits = kern.reduce(wide)
+        return DecomposedPoly(
+            basis=self.basis, tensor=self.basis.batch_ntt(lvl).forward(digits)
+        )
+
+    def permute(self, dec: DecomposedPoly, galois_elt: int) -> DecomposedPoly:
+        """Apply X -> X^k to a decomposed polynomial, staying decomposed.
+
+        Per-limb decomposition commutes with the automorphism, and in the
+        NTT domain the automorphism is a pure slot permutation — so a
+        hoisted rotation costs one fancy-index gather, zero transforms.
+
+        Note on representatives: permuting decomposed digits negates
+        sign-flipped coefficients mod each *limb's* modulus, yielding
+        signed digits ``±d`` (|d| < q_j), where decomposing the permuted
+        polynomial (the seed path) would carry ``q_j - d`` in [0, q_j).
+        Both are valid gadget digits with the same magnitude bound — the
+        switched ciphertext differs from the seed's only in its noise
+        representative and decrypts identically (this is inherent to
+        hoisting: the digits must be fixed before the rotation is known).
+        """
+        src = galois_permutation(self.basis.degree, galois_elt % (2 * self.basis.degree))
+        return DecomposedPoly(basis=self.basis, tensor=dec.tensor[:, :, src])
+
+    def apply(
+        self, dec: DecomposedPoly, key: SwitchingKey
+    ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Contract a decomposed polynomial against one switching key.
+
+        The inner products ``sum_j digit_j * b_j`` / ``sum_j digit_j * a_j``
+        run as one fused multiply-accumulate per key component over the
+        stacked key tensors.
+        """
+        lvl = dec.level
+        if key.level != lvl:
+            raise ValueError(f"switching key level {key.level} != poly level {lvl}")
+        kern = self.basis.kernel(lvl)
+        if kern.constant_pre_cheap:
+            # Key tensors cached in the backend's constant form (e.g. the
+            # Montgomery domain) — one pre-formed conversion per key, a
+            # single REDC per product here.
+            b_pre, a_pre = key.stacked_pre(kern)
+            out0 = kern.mul_pre_accumulate(dec.tensor, b_pre)
+            out1 = kern.mul_pre_accumulate(dec.tensor, a_pre)
+        else:
+            b_stack, a_stack = key.stacked()
+            out0 = kern.mul_accumulate(dec.tensor, b_stack)
+            out1 = kern.mul_accumulate(dec.tensor, a_stack)
+        return (
+            RnsPolynomial(self.basis, out0, EVAL),
+            RnsPolynomial(self.basis, out1, EVAL),
+        )
+
+    def switch(
+        self, poly: RnsPolynomial, key: SwitchingKey
+    ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """One-shot key switch (decompose + apply)."""
+        return self.apply(self.decompose(poly), key)
+
+    # ------------------------------------------------------------------
+    # Reference path
+    # ------------------------------------------------------------------
+
+    def switch_reference(
+        self, poly: RnsPolynomial, key: SwitchingKey
+    ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """The seed's per-digit Python loop, kept for bit-identity tests
+        and as the benchmark baseline.  Semantically (and bit-for-bit)
+        equal to :meth:`switch`."""
+        if poly.domain != EVAL:
+            raise ValueError("key switching expects an NTT-domain polynomial")
+        lvl = poly.level
+        if key.level != lvl:
+            raise ValueError(f"switching key level {key.level} != poly level {lvl}")
+        coeff = poly.to_coeff()
+        kern = self.basis.kernel(lvl)
+        out0: RnsPolynomial | None = None
+        out1: RnsPolynomial | None = None
+        for j in range(lvl):
+            digit_row = coeff.data[j]  # residues mod q_j
+            wide = np.broadcast_to(digit_row, (lvl, digit_row.shape[0]))
+            digit = RnsPolynomial(self.basis, kern.reduce(wide), COEFF).to_eval()
+            b_j, a_j = key.pairs[j]
+            t0 = digit * b_j
+            t1 = digit * a_j
+            out0 = t0 if out0 is None else out0 + t0
+            out1 = t1 if out1 is None else out1 + t1
+        assert out0 is not None and out1 is not None
+        return out0, out1

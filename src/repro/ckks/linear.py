@@ -10,6 +10,12 @@ so ``M x = sum_i diag_i(M) ⊙ rot_i(x)``.  :class:`HomomorphicLinearTransform`
 evaluates this with the baby-step/giant-step grouping (``~2 sqrt(n)``
 rotations instead of ``n``), pre-rotating giant-block diagonals so the
 inner sums share one rotation each.
+
+The baby-step rotations are *hoisted*: the input ciphertext is
+gadget-decomposed once (:meth:`repro.ckks.evaluator.Evaluator.decompose`)
+and every rotation reuses that decomposition — the classic hoisting
+optimization that turns the dominant per-rotation digit expansion into a
+one-time cost.
 """
 
 from __future__ import annotations
@@ -74,8 +80,11 @@ class HomomorphicLinearTransform:
             g, j = divmod(i, bs)
             # Pre-rotate by -g*bs so the inner sum needs only rot_j(x).
             pre = np.roll(d, g * bs)
-            self._diagonals[(g, j)] = self.ctx.encoder.encode(
-                pre, level=self.level, scale=scale
+            encoded = self.ctx.encoder.encode(pre, level=self.level, scale=scale)
+            # Cache in the NTT domain: apply() multiplies each diagonal
+            # every call, so the forward transform is paid once here.
+            self._diagonals[(g, j)] = Plaintext(
+                poly=encoded.poly.to_eval(), scale=encoded.scale
             )
             self._nonzero.append((g, j))
 
@@ -100,9 +109,15 @@ class HomomorphicLinearTransform:
         ev = self.ctx.evaluator
         bs = self.baby_steps
 
+        # Hoisted baby steps: decompose ct once, then every rotation is a
+        # slot permutation plus one key contraction — the inner loop pays
+        # a single digit expansion instead of one per rotation.
         rotated: dict[int, Ciphertext] = {0: ct}
-        for j in sorted({j for _, j in self._nonzero if j != 0}):
-            rotated[j] = ev.rotate(ct, j, galois_keys)
+        baby = sorted({j for _, j in self._nonzero if j != 0})
+        if baby:
+            hoisted = ev.decompose(ct)
+            for j in baby:
+                rotated[j] = ev.rotate(ct, j, galois_keys, decomposed=hoisted)
 
         by_giant: dict[int, list[int]] = {}
         for g, j in self._nonzero:

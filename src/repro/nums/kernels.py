@@ -159,6 +159,11 @@ class ReducerKernel:
 
     name: ClassVar[str]
     spec: ClassVar[ReducerSpec | None] = None
+    #: Whether :meth:`pre` is a cheap vectorized transform.  Long-lived
+    #: constant tensors (switching keys) are cached pre-formed only when
+    #: this holds; Barrett's Shoup reciprocals need exact big-int division
+    #: per element, so it opts out and hot paths use plain mul instead.
+    constant_pre_cheap: ClassVar[bool] = True
 
     def __init__(self, moduli) -> None:
         q = np.asarray(moduli, dtype=np.uint64)
@@ -208,6 +213,41 @@ class ReducerKernel:
     def mul_pre(self, a: np.ndarray, b_pre: np.ndarray) -> np.ndarray:
         """``a * b mod q`` where ``b_pre`` came from :meth:`pre`."""
         return self.mul(a, b_pre)
+
+    def mul_accumulate(self, a: np.ndarray, b, axis: int = 0) -> np.ndarray:
+        """Fused ``sum_t a[t] * b[t] mod q`` along ``axis`` — one reduction.
+
+        The inner-product primitive behind batched key switching: products
+        are reduced to canonical form, but the *accumulation* is deferred —
+        terms are summed as raw uint64 and reduced once at the end.  With
+        canonical terms below ``2^41`` the uint64 headroom fits ``2^23``
+        addends, far beyond any RNS digit count; longer axes fall back to
+        chunked partial sums so the result stays exact.  Canonical outputs
+        make the op bit-identical across backends.
+        """
+        return self._accumulate(self.mul(a, b), axis)
+
+    def mul_pre_accumulate(self, a: np.ndarray, b_pre: np.ndarray, axis: int = 0) -> np.ndarray:
+        """:meth:`mul_accumulate` where ``b`` came from :meth:`pre`."""
+        return self._accumulate(self.mul_pre(a, b_pre), axis)
+
+    def _accumulate(self, prod: np.ndarray, axis: int) -> np.ndarray:
+        """Sum canonical products along ``axis`` with deferred reduction."""
+        q_max = int(np.max(self.q))
+        # Partial sums must fit both uint64 and reduce()'s [0, q^2) domain.
+        headroom = min(((1 << 64) - 1) // max(q_max - 1, 1), int(np.min(self.q)))
+        terms = prod.shape[axis]
+        if terms <= headroom:
+            acc = np.add.reduce(prod, axis=axis, dtype=np.uint64)
+        else:  # pragma: no cover - needs > 2^23 digit rows
+            prod = np.moveaxis(prod, axis, 0)
+            acc = np.zeros(prod.shape[1:], dtype=np.uint64)
+            for start in range(0, terms, headroom):
+                part = np.add.reduce(
+                    prod[start : start + headroom], axis=0, dtype=np.uint64
+                )
+                acc = self.add(self.reduce(acc), self.reduce(part))
+        return self.reduce(acc)
 
     def pow(self, a: np.ndarray, exponent: int) -> np.ndarray:
         """Elementwise ``a ** exponent mod q`` by square-and-multiply."""
@@ -305,6 +345,7 @@ class BarrettKernel(ReducerKernel):
 
     name = "barrett"
     spec = REDUCER_SPECS["barrett"]
+    constant_pre_cheap = False  # pre() divides exact 64-bit-shifted big ints
 
     # mul_pre uses Shoup's variant of the same shift-multiply idea: for a
     # *constant* operand w the whole scaled reciprocal w' = floor(w*2^64/q)

@@ -106,10 +106,23 @@ class RnsBasis:
         per (level, backend).
         """
         self._check_level(level)
-        key = (level, default_backend_name())
+        return self.kernel_range(0, level)
+
+    def kernel_range(self, start: int, stop: int) -> ReducerKernel:
+        """Reducer kernel over limbs ``start..stop-1`` as an (L, 1) column.
+
+        The fused multi-prime rescale works on the *trailing* limbs of a
+        level — a slice no prefix kernel covers — so kernels are cached per
+        (start, stop, backend).
+        """
+        if not 0 <= start < stop <= self.num_primes:
+            raise ValueError(
+                f"limb range [{start}, {stop}) outside [0, {self.num_primes}]"
+            )
+        key = (start, stop, default_backend_name())
         kern = self._kernel_cache.get(key)
         if kern is None:
-            q_col = np.array(self.moduli[:level], dtype=np.uint64).reshape(-1, 1)
+            q_col = np.array(self.moduli[start:stop], dtype=np.uint64).reshape(-1, 1)
             kern = make_kernel(q_col)
             self._kernel_cache[key] = kern
         return kern

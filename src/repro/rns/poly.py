@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.rns.basis import RnsBasis
+from repro.transforms.ntt import galois_permutation
 
 __all__ = ["RnsPolynomial", "COEFF", "EVAL"]
 
@@ -86,13 +87,43 @@ class RnsPolynomial:
     def from_bigint_coeffs(
         cls, basis: RnsBasis, level: int, coeffs: list[int]
     ) -> "RnsPolynomial":
-        """Arbitrary-precision coefficients -> RNS (the Expand-RNS step)."""
+        """Arbitrary-precision coefficients -> RNS (the Expand-RNS step).
+
+        Vectorized as chunked limb-wise reduction: each coefficient is
+        split once into 16-bit chunks (one Python pass over the list), and
+        every limb's residues come from a single fused multiply-accumulate
+        of the chunk matrix against per-limb powers of ``2^16`` — replacing
+        the former per-limb ``[c % q for c in coeffs]`` big-int loops.
+        """
         if len(coeffs) != basis.degree:
             raise ValueError(f"expected {basis.degree} coefficients")
-        rows = []
-        for q in basis.moduli[:level]:
-            rows.append(np.array([c % q for c in coeffs], dtype=np.uint64))
-        return cls(basis, np.stack(rows), COEFF)
+        n = basis.degree
+        ints = [int(c) for c in coeffs]
+        negative = np.array([c < 0 for c in ints], dtype=bool)
+        mags = [-c if c < 0 else c for c in ints]
+        max_bits = max((c.bit_length() for c in mags), default=0)
+        num_chunks = max(1, (max_bits + 15) // 16)
+        chunks = np.zeros((num_chunks, n), dtype=np.uint64)
+        mask = (1 << 16) - 1
+        for i, c in enumerate(mags):
+            k = 0
+            while c:
+                chunks[k, i] = c & mask
+                c >>= 16
+                k += 1
+        kern = basis.kernel(level)
+        moduli = basis.moduli[:level]
+        # Chunk values < 2^16 may exceed tiny moduli; one reduce() maps
+        # them into canonical range before the weighted accumulation.
+        wide = np.broadcast_to(chunks[:, None, :], (num_chunks, level, n))
+        weights = np.array(
+            [[pow(2, 16 * k, q) for q in moduli] for k in range(num_chunks)],
+            dtype=np.uint64,
+        ).reshape(num_chunks, level, 1)
+        data = kern.mul_accumulate(kern.reduce(wide), weights)
+        if negative.any():
+            data = np.where(negative[np.newaxis, :], kern.neg(data), data)
+        return cls(basis, data, COEFF)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -179,17 +210,22 @@ class RnsPolynomial:
         return RnsPolynomial(self.basis, out, self.domain)
 
     def automorphism(self, k: int) -> "RnsPolynomial":
-        """Apply X -> X^k (k odd) in the coefficient domain.
+        """Apply X -> X^k (k odd) in either domain.
 
-        The Galois automorphisms behind CKKS slot rotations; negacyclic
-        wrap-around flips signs for exponents that cross N.
+        The Galois automorphisms behind CKKS slot rotations.  In the
+        coefficient domain this is an index permutation with negacyclic
+        sign flips for exponents that cross N; in the evaluation domain the
+        odd powers of ψ permute among themselves, so it is a *pure* slot
+        permutation (:func:`~repro.transforms.ntt.galois_permutation`) —
+        no sign flips and no NTT round trip.
         """
-        if self.domain != COEFF:
-            raise ValueError("apply automorphisms in the coefficient domain")
         n = self.degree
         if k % 2 == 0:
             raise ValueError("automorphism index must be odd")
         k %= 2 * n
+        if self.domain == EVAL:
+            src = galois_permutation(n, k)
+            return RnsPolynomial(self.basis, self.data[:, src], EVAL)
         src = np.arange(n, dtype=np.int64)
         dest = (src * k) % (2 * n)
         wrap = dest >= n
@@ -209,28 +245,62 @@ class RnsPolynomial:
             raise ValueError(f"new level must be in [1, {self.level}]")
         return RnsPolynomial(self.basis, self.data[:new_level].copy(), self.domain)
 
-    def rescale(self) -> "RnsPolynomial":
-        """Divide by the last limb's prime (CKKS rescale), dropping one level.
+    def rescale(self, times: int = 1) -> "RnsPolynomial":
+        """Divide by the last ``times`` primes (CKKS rescale) in one pass.
 
-        Computes ``(x - [x]_{q_last}) * q_last^{-1}`` limb-wise — the exact
-        RNS rescaling of Cheon et al.'s RNS-CKKS variant — as two
-        whole-matrix kernel calls: the last limb's residues are re-reduced
-        onto every remaining row, subtracted, and scaled by the
-        per-row inverse column.
+        Generalizes ``(x - [x]_P) * P^{-1}`` — the exact RNS rescaling of
+        Cheon et al.'s RNS-CKKS variant — to the composite
+        ``P = q_{L-times} ... q_{L-1}``: the mixed-radix digits of
+        ``[x]_P`` are derived from the *dropped* rows alone (a cheap
+        ``(times, N)`` tail computation mirroring the sequential per-prime
+        division digit for digit), then folded onto the kept rows with one
+        broadcast-reduce, one fused multiply-accumulate, one subtract, and
+        one scale — whole-matrix cost independent of ``times``, and
+        bit-identical to applying the single-prime rescale ``times``
+        times.
         """
-        if self.level < 2:
-            raise ValueError("cannot rescale below one limb")
         if self.domain != COEFF:
             raise ValueError("rescale operates in the coefficient domain")
+        if not 1 <= times <= self.level - 1:
+            raise ValueError(
+                f"cannot rescale {times} primes from level {self.level} "
+                f"below one limb"
+            )
         lvl = self.level
-        q_last = self.basis.moduli[lvl - 1]
-        kern = self._kernel(lvl - 1)
-        last = np.broadcast_to(self.data[lvl - 1], (lvl - 1, self.degree))
-        diff = kern.sub(self.data[: lvl - 1], kern.reduce(last))
+        keep = lvl - times
+        n = self.degree
+        basis = self.basis
+        # Mixed-radix digits of [x]_P, computed on the dropped tail block
+        # exactly as the sequential division would produce them.
+        block = self.data[keep:].copy()
+        digits = np.empty((times, n), dtype=np.uint64)
+        for t in range(times):
+            rows = times - 1 - t  # dropped rows still undivided
+            digit = block[rows]
+            digits[t] = digit
+            if rows:
+                bk = basis.kernel_range(keep, keep + rows)
+                q_d = basis.moduli[lvl - 1 - t]
+                inv = np.array(
+                    [pow(q_d, -1, basis.moduli[keep + i]) for i in range(rows)],
+                    dtype=np.uint64,
+                ).reshape(-1, 1)
+                red = bk.reduce(np.broadcast_to(digit, (rows, n)))
+                block[:rows] = bk.mul(bk.sub(block[:rows], red), inv)
+        # [x]_P mod q_i = sum_t (q_{L-1} ... q_{L-t}) * digit_t, one MAC.
+        kern = self._kernel(keep)
+        kept_moduli = basis.moduli[:keep]
+        weights = np.empty((times, keep, 1), dtype=np.uint64)
+        radix = 1
+        for t in range(times):
+            weights[t, :, 0] = [radix % q for q in kept_moduli]
+            radix *= basis.moduli[lvl - 1 - t]
+        wide = np.broadcast_to(digits[:, np.newaxis, :], (times, keep, n))
+        remainder = kern.mul_accumulate(kern.reduce(wide), weights)
         inv_col = np.array(
-            [pow(q_last, -1, q_i) for q_i in self.basis.moduli[: lvl - 1]],
-            dtype=np.uint64,
+            [pow(radix, -1, q_i) for q_i in kept_moduli], dtype=np.uint64
         ).reshape(-1, 1)
+        diff = kern.sub(self.data[:keep], remainder)
         return RnsPolynomial(self.basis, kern.mul(diff, inv_col), COEFF)
 
     # ------------------------------------------------------------------

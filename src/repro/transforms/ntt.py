@@ -31,6 +31,7 @@ Two transform front-ends share the tables:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import ClassVar
 
 import numpy as np
@@ -39,7 +40,31 @@ from repro.nums.kernels import ReducerKernel, _csub, default_backend_name, kerne
 from repro.nums.modular import mod_inv, nth_root_of_unity
 from repro.utils.bitops import bit_reverse, ilog2
 
-__all__ = ["NttContext", "BatchNtt", "negacyclic_mul_naive"]
+__all__ = ["NttContext", "BatchNtt", "galois_permutation", "negacyclic_mul_naive"]
+
+
+@lru_cache(maxsize=None)
+def galois_permutation(degree: int, galois_elt: int) -> np.ndarray:
+    """Gather indices applying ``X -> X^k`` directly on NTT-domain data.
+
+    The merged negacyclic NTT leaves slot ``i`` holding the evaluation at
+    ``psi^{2 br(i) + 1}`` (bit-reversed order).  An odd Galois element
+    permutes the odd powers of ``psi`` among themselves, so the
+    automorphism acts on evaluation data as a *pure index permutation* —
+    no sign flips and, crucially, no NTT round trip.  The returned ``src``
+    satisfies ``ntt(automorphism(a, k)) == ntt(a)[..., src]`` for every
+    limb (the table depends only on the degree, not the modulus).
+    """
+    log_n = ilog2(degree)
+    if galois_elt % 2 == 0:
+        raise ValueError("Galois elements must be odd")
+    two_n = 2 * degree
+    src = np.empty(degree, dtype=np.intp)
+    for i in range(degree):
+        exponent = (galois_elt * (2 * bit_reverse(i, log_n) + 1)) % two_n
+        src[i] = bit_reverse((exponent - 1) // 2, log_n)
+    src.setflags(write=False)
+    return src
 
 
 def _canonicalize(a: np.ndarray, q) -> np.ndarray:
@@ -265,49 +290,60 @@ class BatchNtt:
         return self.kernel.q
 
     def forward(self, mat: np.ndarray) -> np.ndarray:
-        """(L, N) coefficient rows -> evaluation rows, all limbs at once."""
-        lcount, n = self._check(mat)
+        """``(..., L, N)`` coefficient rows -> evaluation rows, one dispatch.
+
+        Leading batch axes are flattened so a stacked digit tensor — e.g.
+        key switching's ``(L, L, N)`` matrix of broadcast digits — runs
+        through the same per-stage kernel calls as a single polynomial:
+        one vectorized dispatch per butterfly stage covering *every* row.
+        """
+        shape = self._check(mat)
+        lcount, n = self.num_limbs, self.degree
         q = self._q_col()
-        a = mat.astype(np.uint64, copy=True)
+        a = mat.astype(np.uint64, copy=True).reshape(-1, lcount, n)
+        batch = a.shape[0]
         kern = self.kernel
         m = 1
         t = n
         while m < n:
             t //= 2
-            view = a.reshape(lcount, m, 2, t)
-            factors = self.psi_pre[..., 0, m : 2 * m, None]
-            u = _csub(view[:, :, 0, :], q)
-            v = kern.mul_pre(_csub(view[:, :, 1, :], q), factors)
-            view[:, :, 0, :] = u + v
-            view[:, :, 1, :] = u + (q - v)
+            view = a.reshape(batch, lcount, m, 2, t)
+            factors = self.psi_pre[..., None, :, 0, m : 2 * m, None]
+            u = _csub(view[:, :, :, 0, :], q)
+            v = kern.mul_pre(_csub(view[:, :, :, 1, :], q), factors)
+            view[:, :, :, 0, :] = u + v
+            view[:, :, :, 1, :] = u + (q - v)
             m *= 2
-        return _csub(a.reshape(lcount, 1, n), q).reshape(lcount, n)
+        return _csub(a.reshape(batch, lcount, 1, n), q).reshape(shape)
 
     def inverse(self, mat: np.ndarray) -> np.ndarray:
-        """(L, N) evaluation rows -> coefficient rows, all limbs at once."""
-        lcount, n = self._check(mat)
+        """``(..., L, N)`` evaluation rows -> coefficient rows, one dispatch."""
+        shape = self._check(mat)
+        lcount, n = self.num_limbs, self.degree
         q = self._q_col()
-        a = mat.astype(np.uint64, copy=True)
+        a = mat.astype(np.uint64, copy=True).reshape(-1, lcount, n)
+        batch = a.shape[0]
         kern = self.kernel
         t = 1
         m = n
         while m > 1:
             h = m // 2
-            view = a.reshape(lcount, h, 2, t)
-            factors = self.psi_inv_pre[..., 0, h : 2 * h, None]
-            u = _csub(view[:, :, 0, :], q)
-            v = _csub(view[:, :, 1, :], q)
-            view[:, :, 0, :] = u + v
-            view[:, :, 1, :] = kern.mul_pre(kern.sub(u, v), factors)
+            view = a.reshape(batch, lcount, h, 2, t)
+            factors = self.psi_inv_pre[..., None, :, 0, h : 2 * h, None]
+            u = _csub(view[:, :, :, 0, :], q)
+            v = _csub(view[:, :, :, 1, :], q)
+            view[:, :, :, 0, :] = u + v
+            view[:, :, :, 1, :] = kern.mul_pre(kern.sub(u, v), factors)
             t *= 2
             m = h
-        out = _csub(a.reshape(lcount, 1, n), q)
-        return kern.mul_pre(out, self.n_inv_pre).reshape(lcount, n)
+        out = _csub(a.reshape(batch, lcount, 1, n), q)
+        return kern.mul_pre(out, self.n_inv_pre).reshape(shape)
 
-    def _check(self, mat: np.ndarray) -> tuple[int, int]:
-        if mat.ndim != 2 or mat.shape != (self.num_limbs, self.degree):
+    def _check(self, mat: np.ndarray) -> tuple[int, ...]:
+        if mat.ndim < 2 or mat.shape[-2:] != (self.num_limbs, self.degree):
             raise ValueError(
-                f"expected ({self.num_limbs}, {self.degree}) matrix, got {mat.shape}"
+                f"expected (..., {self.num_limbs}, {self.degree}) matrix, "
+                f"got {mat.shape}"
             )
         return mat.shape
 

@@ -1,0 +1,216 @@
+"""The batched, hoisting-aware key-switch engine.
+
+Pins the tentpole invariants: the tensorized pipeline is bit-identical to
+the seed's per-digit loop, hoisted rotations are bit-identical to
+non-hoisted ones, EVAL-domain automorphisms match the coefficient-domain
+path, fused multi-prime rescale matches sequential rescaling — each
+across all three reducer backends — and the dispatch-count guarantees
+(one forward BatchNtt per decomposition, zero NTT round trips per
+automorphism) hold structurally, not just by timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, toy_params
+from repro.nums.kernels import available_backends, using_backend
+from repro.transforms.ntt import BatchNtt, galois_permutation
+
+DEGREE = 256
+NUM_PRIMES = 6
+BACKENDS = available_backends()
+
+
+@pytest.fixture(scope="module")
+def kctx() -> CkksContext:
+    return CkksContext.create(toy_params(degree=DEGREE, num_primes=NUM_PRIMES), seed=31)
+
+
+@pytest.fixture(scope="module")
+def msg(kctx):
+    rng = np.random.default_rng(5)
+    return rng.uniform(-1, 1, kctx.params.slots) + 1j * rng.uniform(
+        -1, 1, kctx.params.slots
+    )
+
+
+class TestBatchedSwitch:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bit_identical_to_digit_loop(self, kctx, msg, backend):
+        """engine.switch == the seed's per-digit loop, bit for bit."""
+        rlk = kctx.relin_keys(levels=[NUM_PRIMES])
+        key = rlk[NUM_PRIMES]
+        poly = kctx.encrypt(msg).parts[1]
+        with using_backend(backend):
+            engine = kctx.evaluator.keyswitch
+            fast0, fast1 = engine.switch(poly, key)
+            ref0, ref1 = engine.switch_reference(poly, key)
+        assert np.array_equal(fast0.data, ref0.data)
+        assert np.array_equal(fast1.data, ref1.data)
+
+    def test_relinearize_uses_batched_path(self, kctx, msg):
+        """End-to-end multiply/relinearize still decrypts correctly."""
+        rlk = kctx.relin_keys(levels=[NUM_PRIMES])
+        ct = kctx.encrypt(msg)
+        out = kctx.evaluator.multiply_relin_rescale(ct, ct, rlk)
+        assert np.max(np.abs(kctx.decrypt_decode(out) - msg * msg)) < 1e-4
+
+    def test_level_mismatch_rejected(self, kctx, msg):
+        rlk = kctx.relin_keys(levels=[NUM_PRIMES])
+        poly = kctx.encrypt(msg, level=NUM_PRIMES - 1).parts[1]
+        with pytest.raises(ValueError, match="level"):
+            kctx.evaluator.keyswitch.switch(poly, rlk[NUM_PRIMES])
+
+    def test_single_forward_dispatch_over_stacked_digits(self, kctx, msg, monkeypatch):
+        """decompose issues exactly one forward BatchNtt over (L, L, N)."""
+        poly = kctx.encrypt(msg).parts[1]
+        calls: list[tuple[int, ...]] = []
+        original = BatchNtt.forward
+
+        def counting_forward(self, mat):
+            calls.append(np.shape(mat))
+            return original(self, mat)
+
+        monkeypatch.setattr(BatchNtt, "forward", counting_forward)
+        kctx.evaluator.keyswitch.decompose(poly)
+        forward_shapes = [s for s in calls if len(s) == 3]
+        assert forward_shapes == [(NUM_PRIMES, NUM_PRIMES, DEGREE)]
+        assert len(calls) == 1  # no stray per-digit dispatches
+
+
+class TestHoistedRotations:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_hoisted_bit_identical_to_unhoisted(self, kctx, msg, backend):
+        gks = kctx.galois_keys([3], levels=[NUM_PRIMES])
+        ct = kctx.encrypt(msg)
+        with using_backend(backend):
+            plain = kctx.evaluator.rotate(ct, 3, gks)
+            dec = kctx.evaluator.decompose(ct)
+            hoisted = kctx.evaluator.rotate(ct, 3, gks, decomposed=dec)
+        for p, h in zip(plain.parts, hoisted.parts):
+            assert np.array_equal(p.data, h.data)
+
+    def test_decompose_once_apply_many(self, kctx, msg):
+        """One decomposition feeds many rotations and still decrypts right."""
+        steps = [1, 2, 5]
+        gks = kctx.galois_keys(steps, levels=[NUM_PRIMES])
+        ct = kctx.encrypt(msg)
+        dec = kctx.evaluator.decompose(ct)
+        for s in steps:
+            out = kctx.decrypt_decode(kctx.evaluator.rotate(ct, s, gks, decomposed=dec))
+            assert np.max(np.abs(out - np.roll(msg, -s))) < 1e-4
+
+    def test_hoisted_rotation_is_transform_free(self, kctx, msg, monkeypatch):
+        """With a hoisted decomposition, a rotation runs zero NTT dispatches."""
+        gks = kctx.galois_keys([2], levels=[NUM_PRIMES])
+        ct = kctx.encrypt(msg)
+        dec = kctx.evaluator.decompose(ct)
+        galois_permutation(DEGREE, pow(5, 2, 2 * DEGREE))  # pre-warm table
+
+        counts = {"forward": 0, "inverse": 0}
+        fwd, inv = BatchNtt.forward, BatchNtt.inverse
+        monkeypatch.setattr(
+            BatchNtt,
+            "forward",
+            lambda self, m: counts.__setitem__("forward", counts["forward"] + 1)
+            or fwd(self, m),
+        )
+        monkeypatch.setattr(
+            BatchNtt,
+            "inverse",
+            lambda self, m: counts.__setitem__("inverse", counts["inverse"] + 1)
+            or inv(self, m),
+        )
+        kctx.evaluator.rotate(ct, 2, gks, decomposed=dec)
+        assert counts == {"forward": 0, "inverse": 0}
+
+    def test_matches_seed_rotation_semantically(self, kctx, msg):
+        """Engine rotation decrypts identically to the seed path.
+
+        The seed decomposed the *permuted* polynomial; the engine permutes
+        already-decomposed digits (the hoisting prerequisite).  The two
+        carry different — equally valid — digit representatives, so the
+        ciphertexts are not byte-equal, but they encrypt the same message
+        with the same noise bound.
+        """
+        from repro.ckks.containers import Ciphertext
+        from repro.ckks.keys import rotation_galois_elt
+
+        gks = kctx.galois_keys([4], levels=[NUM_PRIMES])
+        ct = kctx.encrypt(msg)
+        ev = kctx.evaluator
+        elt = rotation_galois_elt(4, kctx.params.slots, 2 * DEGREE)
+        c0r = ct.parts[0].to_coeff().automorphism(elt).to_eval()
+        c1r = ct.parts[1].to_coeff().automorphism(elt).to_eval()
+        ks0, ks1 = ev.keyswitch.switch_reference(c1r, gks[(4, NUM_PRIMES)])
+        seed = Ciphertext(parts=[c0r + ks0, ks1], scale=ct.scale)
+        engine = ev.rotate(ct, 4, gks)
+        diff = kctx.decrypt_decode(seed) - kctx.decrypt_decode(engine)
+        assert np.max(np.abs(diff)) < 1e-5
+        assert np.max(np.abs(kctx.decrypt_decode(engine) - np.roll(msg, -4))) < 1e-4
+
+    def test_conjugate_roundtrip(self, kctx, msg):
+        cks = kctx.keygen.gen_conjugation(kctx.secret_key, levels=[NUM_PRIMES])
+        out = kctx.decrypt_decode(kctx.evaluator.conjugate(kctx.encrypt(msg), cks))
+        assert np.max(np.abs(out - np.conj(msg))) < 1e-4
+
+
+class TestEvalDomainAutomorphism:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_coeff_domain_path(self, kctx, msg, backend):
+        poly = kctx.encrypt(msg).parts[0]  # EVAL domain
+        with using_backend(backend):
+            for k in (3, 5, 2 * DEGREE - 1):
+                via_eval = poly.automorphism(k)
+                via_coeff = poly.to_coeff().automorphism(k).to_eval()
+                assert np.array_equal(via_eval.data, via_coeff.data)
+
+    def test_permutation_is_sign_free_bijection(self):
+        for k in (3, 5, 2 * DEGREE - 1):
+            src = galois_permutation(DEGREE, k)
+            assert sorted(src.tolist()) == list(range(DEGREE))
+
+    def test_even_element_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            galois_permutation(DEGREE, 4)
+
+
+class TestFusedRescale:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fused_matches_sequential(self, kctx, msg, backend):
+        ct = kctx.encrypt(msg)
+        with using_backend(backend):
+            fused = kctx.evaluator.rescale(ct, times=2)
+            seq = kctx.evaluator.rescale(kctx.evaluator.rescale(ct), times=1)
+        assert fused.scale == seq.scale
+        for f, s in zip(fused.parts, seq.parts):
+            assert np.array_equal(f.data, s.data)
+
+    def test_times_zero_is_noop(self, kctx, msg):
+        ct = kctx.encrypt(msg)
+        out = kctx.evaluator.rescale(ct, times=0)
+        assert out.scale == ct.scale
+        for o, p in zip(out.parts, ct.parts):
+            assert np.array_equal(o.data, p.data)
+
+    def test_single_round_trip(self, kctx, msg, monkeypatch):
+        """rescale(times=2) does one coeff<->eval round trip per part."""
+        ct = kctx.encrypt(msg)
+        counts = {"forward": 0, "inverse": 0}
+        fwd, inv = BatchNtt.forward, BatchNtt.inverse
+        monkeypatch.setattr(
+            BatchNtt,
+            "forward",
+            lambda self, m: counts.__setitem__("forward", counts["forward"] + 1)
+            or fwd(self, m),
+        )
+        monkeypatch.setattr(
+            BatchNtt,
+            "inverse",
+            lambda self, m: counts.__setitem__("inverse", counts["inverse"] + 1)
+            or inv(self, m),
+        )
+        kctx.evaluator.rescale(ct, times=2)
+        assert counts == {"forward": 2, "inverse": 2}  # one per ciphertext part

@@ -22,20 +22,23 @@ SEED = 1234
 
 
 def _run_pipeline():
-    """One seeded encrypt/multiply/rescale/decrypt run; returns all bytes."""
+    """One seeded encrypt/rotate/multiply/rescale/decrypt run; all bytes."""
     ctx = CkksContext.create(toy_params(degree=DEGREE, num_primes=NUM_PRIMES), seed=SEED)
     rlk = ctx.relin_keys(levels=[NUM_PRIMES])
+    gks = ctx.galois_keys([1], levels=[NUM_PRIMES])
     rng = np.random.default_rng(7)
     x = rng.uniform(-1, 1, ctx.params.slots)
     y = rng.uniform(-1, 1, ctx.params.slots)
 
     ct_x = ctx.encrypt(x)
     ct_y = ctx.encrypt(y)
+    rot = ctx.evaluator.rotate(ct_x, 1, gks)
     prod = ctx.evaluator.multiply_relin_rescale(ct_x, ct_y, rlk)
     out = ctx.decrypt_decode(prod)
 
     snapshots = {
         "ct_x": [p.data.copy() for p in ct_x.parts],
+        "rot": [p.data.copy() for p in rot.parts],
         "prod": [p.data.copy() for p in prod.parts],
         "out": out.copy(),
         "expected": x * y,
@@ -59,7 +62,7 @@ def test_ciphertexts_bit_identical_across_backends():
     ref = runs[names[0]]
     for other in names[1:]:
         got = runs[other]
-        for key in ("ct_x", "prod"):
+        for key in ("ct_x", "rot", "prod"):
             for i, (a, b) in enumerate(zip(ref[key], got[key])):
                 assert np.array_equal(a, b), (
                     f"{key} part {i} differs between {names[0]} and {other}"

@@ -186,3 +186,41 @@ class TestMontgomeryDomain:
         one = np.array([1], dtype=np.uint64)
         # pre(1) = R mod q, the Montgomery image of the identity.
         assert int(kern.pre(one)[0]) == (1 << 64) % prime
+
+
+class TestMulAccumulate:
+    """The fused MAC behind batched key switching and multi-prime rescale."""
+
+    def test_matches_oracle(self, prime, backend, rng):
+        kern = make_kernel(prime, backend)
+        a = rng.integers(0, prime, (7, 50)).astype(np.uint64)
+        b = rng.integers(0, prime, (7, 50)).astype(np.uint64)
+        expected = [
+            sum(int(x) * int(y) for x, y in zip(a[:, i], b[:, i])) % prime
+            for i in range(50)
+        ]
+        assert kern.mul_accumulate(a, b).tolist() == expected
+
+    def test_pre_variant_matches_plain(self, prime, backend, rng):
+        kern = make_kernel(prime, backend)
+        a = rng.integers(0, prime, (5, 64)).astype(np.uint64)
+        b = rng.integers(0, prime, (5, 64)).astype(np.uint64)
+        assert np.array_equal(
+            kern.mul_pre_accumulate(a, kern.pre(b)), kern.mul_accumulate(a, b)
+        )
+
+    def test_bit_identical_across_backends(self, prime, rng):
+        a = rng.integers(0, prime, (6, 32)).astype(np.uint64)
+        b = rng.integers(0, prime, (6, 32)).astype(np.uint64)
+        results = {
+            be: make_kernel(prime, be).mul_accumulate(a, b).tolist()
+            for be in BACKENDS
+        }
+        first = next(iter(results.values()))
+        assert all(r == first for r in results.values())
+
+    def test_edge_values_all_q_minus_one(self, prime, backend):
+        kern = make_kernel(prime, backend)
+        a = np.full((9, 4), prime - 1, dtype=np.uint64)
+        expected = (9 * (prime - 1) * (prime - 1)) % prime
+        assert kern.mul_accumulate(a, a).tolist() == [[expected] * 4][0]

@@ -156,9 +156,13 @@ class TestAutomorphism:
         with pytest.raises(ValueError, match="odd"):
             poly_from(rng, basis).automorphism(2)
 
-    def test_eval_domain_rejected(self, basis, rng):
-        with pytest.raises(ValueError, match="coefficient domain"):
-            poly_from(rng, basis).to_eval().automorphism(3)
+    def test_eval_domain_matches_coeff_domain(self, basis, rng):
+        """EVAL-domain automorphism (slot permutation) == coeff path + NTT."""
+        p = poly_from(rng, basis)
+        for k in (3, 5, 2 * basis.degree - 1):
+            via_coeff = p.automorphism(k).to_eval()
+            via_eval = p.to_eval().automorphism(k)
+            assert np.array_equal(via_coeff.data, via_eval.data)
 
     def test_is_ring_homomorphism(self, basis, rng):
         """automorphism(a * b) == automorphism(a) * automorphism(b)."""

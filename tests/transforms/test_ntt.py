@@ -141,3 +141,47 @@ class TestPointwise:
         a, b = random_poly(rng, ntt.degree), random_poly(rng, ntt.degree)
         via_pointwise = ntt.inverse(ntt.pointwise_mul(ntt.forward(a), ntt.forward(b)))
         assert np.array_equal(via_pointwise, ntt.negacyclic_mul(a, b))
+
+
+class TestBatchedTensors:
+    """BatchNtt over stacked (..., L, N) tensors and EVAL-domain Galois."""
+
+    def test_leading_batch_axis_matches_per_matrix(self):
+        from repro.transforms.ntt import BatchNtt
+
+        moduli = tuple(p.value for p in find_primes(36, 1 << 9)[:3])
+        bn = BatchNtt.create(64, moduli)
+        rng = np.random.default_rng(2)
+        q_col = np.array(moduli, dtype=np.uint64).reshape(-1, 1)
+        tensor = (
+            rng.integers(0, 2**40, (4, 3, 64)).astype(np.uint64) % q_col
+        )
+        batched = bn.forward(tensor)
+        per_matrix = np.stack([bn.forward(tensor[i]) for i in range(4)])
+        assert np.array_equal(batched, per_matrix)
+        assert np.array_equal(bn.inverse(batched), tensor)
+
+    def test_bad_trailing_shape_rejected(self):
+        from repro.transforms.ntt import BatchNtt
+
+        moduli = tuple(p.value for p in find_primes(36, 1 << 9)[:2])
+        bn = BatchNtt.create(64, moduli)
+        with pytest.raises(ValueError, match="expected"):
+            bn.forward(np.zeros((3, 64), dtype=np.uint64))
+
+    def test_galois_permutation_matches_coeff_automorphism(self, rng):
+        from repro.transforms.ntt import galois_permutation
+
+        n = 64
+        ntt = NttContext.create(n, PRIME)
+        a = random_poly(rng, n)
+        for k in (3, 5, 2 * n - 1):
+            src = np.arange(n, dtype=np.int64)
+            dest = (src * k) % (2 * n)
+            wrap = dest >= n
+            dest_idx = np.where(wrap, dest - n, dest)
+            rotated = np.empty_like(a)
+            rotated[dest_idx] = np.where(wrap, (PRIME - a) % PRIME, a)
+            assert np.array_equal(
+                ntt.forward(rotated), ntt.forward(a)[galois_permutation(n, k)]
+            )
