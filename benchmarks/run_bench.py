@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Standalone performance runner for the key-switching engine.
+"""Standalone performance runner: key-switching engine + lazy runtime.
 
 Times the hot primitives — mulmod, batched NTT, key switching, rotation
 (plain and hoisted), the BSGS linear layer, and a bootstrap step — against
@@ -7,11 +7,17 @@ the pre-PR reference paths (per-digit loop key switching, coefficient-
 domain automorphisms, per-rotation digit expansion) and writes a
 machine-readable trajectory to ``BENCH_keyswitch.json``.
 
+A second section benches the lazy computation-graph runtime
+(:mod:`repro.runtime`): eager one-op-at-a-time dispatch vs. a compiled
+``ExecutionPlan`` vs. batched plan replay, on the BSGS matmul and a
+three-level polynomial pipeline, written to ``BENCH_runtime.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
-    PYTHONPATH=src python benchmarks/run_bench.py --out path/to.json
+    PYTHONPATH=src python benchmarks/run_bench.py --out path/to.json \
+        --runtime-out path/to_runtime.json
 
 Runs from a checkout without installation (``src`` is added to the path).
 """
@@ -43,6 +49,7 @@ from repro.ckks import (
 )
 from repro.ckks.keys import rotation_galois_elt
 from repro.nums.kernels import default_backend_name
+from repro.runtime import CtSpec, compile_fn
 
 
 def _time(fn, repeats: int, warmup: int = 1) -> dict:
@@ -194,6 +201,65 @@ def bench_bsgs(ctx, repeats: int) -> dict:
     }
 
 
+RUNTIME_BATCH = 8  # ciphertexts replayed per cached plan in the batched bench
+
+
+def bench_runtime(ctx, repeats: int) -> dict:
+    """Eager dispatch vs. planned vs. batched plan replay (runtime PR)."""
+    lvl = ctx.params.num_primes
+    slots = ctx.params.slots
+    rng = np.random.default_rng(21)
+    results: dict[str, dict] = {}
+
+    # --- BSGS matmul -----------------------------------------------------
+    matrix = rng.uniform(-1, 1, (slots, slots)) + 1j * rng.uniform(-1, 1, (slots, slots))
+    hlt = HomomorphicLinearTransform(ctx, matrix, level=lvl)
+    gks = ctx.galois_keys(hlt.required_rotations(), levels=[lvl])
+    ct = ctx.encrypt(rng.uniform(-1, 1, slots))
+    batch = [[ctx.encrypt(rng.uniform(-1, 1, slots))] for _ in range(RUNTIME_BATCH)]
+    plan = hlt.plan_for(ct.scale, gks)
+    plan.run([ct])  # compile + warm every cache outside the timed region
+    plan.run_batch(batch[:1])
+    results["bsgs_eager_dispatch"] = _time(
+        lambda: hlt.emit(ctx.evaluator, ct, gks), repeats
+    )
+    results["bsgs_planned"] = _time(lambda: hlt.apply(ct, gks), repeats)
+    per_batch = _time(lambda: plan.run_batch(batch), repeats)
+    results["bsgs_batched_replay_per_ct"] = {
+        k: v / RUNTIME_BATCH for k, v in per_batch.items()
+    }
+
+    # --- three-level polynomial pipeline: x^4 + x^2 + 1/2 ----------------
+    # The ciphertext visits three levels (L, L-2, L-4); the x^2 term is
+    # scale-aligned onto x^4's track with a unity multiply_plain, the
+    # standard CKKS bridging trick.  Written against the shared surface,
+    # so the same callable runs eagerly and traces.
+    rlk = ctx.relin_keys(levels=[lvl, lvl - 2])
+    ones = np.ones(slots)
+
+    def poly3(ev, x):
+        x2 = ev.multiply_relin_rescale(x, x, rlk)
+        x4 = ev.multiply_relin_rescale(x2, x2, rlk)
+        unity = ctx.encoder.encode(ones, level=x2.level, scale=x2.scale)
+        bridge = ev.rescale(ev.multiply_plain(x2, unity), times=2)
+        y = ev.add(x4, bridge)
+        half = ctx.encoder.encode(0.5 * ones, level=y.level, scale=y.scale)
+        return ev.add_plain(y, half)
+
+    spec = CtSpec(level=lvl, scale=ctx.params.scale)
+    pplan = compile_fn(poly3, ctx.evaluator, [spec])
+    pplan.run([ct])
+    results["poly3_eager_dispatch"] = _time(
+        lambda: poly3(ctx.evaluator, ct), repeats
+    )
+    results["poly3_planned"] = _time(lambda: pplan.run([ct]), repeats)
+    per_batch = _time(lambda: pplan.run_batch(batch), repeats)
+    results["poly3_batched_replay_per_ct"] = {
+        k: v / RUNTIME_BATCH for k, v in per_batch.items()
+    }
+    return results
+
+
 def bench_bootstrap_step(repeats: int) -> dict:
     params = replace(toy_params(degree=64, num_primes=22), secret_hamming_weight=8)
     ctx = CkksContext.create(params, seed=77)
@@ -219,6 +285,11 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true", help="CI smoke sizes")
     ap.add_argument("--out", default="BENCH_keyswitch.json", help="output JSON path")
+    ap.add_argument(
+        "--runtime-out",
+        default="BENCH_runtime.json",
+        help="runtime-section output JSON path",
+    )
     ap.add_argument("--degree", type=int, default=None, help="override ring degree")
     ap.add_argument("--primes", type=int, default=None, help="override chain length")
     args = ap.parse_args(argv)
@@ -272,6 +343,48 @@ def main(argv: list[str] | None = None) -> int:
     for name, x in speedups.items():
         print(f"  {name:<{width}}  {x:5.2f}x")
     print(f"wrote {out_path}")
+
+    # --- runtime section: eager vs. planned vs. batched replay ------------
+    rt_results = bench_runtime(ctx, repeats)
+
+    def rt_ratio(slow: str, fast: str) -> float:
+        return rt_results[slow]["best_s"] / rt_results[fast]["best_s"]
+
+    rt_speedups = {
+        "bsgs_planned": rt_ratio("bsgs_eager_dispatch", "bsgs_planned"),
+        "bsgs_batched_replay": rt_ratio(
+            "bsgs_eager_dispatch", "bsgs_batched_replay_per_ct"
+        ),
+        "poly3_planned": rt_ratio("poly3_eager_dispatch", "poly3_planned"),
+        "poly3_batched_replay": rt_ratio(
+            "poly3_eager_dispatch", "poly3_batched_replay_per_ct"
+        ),
+    }
+    rt_payload = {
+        "meta": {
+            "bench": "lazy-runtime",
+            "degree": degree,
+            "num_primes": primes,
+            "backend": default_backend_name(),
+            "quick": bool(args.quick),
+            "repeats": repeats,
+            "batch": RUNTIME_BATCH,
+        },
+        "results_s": rt_results,
+        "speedups_x": rt_speedups,
+    }
+    rt_path = Path(args.runtime_out)
+    rt_path.write_text(json.dumps(rt_payload, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(k) for k in rt_results)
+    print(f"\nlazy-runtime bench  (N=2^{degree.bit_length()-1}, L={primes}, "
+          f"batch={RUNTIME_BATCH})")
+    for name, row in rt_results.items():
+        print(f"  {name:<{width}}  best {row['best_s']*1e3:9.3f} ms")
+    print("speedups (eager dispatch / runtime):")
+    for name, x in rt_speedups.items():
+        print(f"  {name:<{width}}  {x:5.2f}x")
+    print(f"wrote {rt_path}")
     return 0
 
 

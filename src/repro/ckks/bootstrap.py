@@ -134,6 +134,10 @@ class Bootstrapper:
             galois_permutation(degree, rotation_galois_elt(r, slots, 2 * degree))
         galois_permutation(degree, 2 * degree - 1)
 
+        # CoeffToSlot is traced+planned through the runtime on first use;
+        # one plan per observed (level, scale) input shape.
+        self._c2s_plans: dict[tuple[int, float], object] = {}
+
     # ------------------------------------------------------------------
     # Pipeline stages (public for tests and instrumentation)
     # ------------------------------------------------------------------
@@ -166,16 +170,38 @@ class Bootstrapper:
         )
         return self.ctx.evaluator.multiply_plain(raised, boost)
 
-    def coeff_to_slot(self, ct: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
-        """Slots <- coefficients, split into the two real halves."""
-        ev = self.ctx.evaluator
-        half_v = self._coeff_to_slot.apply(ct, self._galois)
+    def _emit_coeff_to_slot(self, ev, ct):
+        """The C2S segment against any evaluator surface (eager or lazy)."""
+        half_v = self._coeff_to_slot.emit(ev, ct, self._galois)
         half_v = ev.rescale(half_v, times=self.ctx.params.levels_per_multiplication)
         conj_v = ev.conjugate(half_v, self._conj)
         real_part = ev.add(half_v, conj_v)  # t_k / Delta_in
         imag_diff = ev.sub(half_v, conj_v)  # i * Im(v)
         minus_i = self._unit_plaintext(-1j, imag_diff.level)
         imag_part = ev.multiply_plain(imag_diff, minus_i)  # t_{k+n} / Delta_in
+        return real_part, imag_part
+
+    def coeff_to_slot(self, ct: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        """Slots <- coefficients, split into the two real halves.
+
+        The whole segment — BSGS transform, rescale, conjugation, and the
+        real/imaginary split — is traced once into a computation graph,
+        optimized (the runtime hoists the BSGS baby steps onto a single
+        gadget decomposition), and replayed from the plan cache on every
+        subsequent bootstrap.
+        """
+        from repro.runtime import CtSpec, compile_fn
+
+        plan_key = (ct.level, ct.scale)
+        cached = self._c2s_plans.get(plan_key)
+        if cached is None:
+            cached = compile_fn(
+                self._emit_coeff_to_slot,
+                self.ctx.evaluator,
+                [CtSpec(level=ct.level, scale=ct.scale)],
+            )
+            self._c2s_plans[plan_key] = cached
+        real_part, imag_part = cached.run([ct])
         return real_part, imag_part
 
     def eval_mod(self, ct: Ciphertext) -> Ciphertext:

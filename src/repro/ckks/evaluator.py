@@ -31,9 +31,13 @@ from repro.ckks.params import CkksParameters
 from repro.rns.basis import RnsBasis
 from repro.rns.poly import RnsPolynomial
 
-__all__ = ["Evaluator"]
+__all__ = ["Evaluator", "SCALE_RTOL"]
 
-_SCALE_RTOL = 1e-9
+#: Relative tolerance under which two ciphertext scales count as aligned.
+#: Shared with the runtime's trace/plan-time checker
+#: (:mod:`repro.runtime.trace`) so lazy and eager programs agree on what
+#: "mismatched" means.
+SCALE_RTOL = 1e-9
 
 
 @dataclass
@@ -59,7 +63,7 @@ class Evaluator:
 
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         """Slot-wise addition; scales must match."""
-        self._check_scales(a, b)
+        self._check_scales(a, b, op="add")
         lvl = min(a.level, b.level)
         n = max(a.size, b.size)
         parts = []
@@ -76,7 +80,7 @@ class Evaluator:
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         """Slot-wise subtraction; scales must match."""
-        self._check_scales(a, b)
+        self._check_scales(a, b, op="sub")
         neg = Ciphertext(parts=[-p for p in b.parts], scale=b.scale)
         return self.add(a, neg)
 
@@ -85,8 +89,13 @@ class Evaluator:
 
     def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         """Add an encoded plaintext (scales must match)."""
-        if not math.isclose(ct.scale, pt.scale, rel_tol=_SCALE_RTOL):
-            raise ValueError(f"scale mismatch: {ct.scale} vs {pt.scale}")
+        if not math.isclose(ct.scale, pt.scale, rel_tol=SCALE_RTOL):
+            raise ValueError(
+                f"add_plain: scale mismatch: ciphertext scale {ct.scale:g} "
+                f"(level {ct.level}) vs plaintext scale {pt.scale:g} "
+                f"(level {pt.level}); re-encode the plaintext at the "
+                f"ciphertext's scale"
+            )
         m = pt.poly.drop_limbs(ct.level).to_eval()
         parts = [ct.parts[0] + m] + [p.copy() for p in ct.parts[1:]]
         return Ciphertext(parts=parts, scale=ct.scale)
@@ -219,8 +228,17 @@ class Evaluator:
     # Internals
     # ------------------------------------------------------------------
 
-    def _check_scales(self, a: Ciphertext, b: Ciphertext) -> None:
-        if not math.isclose(a.scale, b.scale, rel_tol=_SCALE_RTOL):
+    def _check_scales(self, a: Ciphertext, b: Ciphertext, *, op: str = "op") -> None:
+        """Raise with full provenance when operand scales are misaligned.
+
+        The message names the op and both operands' (level, scale) so a
+        failing pipeline can be located without re-running under a
+        debugger; the runtime's plan-time checker emits the same shape of
+        message with the producing graph nodes attached.
+        """
+        if not math.isclose(a.scale, b.scale, rel_tol=SCALE_RTOL):
             raise ValueError(
-                f"scale mismatch: {a.scale:g} vs {b.scale:g}; rescale first"
+                f"{op}: scale mismatch: lhs scale {a.scale:g} (level "
+                f"{a.level}, {a.size} parts) vs rhs scale {b.scale:g} "
+                f"(level {b.level}, {b.size} parts); rescale first"
             )

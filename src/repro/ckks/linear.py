@@ -11,11 +11,15 @@ evaluates this with the baby-step/giant-step grouping (``~2 sqrt(n)``
 rotations instead of ``n``), pre-rotating giant-block diagonals so the
 inner sums share one rotation each.
 
-The baby-step rotations are *hoisted*: the input ciphertext is
-gadget-decomposed once (:meth:`repro.ckks.evaluator.Evaluator.decompose`)
-and every rotation reuses that decomposition — the classic hoisting
-optimization that turns the dominant per-rotation digit expansion into a
-one-time cost.
+Evaluation goes through the lazy runtime (:mod:`repro.runtime`): the BSGS
+loop is *emitted* as plain rotate/multiply/add calls with no hand-coded
+hoisting, traced into a computation graph, and compiled into a cached
+:class:`~repro.runtime.plan.ExecutionPlan`.  The optimizer's hoisting pass
+rediscovers that every baby-step rotation shares the input ciphertext and
+collapses them onto one gadget decomposition
+(:meth:`repro.ckks.evaluator.Evaluator.decompose`) — the classic hoisting
+optimization that used to be hand-woven through this file — and the plan
+replays across many inputs via :meth:`apply_batch`.
 """
 
 from __future__ import annotations
@@ -50,6 +54,9 @@ class HomomorphicLinearTransform:
     baby_steps: int = 0
     _diagonals: dict[tuple[int, int], Plaintext] = field(init=False, repr=False)
     _nonzero: list[tuple[int, int]] = field(init=False, repr=False)
+    _plans: dict[tuple[float, int], tuple] = field(
+        init=False, repr=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         n = self.ctx.params.slots
@@ -94,38 +101,28 @@ class HomomorphicLinearTransform:
         giants = sorted({g * self.baby_steps for g, _ in self._nonzero if g != 0})
         return baby + giants
 
-    def apply(
-        self,
-        ct: Ciphertext,
-        galois_keys: dict[tuple[int, int], SwitchingKey],
-    ) -> Ciphertext:
-        """Evaluate M·x on a ciphertext at the compiled level.
+    def emit(self, ev, ct, galois_keys):
+        """Emit the BSGS loop against any evaluator surface.
 
-        Output scale is ``ct.scale * Delta`` (caller rescales when ready —
-        CoeffToSlot sums several transforms before a single rescale).
+        ``ev`` may be the eager :class:`~repro.ckks.evaluator.Evaluator`
+        (one-shot, unoptimized dispatch — the benchmark baseline) or a
+        :class:`~repro.runtime.trace.LazyEvaluator` recording a graph.
+        Rotations are emitted *without* explicit hoisting; when traced,
+        the runtime's hoisting pass regroups the baby steps onto one
+        shared decomposition automatically.
         """
-        if ct.level != self.level:
-            raise ValueError(f"transform compiled for level {self.level}, got {ct.level}")
-        ev = self.ctx.evaluator
         bs = self.baby_steps
-
-        # Hoisted baby steps: decompose ct once, then every rotation is a
-        # slot permutation plus one key contraction — the inner loop pays
-        # a single digit expansion instead of one per rotation.
-        rotated: dict[int, Ciphertext] = {0: ct}
-        baby = sorted({j for _, j in self._nonzero if j != 0})
-        if baby:
-            hoisted = ev.decompose(ct)
-            for j in baby:
-                rotated[j] = ev.rotate(ct, j, galois_keys, decomposed=hoisted)
+        rotated = {0: ct}
+        for j in sorted({j for _, j in self._nonzero if j != 0}):
+            rotated[j] = ev.rotate(ct, j, galois_keys)
 
         by_giant: dict[int, list[int]] = {}
         for g, j in self._nonzero:
             by_giant.setdefault(g, []).append(j)
 
-        acc: Ciphertext | None = None
+        acc = None
         for g, js in sorted(by_giant.items()):
-            inner: Ciphertext | None = None
+            inner = None
             for j in js:
                 term = ev.multiply_plain(rotated[j], self._diagonals[(g, j)])
                 inner = term if inner is None else ev.add(inner, term)
@@ -135,3 +132,54 @@ class HomomorphicLinearTransform:
             acc = inner if acc is None else ev.add(acc, inner)
         assert acc is not None
         return acc
+
+    def plan_for(self, scale: float, galois_keys: dict[tuple[int, int], SwitchingKey]):
+        """Trace + compile (once) the BSGS program for one input scale.
+
+        The compiled :class:`~repro.runtime.plan.ExecutionPlan` is memoized
+        per (scale, key-set) — and deduplicated process-wide by the plan
+        cache — so serving traffic replays one optimized plan.
+        """
+        from repro.runtime import CtSpec, compile_fn
+
+        memo_key = (scale, id(galois_keys))
+        hit = self._plans.get(memo_key)
+        # The memo pins the key dict so a recycled id can never alias a
+        # different key set.
+        if hit is not None and hit[0] is galois_keys:
+            return hit[1]
+        plan = compile_fn(
+            lambda ev, h: self.emit(ev, h, galois_keys),
+            self.ctx.evaluator,
+            [CtSpec(level=self.level, scale=scale)],
+        )
+        self._plans[memo_key] = (galois_keys, plan)
+        return plan
+
+    def apply(
+        self,
+        ct: Ciphertext,
+        galois_keys: dict[tuple[int, int], SwitchingKey],
+    ) -> Ciphertext:
+        """Evaluate M·x on a ciphertext at the compiled level.
+
+        Output scale is ``ct.scale * Delta`` (caller rescales when ready —
+        CoeffToSlot sums several transforms before a single rescale).
+        Runs through the cached execution plan; bit-identical to emitting
+        the loop eagerly, with the baby-step rotations hoisted by the
+        optimizer.
+        """
+        if ct.level != self.level:
+            raise ValueError(f"transform compiled for level {self.level}, got {ct.level}")
+        return self.plan_for(ct.scale, galois_keys).run([ct])[0]
+
+    def apply_batch(
+        self,
+        cts: list[Ciphertext],
+        galois_keys: dict[tuple[int, int], SwitchingKey],
+    ) -> list[Ciphertext]:
+        """Evaluate M·x across many ciphertexts with one replayed plan."""
+        if not cts:
+            return []
+        plan = self.plan_for(cts[0].scale, galois_keys)
+        return [out for (out,) in plan.run_batch([[ct] for ct in cts])]

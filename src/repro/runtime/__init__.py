@@ -1,0 +1,86 @@
+"""Lazy computation-graph runtime: trace, optimize, and batch-execute
+CKKS programs.
+
+Instead of driving the eager :class:`~repro.ckks.evaluator.Evaluator` one
+op at a time, write the program once against the shared surface and let
+the runtime plan it::
+
+    from repro.runtime import CtSpec, compile_fn
+
+    def model(ev, x):
+        sq = ev.multiply_relin_rescale(x, x, relin_keys)
+        return ev.add(ev.rotate(sq, 1, galois_keys), sq)
+
+    plan = compile_fn(model, ctx.evaluator, [CtSpec(level=6, scale=delta)])
+    [out] = plan.run([ct])                  # bit-identical to eager
+    outs = plan.run_batch([[ct] for ct in requests])   # throughput serving
+
+Pipeline: :func:`trace` records an op DAG over symbolic handles
+(:mod:`repro.runtime.trace`); optimizer passes eliminate common
+subexpressions and dead nodes, fuse rescale chains, group hoistable
+rotations, and validate level/scale alignment at plan time
+(:mod:`repro.runtime.passes`); the resulting
+:class:`~repro.runtime.plan.ExecutionPlan` is cached process-wide and
+executed by a bit-identical reference interpreter or a batched replayer
+(:mod:`repro.runtime.plan`); :mod:`repro.runtime.bridge` converts traced
+plans into accelerator workload/queue form for scheduler experiments.
+"""
+
+from repro.runtime.bridge import (
+    plan_op_counts,
+    plan_to_request_queue,
+    plan_to_workload,
+)
+from repro.runtime.graph import CtSpec, Graph, Node, PtSpec
+from repro.runtime.passes import (
+    PlanValidationError,
+    check_alignment,
+    eliminate_common_subexpressions,
+    eliminate_dead_nodes,
+    fuse_rescales,
+    hoist_groups,
+    optimize,
+)
+from repro.runtime.plan import (
+    ExecutionPlan,
+    clear_plan_cache,
+    compile_fn,
+    compile_graph,
+    plan_cache_info,
+)
+from repro.runtime.trace import (
+    LazyCiphertext,
+    LazyDecomposed,
+    LazyEvaluator,
+    LazyPlaintext,
+    TraceError,
+    trace,
+)
+
+__all__ = [
+    "CtSpec",
+    "PtSpec",
+    "Graph",
+    "Node",
+    "TraceError",
+    "LazyCiphertext",
+    "LazyPlaintext",
+    "LazyDecomposed",
+    "LazyEvaluator",
+    "trace",
+    "PlanValidationError",
+    "optimize",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_nodes",
+    "fuse_rescales",
+    "hoist_groups",
+    "check_alignment",
+    "ExecutionPlan",
+    "compile_fn",
+    "compile_graph",
+    "plan_cache_info",
+    "clear_plan_cache",
+    "plan_op_counts",
+    "plan_to_workload",
+    "plan_to_request_queue",
+]

@@ -1,0 +1,238 @@
+"""Optimizer passes over the ciphertext computation graph.
+
+Every pass is a pure ``Graph -> Graph`` rewrite (graphs are rebuilt, never
+mutated) and every rewrite is *bit-preserving*: an optimized plan must
+decrypt to the exact bytes the eager :class:`~repro.ckks.evaluator.Evaluator`
+produces.  That constraint shapes what the passes are allowed to do:
+
+* **CSE** merges structurally identical nodes — same op, operands, attrs,
+  and captured constants.  Commutative ops (modular add / tensor multiply)
+  are canonicalized by operand id, which is safe because limb-wise modular
+  arithmetic commutes bitwise (adds additionally require exactly equal
+  scales so the merged node's scale metadata is unambiguous).
+* **Rescale fusion** collapses ``rescale(rescale(x, t1), t2)`` into one
+  ``rescale(x, t1 + t2)`` when the inner node has no other consumer.
+  :meth:`repro.rns.poly.RnsPolynomial.rescale` guarantees the fused
+  multi-prime division is bit-identical to the sequential one, and the
+  fused node pays a single coeff<->eval round trip instead of two.
+* **DCE** drops nodes unreachable from the outputs (symbolic inputs are
+  kept so plan arity always matches the trace's input specs).
+* **Hoist grouping** does not rewrite at all — it *annotates*: automorphism
+  nodes sharing a source ciphertext are grouped so the executors gadget-
+  decompose that source once (`Evaluator.decompose`) and replay the
+  decomposition across the whole group, exactly what `linear.py` used to
+  hand-code.
+* **check_alignment** re-derives every node's level/scale/size from its
+  operands and fails compilation — naming the offending op and the ops
+  that produced its operands — if the graph violates the eager evaluator's
+  rules.  Plans fail at compile time, not mid-execution.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ckks.evaluator import SCALE_RTOL
+from repro.runtime.graph import (
+    AUTOMORPHISM_OPS,
+    COMMUTATIVE_OPS,
+    Graph,
+    GraphBuilder,
+    Node,
+)
+
+__all__ = [
+    "PlanValidationError",
+    "eliminate_common_subexpressions",
+    "fuse_rescales",
+    "eliminate_dead_nodes",
+    "hoist_groups",
+    "check_alignment",
+    "optimize",
+]
+
+
+class PlanValidationError(ValueError):
+    """A graph failed plan-time level/scale/key alignment checks."""
+
+
+# ---------------------------------------------------------------------------
+# Rewrites
+# ---------------------------------------------------------------------------
+
+
+def eliminate_common_subexpressions(graph: Graph) -> Graph:
+    """Merge structurally identical nodes (one rotation instead of two)."""
+    builder = GraphBuilder(graph)
+    seen: dict[tuple, int] = {}
+    for node in graph.nodes:
+        inputs = builder.remap_inputs(node)
+        consts = tuple(id(graph.consts[c]) for c in node.consts)
+        if node.op in ("input", "pt_input"):
+            builder.emit(node)
+            continue
+        key_inputs = inputs
+        if node.op in COMMUTATIVE_OPS:
+            a, b = (graph.nodes[i] for i in node.inputs)
+            # add's result scale is the lhs scale; only canonicalize when
+            # swapping operands cannot change any recorded metadata.
+            if node.op == "multiply" or a.scale == b.scale:
+                key_inputs = tuple(sorted(inputs))
+        key = (node.op, key_inputs, node.attrs, consts)
+        hit = seen.get(key)
+        if hit is not None:
+            builder.alias(node.id, hit)
+        else:
+            seen[key] = builder.emit(node, inputs=inputs)
+    return builder.finish()
+
+
+def fuse_rescales(graph: Graph) -> Graph:
+    """Merge rescale chains into single multi-prime rescales."""
+    consumers = graph.consumer_counts()
+    # An inner rescale is absorbed when its *only* consumer is another
+    # rescale (and it is not itself an output): the downstream node takes
+    # over its dropped primes.  Chains absorb transitively.
+    absorbed: set[int] = set()
+    for node in graph.nodes:
+        if node.op != "rescale":
+            continue
+        inner = graph.nodes[node.inputs[0]]
+        if (
+            inner.op == "rescale"
+            and consumers[inner.id] == 1
+            and inner.id not in graph.outputs
+        ):
+            absorbed.add(inner.id)
+    builder = GraphBuilder(graph)
+    for node in graph.nodes:
+        if node.id in absorbed:
+            continue  # its single consumer re-points past it below
+        if node.op == "rescale":
+            times = node.attrs[0]
+            src = node.inputs[0]
+            while src in absorbed:
+                times += graph.nodes[src].attrs[0]
+                src = graph.nodes[src].inputs[0]
+            builder.emit(node, inputs=(builder.mapping[src],), attrs=(times,))
+        else:
+            builder.emit(node)
+    return builder.finish()
+
+
+def eliminate_dead_nodes(graph: Graph) -> Graph:
+    """Drop nodes no output depends on (inputs are always kept)."""
+    live: set[int] = set(graph.input_ids)
+    stack = list(graph.outputs)
+    while stack:
+        nid = stack.pop()
+        if nid in live:
+            continue
+        live.add(nid)
+        stack.extend(graph.nodes[nid].inputs)
+    builder = GraphBuilder(graph)
+    for node in graph.nodes:
+        if node.id in live:
+            builder.emit(node)
+    return builder.finish()
+
+
+# ---------------------------------------------------------------------------
+# Analyses
+# ---------------------------------------------------------------------------
+
+
+def hoist_groups(graph: Graph) -> dict[int, tuple[int, ...]]:
+    """Map source-node id -> automorphism nodes that can share one
+    gadget decomposition (groups of at least two)."""
+    by_source: dict[int, list[int]] = {}
+    for node in graph.nodes:
+        if node.op in AUTOMORPHISM_OPS:
+            by_source.setdefault(node.inputs[0], []).append(node.id)
+    return {
+        src: tuple(nodes) for src, nodes in by_source.items() if len(nodes) > 1
+    }
+
+
+def check_alignment(graph: Graph) -> None:
+    """Re-derive and verify every node's metadata; raise on any mismatch.
+
+    This is the plan-time analogue of ``Evaluator._check_scales`` — but
+    instead of failing mid-execution it rejects the whole plan, and the
+    error names the offending node *and* the ops that produced its
+    operands, levels and scales included.
+    """
+
+    def fail(node: Node, why: str) -> None:
+        operands = ", ".join(graph.provenance(i) for i in node.inputs)
+        raise PlanValidationError(
+            f"{graph.provenance(node.id)}: {why}"
+            + (f"; operands: {operands}" if operands else "")
+        )
+
+    for node in graph.nodes:
+        ins = [graph.nodes[i] for i in node.inputs]
+        if node.op in ("input", "pt_input"):
+            continue
+        if node.op in ("add", "sub"):
+            a, b = ins
+            if not math.isclose(a.scale, b.scale, rel_tol=SCALE_RTOL):
+                fail(node, f"operand scales misaligned: {a.scale:g} vs {b.scale:g}")
+            if node.level != min(a.level, b.level):
+                fail(node, f"level {node.level} != min(operand levels)")
+        elif node.op == "multiply":
+            a, b = ins
+            if a.size != 2 or b.size != 2:
+                fail(node, "tensor multiply needs 2-part operands")
+            if node.size != 3 or node.scale != a.scale * b.scale:
+                fail(node, "multiply metadata inconsistent")
+        elif node.op == "relinearize":
+            (a,) = ins
+            key = graph.consts[node.consts[0]]
+            if a.size != 3:
+                fail(node, f"relinearize needs a 3-part operand, got {a.size}")
+            if key.level != a.level:
+                fail(node, f"switching key level {key.level} != operand level {a.level}")
+        elif node.op == "rescale":
+            (a,) = ins
+            times = node.attrs[0]
+            if a.level - times < 1 or node.level != a.level - times:
+                fail(node, f"rescale x{times} from level {a.level} is invalid")
+        elif node.op in AUTOMORPHISM_OPS:
+            a = ins[0]
+            key = graph.consts[node.consts[0]]
+            if a.size != 2:
+                fail(node, "automorphisms need a relinearized (2-part) operand")
+            if key.level != a.level:
+                fail(node, f"switching key level {key.level} != operand level {a.level}")
+        elif node.op in ("add_plain", "multiply_plain"):
+            ct = ins[0]
+            if len(ins) == 2:
+                pt_level, pt_scale = ins[1].level, ins[1].scale
+            else:
+                pt = graph.consts[node.consts[0]]
+                pt_level, pt_scale = pt.level, pt.scale
+            if pt_level < ct.level:
+                fail(node, f"plaintext level {pt_level} below ciphertext level {ct.level}")
+            if node.op == "add_plain" and not math.isclose(
+                ct.scale, pt_scale, rel_tol=SCALE_RTOL
+            ):
+                fail(node, f"plain scale {pt_scale:g} != ciphertext scale {ct.scale:g}")
+        elif node.op == "negate":
+            pass
+        else:
+            fail(node, f"unknown op {node.op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Pipeline
+# ---------------------------------------------------------------------------
+
+
+def optimize(graph: Graph) -> Graph:
+    """The default pass pipeline: CSE -> rescale fusion -> DCE -> verify."""
+    graph = eliminate_common_subexpressions(graph)
+    graph = fuse_rescales(graph)
+    graph = eliminate_dead_nodes(graph)
+    check_alignment(graph)
+    return graph

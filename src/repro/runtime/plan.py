@@ -1,0 +1,380 @@
+"""Execution plans: topologically scheduled, ref-counted, cached, replayable.
+
+An :class:`ExecutionPlan` binds an optimized :class:`~repro.runtime.graph.Graph`
+to one eager :class:`~repro.ckks.evaluator.Evaluator` and executes it two
+ways:
+
+* :meth:`ExecutionPlan.run` — the **reference interpreter**.  It walks the
+  schedule node by node, issuing the exact eager-evaluator calls the
+  traced program would have made (automorphisms go through
+  ``Evaluator.apply_galois`` with a shared hoisted decomposition, which is
+  precisely what the eager path computes internally), so its outputs are
+  bit-identical to running the original function eagerly.
+* :meth:`ExecutionPlan.run_batch` — the **batched executor** for
+  throughput serving.  The schedule is pre-lowered once into per-node
+  closures with every constant resolved ahead of time (switching keys
+  bound, Galois elements computed, plaintext operands pre-dropped to
+  level and pre-transformed to the NTT domain), then replayed across many
+  input ciphertexts.  Same bits, far less per-op dispatch work.
+
+Both executors release intermediate buffers by reference counting: a
+node's ciphertext is freed the moment its last consumer has run, so a
+deep pipeline's live set stays proportional to its width, not its length.
+
+``compile_graph`` / ``compile_fn`` front a **process-level plan cache**
+keyed by (graph signature, parameter fingerprint, reducer backend): one
+trace of a serving program is optimized once and the same plan object is
+replayed for every subsequent request with the same structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.ckks.containers import Ciphertext, Plaintext
+from repro.ckks.evaluator import SCALE_RTOL, Evaluator
+from repro.nums.kernels import default_backend_name
+from repro.runtime.graph import AUTOMORPHISM_OPS, CtSpec, Graph, Node, PtSpec
+from repro.runtime.passes import check_alignment, hoist_groups, optimize
+from repro.runtime.trace import trace
+
+__all__ = [
+    "ExecutionPlan",
+    "compile_graph",
+    "compile_fn",
+    "params_fingerprint",
+    "plan_cache_info",
+    "clear_plan_cache",
+]
+
+
+def params_fingerprint(evaluator: Evaluator) -> tuple:
+    """What makes two evaluators interchangeable for a cached plan."""
+    return (evaluator.basis.degree, tuple(evaluator.basis.moduli))
+
+
+@dataclass
+class ExecutionPlan:
+    """A compiled, executable CKKS program.
+
+    Attributes:
+        graph: the optimized op DAG.
+        evaluator: the eager evaluator ops are dispatched through.
+        signature: structural fingerprint of the *traced* graph (the plan
+            cache key component).
+        backend: reducer backend the plan was compiled under.
+        hoist: source-node id -> automorphism nodes sharing one
+            decomposition.
+    """
+
+    graph: Graph
+    evaluator: Evaluator
+    signature: str
+    backend: str
+    hoist: dict[int, tuple[int, ...]]
+    _releases: list[tuple[int, ...]] = field(init=False, repr=False)
+    _dec_done: dict[int, int] = field(init=False, repr=False)
+    _steps: list | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._releases = self._release_schedule()
+        # Schedule position at which each hoist group's decomposition dies
+        # (a node belongs to at most one group, so last-member ids are
+        # unique across groups).
+        self._dec_done = {members[-1]: src for src, members in self.hoist.items()}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def input_specs(self) -> tuple:
+        return tuple(self.graph.input_specs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.graph.outputs)
+
+    def op_histogram(self) -> dict[str, int]:
+        return self.graph.op_histogram()
+
+    def summary(self) -> str:
+        hist = ", ".join(
+            f"{op} x{n}" for op, n in sorted(self.op_histogram().items())
+        )
+        return (
+            f"ExecutionPlan[{self.signature[:12]}] "
+            f"{len(self.graph.nodes)} nodes, "
+            f"{len(self.input_specs)} inputs -> {self.num_outputs} outputs, "
+            f"{len(self.hoist)} hoist group(s), backend={self.backend}: {hist}"
+        )
+
+    # ------------------------------------------------------------------
+    # Reference interpreter
+    # ------------------------------------------------------------------
+
+    def run(self, inputs) -> list[Ciphertext]:
+        """Execute once, issuing plain eager-evaluator calls per node."""
+        self._check_inputs(inputs)
+        ev = self.evaluator
+        env: dict[int, object] = {}
+        dec_cache: dict[int, object] = {}
+        for node in self.graph.nodes:
+            env[node.id] = self._interpret(node, env, ev, inputs, dec_cache)
+            done_src = self._dec_done.get(node.id)
+            if done_src is not None:
+                dec_cache.pop(done_src, None)
+            for victim in self._releases[node.id]:
+                env.pop(victim, None)
+        return [env[o] for o in self.graph.outputs]
+
+    def _interpret(self, node: Node, env, ev: Evaluator, inputs, dec_cache):
+        op = node.op
+        g = self.graph
+        if op == "input" or op == "pt_input":
+            return inputs[node.attrs[0]]
+        ins = [env[i] for i in node.inputs]
+        if op == "add":
+            return ev.add(*ins)
+        if op == "sub":
+            return ev.sub(*ins)
+        if op == "negate":
+            return ev.negate(*ins)
+        if op == "multiply":
+            return ev.multiply(*ins)
+        if op == "add_plain" or op == "multiply_plain":
+            pt = ins[1] if len(ins) == 2 else g.consts[node.consts[0]]
+            method = ev.add_plain if op == "add_plain" else ev.multiply_plain
+            return method(ins[0], pt)
+        if op == "relinearize":
+            key = g.consts[node.consts[0]]
+            return ev.relinearize(ins[0], {g.nodes[node.inputs[0]].level: key})
+        if op == "rescale":
+            return ev.rescale(ins[0], times=node.attrs[0])
+        if op in AUTOMORPHISM_OPS:
+            key = g.consts[node.consts[0]]
+            galois_elt = node.attrs[-1]
+            src = node.inputs[0]
+            dec = None
+            if src in self.hoist:
+                dec = dec_cache.get(src)
+                if dec is None:
+                    dec = dec_cache[src] = ev.decompose(ins[0])
+            return ev.apply_galois(ins[0], galois_elt, key, decomposed=dec)
+        raise AssertionError(f"unschedulable op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Batched executor
+    # ------------------------------------------------------------------
+
+    def run_batch(self, batches) -> list[list[Ciphertext]]:
+        """Replay the plan across many input tuples (throughput serving).
+
+        ``batches`` is a sequence of input lists, each matching
+        ``input_specs``; returns one output list per batch entry.  The
+        schedule is lowered to pre-resolved closures on first use and
+        shared by every replay (and every later ``run_batch`` call).
+        """
+        if self._steps is None:
+            self._steps = self._lower()
+        results = []
+        for inputs in batches:
+            self._check_inputs(inputs)
+            env: dict[int, object] = {"inputs": inputs}
+            dec_cache: dict[int, object] = {}
+            for node_id, fn, releases in self._steps:
+                env[node_id] = fn(env, dec_cache)
+                for victim in releases:
+                    env.pop(victim, None)
+            results.append([env[o] for o in self.graph.outputs])
+        return results
+
+    def _lower(self) -> list:
+        """Pre-resolve every node into a closure over (env, dec_cache)."""
+        ev = self.evaluator
+        g = self.graph
+        steps = []
+        for node in g.nodes:
+            steps.append(
+                (node.id, self._lower_node(node, ev, g), self._releases[node.id])
+            )
+        return steps
+
+    def _lower_node(self, node: Node, ev: Evaluator, g: Graph):
+        op = node.op
+        if op in ("input", "pt_input"):
+            index = node.attrs[0]
+            return lambda env, dec: env["inputs"][index]
+        ids = node.inputs
+        if op == "add":
+            a, b = ids
+            return lambda env, dec: ev.add(env[a], env[b])
+        if op == "sub":
+            a, b = ids
+            return lambda env, dec: ev.sub(env[a], env[b])
+        if op == "negate":
+            (a,) = ids
+            return lambda env, dec: ev.negate(env[a])
+        if op == "multiply":
+            a, b = ids
+            return lambda env, dec: ev.multiply(env[a], env[b])
+        if op in ("add_plain", "multiply_plain"):
+            a = ids[0]
+            if len(ids) == 2:  # symbolic plaintext, bound per run
+                p = ids[1]
+                method = ev.add_plain if op == "add_plain" else ev.multiply_plain
+                return lambda env, dec: method(env[a], env[p])
+            # Captured constant: pre-drop to the consumer's level and
+            # pre-transform to the NTT domain once, then each replay is a
+            # pure limb-wise op — bit-identical to the eager path, which
+            # recomputes the same drop+NTT on every call.
+            pt = g.consts[node.consts[0]]
+            ct_level = g.nodes[a].level
+            m = pt.poly.drop_limbs(ct_level).to_eval()
+            pt_scale = pt.scale
+            if op == "add_plain":
+                return lambda env, dec: Ciphertext(
+                    parts=[env[a].parts[0] + m]
+                    + [p.copy() for p in env[a].parts[1:]],
+                    scale=env[a].scale,
+                )
+            return lambda env, dec: Ciphertext(
+                parts=[p * m for p in env[a].parts],
+                scale=env[a].scale * pt_scale,
+            )
+        if op == "relinearize":
+            (a,) = ids
+            key_dict = {g.nodes[a].level: g.consts[node.consts[0]]}
+            return lambda env, dec: ev.relinearize(env[a], key_dict)
+        if op == "rescale":
+            (a,) = ids
+            times = node.attrs[0]
+            return lambda env, dec: ev.rescale(env[a], times=times)
+        if op in AUTOMORPHISM_OPS:
+            (a,) = ids
+            key = g.consts[node.consts[0]]
+            galois_elt = node.attrs[-1]
+            if a in self.hoist:
+                last = self.hoist[a][-1] == node.id
+
+                def hoisted(env, dec, a=a, key=key, galois_elt=galois_elt, last=last):
+                    d = dec.get(a)
+                    if d is None:
+                        d = dec[a] = ev.decompose(env[a])
+                    out = ev.apply_galois(env[a], galois_elt, key, decomposed=d)
+                    if last:
+                        del dec[a]
+                    return out
+
+                return hoisted
+            return lambda env, dec: ev.apply_galois(env[a], galois_elt, key)
+        raise AssertionError(f"unschedulable op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _release_schedule(self) -> list[tuple[int, ...]]:
+        """For each schedule position, the node ids whose buffers die there."""
+        remaining = self.graph.consumer_counts()
+        outputs = set(self.graph.outputs)
+        releases: list[tuple[int, ...]] = []
+        for node in self.graph.nodes:
+            dead = []
+            for i in node.inputs:
+                remaining[i] -= 1
+                if remaining[i] == 0 and i not in outputs:
+                    dead.append(i)
+            releases.append(tuple(dict.fromkeys(dead)))
+        return releases
+
+    def _check_inputs(self, inputs) -> None:
+        specs = self.graph.input_specs
+        if len(inputs) != len(specs):
+            raise ValueError(
+                f"plan expects {len(specs)} input(s), got {len(inputs)}"
+            )
+        for i, (spec, value) in enumerate(zip(specs, inputs)):
+            if isinstance(spec, CtSpec):
+                if not isinstance(value, Ciphertext):
+                    raise TypeError(f"input {i}: expected a Ciphertext")
+                if value.level != spec.level or value.size != spec.size:
+                    raise ValueError(
+                        f"input {i}: plan compiled for level {spec.level} / "
+                        f"{spec.size} parts, got level {value.level} / "
+                        f"{value.size} parts"
+                    )
+            elif isinstance(spec, PtSpec):
+                if not isinstance(value, Plaintext):
+                    raise TypeError(f"input {i}: expected a Plaintext")
+                if value.level < spec.level:
+                    raise ValueError(
+                        f"input {i}: plaintext level {value.level} below the "
+                        f"compiled level {spec.level}"
+                    )
+            if not math.isclose(value.scale, spec.scale, rel_tol=SCALE_RTOL):
+                raise ValueError(
+                    f"input {i}: plan compiled for scale {spec.scale:g}, "
+                    f"got {value.scale:g}"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Process-level plan cache
+# ---------------------------------------------------------------------------
+
+_PLAN_CACHE: dict[tuple, ExecutionPlan] = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def compile_graph(
+    graph: Graph, evaluator: Evaluator, *, run_passes: bool = True
+) -> ExecutionPlan:
+    """Optimize and schedule a traced graph, reusing a cached plan when the
+    same program structure was compiled before under the same parameters
+    and reducer backend (optimized and pass-free compiles cache
+    separately)."""
+    key = (
+        graph.signature(),
+        params_fingerprint(evaluator),
+        default_backend_name(),
+        run_passes,
+    )
+    cached = _PLAN_CACHE.get(key)
+    if cached is not None:
+        _CACHE_STATS["hits"] += 1
+        return cached
+    _CACHE_STATS["misses"] += 1
+    if run_passes:
+        optimized = optimize(graph)
+    else:
+        check_alignment(graph)
+        optimized = graph
+    plan = ExecutionPlan(
+        graph=optimized,
+        evaluator=evaluator,
+        signature=key[0],
+        backend=key[2],
+        hoist=hoist_groups(optimized),
+    )
+    _PLAN_CACHE[key] = plan
+    return plan
+
+
+def compile_fn(fn, evaluator: Evaluator, input_specs, *, run_passes: bool = True):
+    """Trace ``fn`` and compile it in one step (the common entry point)."""
+    return compile_graph(
+        trace(fn, evaluator, input_specs), evaluator, run_passes=run_passes
+    )
+
+
+def plan_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters for the process-level plan cache."""
+    return {**_CACHE_STATS, "size": len(_PLAN_CACHE)}
+
+
+def clear_plan_cache() -> None:
+    _PLAN_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0

@@ -15,6 +15,7 @@ import pytest
 
 from repro.ckks import CkksContext, toy_params
 from repro.nums.kernels import available_backends, using_backend
+from repro.runtime import CtSpec, compile_fn
 
 DEGREE = 256
 NUM_PRIMES = 6
@@ -22,7 +23,12 @@ SEED = 1234
 
 
 def _run_pipeline():
-    """One seeded encrypt/rotate/multiply/rescale/decrypt run; all bytes."""
+    """One seeded encrypt/rotate/multiply/rescale/decrypt run; all bytes.
+
+    The same program is executed three ways — eagerly, through the
+    runtime's reference interpreter, and through the batched plan
+    executor — and all three must agree byte-for-byte within the run.
+    """
     ctx = CkksContext.create(toy_params(degree=DEGREE, num_primes=NUM_PRIMES), seed=SEED)
     rlk = ctx.relin_keys(levels=[NUM_PRIMES])
     gks = ctx.galois_keys([1], levels=[NUM_PRIMES])
@@ -32,15 +38,39 @@ def _run_pipeline():
 
     ct_x = ctx.encrypt(x)
     ct_y = ctx.encrypt(y)
-    rot = ctx.evaluator.rotate(ct_x, 1, gks)
-    prod = ctx.evaluator.multiply_relin_rescale(ct_x, ct_y, rlk)
+
+    def program(ev, a, b):
+        rot = ev.rotate(a, 1, gks)
+        prod = ev.multiply_relin_rescale(a, b, rlk)
+        return rot, prod
+
+    rot, prod = program(ctx.evaluator, ct_x, ct_y)
     out = ctx.decrypt_decode(prod)
+
+    spec = CtSpec(level=NUM_PRIMES, scale=ctx.params.scale)
+    plan = compile_fn(program, ctx.evaluator, [spec, spec])
+    plan_rot, plan_prod = plan.run([ct_x, ct_y])
+    ((batch_rot, batch_prod),) = plan.run_batch([[ct_x, ct_y]])
+    for eager_ct, planned, batched in (
+        (rot, plan_rot, batch_rot),
+        (prod, plan_prod, batch_prod),
+    ):
+        for i, part in enumerate(eager_ct.parts):
+            assert np.array_equal(part.data, planned.parts[i].data), (
+                f"planned execution diverged from eager at part {i}"
+            )
+            assert np.array_equal(part.data, batched.parts[i].data), (
+                f"batched execution diverged from eager at part {i}"
+            )
 
     snapshots = {
         "ct_x": [p.data.copy() for p in ct_x.parts],
         "rot": [p.data.copy() for p in rot.parts],
         "prod": [p.data.copy() for p in prod.parts],
+        "plan_rot": [p.data.copy() for p in plan_rot.parts],
+        "plan_prod": [p.data.copy() for p in plan_prod.parts],
         "out": out.copy(),
+        "plan_out": ctx.decrypt_decode(plan_prod).copy(),
         "expected": x * y,
     }
     return snapshots
@@ -62,11 +92,12 @@ def test_ciphertexts_bit_identical_across_backends():
     ref = runs[names[0]]
     for other in names[1:]:
         got = runs[other]
-        for key in ("ct_x", "rot", "prod"):
+        for key in ("ct_x", "rot", "prod", "plan_rot", "plan_prod"):
             for i, (a, b) in enumerate(zip(ref[key], got[key])):
                 assert np.array_equal(a, b), (
                     f"{key} part {i} differs between {names[0]} and {other}"
                 )
-        assert np.array_equal(ref["out"], got["out"]), (
-            f"decoded output differs between {names[0]} and {other}"
-        )
+        for key in ("out", "plan_out"):
+            assert np.array_equal(ref[key], got[key]), (
+                f"decoded {key} differs between {names[0]} and {other}"
+            )

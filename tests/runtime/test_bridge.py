@@ -1,0 +1,75 @@
+"""Bridge from traced plans to the accelerator workload/scheduler models."""
+
+from __future__ import annotations
+
+from repro.accel import RequestQueue, RscScheduler, abc_fhe
+from repro.runtime import (
+    CtSpec,
+    compile_fn,
+    plan_op_counts,
+    plan_to_request_queue,
+    plan_to_workload,
+)
+
+
+def _spec(rctx, level=None):
+    level = rctx.params.num_primes if level is None else level
+    return CtSpec(level=level, scale=rctx.params.scale)
+
+
+def _bsgs_like_plan(rctx, gks, rlk):
+    def program(ev, x):
+        acc = ev.rotate(x, 1, gks)
+        acc = ev.add(acc, ev.rotate(x, 2, gks))
+        return ev.multiply_relin_rescale(acc, x, rlk)
+
+    return compile_fn(program, rctx.evaluator, [_spec(rctx)])
+
+
+class TestOpCounts:
+    def test_counts_are_positive_and_ntt_dominated(self, rctx, gks, rlk):
+        plan = _bsgs_like_plan(rctx, gks, rlk)
+        counts = plan_op_counts(plan)
+        assert counts.ntt_ops > 0 and counts.rns_ops > 0 and counts.other_ops > 0
+        assert counts.fft_ops == 0  # no client-side transforms in a server plan
+        assert counts.total == counts.ntt_ops + counts.rns_ops
+
+    def test_hoisting_discount_shrinks_the_histogram(self, rctx, gks, rlk):
+        def hoistable(ev, x):
+            return ev.add(ev.rotate(x, 1, gks), ev.rotate(x, 2, gks))
+
+        def serial(ev, x):
+            return ev.rotate(ev.rotate(x, 1, gks), 2, gks)
+
+        h = compile_fn(hoistable, rctx.evaluator, [_spec(rctx)])
+        s = compile_fn(serial, rctx.evaluator, [_spec(rctx)])
+        # Same number of rotations, but the hoisted pair shares one digit
+        # expansion; the chained pair cannot.
+        assert plan_op_counts(h).ntt_ops < plan_op_counts(s).ntt_ops
+
+
+class TestClientBridge:
+    def test_workload_reflects_plan_boundary(self, rctx, gks, rlk):
+        plan = _bsgs_like_plan(rctx, gks, rlk)
+        w = plan_to_workload(plan)
+        assert w.degree == rctx.basis.degree
+        assert w.enc_levels == rctx.params.num_primes
+        assert w.dec_levels == rctx.params.num_primes - 2
+        projected = plan_to_workload(plan, degree=1 << 16)
+        assert projected.degree == 1 << 16
+        assert projected.enc_levels == w.enc_levels
+
+    def test_request_queue_counts_plan_io(self, rctx, gks, rlk):
+        plan = _bsgs_like_plan(rctx, gks, rlk)
+        q = plan_to_request_queue(plan, requests=100)
+        assert q == RequestQueue(encode_encrypt=100, decode_decrypt=100)
+
+    def test_scheduler_runs_on_a_traced_plan(self, rctx, gks, rlk):
+        """Figure-style policy comparison driven by a real trace."""
+        plan = _bsgs_like_plan(rctx, gks, rlk)
+        workload = plan_to_workload(plan, degree=1 << 16)
+        sched = RscScheduler(config=abc_fhe(), workload=workload)
+        results = sched.compare(plan_to_request_queue(plan, requests=8))
+        assert len(results) == 3
+        assert all(r.makespan_cycles > 0 for r in results)
+        assert results[0].makespan_cycles <= results[-1].makespan_cycles

@@ -1,0 +1,196 @@
+"""Executors: bit-identity with the eager Evaluator, dispatch-count
+guards proving CSE/hoisting fire, buffer release, and the plan cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks.keyswitch import KeySwitchEngine
+from repro.ckks.linear import HomomorphicLinearTransform
+from repro.runtime import (
+    CtSpec,
+    compile_fn,
+    plan_cache_info,
+    trace,
+)
+
+
+def _spec(rctx, level=None):
+    level = rctx.params.num_primes if level is None else level
+    return CtSpec(level=level, scale=rctx.params.scale)
+
+
+def _assert_ct_equal(a, b, what=""):
+    assert a.scale == b.scale, what
+    assert a.size == b.size, what
+    for i, (pa, pb) in enumerate(zip(a.parts, b.parts)):
+        assert np.array_equal(pa.data, pb.data), f"{what} part {i} differs"
+
+
+@pytest.fixture(scope="module")
+def sample_ct(rctx):
+    rng = np.random.default_rng(3)
+    return rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots))
+
+
+def _pipeline(gks, rlk):
+    """Rotate / multiply / relinearize / rescale / add — every op class."""
+
+    def program(ev, x, y):
+        rot = ev.rotate(x, 1, gks)
+        rot2 = ev.rotate(x, 2, gks)
+        prod = ev.multiply_relin_rescale(ev.add(rot, rot2), y, rlk)
+        return prod, rot
+
+    return program
+
+
+class TestBitIdentity:
+    def test_plan_matches_eager_on_full_pipeline(self, rctx, gks, rlk, sample_ct):
+        rng = np.random.default_rng(4)
+        ct_y = rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots))
+        program = _pipeline(gks, rlk)
+        eager_prod, eager_rot = program(rctx.evaluator, sample_ct, ct_y)
+        plan = compile_fn(
+            program, rctx.evaluator, [_spec(rctx), _spec(rctx)]
+        )
+        prod, rot = plan.run([sample_ct, ct_y])
+        _assert_ct_equal(prod, eager_prod, "reference-interpreter prod")
+        _assert_ct_equal(rot, eager_rot, "reference-interpreter rot")
+        ((bprod, brot),) = plan.run_batch([[sample_ct, ct_y]])
+        _assert_ct_equal(bprod, eager_prod, "batched prod")
+        _assert_ct_equal(brot, eager_rot, "batched rot")
+
+    def test_batched_replay_over_many_inputs(self, rctx, gks, rlk):
+        rng = np.random.default_rng(5)
+        program = _pipeline(gks, rlk)
+        plan = compile_fn(program, rctx.evaluator, [_spec(rctx), _spec(rctx)])
+        batches = [
+            [
+                rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots)),
+                rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots)),
+            ]
+            for _ in range(3)
+        ]
+        replayed = plan.run_batch(batches)
+        for inputs, outs in zip(batches, replayed):
+            eager = program(rctx.evaluator, *inputs)
+            for got, want in zip(outs, eager):
+                _assert_ct_equal(got, want, "replay vs eager")
+
+    def test_plain_ops_bit_identical(self, rctx, sample_ct):
+        rng = np.random.default_rng(6)
+        pt = rctx.encode(rng.uniform(-1, 1, rctx.params.slots))
+        second = rctx.encoder.encode(
+            rng.uniform(-1, 1, rctx.params.slots),
+            level=pt.level,
+            scale=sample_ct.scale * pt.scale,
+        )
+
+        def program(ev, x):
+            return ev.add_plain(ev.multiply_plain(x, pt), second)
+
+        eager = program(rctx.evaluator, sample_ct)
+        plan = compile_fn(program, rctx.evaluator, [_spec(rctx)])
+        _assert_ct_equal(plan.run([sample_ct])[0], eager, "run plain")
+        _assert_ct_equal(plan.run_batch([[sample_ct]])[0][0], eager, "batch plain")
+
+
+class TestDispatchCounts:
+    def test_hoisting_fires_in_planned_bsgs(self, rctx, monkeypatch, sample_ct):
+        slots = rctx.params.slots
+        rng = np.random.default_rng(8)
+        matrix = rng.uniform(-1, 1, (slots, slots))
+        hlt = HomomorphicLinearTransform(rctx, matrix, level=rctx.params.num_primes)
+        keys = rctx.galois_keys(
+            hlt.required_rotations(), levels=[rctx.params.num_primes]
+        )
+
+        calls = {"n": 0}
+        real = KeySwitchEngine.decompose
+
+        def counting(self, poly):
+            calls["n"] += 1
+            return real(self, poly)
+
+        monkeypatch.setattr(KeySwitchEngine, "decompose", counting)
+
+        calls["n"] = 0
+        hlt.emit(rctx.evaluator, sample_ct, keys)  # unplanned eager dispatch
+        eager_decomposes = calls["n"]
+
+        plan = hlt.plan_for(sample_ct.scale, keys)
+        plan.run([sample_ct])  # warm (counts once)
+        calls["n"] = 0
+        plan.run([sample_ct])
+        planned_decomposes = calls["n"]
+
+        baby = {j for _, j in hlt._nonzero if j != 0}
+        giants = {g for g, _ in hlt._nonzero if g != 0}
+        # Eager pays one digit expansion per rotation; the plan hoists all
+        # baby steps onto a single shared decomposition.
+        assert eager_decomposes == len(baby) + len(giants)
+        assert planned_decomposes == 1 + len(giants)
+        assert planned_decomposes < eager_decomposes
+
+    def test_cse_eliminates_duplicate_keyswitch_work(
+        self, rctx, gks, monkeypatch, sample_ct
+    ):
+        calls = {"n": 0}
+        real = KeySwitchEngine.apply
+
+        def counting(self, dec, key):
+            calls["n"] += 1
+            return real(self, dec, key)
+
+        monkeypatch.setattr(KeySwitchEngine, "apply", counting)
+
+        def program(ev, x):
+            return ev.add(ev.rotate(x, 1, gks), ev.rotate(x, 1, gks))
+
+        plan = compile_fn(program, rctx.evaluator, [_spec(rctx)])
+        calls["n"] = 0
+        plan.run([sample_ct])
+        assert calls["n"] == 1  # two traced rotations, one executed
+
+
+class TestPlanMechanics:
+    def test_process_level_cache_hits_on_retrace(self, rctx, gks):
+        def program(ev, x):
+            return ev.rotate(x, 1, gks)
+
+        p1 = compile_fn(program, rctx.evaluator, [_spec(rctx)])
+        p2 = compile_fn(program, rctx.evaluator, [_spec(rctx)])
+        assert p1 is p2
+        info = plan_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
+
+    def test_buffers_released_by_refcount(self, rctx, gks, rlk, sample_ct):
+        plan = compile_fn(
+            _pipeline(gks, rlk), rctx.evaluator, [_spec(rctx), _spec(rctx)]
+        )
+        # Every non-output intermediate must appear in exactly one release
+        # slot; outputs must never be released.
+        released = [v for slot in plan._releases for v in slot]
+        assert len(released) == len(set(released))
+        outputs = set(plan.graph.outputs)
+        assert not outputs & set(released)
+        interior = {
+            n.id
+            for n in plan.graph.nodes
+            if n.id not in outputs and plan.graph.consumer_counts()[n.id] > 0
+        }
+        assert interior == set(released)
+        plan.run([sample_ct, sample_ct])  # and execution still works
+
+    def test_input_validation_messages(self, rctx, gks, sample_ct):
+        def program(ev, x):
+            return ev.rotate(x, 1, gks)
+
+        plan = compile_fn(program, rctx.evaluator, [_spec(rctx)])
+        with pytest.raises(ValueError, match="expects 1 input"):
+            plan.run([])
+        wrong_level = rctx.evaluator.rescale(sample_ct, times=1)
+        with pytest.raises(ValueError, match="compiled for level"):
+            plan.run([wrong_level])

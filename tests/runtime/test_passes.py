@@ -1,0 +1,152 @@
+"""Optimizer passes: CSE, DCE, rescale fusion, hoist grouping, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    CtSpec,
+    PlanValidationError,
+    check_alignment,
+    eliminate_common_subexpressions,
+    eliminate_dead_nodes,
+    fuse_rescales,
+    hoist_groups,
+    optimize,
+    trace,
+)
+
+
+def _spec(rctx, level=None):
+    level = rctx.params.num_primes if level is None else level
+    return CtSpec(level=level, scale=rctx.params.scale)
+
+
+class TestCse:
+    def test_duplicate_rotations_merge(self, rctx, gks):
+        def program(ev, x):
+            return ev.add(ev.rotate(x, 1, gks), ev.rotate(x, 1, gks))
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        assert g.op_histogram()["rotate"] == 2
+        opt = eliminate_common_subexpressions(g)
+        assert opt.op_histogram()["rotate"] == 1
+
+    def test_commutative_multiply_canonicalized(self, rctx, rlk):
+        def program(ev, x, y):
+            ab = ev.relinearize(ev.multiply(x, y), rlk)
+            ba = ev.relinearize(ev.multiply(y, x), rlk)
+            return ev.add(ab, ba)
+
+        g = trace(program, rctx.evaluator, [_spec(rctx), _spec(rctx)])
+        opt = eliminate_common_subexpressions(g)
+        assert opt.op_histogram()["multiply"] == 1
+        assert opt.op_histogram()["relinearize"] == 1
+
+    def test_different_keys_do_not_merge(self, rctx, gks):
+        other = rctx.galois_keys([1], levels=[rctx.params.num_primes])
+
+        def program(ev, x):
+            return ev.add(ev.rotate(x, 1, gks), ev.rotate(x, 1, other))
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        assert eliminate_common_subexpressions(g).op_histogram()["rotate"] == 2
+
+
+class TestRescaleFusion:
+    def test_chain_fuses_to_one_multi_prime_rescale(self, rctx):
+        def program(ev, x):
+            return ev.rescale(ev.rescale(ev.rescale(x, 1), 1), 1)
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        opt = eliminate_dead_nodes(fuse_rescales(g))
+        assert opt.op_histogram()["rescale"] == 1
+        out = opt.nodes[opt.outputs[0]]
+        assert out.attrs == (3,)
+        assert out.level == rctx.params.num_primes - 3
+
+    def test_shared_intermediate_blocks_fusion(self, rctx):
+        def program(ev, x):
+            mid = ev.rescale(x, 1)
+            return ev.add(ev.rescale(mid, 1), ev.rescale(mid, 1))
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        # mid has two consumers: it must survive; CSE merges the twins
+        # first, after which mid has a single consumer and fusion fires.
+        fused_only = eliminate_dead_nodes(fuse_rescales(g))
+        assert fused_only.op_histogram()["rescale"] == 3
+        full = optimize(g)
+        assert full.op_histogram()["rescale"] == 1
+
+    def test_output_intermediate_not_fused_away(self, rctx):
+        def program(ev, x):
+            mid = ev.rescale(x, 1)
+            return mid, ev.rescale(mid, 1)
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        opt = optimize(g)
+        assert opt.op_histogram()["rescale"] == 2
+
+
+class TestDce:
+    def test_unused_work_is_dropped(self, rctx, gks):
+        def program(ev, x):
+            ev.rotate(x, 2, gks)  # dead
+            return ev.rotate(x, 1, gks)
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        opt = eliminate_dead_nodes(g)
+        assert opt.op_histogram()["rotate"] == 1
+        assert opt.op_histogram()["input"] == 1  # inputs always survive
+
+
+class TestHoistGrouping:
+    def test_rotations_sharing_a_source_group(self, rctx, gks):
+        def program(ev, x):
+            r1 = ev.rotate(x, 1, gks)
+            r2 = ev.rotate(x, 2, gks)
+            lone = ev.rotate(ev.add(r1, r2), 3, gks)
+            return lone
+
+        g = optimize(trace(program, rctx.evaluator, [_spec(rctx)]))
+        groups = hoist_groups(g)
+        assert len(groups) == 1
+        (members,) = groups.values()
+        assert len(members) == 2  # the lone rotation stays ungrouped
+
+
+class TestAlignmentChecker:
+    def test_accepts_traced_graphs(self, rctx, gks, rlk):
+        def program(ev, x):
+            return ev.multiply_relin_rescale(ev.rotate(x, 1, gks), x, rlk)
+
+        check_alignment(trace(program, rctx.evaluator, [_spec(rctx)]))
+
+    def test_rejects_corrupted_metadata_with_provenance(self, rctx, gks):
+        import dataclasses
+
+        def program(ev, x):
+            return ev.add(ev.rotate(x, 1, gks), x)
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        bad = dataclasses.replace(g.nodes[1], scale=g.nodes[1].scale * 3)
+        g.nodes[1] = bad
+        with pytest.raises(PlanValidationError) as err:
+            check_alignment(g)
+        msg = str(err.value)
+        assert "scale" in msg and "node #" in msg and "operands" in msg
+
+    def test_rejects_wrong_key_level(self, rctx, gks):
+        def program(ev, x):
+            return ev.rotate(x, 1, gks)
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        # Corrupt the rotation's recorded input level via a fake extra drop.
+        import dataclasses
+
+        g.nodes[1] = dataclasses.replace(
+            g.nodes[1], level=g.nodes[1].level - 1
+        )
+        g.nodes[0] = dataclasses.replace(g.nodes[0], level=g.nodes[0].level - 1)
+        with pytest.raises(PlanValidationError, match="switching key level"):
+            check_alignment(g)

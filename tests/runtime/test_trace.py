@@ -1,0 +1,104 @@
+"""Tracing: graph construction, metadata inference, and trace-time checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import CtSpec, TraceError, trace
+
+
+def _spec(rctx, level=None):
+    level = rctx.params.num_primes if level is None else level
+    return CtSpec(level=level, scale=rctx.params.scale)
+
+
+class TestMetadata:
+    def test_levels_and_scales_follow_eager_rules(self, rctx, rlk):
+        delta = rctx.params.scale
+        seen = {}
+
+        def program(ev, x):
+            prod = ev.multiply_relin_rescale(x, x, rlk)
+            seen["prod"] = (prod.level, prod.scale, prod.size)
+            return prod
+
+        trace(program, rctx.evaluator, [_spec(rctx)])
+        lvl = rctx.params.num_primes - 2
+        exp_scale = delta * delta
+        for t in range(2):
+            exp_scale /= rctx.basis.moduli[rctx.params.num_primes - 1 - t]
+        assert seen["prod"] == (lvl, exp_scale, 2)
+
+    def test_multiply_produces_three_parts(self, rctx):
+        def program(ev, x, y):
+            prod = ev.multiply(x, y)
+            assert prod.size == 3
+            return prod
+
+        g = trace(program, rctx.evaluator, [_spec(rctx), _spec(rctx)])
+        assert g.nodes[g.outputs[0]].size == 3
+
+    def test_graph_records_every_op(self, rctx, gks):
+        def program(ev, x):
+            return ev.add(ev.rotate(x, 1, gks), ev.negate(x))
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        assert g.op_histogram() == {"input": 1, "rotate": 1, "negate": 1, "add": 1}
+
+    def test_signature_stable_and_key_sensitive(self, rctx, gks):
+        def program(ev, x):
+            return ev.rotate(x, 1, gks)
+
+        g1 = trace(program, rctx.evaluator, [_spec(rctx)])
+        g2 = trace(program, rctx.evaluator, [_spec(rctx)])
+        assert g1.signature() == g2.signature()
+        other = rctx.galois_keys([1], levels=[rctx.params.num_primes])
+        g3 = trace(lambda ev, x: ev.rotate(x, 1, other), rctx.evaluator, [_spec(rctx)])
+        assert g3.signature() != g1.signature()
+
+
+class TestTraceTimeFailures:
+    def test_scale_mismatch_names_producing_ops(self, rctx, rlk):
+        def program(ev, x):
+            sq = ev.multiply_relin_rescale(x, x, rlk)  # scale back to Δ, level-2
+            raw = ev.multiply(x, x)  # scale Δ², 3 parts
+            return ev.add(sq, ev.relinearize(raw, rlk))
+
+        with pytest.raises(TraceError) as err:
+            trace(program, rctx.evaluator, [_spec(rctx)])
+        msg = str(err.value)
+        assert "add: scale mismatch" in msg
+        assert "rescale" in msg and "relinearize" in msg
+        assert "level" in msg
+
+    def test_missing_galois_key_fails_at_trace_time(self, rctx, gks):
+        with pytest.raises(TraceError, match="no Galois key for rotation 7"):
+            trace(lambda ev, x: ev.rotate(x, 7, gks), rctx.evaluator, [_spec(rctx)])
+
+    def test_missing_relin_key_fails_at_trace_time(self, rctx, rlk):
+        def program(ev, x):
+            dropped = ev.rescale(x, times=1)  # level with no relin key
+            return ev.relinearize(ev.multiply(dropped, dropped), rlk)
+
+        with pytest.raises(TraceError, match="no relinearization key"):
+            trace(program, rctx.evaluator, [_spec(rctx)])
+
+    def test_rescale_past_chain_end_fails(self, rctx):
+        with pytest.raises(TraceError, match="exhaust"):
+            trace(
+                lambda ev, x: ev.rescale(x, times=1),
+                rctx.evaluator,
+                [_spec(rctx, level=1)],
+            )
+
+    def test_foreign_decomposed_handle_rejected(self, rctx, gks):
+        def program(ev, x):
+            dec = ev.decompose(ev.negate(x))
+            return ev.rotate(x, 1, gks, decomposed=dec)
+
+        with pytest.raises(TraceError, match="hoisted from"):
+            trace(program, rctx.evaluator, [_spec(rctx)])
+
+    def test_output_must_come_from_this_trace(self, rctx):
+        with pytest.raises(TraceError, match="return handles"):
+            trace(lambda ev, x: None, rctx.evaluator, [_spec(rctx)])
