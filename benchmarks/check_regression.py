@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: fresh BENCH_*.json vs. committed snapshots.
+
+Every bench JSON tracks machine-relative ratios in ``speedups_x``
+(reference-path / engine-path time, or scaled-pool / single-pool
+throughput) — all higher-is-better, and far more stable across hosts
+than raw wall-clock.  This gate compares a freshly produced file
+against the committed snapshot and **fails when any tracked ratio
+decays by more than ``--max-slowdown``** (default 25%).
+
+Baselines are matched on bench shape: every snapshot entry (top level
+plus the ``trajectory`` history) whose meta (bench, degree, num_primes,
+quick, backend) matches the fresh run contributes, and each ratio is
+gated against the **minimum** matching baseline value — so a ``--quick``
+CI run compares against the most conservative committed quick sample
+rather than one lucky measurement, which keeps the gate flake-resistant
+on noisy shared runners.  Files or ratios with no comparable baseline
+are reported and skipped, not failed; brand-new benches therefore land
+green and start gating on the next PR.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline-dir snapshots --max-slowdown 0.25 \
+        BENCH_keyswitch.json BENCH_runtime.json BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+DEFAULT_FILES = [
+    "BENCH_keyswitch.json",
+    "BENCH_runtime.json",
+    "BENCH_serving.json",
+]
+
+# workers/requests keep serving-bench baselines from being compared
+# across pool shapes; non-serving benches carry neither key (None==None).
+_MATCH_KEYS = (
+    "bench",
+    "degree",
+    "num_primes",
+    "quick",
+    "backend",
+    "workers",
+    "requests",
+)
+
+
+def _baseline_ratios(snapshot: dict, fresh_meta: dict) -> dict[str, float]:
+    """Per-ratio minimum over every snapshot entry matching the fresh
+    run's shape — the most conservative committed baseline."""
+    want = {k: fresh_meta.get(k) for k in _MATCH_KEYS}
+    ratios: dict[str, float] = {}
+    for candidate in [snapshot, *snapshot.get("trajectory", [])]:
+        meta = candidate.get("meta", {})
+        if not all(meta.get(k) == want[k] for k in _MATCH_KEYS):
+            continue
+        for key, value in candidate.get("speedups_x", {}).items():
+            value = float(value)
+            if key not in ratios or value < ratios[key]:
+                ratios[key] = value
+    return ratios
+
+
+def check_file(
+    fresh_path: Path, baseline_path: Path, max_slowdown: float
+) -> tuple[list[str], list[str]]:
+    """Returns (regressions, notes) for one bench file."""
+    name = fresh_path.name
+    if not fresh_path.exists():
+        return [f"{name}: fresh file missing at {fresh_path}"], []
+    if not baseline_path.exists():
+        return [], [f"{name}: no committed baseline at {baseline_path}; skipped"]
+    fresh = json.loads(fresh_path.read_text())
+    snapshot = json.loads(baseline_path.read_text())
+    base_ratios = _baseline_ratios(snapshot, fresh.get("meta", {}))
+    if not base_ratios:
+        return [], [
+            f"{name}: no baseline entry matches this run's shape "
+            f"({ {k: fresh.get('meta', {}).get(k) for k in _MATCH_KEYS} }); skipped"
+        ]
+    fresh_ratios = fresh.get("speedups_x", {})
+    regressions, notes = [], []
+    for key in sorted(fresh_ratios):
+        if key not in base_ratios:
+            notes.append(f"{name}: {key} is new (no baseline ratio); skipped")
+            continue
+        base = float(base_ratios[key])
+        got = float(fresh_ratios[key])
+        if base <= 0:
+            notes.append(f"{name}: {key} baseline ratio {base:g} unusable; skipped")
+            continue
+        slowdown = 1.0 - got / base
+        line = (
+            f"{name}: {key} {base:.2f}x -> {got:.2f}x "
+            f"({-slowdown:+.1%} vs baseline)"
+        )
+        if slowdown > max_slowdown:
+            regressions.append(line)
+        else:
+            notes.append(line)
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "files",
+        nargs="*",
+        default=DEFAULT_FILES,
+        help=f"bench JSON filenames to check (default: {' '.join(DEFAULT_FILES)})",
+    )
+    ap.add_argument(
+        "--baseline-dir",
+        type=Path,
+        required=True,
+        help="directory holding the committed snapshot copies",
+    )
+    ap.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly produced files (default: cwd)",
+    )
+    ap.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=0.25,
+        help="fail when a tracked ratio decays by more than this fraction",
+    )
+    args = ap.parse_args(argv)
+
+    all_regressions: list[str] = []
+    for filename in args.files:
+        regressions, notes = check_file(
+            args.fresh_dir / filename,
+            args.baseline_dir / filename,
+            args.max_slowdown,
+        )
+        for note in notes:
+            print(f"  ok    {note}")
+        for regression in regressions:
+            print(f"  FAIL  {regression}")
+        all_regressions.extend(regressions)
+
+    if all_regressions:
+        print(
+            f"\nbench regression gate: {len(all_regressions)} ratio(s) decayed "
+            f"more than {args.max_slowdown:.0%}"
+        )
+        return 1
+    print(f"\nbench regression gate: all tracked ratios within {args.max_slowdown:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

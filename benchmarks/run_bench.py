@@ -1,23 +1,33 @@
 #!/usr/bin/env python3
-"""Standalone performance runner: key-switching engine + lazy runtime.
+"""Standalone performance runner: key-switch engine, lazy runtime, serving.
 
-Times the hot primitives — mulmod, batched NTT, key switching, rotation
-(plain and hoisted), the BSGS linear layer, and a bootstrap step — against
-the pre-PR reference paths (per-digit loop key switching, coefficient-
-domain automorphisms, per-rotation digit expansion) and writes a
-machine-readable trajectory to ``BENCH_keyswitch.json``.
+Three sections, selectable with ``--sections``:
 
-A second section benches the lazy computation-graph runtime
-(:mod:`repro.runtime`): eager one-op-at-a-time dispatch vs. a compiled
-``ExecutionPlan`` vs. batched plan replay, on the BSGS matmul and a
-three-level polynomial pipeline, written to ``BENCH_runtime.json``.
+* ``core`` — the hot primitives (mulmod, batched NTT, key switching,
+  rotation plain/hoisted, BSGS, a bootstrap step) against the pre-PR
+  reference paths, written to ``BENCH_keyswitch.json``;
+* ``runtime`` — eager one-op-at-a-time dispatch vs. a compiled
+  ``ExecutionPlan`` vs. batched plan replay, written to
+  ``BENCH_runtime.json``;
+* ``serving`` — the multi-process serving engine: 1/2/4-worker sharded
+  ``run_batch`` scaling and streaming vs. materialized-batch latency,
+  with each request charged a client-link transfer delay derived from
+  the serialization layer's exact wire byte counts (``--link-mbps``),
+  written to ``BENCH_serving.json`` next to the dual-RSC scheduler's
+  policy makespans for the same queue.
+
+Every output JSON carries a ``trajectory`` list: by default the history
+already in the file is preserved and this run appended, so the per-PR
+bench record accumulates instead of being overwritten (the CI
+regression gate matches against it); ``--reset-trajectory`` restarts
+the history.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
-    PYTHONPATH=src python benchmarks/run_bench.py --out path/to.json \
-        --runtime-out path/to_runtime.json
+    PYTHONPATH=src python benchmarks/run_bench.py --quick \
+        --sections serving --serving-workers 1,2             # serving smoke
 
 Runs from a checkout without installation (``src`` is added to the path).
 """
@@ -25,6 +35,7 @@ Runs from a checkout without installation (``src`` is added to the path).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 import time
@@ -45,11 +56,19 @@ from repro.ckks import (
     CkksContext,
     HomomorphicLinearTransform,
     Plaintext,
+    ciphertext_wire_bytes,
     toy_params,
+    wire_coeff_bits,
 )
 from repro.ckks.keys import rotation_galois_elt
 from repro.nums.kernels import default_backend_name
-from repro.runtime import CtSpec, compile_fn
+from repro.runtime import (
+    CtSpec,
+    ShardedExecutor,
+    StreamingServer,
+    compile_fn,
+    plan_schedule_comparison,
+)
 
 
 def _time(fn, repeats: int, warmup: int = 1) -> dict:
@@ -279,112 +298,378 @@ def bench_bootstrap_step(repeats: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Serving section: sharded worker-pool scaling + streaming ingestion
+# ---------------------------------------------------------------------------
+
+
+def _inference_plan(ctx):
+    """The private-inference model (W2 * (W1*x + b1)^2) compiled once —
+    the same program ``examples/private_inference_client.py`` serves."""
+    rng = np.random.default_rng(31)
+    slots = ctx.params.slots
+    lpm = ctx.params.levels_per_multiplication
+    w1_pt = ctx.encode(rng.uniform(-0.5, 0.5, slots))
+    b1 = rng.uniform(-0.1, 0.1, slots)
+    w2 = rng.uniform(-0.5, 0.5, slots)
+    rlk = ctx.relin_keys(levels=[ctx.params.num_primes - lpm])
+
+    def model(ev, x):
+        hidden = ev.rescale(ev.multiply_plain(x, w1_pt), times=lpm)
+        b1_pt = ctx.encoder.encode(b1, level=hidden.level, scale=hidden.scale)
+        hidden = ev.add_plain(hidden, b1_pt)
+        squared = ev.multiply_relin_rescale(hidden, hidden, rlk)
+        if squared.level <= lpm:  # short quick-mode chains stop at (W1*x+b1)^2
+            return (squared,)
+        w2_pt = ctx.encoder.encode(w2, level=squared.level, scale=squared.scale)
+        return (ev.rescale(ev.multiply_plain(squared, w2_pt), times=lpm),)
+
+    spec = CtSpec(level=ctx.params.num_primes, scale=ctx.params.scale)
+    return compile_fn(model, ctx.evaluator, [spec])
+
+
+def _assert_bit_identical(got, want, what: str) -> None:
+    for g_outs, w_outs in zip(got, want):
+        for g, w in zip(g_outs, w_outs):
+            assert g.scale == w.scale, f"{what}: scale diverged"
+            for gp, wp in zip(g.parts, w.parts):
+                assert np.array_equal(gp.data, wp.data), f"{what}: bits diverged"
+
+
+def bench_serving(
+    ctx, repeats: int, workers: list[int], n_requests: int, link_mbps: float
+) -> dict:
+    """Worker-pool scaling and streaming-vs-batch latency.
+
+    Each request is charged the transfer time of its exact wire bytes
+    (upload at the input level, download at the output level) over a
+    ``link_mbps`` client link, slept inside the worker — so the pool's
+    ability to hide client-link latency behind computation is measured,
+    not assumed.  Sharded outputs are asserted bit-identical to the
+    single-process batched executor on every pool size.
+    """
+    rng = np.random.default_rng(41)
+    slots = ctx.params.slots
+    plan = _inference_plan(ctx)
+    features = [rng.uniform(-1, 1, slots) for _ in range(n_requests)]
+    batches = [[ctx.encrypt(f)] for f in features]
+    reference = plan.run_batch(batches)  # warms every fork-shared cache
+
+    bits = wire_coeff_bits(ctx.basis)
+    degree = ctx.params.degree
+    upload_bytes = ciphertext_wire_bytes(degree, batches[0][0].level, 2, bits)
+    download_bytes = sum(
+        ciphertext_wire_bytes(degree, o.level, o.size, bits) for o in reference[0]
+    )
+    io_s = (upload_bytes + download_bytes) * 8.0 / (link_mbps * 1e6)
+
+    results: dict[str, dict] = {
+        "single_process_run_batch": _time(
+            lambda: plan.run_batch(batches), repeats
+        )
+    }
+    throughput: dict[int, float] = {}
+    for w in workers:
+        with ShardedExecutor(
+            plan, w, modeled_request_io_s=io_s, warm_inputs=batches[0]
+        ) as pool:
+            sharded = pool.run_batch(batches, timeout=600)
+            _assert_bit_identical(sharded, reference, f"sharded w={w}")
+            row = _time(
+                lambda: pool.run_batch(batches, timeout=600), repeats, warmup=0
+            )
+        results[f"sharded_run_batch_w{w}"] = row
+        throughput[w] = n_requests / row["best_s"]
+
+    # Streaming vs. materialized batch, both through the widest pool and
+    # both covering the full encrypt -> evaluate -> decrypt pipeline.
+    # The materialized path encrypts every request, evaluates the whole
+    # batch, then decrypts every result — so each request's latency is
+    # the entire makespan.  Streaming overlaps the phases across
+    # requests and delivers each result as it finishes.
+    w_max = max(workers)
+
+    def encrypt(values):
+        return [ctx.encrypt(values)]
+
+    def decrypt(outputs):
+        return ctx.decrypt_decode(outputs[0]).real
+
+    with ShardedExecutor(
+        plan, w_max, modeled_request_io_s=io_s, warm_inputs=batches[0]
+    ) as pool:
+
+        def materialized_pipeline():
+            cts = [encrypt(f) for f in features]
+            outs = pool.run_batch(cts, timeout=600)
+            return [decrypt(o) for o in outs]
+
+        results["materialized_pipeline"] = _time(materialized_pipeline, repeats)
+    batch_makespan = results["materialized_pipeline"]["best_s"]
+
+    async def run_stream():
+        pool = ShardedExecutor(
+            plan, w_max, modeled_request_io_s=io_s, warm_inputs=batches[0]
+        )
+        async with StreamingServer(pool, max_pending=2 * w_max) as server:
+            await server.serve(features, encrypt=encrypt, decrypt=decrypt)
+            return server.stats()
+
+    stream_stats = asyncio.run(run_stream())
+
+    policies = {
+        r.policy: r.makespan_seconds
+        for r in plan_schedule_comparison(plan, requests=n_requests)
+    }
+
+    base_w = min(workers)
+    speedups = {
+        f"serving_scale_x{w}": throughput[w] / throughput[base_w]
+        for w in workers
+        if w != base_w
+    }
+    speedups["streaming_vs_batch_mean_latency"] = (
+        batch_makespan / stream_stats["latency"]["mean_s"]
+    )
+    return {
+        "results": results,
+        "throughput_rps": {str(w): throughput[w] for w in workers},
+        "streaming": {
+            "mean_latency_s": stream_stats["latency"]["mean_s"],
+            "p95_latency_s": stream_stats["latency"]["p95_s"],
+            "time_to_first_result_s": stream_stats["time_to_first_result_s"],
+            "makespan_s": stream_stats["makespan_s"],
+            "max_queue_depth": stream_stats["max_queue_depth"],
+            "throughput_rps": stream_stats["throughput_rps"],
+        },
+        "batch_mean_latency_s": batch_makespan,
+        "accel_policy_makespan_s": policies,
+        "io_model": {
+            "link_mbps": link_mbps,
+            "upload_bytes": upload_bytes,
+            "download_bytes": download_bytes,
+            "modeled_io_s": io_s,
+            "coeff_bits": bits,
+        },
+        "speedups_x": speedups,
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def _finalize(payload: dict, path: Path, append: bool) -> None:
+    """Write a bench JSON, accumulating the per-run trajectory.
+
+    With ``append`` the history already in the file is preserved and
+    this run appended; otherwise the trajectory restarts at this run.
+    """
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "meta": payload["meta"],
+        "speedups_x": payload["speedups_x"],
+    }
+    history: list = []
+    if append and path.exists():
+        try:
+            history = json.loads(path.read_text()).get("trajectory", [])
+        except (json.JSONDecodeError, OSError):
+            history = []
+    full = {**payload, "trajectory": [*history, entry]}
+    path.write_text(json.dumps(full, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path} (trajectory: {len(full['trajectory'])} run(s))")
+
+
+def _print_section(title: str, results: dict, speedups: dict, legend: str) -> None:
+    width = max(len(k) for k in [*results, *speedups])
+    print(title)
+    for name, row in results.items():
+        print(f"  {name:<{width}}  best {row['best_s']*1e3:9.3f} ms")
+    print(f"speedups ({legend}):")
+    for name, x in speedups.items():
+        print(f"  {name:<{width}}  {x:5.2f}x")
 
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    ap.add_argument(
+        "--sections",
+        default="core,runtime,serving",
+        help="comma list of sections to run: core, runtime, serving",
+    )
     ap.add_argument("--out", default="BENCH_keyswitch.json", help="output JSON path")
     ap.add_argument(
         "--runtime-out",
         default="BENCH_runtime.json",
         help="runtime-section output JSON path",
     )
+    ap.add_argument(
+        "--serving-out",
+        default="BENCH_serving.json",
+        help="serving-section output JSON path",
+    )
+    ap.add_argument(
+        "--serving-workers",
+        default="1,2,4",
+        help="comma list of pool sizes for the serving scaling sweep",
+    )
+    ap.add_argument(
+        "--serving-requests",
+        type=int,
+        default=None,
+        help="requests per serving measurement (default 8 quick / 16 full)",
+    )
+    ap.add_argument(
+        "--link-mbps",
+        type=float,
+        default=10.0,
+        help="modeled client-link bandwidth for per-request transfer time",
+    )
+    ap.add_argument(
+        "--append-trajectory",
+        dest="append_trajectory",
+        action="store_true",
+        default=True,
+        help="(default) preserve the bench history in the output files and "
+        "append this run",
+    )
+    ap.add_argument(
+        "--reset-trajectory",
+        dest="append_trajectory",
+        action="store_false",
+        help="restart the bench history at this run (drops the committed "
+        "trajectory the CI regression gate matches against)",
+    )
     ap.add_argument("--degree", type=int, default=None, help="override ring degree")
     ap.add_argument("--primes", type=int, default=None, help="override chain length")
     args = ap.parse_args(argv)
+
+    sections = {s.strip() for s in args.sections.split(",") if s.strip()}
+    unknown = sections - {"core", "runtime", "serving"}
+    if unknown:
+        ap.error(f"unknown section(s): {sorted(unknown)}")
 
     degree = args.degree or (256 if args.quick else 1024)
     primes = args.primes or (6 if args.quick else 10)
     repeats = 3 if args.quick else 5
 
     ctx = CkksContext.create(toy_params(degree=degree, num_primes=primes), seed=2025)
-    results: dict[str, dict] = {}
-    results.update(bench_kernels(ctx, repeats))
-    results.update(bench_key_switch(ctx, repeats))
-    results.update(bench_rotate(ctx, repeats))
-    results.update(bench_bsgs(ctx, repeats))
-    if not args.quick:
-        results.update(bench_bootstrap_step(max(1, repeats - 3)))
-
-    def ratio(slow: str, fast: str) -> float:
-        return results[slow]["best_s"] / results[fast]["best_s"]
-
-    speedups = {
-        "key_switch": ratio("key_switch_loop", "key_switch_batched"),
-        "rotate": ratio("rotate_reference", "rotate"),
-        f"rotate_hoisted_x{HOIST_BATCH}": ratio(
-            f"rotate_x{HOIST_BATCH}_reference", f"rotate_x{HOIST_BATCH}_hoisted"
-        ),
-        "bsgs_matmul": ratio("bsgs_matmul_reference", "bsgs_matmul_hoisted"),
+    meta_common = {
+        "degree": degree,
+        "num_primes": primes,
+        "backend": default_backend_name(),
+        "quick": bool(args.quick),
+        "repeats": repeats,
     }
 
-    payload = {
-        "meta": {
-            "bench": "keyswitch-engine",
-            "degree": degree,
-            "num_primes": primes,
-            "backend": default_backend_name(),
-            "quick": bool(args.quick),
-            "repeats": repeats,
-        },
-        "results_s": results,
-        "speedups_x": speedups,
-    }
-    out_path = Path(args.out)
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    if "core" in sections:
+        results: dict[str, dict] = {}
+        results.update(bench_kernels(ctx, repeats))
+        results.update(bench_key_switch(ctx, repeats))
+        results.update(bench_rotate(ctx, repeats))
+        results.update(bench_bsgs(ctx, repeats))
+        if not args.quick:
+            results.update(bench_bootstrap_step(max(1, repeats - 3)))
 
-    width = max(len(k) for k in results)
-    print(f"key-switch engine bench  (N=2^{degree.bit_length()-1}, L={primes}, "
-          f"backend={payload['meta']['backend']})")
-    for name, row in results.items():
-        print(f"  {name:<{width}}  best {row['best_s']*1e3:9.3f} ms")
-    print("speedups (reference / engine):")
-    for name, x in speedups.items():
-        print(f"  {name:<{width}}  {x:5.2f}x")
-    print(f"wrote {out_path}")
+        def ratio(slow: str, fast: str) -> float:
+            return results[slow]["best_s"] / results[fast]["best_s"]
 
-    # --- runtime section: eager vs. planned vs. batched replay ------------
-    rt_results = bench_runtime(ctx, repeats)
+        speedups = {
+            "key_switch": ratio("key_switch_loop", "key_switch_batched"),
+            "rotate": ratio("rotate_reference", "rotate"),
+            f"rotate_hoisted_x{HOIST_BATCH}": ratio(
+                f"rotate_x{HOIST_BATCH}_reference", f"rotate_x{HOIST_BATCH}_hoisted"
+            ),
+            "bsgs_matmul": ratio("bsgs_matmul_reference", "bsgs_matmul_hoisted"),
+        }
+        payload = {
+            "meta": {"bench": "keyswitch-engine", **meta_common},
+            "results_s": results,
+            "speedups_x": speedups,
+        }
+        _print_section(
+            f"key-switch engine bench  (N=2^{degree.bit_length()-1}, L={primes}, "
+            f"backend={meta_common['backend']})",
+            results,
+            speedups,
+            "reference / engine",
+        )
+        _finalize(payload, Path(args.out), args.append_trajectory)
 
-    def rt_ratio(slow: str, fast: str) -> float:
-        return rt_results[slow]["best_s"] / rt_results[fast]["best_s"]
+    if "runtime" in sections:
+        rt_results = bench_runtime(ctx, repeats)
 
-    rt_speedups = {
-        "bsgs_planned": rt_ratio("bsgs_eager_dispatch", "bsgs_planned"),
-        "bsgs_batched_replay": rt_ratio(
-            "bsgs_eager_dispatch", "bsgs_batched_replay_per_ct"
-        ),
-        "poly3_planned": rt_ratio("poly3_eager_dispatch", "poly3_planned"),
-        "poly3_batched_replay": rt_ratio(
-            "poly3_eager_dispatch", "poly3_batched_replay_per_ct"
-        ),
-    }
-    rt_payload = {
-        "meta": {
-            "bench": "lazy-runtime",
-            "degree": degree,
-            "num_primes": primes,
-            "backend": default_backend_name(),
-            "quick": bool(args.quick),
-            "repeats": repeats,
-            "batch": RUNTIME_BATCH,
-        },
-        "results_s": rt_results,
-        "speedups_x": rt_speedups,
-    }
-    rt_path = Path(args.runtime_out)
-    rt_path.write_text(json.dumps(rt_payload, indent=2, sort_keys=True) + "\n")
+        def rt_ratio(slow: str, fast: str) -> float:
+            return rt_results[slow]["best_s"] / rt_results[fast]["best_s"]
 
-    width = max(len(k) for k in rt_results)
-    print(f"\nlazy-runtime bench  (N=2^{degree.bit_length()-1}, L={primes}, "
-          f"batch={RUNTIME_BATCH})")
-    for name, row in rt_results.items():
-        print(f"  {name:<{width}}  best {row['best_s']*1e3:9.3f} ms")
-    print("speedups (eager dispatch / runtime):")
-    for name, x in rt_speedups.items():
-        print(f"  {name:<{width}}  {x:5.2f}x")
-    print(f"wrote {rt_path}")
+        rt_speedups = {
+            "bsgs_planned": rt_ratio("bsgs_eager_dispatch", "bsgs_planned"),
+            "bsgs_batched_replay": rt_ratio(
+                "bsgs_eager_dispatch", "bsgs_batched_replay_per_ct"
+            ),
+            "poly3_planned": rt_ratio("poly3_eager_dispatch", "poly3_planned"),
+            "poly3_batched_replay": rt_ratio(
+                "poly3_eager_dispatch", "poly3_batched_replay_per_ct"
+            ),
+        }
+        rt_payload = {
+            "meta": {"bench": "lazy-runtime", **meta_common, "batch": RUNTIME_BATCH},
+            "results_s": rt_results,
+            "speedups_x": rt_speedups,
+        }
+        _print_section(
+            f"\nlazy-runtime bench  (N=2^{degree.bit_length()-1}, L={primes}, "
+            f"batch={RUNTIME_BATCH})",
+            rt_results,
+            rt_speedups,
+            "eager dispatch / runtime",
+        )
+        _finalize(rt_payload, Path(args.runtime_out), args.append_trajectory)
+
+    if "serving" in sections:
+        workers = sorted(
+            {int(w) for w in args.serving_workers.split(",") if w.strip()}
+        )
+        n_requests = args.serving_requests or (8 if args.quick else 16)
+        serving = bench_serving(ctx, repeats, workers, n_requests, args.link_mbps)
+        sv_payload = {
+            "meta": {
+                "bench": "serving-engine",
+                **meta_common,
+                "requests": n_requests,
+                "workers": workers,
+                "link_mbps": args.link_mbps,
+            },
+            **{k: v for k, v in serving.items() if k != "results"},
+            "results_s": serving["results"],
+            "speedups_x": serving["speedups_x"],
+        }
+        _print_section(
+            f"\nserving-engine bench  (N=2^{degree.bit_length()-1}, L={primes}, "
+            f"{n_requests} requests, workers={workers}, "
+            f"modeled link {args.link_mbps:g} Mbps "
+            f"-> {serving['io_model']['modeled_io_s']*1e3:.1f} ms/request)",
+            serving["results"],
+            serving["speedups_x"],
+            "scaling vs smallest pool; batch latency / streaming latency",
+        )
+        st = serving["streaming"]
+        print(
+            f"  streaming: mean latency {st['mean_latency_s']*1e3:.1f} ms, "
+            f"p95 {st['p95_latency_s']*1e3:.1f} ms, first result "
+            f"{st['time_to_first_result_s']*1e3:.1f} ms, max queue depth "
+            f"{st['max_queue_depth']}, {st['throughput_rps']:.1f} req/s"
+        )
+        print(
+            "  dual-RSC policies (modeled): "
+            + ", ".join(
+                f"{p} {s*1e3:.3f} ms"
+                for p, s in sorted(
+                    serving["accel_policy_makespan_s"].items(), key=lambda kv: kv[1]
+                )
+            )
+        )
+        _finalize(sv_payload, Path(args.serving_out), args.append_trajectory)
     return 0
 
 

@@ -1,40 +1,47 @@
-"""Private inference round trip — the workload that motivates the paper.
+"""Private inference served end to end — the workload that motivates the paper.
 
 Clients hold feature vectors; a server holds a tiny model
 (linear layer -> square activation -> linear layer, the classic
 CKKS-friendly network).  Clients encrypt, the server computes blind, the
 clients decrypt.  The server side is written once against the shared
-evaluator surface, traced into a computation graph, compiled to a cached
-:class:`~repro.runtime.plan.ExecutionPlan`, and **replayed in batch**
-across every client request — the serving pattern the runtime exists
-for.  The batched outputs are asserted bit-identical to eager one-op-at-
-a-time evaluation.
+evaluator surface, traced, compiled to a cached
+:class:`~repro.runtime.plan.ExecutionPlan`, and **served by the
+multi-process engine**: a :class:`~repro.runtime.executor.ShardedExecutor`
+forks a worker pool that inherits the plan and keys, and a
+:class:`~repro.runtime.stream.StreamingServer` feeds it from a bounded
+request queue so each client's encrypt -> evaluate -> decrypt pipeline
+overlaps the others'.  Ciphertexts cross the worker boundary through the
+wire formats of :mod:`repro.ckks.serialization`, and the streamed
+outputs are asserted bit-identical to eager one-op-at-a-time evaluation.
 
 Afterwards the accelerator model reports what each client phase would
 cost on ABC-FHE vs a CPU at bootstrappable parameters — reproducing the
-Fig. 1 story end to end, with the request queue derived from the traced
-plan itself.
+Fig. 1 story end to end — and the engine's own served queue is projected
+onto the dual-RSC scheduling policies through the runtime bridge.
 
 Run:  python examples/private_inference_client.py
 """
 
 from __future__ import annotations
 
-import time
+import asyncio
 
 import numpy as np
 
-from repro.accel import ClientSimulator, CpuModel, RscScheduler, abc_fhe
+from repro.accel import ClientSimulator, CpuModel, abc_fhe
 from repro.accel import calibration as cal
 from repro.ckks import CkksContext, toy_params
 from repro.runtime import (
     CtSpec,
+    ShardedExecutor,
+    StreamingServer,
     compile_fn,
-    plan_to_request_queue,
     plan_to_workload,
 )
 
 NUM_CLIENTS = 4
+NUM_WORKERS = 2
+MAX_PENDING = 3
 
 
 def server_side_model(ev, ct, ctx, weights1, bias1, weights2, relin_keys):
@@ -69,11 +76,6 @@ def main() -> None:
     b1 = rng.uniform(-0.1, 0.1, slots)
     w2 = rng.uniform(-0.5, 0.5, slots)
 
-    # --- clients: encode + encrypt -------------------------------------
-    t0 = time.perf_counter()
-    cts = [ctx.encrypt(f) for f in features]
-    t_encrypt = (time.perf_counter() - t0) / NUM_CLIENTS
-
     # --- server: trace + compile the model once ------------------------
     rlk = ctx.relin_keys(levels=[params.num_primes - 2])
     w1_pt = ctx.encode(w1)
@@ -84,35 +86,53 @@ def main() -> None:
     )
     print(plan.summary())
 
-    # --- server: batched blind inference over every client -------------
-    t0 = time.perf_counter()
-    batched = plan.run_batch([[ct] for ct in cts])
-    t_server = (time.perf_counter() - t0) / NUM_CLIENTS
+    # --- clients encrypt, then the streaming engine serves --------------
+    # Each request: enter the bounded queue (backpressure at
+    # MAX_PENDING), evaluate on a forked worker, decrypt in the thread
+    # pool — phases overlap across clients.
+    cts = [ctx.encrypt(f) for f in features]
 
-    # The batched executor must be bit-identical to eager dispatch.
+    def as_request(ct):
+        return [ct]
+
+    def decrypt(outputs):
+        return ctx.decrypt_decode(outputs[0]).real, outputs[0]
+
+    async def serve_all():
+        pool = ShardedExecutor(plan, NUM_WORKERS, warm_inputs=[cts[0]])
+        async with StreamingServer(pool, max_pending=MAX_PENDING) as server:
+            served = await server.serve(cts, encrypt=as_request, decrypt=decrypt)
+            return served, server.stats(), server.schedule_comparison()
+
+    served, stats, policies = asyncio.run(serve_all())
+    predictions = [pred for pred, _ in served]
+    output_cts = [out_ct for _, out_ct in served]
+
+    # The sharded, streamed path must be bit-identical to eager dispatch.
     eager = server_side_model(ctx.evaluator, cts[0], ctx, w1_pt, b1, w2, rlk)
-    for i, (a, b) in enumerate(zip(eager.parts, batched[0][0].parts)):
+    for i, (a, b) in enumerate(zip(eager.parts, output_cts[0].parts)):
         assert np.array_equal(a.data, b.data), f"part {i} diverged from eager"
-
-    # --- clients: decrypt + decode -------------------------------------
-    t0 = time.perf_counter()
-    predictions = [ctx.decrypt_decode(out[0]).real for out in batched]
-    t_decrypt = (time.perf_counter() - t0) / NUM_CLIENTS
-
+    assert eager.scale == output_cts[0].scale
+    print("  streamed sharded replay is bit-identical to eager evaluation")
     worst = 0.0
     for f, pred in zip(features, predictions):
         expected = w2 * (w1 * f + b1) ** 2
         worst = max(worst, float(np.max(np.abs(pred - expected))))
-    print(f"private inference: W2 * (W1*x + b1)^2, {NUM_CLIENTS} clients, one plan")
-    print(f"  ciphertext levels: {cts[0].level} -> {batched[0][0].level} "
+
+    latency = stats["latency"]
+    print(f"private inference: W2 * (W1*x + b1)^2, {NUM_CLIENTS} clients, "
+          f"{NUM_WORKERS} forked workers, queue bound {MAX_PENDING}")
+    print(f"  ciphertext levels: {params.num_primes} -> {output_cts[0].level} "
           "(server consumed levels, as in Fig. 2a)")
-    print("  batched plan replay is bit-identical to eager evaluation")
     print(f"  max error vs plaintext model: {worst:.2e}")
-    print(f"  software timings per client: encrypt {t_encrypt*1e3:.1f} ms, "
-          f"server {t_server*1e3:.1f} ms, decrypt {t_decrypt*1e3:.1f} ms\n")
+    print(f"  per-request latency: mean {latency['mean_s']*1e3:.1f} ms, "
+          f"p95 {latency['p95_s']*1e3:.1f} ms; max queue depth "
+          f"{stats['max_queue_depth']}; {stats['throughput_rps']:.1f} req/s")
+    print(f"  pool: {stats['executor']['completed']} served, "
+          f"{stats['executor']['worker_crashes']} crashes\n")
 
     # --- the Fig. 1 projection at bootstrappable parameters ------------
-    # The client workload now comes from the traced plan's I/O boundary,
+    # The client workload comes from the traced plan's I/O boundary,
     # projected onto the paper's N = 2^16 ring.
     workload = plan_to_workload(plan, degree=1 << 16)
     sim = ClientSimulator(config=abc_fhe(), workload=workload)
@@ -132,12 +152,10 @@ def main() -> None:
               f"server {server*1e3:6.2f} ms ({server/total*100:5.1f}%)")
     print("  -> with ABC-FHE the client stops being the bottleneck (Fig. 1)")
 
-    # --- scheduling the real traced queue onto the two RSCs ------------
-    queue = plan_to_request_queue(plan, requests=64)
-    sched = RscScheduler(config=abc_fhe(), workload=workload)
-    print(f"\nscheduling {queue.total} client tasks from the traced plan "
-          "(64 requests):")
-    for result in sched.compare(queue):
+    # --- the engine's served queue on the two RSCs ----------------------
+    print(f"\nscheduling the engine's served queue ({NUM_CLIENTS} requests) "
+          "on the dual RSCs:")
+    for result in policies:
         print(f"  {result.policy:13s} {result.makespan_seconds*1e3:8.3f} ms")
 
 

@@ -35,11 +35,14 @@ from repro.ckks.security import (
 from repro.ckks.serialization import (
     ciphertext_wire_bytes,
     deserialize_ciphertext,
+    deserialize_plaintext,
     deserialize_seeded,
     pack_residues,
     serialize_ciphertext,
+    serialize_plaintext,
     serialize_seeded,
     unpack_residues,
+    wire_coeff_bits,
 )
 from repro.ckks.bootstrap import measure_bootstrap_precision
 from repro.ckks.precision import (
@@ -61,13 +64,16 @@ __all__ = [
     "check_parameters",
     "ciphertext_wire_bytes",
     "deserialize_ciphertext",
+    "deserialize_plaintext",
     "deserialize_seeded",
     "estimate_security_bits",
     "max_modulus_bits",
     "measure_bootstrap_precision",
     "pack_residues",
     "serialize_ciphertext",
+    "serialize_plaintext",
     "serialize_seeded",
+    "wire_coeff_bits",
     "sine_mod_series",
     "unpack_residues",
     "CkksEncoder",

@@ -11,7 +11,16 @@ performance model charges are the byte counts the library really emits:
 * :func:`serialize_ciphertext` / :func:`deserialize_ciphertext` — full
   ciphertexts (any number of parts);
 * :func:`serialize_seeded` / :func:`deserialize_seeded` — the compressed
-  ``(c0, seed)`` upload format (halves the client's write traffic).
+  ``(c0, seed)`` upload format (halves the client's write traffic);
+* :func:`serialize_plaintext` / :func:`deserialize_plaintext` — encoded
+  plaintexts (either domain), so symbolic plan inputs can cross the
+  multi-process worker boundary alongside ciphertexts.
+
+These formats are also the transport between the serving engine's parent
+process and its forked workers (:mod:`repro.runtime.executor`); the
+header carries the exact scale as a raw double so a round trip is
+bit-exact even for the non-power-of-two scales a rescale produces, and
+:func:`wire_coeff_bits` picks the narrowest packing that fits a basis.
 
 Integration tests assert these sizes equal the
 :class:`repro.accel.memory.TrafficModel` predictions.
@@ -23,11 +32,11 @@ import struct
 
 import numpy as np
 
-from repro.ckks.containers import Ciphertext
+from repro.ckks.containers import Ciphertext, Plaintext
 from repro.ckks.keys import expand_uniform_poly
 from repro.prng.xof import Xof
 from repro.rns.basis import RnsBasis
-from repro.rns.poly import EVAL, RnsPolynomial
+from repro.rns.poly import COEFF, EVAL, RnsPolynomial
 
 __all__ = [
     "pack_residues",
@@ -36,11 +45,24 @@ __all__ = [
     "deserialize_ciphertext",
     "serialize_seeded",
     "deserialize_seeded",
+    "serialize_plaintext",
+    "deserialize_plaintext",
     "ciphertext_wire_bytes",
+    "wire_coeff_bits",
+    "CIPHERTEXT_MAGIC",
+    "SEEDED_MAGIC",
+    "PLAINTEXT_MAGIC",
 ]
 
-_MAGIC_FULL = b"CTF1"
-_MAGIC_SEED = b"CTS1"
+# Public: consumers that sniff blob types (the serving-engine worker
+# boundary) must dispatch on these, never on hardcoded copies.
+CIPHERTEXT_MAGIC = b"CTF2"
+SEEDED_MAGIC = b"CTS2"
+PLAINTEXT_MAGIC = b"PTX1"
+
+_MAGIC_FULL = CIPHERTEXT_MAGIC
+_MAGIC_SEED = SEEDED_MAGIC
+_MAGIC_PLAIN = PLAINTEXT_MAGIC
 
 
 def pack_residues(values: np.ndarray, bits: int) -> bytes:
@@ -84,15 +106,18 @@ def _poly_from_payload(
     return RnsPolynomial(basis, np.stack(rows), domain), offset
 
 
-def _header(magic: bytes, ct: Ciphertext, bits: int) -> bytes:
+def _header(magic: bytes, ct, bits: int, size: int) -> bytes:
+    # The scale ships as a raw double: rescaled ciphertexts carry
+    # scale/q factors that a log2 round trip would perturb by an ulp,
+    # and the worker boundary requires bit-exact transport.
     return magic + struct.pack(
         "<IIHHd",
-        ct.parts[0].degree,
+        ct.poly.degree if isinstance(ct, Plaintext) else ct.parts[0].degree,
         0,
         ct.level,
         bits,
-        float(np.log2(ct.scale)),
-    ) + struct.pack("<H", ct.size)
+        float(ct.scale),
+    ) + struct.pack("<H", size)
 
 
 _HEADER_LEN = 4 + struct.calcsize("<IIHHd") + struct.calcsize("<H")
@@ -104,13 +129,13 @@ def serialize_ciphertext(ct: Ciphertext, coeff_bits: int = 44) -> bytes:
         if part.domain != EVAL:
             raise ValueError("serialize NTT-domain ciphertexts (the wire form)")
     body = b"".join(_poly_payload(p, coeff_bits) for p in ct.parts)
-    return _header(_MAGIC_FULL, ct, coeff_bits) + body
+    return _header(_MAGIC_FULL, ct, coeff_bits, ct.size) + body
 
 
 def deserialize_ciphertext(blob: bytes, basis: RnsBasis) -> Ciphertext:
     if blob[:4] != _MAGIC_FULL:
         raise ValueError("not a full-ciphertext blob")
-    degree, _, level, bits, log_scale = struct.unpack(
+    degree, _, level, bits, scale = struct.unpack(
         "<IIHHd", blob[4 : 4 + struct.calcsize("<IIHHd")]
     )
     (size,) = struct.unpack("<H", blob[_HEADER_LEN - 2 : _HEADER_LEN])
@@ -121,7 +146,7 @@ def deserialize_ciphertext(blob: bytes, basis: RnsBasis) -> Ciphertext:
     for _ in range(size):
         poly, offset = _poly_from_payload(basis, blob, offset, level, bits, EVAL)
         parts.append(poly)
-    return Ciphertext(parts=parts, scale=float(2.0**log_scale))
+    return Ciphertext(parts=parts, scale=scale)
 
 
 def serialize_seeded(ct: Ciphertext, seed: bytes, coeff_bits: int = 44) -> bytes:
@@ -130,14 +155,18 @@ def serialize_seeded(ct: Ciphertext, seed: bytes, coeff_bits: int = 44) -> bytes
         raise ValueError("seeded format carries exactly (c0, seed)")
     if len(seed) != 16:
         raise ValueError("seed must be 16 bytes")
-    return _header(_MAGIC_SEED, ct, coeff_bits) + _poly_payload(ct.c0, coeff_bits) + seed
+    return (
+        _header(_MAGIC_SEED, ct, coeff_bits, ct.size)
+        + _poly_payload(ct.c0, coeff_bits)
+        + seed
+    )
 
 
 def deserialize_seeded(blob: bytes, basis: RnsBasis) -> Ciphertext:
     """Rebuild the full ciphertext server-side, re-expanding c1."""
     if blob[:4] != _MAGIC_SEED:
         raise ValueError("not a seeded-ciphertext blob")
-    degree, _, level, bits, log_scale = struct.unpack(
+    degree, _, level, bits, scale = struct.unpack(
         "<IIHHd", blob[4 : 4 + struct.calcsize("<IIHHd")]
     )
     if degree != basis.degree:
@@ -146,7 +175,43 @@ def deserialize_seeded(blob: bytes, basis: RnsBasis) -> Ciphertext:
     c0, offset = _poly_from_payload(basis, blob, offset, level, bits, EVAL)
     seed = blob[offset : offset + 16]
     c1 = expand_uniform_poly(basis, level, Xof(seed), b"sym-c1")
-    return Ciphertext(parts=[c0, c1], scale=float(2.0**log_scale))
+    return Ciphertext(parts=[c0, c1], scale=scale)
+
+
+def serialize_plaintext(pt: Plaintext, coeff_bits: int = 44) -> bytes:
+    """Encoded plaintext: header + packed residues, either domain.
+
+    The size field doubles as the domain flag (0 = coefficient,
+    1 = NTT/evaluation), since a plaintext is always one polynomial.
+    """
+    domain_flag = 1 if pt.poly.domain == EVAL else 0
+    return _header(_MAGIC_PLAIN, pt, coeff_bits, domain_flag) + _poly_payload(
+        pt.poly, coeff_bits
+    )
+
+
+def deserialize_plaintext(blob: bytes, basis: RnsBasis) -> Plaintext:
+    if blob[:4] != _MAGIC_PLAIN:
+        raise ValueError("not a plaintext blob")
+    degree, _, level, bits, scale = struct.unpack(
+        "<IIHHd", blob[4 : 4 + struct.calcsize("<IIHHd")]
+    )
+    (domain_flag,) = struct.unpack("<H", blob[_HEADER_LEN - 2 : _HEADER_LEN])
+    if degree != basis.degree:
+        raise ValueError(f"degree mismatch: blob {degree}, basis {basis.degree}")
+    domain = EVAL if domain_flag else COEFF
+    poly, _ = _poly_from_payload(basis, blob, _HEADER_LEN, level, bits, domain)
+    return Plaintext(poly=poly, scale=scale)
+
+
+def wire_coeff_bits(basis: RnsBasis) -> int:
+    """Narrowest per-residue packing that fits every modulus in ``basis``.
+
+    The 44-bit default models the accelerator datapath; the worker
+    boundary instead packs at exactly the widest modulus so any basis —
+    including toy test chains with >44-bit primes — round-trips losslessly.
+    """
+    return max(int(q).bit_length() for q in basis.moduli)
 
 
 def ciphertext_wire_bytes(

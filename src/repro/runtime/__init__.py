@@ -24,13 +24,22 @@ rotations, and validate level/scale alignment at plan time
 executed by a bit-identical reference interpreter or a batched replayer
 (:mod:`repro.runtime.plan`); :mod:`repro.runtime.bridge` converts traced
 plans into accelerator workload/queue form for scheduler experiments.
+
+For serving, :class:`~repro.runtime.executor.ShardedExecutor` shards
+``run_batch`` across a forked worker pool (bit-identical, crash-
+recovering, order-preserving) and
+:class:`~repro.runtime.stream.StreamingServer` feeds it from a bounded
+async queue with backpressure so encrypt/evaluate/decrypt phases of
+different requests overlap.
 """
 
 from repro.runtime.bridge import (
     plan_op_counts,
+    plan_schedule_comparison,
     plan_to_request_queue,
     plan_to_workload,
 )
+from repro.runtime.executor import ShardedExecutor, WorkerError
 from repro.runtime.graph import CtSpec, Graph, Node, PtSpec
 from repro.runtime.passes import (
     PlanValidationError,
@@ -48,6 +57,7 @@ from repro.runtime.plan import (
     compile_graph,
     plan_cache_info,
 )
+from repro.runtime.stream import RequestRecord, StreamingServer
 from repro.runtime.trace import (
     LazyCiphertext,
     LazyDecomposed,
@@ -83,4 +93,9 @@ __all__ = [
     "plan_op_counts",
     "plan_to_workload",
     "plan_to_request_queue",
+    "plan_schedule_comparison",
+    "ShardedExecutor",
+    "WorkerError",
+    "StreamingServer",
+    "RequestRecord",
 ]

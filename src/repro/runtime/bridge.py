@@ -34,6 +34,7 @@ __all__ = [
     "plan_op_counts",
     "plan_to_workload",
     "plan_to_request_queue",
+    "plan_schedule_comparison",
 ]
 
 
@@ -132,3 +133,27 @@ def plan_to_request_queue(plan: ExecutionPlan, requests: int = 1) -> RequestQueu
         encode_encrypt=requests * num_ct_inputs,
         decode_decrypt=requests * plan.num_outputs,
     )
+
+
+def plan_schedule_comparison(
+    plan: ExecutionPlan,
+    requests: int,
+    config=None,
+    degree: int | None = None,
+):
+    """Schedule ``requests`` replays of a plan on the dual RSCs.
+
+    Builds the client-side queue and workload a served plan implies and
+    runs every :class:`~repro.accel.scheduler.RscScheduler` policy on it
+    (best makespan first) — the accelerator-side counterpart of the
+    software serving engine's measured queue, so streaming-server stats
+    can sit next to the paper's dual-RSC scheduling policies.
+    """
+    from repro.accel.config import abc_fhe
+    from repro.accel.scheduler import RscScheduler
+
+    scheduler = RscScheduler(
+        config=config if config is not None else abc_fhe(),
+        workload=plan_to_workload(plan, degree=degree),
+    )
+    return scheduler.compare(plan_to_request_queue(plan, requests=requests))

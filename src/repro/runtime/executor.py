@@ -1,0 +1,440 @@
+"""Multi-process plan serving: a fork-shared persistent worker pool.
+
+:class:`ShardedExecutor` scales :meth:`ExecutionPlan.run_batch` past one
+core.  Compiled plans are immutable, evaluation keys are read-only, and
+every process-level cache (lowered closures, stacked key tensors, NTT
+twiddle pre-forms, Galois permutation tables) is warmed *before* the pool
+starts — so forked workers inherit all of it copy-on-write and execute
+with zero per-process recompilation.  Only the per-request ciphertexts
+move between processes, through the exact wire formats of
+:mod:`repro.ckks.serialization` (packed at :func:`wire_coeff_bits`, with
+raw-double scales, so a round trip is bit-exact and sharded output is
+bit-identical to the single-process batched executor).
+
+Topology: one duplex pipe per worker, at most one request in flight per
+worker, a single parent-side I/O thread multiplexing dispatch and
+collection with :func:`multiprocessing.connection.wait`.  Because the
+parent always knows which request each worker holds, a crashed worker is
+detected by pipe EOF, its in-flight request is requeued at the front,
+and a replacement is forked — requests are never lost and never
+duplicated.
+
+``num_workers=0`` (or a platform without ``fork``) degrades to an inline
+executor that still routes every request through the serialization
+boundary, so codec behaviour is identical everywhere.
+
+``modeled_request_io_s`` optionally charges each request a client-link
+transfer delay inside the worker (upload before evaluation, download
+after).  The serving benchmarks derive it from the serialization layer's
+exact wire byte counts, making the pool's latency-hiding measurable even
+on a single core; it defaults to zero and is never used by the library
+itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import threading
+import time
+import warnings
+from collections import deque
+from concurrent.futures import Future
+from multiprocessing.connection import wait as connection_wait
+
+from repro.ckks.containers import Ciphertext, Plaintext
+from repro.ckks.serialization import (
+    PLAINTEXT_MAGIC,
+    deserialize_ciphertext,
+    deserialize_plaintext,
+    serialize_ciphertext,
+    serialize_plaintext,
+    wire_coeff_bits,
+)
+from repro.runtime.plan import ExecutionPlan
+
+__all__ = ["ShardedExecutor", "WorkerError"]
+
+
+class WorkerError(RuntimeError):
+    """An exception raised inside a worker process, re-raised verbatim
+    (as text) in the parent so failed requests fail their futures instead
+    of wedging the pool."""
+
+
+def _encode_value(value, coeff_bits: int) -> bytes:
+    if isinstance(value, Ciphertext):
+        return serialize_ciphertext(value, coeff_bits=coeff_bits)
+    if isinstance(value, Plaintext):
+        return serialize_plaintext(value, coeff_bits=coeff_bits)
+    raise TypeError(
+        f"plan inputs must be Ciphertext or Plaintext, got {type(value).__name__}"
+    )
+
+
+def _decode_value(blob: bytes, basis):
+    if blob[:4] == PLAINTEXT_MAGIC:
+        return deserialize_plaintext(blob, basis)
+    return deserialize_ciphertext(blob, basis)
+
+
+def _worker_loop(plan: ExecutionPlan, conn, coeff_bits: int, io_s: float) -> None:
+    """Child process body: recv request -> replay plan -> send result."""
+    basis = plan.evaluator.basis
+    upload_s = download_s = io_s / 2.0
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        req_id, blobs = msg
+        try:
+            if upload_s:
+                time.sleep(upload_s)
+            inputs = [_decode_value(b, basis) for b in blobs]
+            outputs = plan.run_batch([inputs])[0]
+            payload = [_encode_value(o, coeff_bits) for o in outputs]
+            if download_s:
+                time.sleep(download_s)
+            reply = (req_id, True, payload)
+        except Exception as exc:  # noqa: BLE001 — forwarded to the parent
+            reply = (req_id, False, f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "busy")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.busy: int | None = None  # request id in flight, if any
+
+
+class ShardedExecutor:
+    """Shards plan replays across a persistent pool of forked workers.
+
+    Attributes:
+        plan: the compiled :class:`ExecutionPlan` every worker replays.
+        num_workers: pool size; ``0`` selects the inline (single-process)
+            fallback that still crosses the serialization boundary.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        num_workers: int = 2,
+        *,
+        coeff_bits: int | None = None,
+        modeled_request_io_s: float = 0.0,
+        warm_inputs=None,
+        max_crash_respawns: int | None = None,
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        self.plan = plan
+        self.num_workers = num_workers
+        self._coeff_bits = coeff_bits or wire_coeff_bits(plan.evaluator.basis)
+        self._io_s = float(modeled_request_io_s)
+        self._max_crashes = (
+            max_crash_respawns
+            if max_crash_respawns is not None
+            else 3 + 2 * max(num_workers, 1)
+        )
+        self._inline = num_workers == 0 or "fork" not in mp.get_all_start_methods()
+        if self._inline and num_workers > 0:
+            warnings.warn(
+                "fork start method unavailable; ShardedExecutor degrades to "
+                "the inline single-process executor",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._ctx = None if self._inline else mp.get_context("fork")
+        self._workers: list[_Worker] = []
+        self._io_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._pending: deque[int] = deque()
+        self._payloads: dict[int, list[bytes]] = {}
+        self._futures: dict[int, Future] = {}
+        self._crash_counts: dict[int, int] = {}
+        self._max_request_retries = 2
+        self._req_ids = itertools.count()
+        self._started = False
+        self._stats = {
+            "submitted": 0,
+            "completed": 0,
+            "errors": 0,
+            "worker_crashes": 0,
+            "respawns": 0,
+        }
+        # Warm every fork-shared cache in the parent: the lowered closure
+        # schedule always, plus (optionally) one real replay so stacked
+        # key tensors and permutation tables exist before the first fork.
+        plan.run_batch([warm_inputs] if warm_inputs is not None else [])
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ShardedExecutor":
+        with self._lock:  # concurrent first submits must not double-fork
+            if self._started or self._inline:
+                self._started = True
+                return self
+            self._stop.clear()
+            self._wake_r, self._wake_w = self._ctx.Pipe(duplex=False)
+            for _ in range(self.num_workers):
+                self._workers.append(self._spawn())
+            self._io_thread = threading.Thread(
+                target=self._io_loop, name="sharded-executor-io", daemon=True
+            )
+            self._io_thread.start()
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        """Drain nothing, stop the pool; outstanding futures fail."""
+        if self._inline or not self._started:
+            self._started = False
+            return
+        self._stop.set()
+        self._wake()
+        self._io_thread.join(timeout=5.0)
+        for worker in self._workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=1.0)
+            worker.conn.close()
+        self._workers.clear()
+        for pipe_end in (self._wake_r, self._wake_w):
+            try:
+                pipe_end.close()
+            except OSError:
+                pass
+        with self._lock:
+            for fut in self._futures.values():
+                if not fut.done():
+                    fut.set_exception(RuntimeError("executor closed"))
+            self._futures.clear()
+            self._payloads.clear()
+            self._pending.clear()
+        self._started = False
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, inputs) -> Future:
+        """Queue one plan replay; resolves to its output ciphertexts."""
+        if not self._started:
+            self.start()
+        if not self._inline and self._stop.is_set():
+            # The pool exceeded its crash budget and shut itself down;
+            # fail fast instead of queueing requests nobody will serve.
+            raise RuntimeError("executor stopped (crash budget exceeded)")
+        blobs = [_encode_value(v, self._coeff_bits) for v in inputs]
+        fut: Future = Future()
+        if self._inline:
+            self._run_inline(blobs, fut)
+            return fut
+        with self._lock:
+            req_id = next(self._req_ids)
+            self._stats["submitted"] += 1
+            self._futures[req_id] = fut
+            self._payloads[req_id] = blobs
+            self._pending.append(req_id)
+        self._wake()
+        return fut
+
+    def run_batch(self, batches, timeout: float | None = None):
+        """Shard a materialized batch across the pool, order-preserving.
+
+        Bit-identical to ``plan.run_batch(batches)``: every entry is the
+        same plan replay, inputs/outputs round-trip losslessly through the
+        wire format, and results are returned in submission order no
+        matter which worker finished first.
+        """
+        futures = [self.submit(entry) for entry in batches]
+        return [f.result(timeout=timeout) for f in futures]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            out = dict(self._stats)
+        out["num_workers"] = self.num_workers
+        out["inline"] = self._inline
+        out["pending"] = len(self._pending)
+        return out
+
+    def worker_pids(self) -> list[int]:
+        return [w.proc.pid for w in self._workers]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _run_inline(self, blobs, fut: Future) -> None:
+        basis = self.plan.evaluator.basis
+        self._stats["submitted"] += 1
+        try:
+            if self._io_s:  # parity with the worker-side link model
+                time.sleep(self._io_s)
+            inputs = [_decode_value(b, basis) for b in blobs]
+            outputs = self.plan.run_batch([inputs])[0]
+            round_tripped = [
+                _decode_value(_encode_value(o, self._coeff_bits), basis)
+                for o in outputs
+            ]
+        except Exception as exc:  # noqa: BLE001 — mirror the pool contract
+            self._stats["errors"] += 1
+            fut.set_exception(WorkerError(f"{type(exc).__name__}: {exc}"))
+            return
+        self._stats["completed"] += 1
+        fut.set_result(round_tripped)
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_loop,
+            args=(self.plan, child_conn, self._coeff_bits, self._io_s),
+            daemon=True,
+        )
+        proc.start()
+        # The parent's copy of the child end must close so worker death
+        # surfaces as EOF on the parent connection.
+        child_conn.close()
+        return _Worker(proc, parent_conn)
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send_bytes(b"x")
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _io_loop(self) -> None:
+        while not self._stop.is_set():
+            self._dispatch()
+            conns = [w.conn for w in self._workers] + [self._wake_r]
+            for ready in connection_wait(conns, timeout=0.2):
+                if ready is self._wake_r:
+                    while self._wake_r.poll():
+                        self._wake_r.recv_bytes()
+                    continue
+                worker = next(w for w in self._workers if w.conn is ready)
+                try:
+                    req_id, ok, payload = ready.recv()
+                except (EOFError, OSError):
+                    self._handle_crash(worker)
+                    continue
+                self._complete(worker, req_id, ok, payload)
+
+    def _dispatch(self) -> None:
+        for worker in list(self._workers):
+            with self._lock:
+                if worker.busy is not None or not self._pending:
+                    continue
+                req_id = self._pending.popleft()
+                payload = self._payloads[req_id]
+            try:
+                worker.conn.send((req_id, payload))
+            except (BrokenPipeError, OSError):
+                with self._lock:
+                    self._pending.appendleft(req_id)
+                self._handle_crash(worker)
+                continue
+            worker.busy = req_id
+
+    def _complete(self, worker: _Worker, req_id: int, ok: bool, payload) -> None:
+        worker.busy = None
+        with self._lock:
+            fut = self._futures.pop(req_id, None)
+            self._payloads.pop(req_id, None)
+            self._crash_counts.pop(req_id, None)
+        if fut is None:
+            return
+        if not ok:
+            self._stats["errors"] += 1
+            fut.set_exception(WorkerError(payload))
+            return
+        basis = self.plan.evaluator.basis
+        try:
+            outputs = [_decode_value(b, basis) for b in payload]
+        except Exception as exc:  # noqa: BLE001 — corrupt reply
+            self._stats["errors"] += 1
+            fut.set_exception(WorkerError(f"undecodable reply: {exc}"))
+            return
+        self._stats["completed"] += 1
+        fut.set_result(outputs)
+
+    def _handle_crash(self, worker: _Worker) -> None:
+        """Requeue the dead worker's in-flight request and fork a spare."""
+        if worker not in self._workers:
+            return
+        self._workers.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.proc.join(timeout=1.0)
+        self._stats["worker_crashes"] += 1
+        requeued = worker.busy
+        poisoned: Future | None = None
+        if requeued is not None:
+            with self._lock:
+                if requeued in self._futures:
+                    crashes = self._crash_counts.get(requeued, 0) + 1
+                    self._crash_counts[requeued] = crashes
+                    if crashes > self._max_request_retries:
+                        # A poison request must not serially kill every
+                        # respawn: fail it alone, keep the pool serving.
+                        poisoned = self._futures.pop(requeued)
+                        self._payloads.pop(requeued, None)
+                        self._crash_counts.pop(requeued, None)
+                    else:
+                        self._pending.appendleft(requeued)
+        if poisoned is not None and not poisoned.done():
+            poisoned.set_exception(
+                WorkerError(
+                    f"request crashed {self._max_request_retries + 1} "
+                    "worker(s) in a row; giving up on it"
+                )
+            )
+        if self._stats["worker_crashes"] > self._max_crashes:
+            with self._lock:
+                futures = list(self._futures.values())
+                self._futures.clear()
+                self._payloads.clear()
+                self._pending.clear()
+            for fut in futures:
+                if not fut.done():
+                    fut.set_exception(
+                        WorkerError(
+                            f"pool exceeded {self._max_crashes} worker crashes"
+                        )
+                    )
+            self._stop.set()
+            return
+        self._stats["respawns"] += 1
+        self._workers.append(self._spawn())

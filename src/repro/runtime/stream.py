@@ -1,0 +1,238 @@
+"""Streaming ingestion for the serving engine: async, bounded, measured.
+
+:class:`StreamingServer` feeds a :class:`~repro.runtime.executor.ShardedExecutor`
+from a bounded request queue instead of a materialized batch.  Admission
+is a semaphore of ``max_pending`` slots covering a request's whole
+lifetime, so producers feel backpressure the moment the engine is
+saturated and memory stays bounded; each admitted request is dispatched
+to the worker pool and awaited without blocking the event loop, which
+lets the three phases of different requests overlap — request *k+1*
+encrypts (on a dedicated phase thread, so client callables need not be
+thread-safe) while request *k* evaluates in a worker process and
+request *k-1* decrypts.
+
+Every request is timed (queue wait, service, total) and the queue depth
+is sampled at each admission and completion, so :meth:`stats` /
+:meth:`latency_summary` quantify exactly what streaming buys over a
+materialized ``run_batch``: time-to-first-result and per-request latency
+drop while throughput stays pool-bound.  :meth:`schedule_comparison`
+projects the same served queue onto the paper's dual-RSC scheduling
+policies through the :mod:`repro.runtime.bridge` workload forms, putting
+measured software serving and modeled accelerator scheduling side by
+side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.runtime.bridge import plan_schedule_comparison
+
+__all__ = ["RequestRecord", "StreamingServer"]
+
+
+@dataclass
+class RequestRecord:
+    """Timings for one served request (all in seconds)."""
+
+    index: int
+    wait_s: float = 0.0
+    encrypt_s: float = 0.0
+    service_s: float = 0.0
+    decrypt_s: float = 0.0
+    total_s: float = 0.0
+    done_at_s: float = 0.0  # relative to server start
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+class StreamingServer:
+    """Bounded-queue streaming front end over a sharded worker pool.
+
+    Attributes:
+        executor: the pool requests are served by (any object with
+            ``submit(inputs) -> concurrent.futures.Future`` and a
+            ``plan``; inline executors work for tests).
+        max_pending: admission bound — at most this many requests are
+            inside the engine (queued or in flight) at once.
+    """
+
+    def __init__(self, executor, *, max_pending: int = 8) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.executor = executor
+        self.max_pending = max_pending
+        self._sem: asyncio.Semaphore | None = None
+        self._phase_pool: ThreadPoolExecutor | None = None
+        self._depth = 0
+        self._depth_samples: list[int] = []
+        self._records: list[RequestRecord] = []
+        self._started_at: float | None = None
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def __aenter__(self) -> "StreamingServer":
+        self.executor.start()
+        self._sem = asyncio.Semaphore(self.max_pending)
+        # CPU-side phases run on ONE dedicated thread: encrypt/decrypt
+        # callables need not be thread-safe (Encryptor mutates XOF
+        # state), and serializing them costs nothing — the overlap that
+        # matters is against the worker pool, not between two encrypts.
+        self._phase_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="stream-phase"
+        )
+        self._started_at = time.perf_counter()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self.executor.close()
+        if self._phase_pool is not None:
+            self._phase_pool.shutdown(wait=True)
+            self._phase_pool = None
+        self._sem = None
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    async def submit(self, inputs) -> list:
+        """Admit one request (awaiting a slot under backpressure), serve
+        it on the pool, and return its output ciphertexts."""
+        return await self._serve_request(inputs, None, None)
+
+    async def serve_one(self, payload, *, encrypt, decrypt):
+        """Full client pipeline for one request: encrypt -> evaluate ->
+        decrypt, with the CPU phases off the event loop so they overlap
+        other requests' pool evaluation."""
+        return await self._serve_request(payload, encrypt, decrypt)
+
+    async def serve(self, payloads, *, encrypt, decrypt) -> list:
+        """Stream a sequence of request payloads through the pipeline,
+        returning results in request order."""
+        return list(
+            await asyncio.gather(
+                *(self.serve_one(p, encrypt=encrypt, decrypt=decrypt) for p in payloads)
+            )
+        )
+
+    async def _serve_request(self, payload, encrypt, decrypt):
+        """One request, entirely inside the admission bound: at most
+        ``max_pending`` requests are in *any* phase at once, so memory
+        stays O(max_pending) however long the payload stream is."""
+        if self._sem is None:
+            raise RuntimeError("use 'async with StreamingServer(...)'")
+        loop = asyncio.get_running_loop()
+        record = RequestRecord(self._next_index())
+        enqueue = time.perf_counter()
+        await self._sem.acquire()
+        self._admit()
+        record.wait_s = time.perf_counter() - enqueue
+        try:
+            if encrypt is None:
+                inputs = payload
+            else:
+                t0 = time.perf_counter()
+                inputs = await loop.run_in_executor(
+                    self._phase_pool, encrypt, payload
+                )
+                record.encrypt_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            # executor.submit serializes the inputs before returning its
+            # future — run it on the phase thread, not the event loop.
+            pool_future = await loop.run_in_executor(
+                self._phase_pool, self.executor.submit, inputs
+            )
+            outputs = await asyncio.wrap_future(pool_future)
+            record.service_s = time.perf_counter() - t0
+            if decrypt is None:
+                result = outputs
+            else:
+                t0 = time.perf_counter()
+                result = await loop.run_in_executor(
+                    self._phase_pool, decrypt, outputs
+                )
+                record.decrypt_s = time.perf_counter() - t0
+        finally:
+            self._finish()
+            self._sem.release()
+        record.total_s = time.perf_counter() - enqueue
+        record.done_at_s = time.perf_counter() - self._started_at
+        self._records.append(record)
+        return result
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> list[RequestRecord]:
+        return list(self._records)
+
+    def latency_summary(self) -> dict[str, float]:
+        totals = sorted(r.total_s for r in self._records)
+        return {
+            "count": len(totals),
+            "mean_s": sum(totals) / len(totals) if totals else 0.0,
+            "p50_s": _percentile(totals, 0.50),
+            "p95_s": _percentile(totals, 0.95),
+            "max_s": totals[-1] if totals else 0.0,
+        }
+
+    def stats(self) -> dict:
+        done = [r.done_at_s for r in self._records]
+        makespan = max(done) if done else 0.0
+        return {
+            "completed": len(self._records),
+            "max_queue_depth": max(self._depth_samples, default=0),
+            "mean_queue_depth": (
+                sum(self._depth_samples) / len(self._depth_samples)
+                if self._depth_samples
+                else 0.0
+            ),
+            "time_to_first_result_s": min(done) if done else 0.0,
+            "makespan_s": makespan,
+            "throughput_rps": len(done) / makespan if makespan else 0.0,
+            "latency": self.latency_summary(),
+            "executor": self.executor.stats(),
+        }
+
+    def schedule_comparison(self, config=None, degree: int | None = None):
+        """The served queue on the accelerator's dual-RSC policies (via
+        the bridge's workload forms), best makespan first."""
+        return plan_schedule_comparison(
+            self.executor.plan,
+            requests=max(1, len(self._records)),
+            config=config,
+            degree=degree,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _next_index(self) -> int:
+        index = self._index
+        self._index += 1
+        return index
+
+    def _admit(self) -> None:
+        self._depth += 1
+        self._depth_samples.append(self._depth)
+
+    def _finish(self) -> None:
+        self._depth -= 1
+        self._depth_samples.append(self._depth)

@@ -1,6 +1,9 @@
-"""Wire formats: bit-packing exactness and traffic-model agreement."""
+"""Wire formats: bit-packing exactness, traffic-model agreement, and
+round trips through the serving engine's forked-worker boundary."""
 
 from __future__ import annotations
+
+import multiprocessing as mp
 
 import numpy as np
 import pytest
@@ -9,14 +12,19 @@ from hypothesis import strategies as st
 
 from repro.ckks import CkksContext, toy_params
 from repro.ckks.serialization import (
+    SEEDED_MAGIC,
     ciphertext_wire_bytes,
     deserialize_ciphertext,
+    deserialize_plaintext,
     deserialize_seeded,
     pack_residues,
     serialize_ciphertext,
+    serialize_plaintext,
     serialize_seeded,
     unpack_residues,
+    wire_coeff_bits,
 )
+from repro.nums.kernels import available_backends, using_backend
 
 
 @pytest.fixture(scope="module")
@@ -137,3 +145,104 @@ class TestSeededCiphertext:
         prod = sctx.evaluator.multiply(ct, ct)
         with pytest.raises(ValueError, match="exactly"):
             serialize_seeded(prod, b"\x00" * 16)
+
+
+class TestPlaintext:
+    def test_roundtrip_coeff_domain(self, sctx):
+        pt = sctx.encode(np.linspace(-1, 1, sctx.params.slots))
+        bits = wire_coeff_bits(sctx.basis)
+        back = deserialize_plaintext(serialize_plaintext(pt, bits), sctx.basis)
+        assert back.scale == pt.scale
+        assert back.poly.domain == pt.poly.domain
+        assert np.array_equal(back.poly.data, pt.poly.data)
+
+    def test_roundtrip_eval_domain(self, sctx):
+        pt = sctx.encode(np.linspace(0, 1, sctx.params.slots))
+        pt.poly = pt.poly.to_eval()
+        bits = wire_coeff_bits(sctx.basis)
+        back = deserialize_plaintext(serialize_plaintext(pt, bits), sctx.basis)
+        assert back.poly.domain == pt.poly.domain
+        assert np.array_equal(back.poly.data, pt.poly.data)
+
+    def test_rejects_wrong_magic(self, sctx):
+        ct = sctx.encrypt(np.ones(2))
+        with pytest.raises(ValueError, match="not a plaintext"):
+            deserialize_plaintext(serialize_ciphertext(ct), sctx.basis)
+
+
+class TestScaleExactness:
+    def test_rescaled_scale_survives_roundtrip_bit_exact(self, sctx):
+        """A rescaled ciphertext's scale is Δ²/q — not a power of two.
+        The raw-double header must carry it back exactly, or sharded
+        serving could never be bit-identical to in-process execution."""
+        ct = sctx.encrypt(np.linspace(-1, 1, sctx.params.slots))
+        rlk = sctx.relin_keys(levels=[ct.level])
+        prod = sctx.evaluator.multiply_relin_rescale(ct, ct, rlk)
+        assert prod.scale != 2.0 ** round(np.log2(prod.scale))
+        back = deserialize_ciphertext(serialize_ciphertext(prod), sctx.basis)
+        assert back.scale == prod.scale
+
+
+def _child_roundtrip(conn, basis) -> None:
+    """Forked-worker body: decode whatever arrives, send a full-form
+    re-serialization back (exactly what the serving pool does)."""
+    blob = conn.recv()
+    bits = wire_coeff_bits(basis)
+    if blob[:4] == SEEDED_MAGIC:
+        ct = deserialize_seeded(blob, basis)
+    else:
+        ct = deserialize_ciphertext(blob, basis)
+    conn.send(serialize_ciphertext(ct, coeff_bits=bits))
+    conn.close()
+
+
+@pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="requires fork"
+)
+class TestWorkerBoundary:
+    """Seeded and full wire forms crossing a real fork boundary, under
+    every reducer backend (the transport of repro.runtime.executor)."""
+
+    def _through_fork(self, blob, basis) -> bytes:
+        ctx_mp = mp.get_context("fork")
+        parent_conn, child_conn = ctx_mp.Pipe()
+        proc = ctx_mp.Process(target=_child_roundtrip, args=(child_conn, basis))
+        proc.start()
+        child_conn.close()
+        parent_conn.send(blob)
+        out = parent_conn.recv()
+        proc.join(timeout=30)
+        parent_conn.close()
+        return out
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_full_form_bit_exact_across_fork(self, backend):
+        with using_backend(backend):
+            ctx = CkksContext.create(
+                toy_params(degree=128, num_primes=4), seed=60
+            )
+            ct = ctx.encrypt(np.linspace(-1, 1, ctx.params.slots))
+            bits = wire_coeff_bits(ctx.basis)
+            blob = serialize_ciphertext(ct, coeff_bits=bits)
+            echoed = self._through_fork(blob, ctx.basis)
+            # decode -> re-encode in the child reproduces the bytes.
+            assert echoed == blob
+            back = deserialize_ciphertext(echoed, ctx.basis)
+            assert back.scale == ct.scale
+            for got, want in zip(back.parts, ct.parts):
+                assert np.array_equal(got.data, want.data)
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_seeded_form_expands_identically_across_fork(self, backend):
+        with using_backend(backend):
+            ctx = CkksContext.create(
+                toy_params(degree=128, num_primes=4), seed=61
+            )
+            pt = ctx.encode(np.linspace(0, 1, ctx.params.slots))
+            ct, seed = ctx.encryptor.encrypt_symmetric_seeded(pt, ctx.secret_key)
+            bits = wire_coeff_bits(ctx.basis)
+            seeded_blob = serialize_seeded(ct, seed, coeff_bits=bits)
+            echoed = self._through_fork(seeded_blob, ctx.basis)
+            # The child re-expanded c1 from the 16-byte seed; its full
+            # form must equal the parent's full form of the same ct.
+            assert echoed == serialize_ciphertext(ct, coeff_bits=bits)

@@ -15,7 +15,7 @@ import pytest
 
 from repro.ckks import CkksContext, toy_params
 from repro.nums.kernels import available_backends, using_backend
-from repro.runtime import CtSpec, compile_fn
+from repro.runtime import CtSpec, ShardedExecutor, compile_fn
 
 DEGREE = 256
 NUM_PRIMES = 6
@@ -25,9 +25,10 @@ SEED = 1234
 def _run_pipeline():
     """One seeded encrypt/rotate/multiply/rescale/decrypt run; all bytes.
 
-    The same program is executed three ways — eagerly, through the
-    runtime's reference interpreter, and through the batched plan
-    executor — and all three must agree byte-for-byte within the run.
+    The same program is executed four ways — eagerly, through the
+    runtime's reference interpreter, through the batched plan executor,
+    and through a 2-worker sharded pool (crossing the serialization
+    boundary) — and all four must agree byte-for-byte within the run.
     """
     ctx = CkksContext.create(toy_params(degree=DEGREE, num_primes=NUM_PRIMES), seed=SEED)
     rlk = ctx.relin_keys(levels=[NUM_PRIMES])
@@ -51,9 +52,11 @@ def _run_pipeline():
     plan = compile_fn(program, ctx.evaluator, [spec, spec])
     plan_rot, plan_prod = plan.run([ct_x, ct_y])
     ((batch_rot, batch_prod),) = plan.run_batch([[ct_x, ct_y]])
-    for eager_ct, planned, batched in (
-        (rot, plan_rot, batch_rot),
-        (prod, plan_prod, batch_prod),
+    with ShardedExecutor(plan, 2) as pool:
+        ((shard_rot, shard_prod),) = pool.run_batch([[ct_x, ct_y]], timeout=120)
+    for eager_ct, planned, batched, sharded in (
+        (rot, plan_rot, batch_rot, shard_rot),
+        (prod, plan_prod, batch_prod, shard_prod),
     ):
         for i, part in enumerate(eager_ct.parts):
             assert np.array_equal(part.data, planned.parts[i].data), (
@@ -61,6 +64,9 @@ def _run_pipeline():
             )
             assert np.array_equal(part.data, batched.parts[i].data), (
                 f"batched execution diverged from eager at part {i}"
+            )
+            assert np.array_equal(part.data, sharded.parts[i].data), (
+                f"sharded execution diverged from eager at part {i}"
             )
 
     snapshots = {

@@ -1,0 +1,184 @@
+"""ShardedExecutor: bit-identity with the single-process batched
+executor, deterministic ordering, worker-crash recovery, error
+propagation, and the inline fallback."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CtSpec,
+    PtSpec,
+    ShardedExecutor,
+    WorkerError,
+    compile_fn,
+)
+
+RESULT_TIMEOUT = 120.0
+
+
+def _spec(rctx):
+    return CtSpec(level=rctx.params.num_primes, scale=rctx.params.scale)
+
+
+def _assert_ct_equal(a, b, what=""):
+    assert a.scale == b.scale, f"{what}: scale {a.scale} != {b.scale}"
+    assert a.size == b.size, what
+    for i, (pa, pb) in enumerate(zip(a.parts, b.parts)):
+        assert np.array_equal(pa.data, pb.data), f"{what} part {i} differs"
+
+
+def _assert_outputs_equal(got, want, what=""):
+    assert len(got) == len(want), what
+    for i, (g, w) in enumerate(zip(got, want)):
+        _assert_ct_equal(g, w, f"{what} output {i}")
+
+
+@pytest.fixture(scope="module")
+def serving_plan(rctx, gks, rlk):
+    """Rotate / multiply / relinearize / rescale — and one raw 3-part
+    tensor output, so the boundary moves both ciphertext shapes and a
+    non-power-of-two rescaled scale."""
+
+    def program(ev, x, y):
+        rot = ev.rotate(x, 1, gks)
+        prod = ev.multiply_relin_rescale(ev.add(rot, y), y, rlk)
+        raw = ev.multiply(x, y)  # 3 parts, scale Δ²
+        return prod, raw
+
+    spec = CtSpec(level=rctx.params.num_primes, scale=rctx.params.scale)
+    return compile_fn(program, rctx.evaluator, [spec, spec])
+
+
+def _batches(rctx, n, seed=9):
+    rng = np.random.default_rng(seed)
+    return [
+        [
+            rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots)),
+            rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots)),
+        ]
+        for _ in range(n)
+    ]
+
+
+class TestShardedBitIdentity:
+    def test_matches_single_process_run_batch(self, rctx, serving_plan):
+        batches = _batches(rctx, 5)
+        reference = serving_plan.run_batch(batches)
+        with ShardedExecutor(serving_plan, 2, warm_inputs=batches[0]) as pool:
+            sharded = pool.run_batch(batches, timeout=RESULT_TIMEOUT)
+        for i, (got, want) in enumerate(zip(sharded, reference)):
+            _assert_outputs_equal(got, want, f"entry {i}")
+
+    def test_ordering_is_deterministic_across_workers(self, rctx, serving_plan):
+        # More workers than a single entry needs: completion order is up
+        # to the scheduler, result order must stay submission order.
+        batches = _batches(rctx, 6, seed=10)
+        reference = serving_plan.run_batch(batches)
+        with ShardedExecutor(serving_plan, 3) as pool:
+            sharded = pool.run_batch(batches, timeout=RESULT_TIMEOUT)
+        for i, (got, want) in enumerate(zip(sharded, reference)):
+            _assert_outputs_equal(got, want, f"entry {i}")
+
+    def test_plaintext_inputs_cross_the_boundary(self, rctx):
+        def program(ev, x, p):
+            return (ev.multiply_plain(x, p),)
+
+        plan = compile_fn(
+            program,
+            rctx.evaluator,
+            [
+                _spec(rctx),
+                PtSpec(level=rctx.params.num_primes, scale=rctx.params.scale),
+            ],
+        )
+        rng = np.random.default_rng(11)
+        entries = [
+            [
+                rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots)),
+                rctx.encode(rng.uniform(-1, 1, rctx.params.slots)),
+            ]
+            for _ in range(3)
+        ]
+        reference = plan.run_batch(entries)
+        with ShardedExecutor(plan, 2) as pool:
+            sharded = pool.run_batch(entries, timeout=RESULT_TIMEOUT)
+        for got, want in zip(sharded, reference):
+            _assert_outputs_equal(got, want, "plaintext-input entry")
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_respawned_and_no_request_lost(
+        self, rctx, serving_plan
+    ):
+        batches = _batches(rctx, 6, seed=12)
+        reference = serving_plan.run_batch(batches)
+        with ShardedExecutor(
+            serving_plan, 2, modeled_request_io_s=0.3, warm_inputs=batches[0]
+        ) as pool:
+            futures = [pool.submit(entry) for entry in batches]
+            time.sleep(0.05)  # let both workers take a request
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            results = [f.result(timeout=RESULT_TIMEOUT) for f in futures]
+            stats = pool.stats()
+        for i, (got, want) in enumerate(zip(results, reference)):
+            _assert_outputs_equal(got, want, f"post-crash entry {i}")
+        assert stats["worker_crashes"] >= 1
+        assert stats["respawns"] >= 1
+        assert stats["completed"] == len(batches)
+
+    def test_exhausted_crash_budget_fails_fast(self, rctx, serving_plan):
+        batches = _batches(rctx, 4, seed=15)
+        with ShardedExecutor(
+            serving_plan, 2, modeled_request_io_s=0.5, max_crash_respawns=0
+        ) as pool:
+            futures = [pool.submit(entry) for entry in batches]
+            time.sleep(0.05)
+            for pid in pool.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            with pytest.raises(WorkerError, match="crash"):
+                for fut in futures:
+                    fut.result(timeout=RESULT_TIMEOUT)
+            # The pool shut itself down; new submissions must fail fast
+            # instead of queueing forever.
+            with pytest.raises(RuntimeError, match="stopped"):
+                pool.submit(batches[0])
+
+    def test_bad_input_fails_its_future_not_the_pool(self, rctx, serving_plan):
+        good = _batches(rctx, 1, seed=13)[0]
+        wrong_level = [rctx.evaluator.rescale(good[0], times=1), good[1]]
+        with ShardedExecutor(serving_plan, 2) as pool:
+            bad_future = pool.submit(wrong_level)
+            with pytest.raises(WorkerError, match="level"):
+                bad_future.result(timeout=RESULT_TIMEOUT)
+            # The worker that saw the bad request must still serve.
+            results = pool.run_batch([good], timeout=RESULT_TIMEOUT)
+            stats = pool.stats()
+        _assert_outputs_equal(results[0], serving_plan.run_batch([good])[0])
+        assert stats["errors"] == 1
+        assert stats["worker_crashes"] == 0
+
+
+class TestInlineFallback:
+    def test_zero_workers_serves_through_the_codec(self, rctx, serving_plan):
+        batches = _batches(rctx, 3, seed=14)
+        reference = serving_plan.run_batch(batches)
+        pool = ShardedExecutor(serving_plan, 0)
+        results = pool.run_batch(batches)
+        stats = pool.stats()
+        pool.close()
+        for got, want in zip(results, reference):
+            _assert_outputs_equal(got, want, "inline entry")
+        assert stats["inline"] is True
+        assert stats["completed"] == len(batches)
+
+    def test_rejects_non_container_inputs(self, rctx, serving_plan):
+        pool = ShardedExecutor(serving_plan, 0)
+        with pytest.raises(TypeError, match="Ciphertext or Plaintext"):
+            pool.submit([np.zeros(4), np.zeros(4)])
