@@ -35,6 +35,7 @@ DEFAULT_FILES = [
     "BENCH_keyswitch.json",
     "BENCH_runtime.json",
     "BENCH_serving.json",
+    "BENCH_planio.json",
 ]
 
 # workers/requests keep serving-bench baselines from being compared

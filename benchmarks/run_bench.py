@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Standalone performance runner: key-switch engine, lazy runtime, serving.
+"""Standalone performance runner: kernels, runtime, serving, plan I/O.
 
-Three sections, selectable with ``--sections``:
+Four sections, selectable with ``--sections``:
 
 * ``core`` — the hot primitives (mulmod, batched NTT, key switching,
   rotation plain/hoisted, BSGS, a bootstrap step) against the pre-PR
@@ -14,7 +14,11 @@ Three sections, selectable with ``--sections``:
   with each request charged a client-link transfer delay derived from
   the serialization layer's exact wire byte counts (``--link-mbps``),
   written to ``BENCH_serving.json`` next to the dual-RSC scheduler's
-  policy makespans for the same queue.
+  policy makespans for the same queue;
+* ``planio`` — plan-artifact costs on the BSGS matmul program:
+  trace+optimize (cold compile) vs. trace+disk-store load vs. raw
+  EPL1 deserialization, plus serialize time and blob size, written to
+  ``BENCH_planio.json``.
 
 Every output JSON carries a ``trajectory`` list: by default the history
 already in the file is preserved and this run appended, so the per-PR
@@ -297,6 +301,98 @@ def bench_bootstrap_step(repeats: int) -> dict:
     return {"bootstrap_coeff_to_slot": _time(lambda: bs.coeff_to_slot(raised), repeats)}
 
 
+def bench_plan_io(ctx, repeats: int) -> dict:
+    """Plan-artifact costs (plan-serialization PR): what a serving fleet
+    pays to compile, persist, and rehydrate the BSGS matmul program.
+
+    ``trace_compile`` is the cold path every process pays without plan
+    shipping (trace + optimizer passes).  ``trace_store_load`` traces
+    only to derive the content key, then loads the optimized plan from
+    an on-disk PlanStore (constants resolved from the live graph — no
+    copies).  ``deserialize`` rebuilds a fully self-contained plan from
+    EPL1 bytes, constants included — the shipped-worker cold start.
+    """
+    import tempfile
+
+    from repro.runtime import (
+        ConstantStore,
+        PlanStore,
+        clear_plan_cache,
+        compile_fn,
+        deserialize_plan,
+        serialize_plan,
+        set_plan_store,
+    )
+
+    lvl = ctx.params.num_primes
+    slots = ctx.params.slots
+    rng = np.random.default_rng(51)
+    matrix = rng.uniform(-1, 1, (slots, slots)) + 1j * rng.uniform(
+        -1, 1, (slots, slots)
+    )
+    hlt = HomomorphicLinearTransform(ctx, matrix, level=lvl)
+    gks = ctx.galois_keys(hlt.required_rotations(), levels=[lvl])
+    spec = CtSpec(level=lvl, scale=ctx.params.scale)
+
+    def model(ev, x):
+        return hlt.emit(ev, x, gks)
+
+    def compile_cold():
+        clear_plan_cache()
+        return compile_fn(model, ctx.evaluator, [spec])
+
+    results: dict[str, dict] = {}
+    results["bsgs_trace_compile"] = _time(compile_cold, repeats)
+    plan = compile_fn(model, ctx.evaluator, [spec])
+    blob = serialize_plan(plan)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        set_plan_store(PlanStore(tmp))
+        try:
+
+            def store_load():
+                clear_plan_cache()
+                return compile_fn(model, ctx.evaluator, [spec])
+
+            store_load()  # populate the store outside the timed region
+            results["bsgs_trace_store_load"] = _time(store_load, repeats)
+        finally:
+            set_plan_store(None)
+            clear_plan_cache()
+
+    results["bsgs_serialize"] = _time(lambda: serialize_plan(plan), repeats)
+    results["bsgs_deserialize_cold"] = _time(
+        lambda: deserialize_plan(blob, ctx.evaluator), repeats
+    )
+    # The fleet hot path: constants (keys, tables) distributed once as a
+    # PCS1 payload, per-plan artifacts lean, resolver pre-populated.
+    lean = serialize_plan(plan, include_constants=False)
+    resolver = ConstantStore.from_graph(plan.graph)
+    results["bsgs_deserialize_lean"] = _time(
+        lambda: deserialize_plan(lean, ctx.evaluator, constants=resolver),
+        repeats,
+    )
+
+    def ratio(slow: str, fast: str) -> float:
+        return results[slow]["best_s"] / results[fast]["best_s"]
+
+    return {
+        "results": results,
+        "artifact_bytes": len(blob),
+        "lean_artifact_bytes": len(lean),
+        "nodes": len(plan.graph.nodes),
+        "constants": len(plan.graph.consts),
+        "speedups_x": {
+            "plan_store_load_vs_compile": ratio(
+                "bsgs_trace_compile", "bsgs_trace_store_load"
+            ),
+            "plan_lean_deserialize_vs_compile": ratio(
+                "bsgs_trace_compile", "bsgs_deserialize_lean"
+            ),
+        },
+    }
+
+
 # ---------------------------------------------------------------------------
 # Serving section: sharded worker-pool scaling + streaming ingestion
 # ---------------------------------------------------------------------------
@@ -489,13 +585,16 @@ def _print_section(title: str, results: dict, speedups: dict, legend: str) -> No
         print(f"  {name:<{width}}  {x:5.2f}x")
 
 
+KNOWN_SECTIONS = ("core", "runtime", "serving", "planio")
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true", help="CI smoke sizes")
     ap.add_argument(
         "--sections",
-        default="core,runtime,serving",
-        help="comma list of sections to run: core, runtime, serving",
+        default="core,runtime,serving,planio",
+        help=f"comma list of sections to run: {', '.join(KNOWN_SECTIONS)}",
     )
     ap.add_argument("--out", default="BENCH_keyswitch.json", help="output JSON path")
     ap.add_argument(
@@ -507,6 +606,11 @@ def main(argv: list[str] | None = None) -> int:
         "--serving-out",
         default="BENCH_serving.json",
         help="serving-section output JSON path",
+    )
+    ap.add_argument(
+        "--planio-out",
+        default="BENCH_planio.json",
+        help="planio-section output JSON path",
     )
     ap.add_argument(
         "--serving-workers",
@@ -545,9 +649,16 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
 
     sections = {s.strip() for s in args.sections.split(",") if s.strip()}
-    unknown = sections - {"core", "runtime", "serving"}
+    unknown = sections - set(KNOWN_SECTIONS)
     if unknown:
-        ap.error(f"unknown section(s): {sorted(unknown)}")
+        ap.error(
+            f"unknown section(s): {', '.join(sorted(unknown))}; "
+            f"known sections: {', '.join(KNOWN_SECTIONS)}"
+        )
+    if not sections:
+        ap.error(
+            f"no sections selected; known sections: {', '.join(KNOWN_SECTIONS)}"
+        )
 
     degree = args.degree or (256 if args.quick else 1024)
     primes = args.primes or (6 if args.quick else 10)
@@ -670,6 +781,24 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         _finalize(sv_payload, Path(args.serving_out), args.append_trajectory)
+
+    if "planio" in sections:
+        planio = bench_plan_io(ctx, repeats)
+        pio_payload = {
+            "meta": {"bench": "plan-io", **meta_common},
+            **{k: v for k, v in planio.items() if k != "results"},
+            "results_s": planio["results"],
+        }
+        _print_section(
+            f"\nplan-io bench  (N=2^{degree.bit_length()-1}, L={primes}, "
+            f"BSGS program: {planio['nodes']} nodes, "
+            f"{planio['constants']} constants, "
+            f"{planio['artifact_bytes']/1e6:.2f} MB artifact)",
+            planio["results"],
+            planio["speedups_x"],
+            "cold compile / artifact path",
+        )
+        _finalize(pio_payload, Path(args.planio_out), args.append_trajectory)
     return 0
 
 

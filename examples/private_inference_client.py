@@ -7,7 +7,10 @@ clients decrypt.  The server side is written once against the shared
 evaluator surface, traced, compiled to a cached
 :class:`~repro.runtime.plan.ExecutionPlan`, and **served by the
 multi-process engine**: a :class:`~repro.runtime.executor.ShardedExecutor`
-forks a worker pool that inherits the plan and keys, and a
+runs a worker pool in ``ship_plan`` mode — the compiled plan crosses to
+each worker as a serialized ``EPL1`` artifact (constants resolved by
+fingerprint from the inline ``PCS1`` payload, the cross-machine path;
+see docs/formats.md) — and a
 :class:`~repro.runtime.stream.StreamingServer` feeds it from a bounded
 request queue so each client's encrypt -> evaluate -> decrypt pipeline
 overlaps the others'.  Ciphertexts cross the worker boundary through the
@@ -99,7 +102,11 @@ def main() -> None:
         return ctx.decrypt_decode(outputs[0]).real, outputs[0]
 
     async def serve_all():
-        pool = ShardedExecutor(plan, NUM_WORKERS, warm_inputs=[cts[0]])
+        # ship_plan: workers rebuild the plan from its EPL1 bytes instead
+        # of inheriting the compiled object through fork.
+        pool = ShardedExecutor(
+            plan, NUM_WORKERS, warm_inputs=[cts[0]], ship_plan=True
+        )
         async with StreamingServer(pool, max_pending=MAX_PENDING) as server:
             served = await server.serve(cts, encrypt=as_request, decrypt=decrypt)
             return served, server.stats(), server.schedule_comparison()

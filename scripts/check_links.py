@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Intra-repo link checker for the docs tree and README.
+
+Scans Markdown files for inline links/images and verifies that every
+relative target resolves to a real file or directory (anchors and
+external ``http(s)``/``mailto`` targets are skipped).  Exits non-zero
+listing each dead link — the CI docs job runs this over ``README.md``
+and ``docs/``.
+
+Usage::
+
+    python scripts/check_links.py [files-or-dirs ...]   # default: README.md docs
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Inline Markdown links/images: [text](target) — stops at the first ')'
+# so "(see [x](a.md))" parses; reference-style links are not used here.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md":
+            files.append(path)
+    return files
+
+
+def dead_links(md_file: Path) -> list[tuple[int, str]]:
+    dead: list[tuple[int, str]] = []
+    for lineno, line in enumerate(md_file.read_text().splitlines(), start=1):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            resolved = (md_file.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                dead.append((lineno, target))
+    return dead
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "paths",
+        nargs="*",
+        default=["README.md", "docs"],
+        help="markdown files or directories to scan (default: README.md docs)",
+    )
+    args = ap.parse_args(argv)
+
+    files = iter_markdown([Path(p) for p in args.paths])
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for md_file in files:
+        for lineno, target in dead_links(md_file):
+            print(f"DEAD  {md_file}:{lineno}: {target}")
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"\n{failures} dead intra-repo link(s) across {checked} file(s)")
+        return 1
+    print(f"all intra-repo links resolve ({checked} markdown file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Plan-store smoke: compile here, deserialize in a *fresh* process, serve.
+
+The acceptance loop for plan serialization, run by the CI docs job:
+
+1. trace + compile the private-inference program, save it to a
+   ``PlanStore`` directory (a self-contained ``EPL1`` artifact);
+2. re-execute this script in a **fresh Python process** (``--verify``),
+   which loads the artifact — no re-trace, no optimizer — and serves
+   request ciphertexts that crossed the wire as ``CTF2`` blobs;
+3. byte-compare the fresh process's serialized outputs against the
+   compiling process's.
+
+The artifact directory is left behind for CI to upload.
+
+Usage::
+
+    PYTHONPATH=src python scripts/plan_store_smoke.py [--store-dir plan-store]
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a bare checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.ckks import CkksContext, toy_params
+from repro.ckks.serialization import (
+    deserialize_ciphertext,
+    serialize_ciphertext,
+    wire_coeff_bits,
+)
+from repro.runtime import CtSpec, PlanStore, compile_fn
+
+DEGREE = 256
+PRIMES = 6
+SEED = 97
+
+
+def _context() -> CkksContext:
+    return CkksContext.create(toy_params(degree=DEGREE, num_primes=PRIMES), seed=SEED)
+
+
+def _model_and_spec(ctx):
+    rng = np.random.default_rng(5)
+    slots = ctx.params.slots
+    lpm = ctx.params.levels_per_multiplication
+    w1 = ctx.encode(rng.uniform(-0.5, 0.5, slots))
+    rlk = ctx.relin_keys(levels=[PRIMES - lpm])
+
+    def model(ev, x):
+        hidden = ev.rescale(ev.multiply_plain(x, w1), times=lpm)
+        return ev.multiply_relin_rescale(hidden, hidden, rlk)
+
+    return model, CtSpec(level=PRIMES, scale=ctx.params.scale)
+
+
+def verify(plan_path: Path, request_path: Path, reply_path: Path) -> int:
+    """Fresh-process half: load the artifact, serve the wire request."""
+    ctx = _context()
+    store = PlanStore(plan_path.parent)
+    plan = store.load_path(plan_path, ctx.evaluator)  # no re-trace, no passes
+    ct = deserialize_ciphertext(request_path.read_bytes(), ctx.basis)
+    outputs = plan.run_batch([[ct]])[0]
+    bits = wire_coeff_bits(ctx.basis)
+    reply_path.write_bytes(
+        b"".join(serialize_ciphertext(o, coeff_bits=bits) for o in outputs)
+    )
+    print(f"fresh process: loaded {plan_path.name}, served 1 request "
+          f"({len(plan.graph.nodes)} nodes, no re-trace)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--store-dir", default="plan-store", type=Path)
+    ap.add_argument("--verify", nargs=3, type=Path, metavar=("PLAN", "REQ", "OUT"))
+    args = ap.parse_args(argv)
+
+    if args.verify:
+        return verify(*args.verify)
+
+    ctx = _context()
+    model, spec = _model_and_spec(ctx)
+    store = PlanStore(args.store_dir)
+    plan = compile_fn(model, ctx.evaluator, [spec])
+    artifact = store.save(plan)
+    sidecar = artifact.with_suffix(PlanStore.CONSTS_SUFFIX)
+    print(f"compiled + saved {artifact} "
+          f"({artifact.stat().st_size / 1e3:.1f} kB plan + "
+          f"{sidecar.stat().st_size / 1e3:.1f} kB constants, "
+          f"{len(plan.graph.nodes)} nodes, {len(plan.graph.consts)} constants)")
+
+    rng = np.random.default_rng(13)
+    ct = ctx.encrypt(rng.uniform(-1, 1, ctx.params.slots))
+    bits = wire_coeff_bits(ctx.basis)
+    request = args.store_dir / "smoke-request.ctf2"
+    request.write_bytes(serialize_ciphertext(ct, coeff_bits=bits))
+    expected = b"".join(
+        serialize_ciphertext(o, coeff_bits=bits)
+        for o in plan.run_batch([[ct]])[0]
+    )
+
+    reply = args.store_dir / "smoke-reply.ctf2"
+    proc = subprocess.run(
+        [sys.executable, __file__, "--verify", str(artifact), str(request),
+         str(reply)],
+        env=None,
+    )
+    if proc.returncode != 0:
+        print("FAIL: fresh-process verify step failed", file=sys.stderr)
+        return 1
+    if reply.read_bytes() != expected:
+        print("FAIL: fresh-process outputs diverged byte-wise", file=sys.stderr)
+        return 1
+    print("OK: fresh-process deserialized execution is byte-identical "
+          "to the compiling process")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,10 +37,14 @@ from repro.ckks.serialization import (
     deserialize_ciphertext,
     deserialize_plaintext,
     deserialize_seeded,
+    deserialize_switching_key,
+    pack_frame,
     pack_residues,
+    read_frame,
     serialize_ciphertext,
     serialize_plaintext,
     serialize_seeded,
+    serialize_switching_key,
     unpack_residues,
     wire_coeff_bits,
 )
@@ -66,13 +70,17 @@ __all__ = [
     "deserialize_ciphertext",
     "deserialize_plaintext",
     "deserialize_seeded",
+    "deserialize_switching_key",
     "estimate_security_bits",
     "max_modulus_bits",
     "measure_bootstrap_precision",
+    "pack_frame",
     "pack_residues",
+    "read_frame",
     "serialize_ciphertext",
     "serialize_plaintext",
     "serialize_seeded",
+    "serialize_switching_key",
     "wire_coeff_bits",
     "sine_mod_series",
     "unpack_residues",

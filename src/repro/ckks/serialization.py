@@ -1,20 +1,30 @@
 """Wire formats for ciphertexts and keys, with residue bit-packing.
 
-The accelerator's DRAM-traffic accounting (Section IV-B, Fig. 6b) counts
-residues at their *datapath width* — 44 bits — not at a lazy 64 bits, and
-fresh uploads ship ``(c0, seed)`` instead of two full polynomials.  This
-module implements exactly those formats so the byte counts the
-performance model charges are the byte counts the library really emits:
+Every format this module emits is specified normatively — field tables,
+byte layouts, versioning rules — in ``docs/formats.md``; keep the two in
+sync.  The accelerator's DRAM-traffic accounting (Section IV-B, Fig. 6b)
+counts residues at their *datapath width* — 44 bits — not at a lazy 64
+bits, and fresh uploads ship ``(c0, seed)`` instead of two full
+polynomials.  This module implements exactly those formats so the byte
+counts the performance model charges are the byte counts the library
+really emits:
 
 * :func:`pack_residues` / :func:`unpack_residues` — arbitrary-width bit
   packing of uint64 residue arrays;
 * :func:`serialize_ciphertext` / :func:`deserialize_ciphertext` — full
-  ciphertexts (any number of parts);
+  ciphertexts (``CTF2``, any number of parts);
 * :func:`serialize_seeded` / :func:`deserialize_seeded` — the compressed
-  ``(c0, seed)`` upload format (halves the client's write traffic);
+  ``(c0, seed)`` upload format (``CTS2``, halves the client's write
+  traffic);
 * :func:`serialize_plaintext` / :func:`deserialize_plaintext` — encoded
-  plaintexts (either domain), so symbolic plan inputs can cross the
-  multi-process worker boundary alongside ciphertexts.
+  plaintexts (``PTX1``, either domain), so symbolic plan inputs can cross
+  the multi-process worker boundary alongside ciphertexts;
+* :func:`serialize_switching_key` / :func:`deserialize_switching_key` —
+  relinearization / Galois keys (``SWK1``), the constants a shipped
+  :class:`~repro.runtime.plan.ExecutionPlan` resolves by fingerprint;
+* :func:`pack_frame` / :func:`read_frame` — the length-prefixed,
+  CRC-guarded frame container the plan formats (``EPL1``/``PCS1``,
+  :mod:`repro.runtime.plan_io`) are built from.
 
 These formats are also the transport between the serving engine's parent
 process and its forked workers (:mod:`repro.runtime.executor`); the
@@ -29,11 +39,12 @@ Integration tests assert these sizes equal the
 from __future__ import annotations
 
 import struct
+import zlib
 
 import numpy as np
 
 from repro.ckks.containers import Ciphertext, Plaintext
-from repro.ckks.keys import expand_uniform_poly
+from repro.ckks.keys import SwitchingKey, expand_uniform_poly
 from repro.prng.xof import Xof
 from repro.rns.basis import RnsBasis
 from repro.rns.poly import COEFF, EVAL, RnsPolynomial
@@ -41,24 +52,31 @@ from repro.rns.poly import COEFF, EVAL, RnsPolynomial
 __all__ = [
     "pack_residues",
     "unpack_residues",
+    "pack_frame",
+    "read_frame",
     "serialize_ciphertext",
     "deserialize_ciphertext",
     "serialize_seeded",
     "deserialize_seeded",
     "serialize_plaintext",
     "deserialize_plaintext",
+    "serialize_switching_key",
+    "deserialize_switching_key",
     "ciphertext_wire_bytes",
     "wire_coeff_bits",
     "CIPHERTEXT_MAGIC",
     "SEEDED_MAGIC",
     "PLAINTEXT_MAGIC",
+    "SWITCHING_KEY_MAGIC",
 ]
 
 # Public: consumers that sniff blob types (the serving-engine worker
-# boundary) must dispatch on these, never on hardcoded copies.
+# boundary, the plan constant store) must dispatch on these, never on
+# hardcoded copies.
 CIPHERTEXT_MAGIC = b"CTF2"
 SEEDED_MAGIC = b"CTS2"
 PLAINTEXT_MAGIC = b"PTX1"
+SWITCHING_KEY_MAGIC = b"SWK1"
 
 _MAGIC_FULL = CIPHERTEXT_MAGIC
 _MAGIC_SEED = SEEDED_MAGIC
@@ -202,6 +220,88 @@ def deserialize_plaintext(blob: bytes, basis: RnsBasis) -> Plaintext:
     domain = EVAL if domain_flag else COEFF
     poly, _ = _poly_from_payload(basis, blob, _HEADER_LEN, level, bits, domain)
     return Plaintext(poly=poly, scale=scale)
+
+
+def serialize_switching_key(key: SwitchingKey, coeff_bits: int | None = None) -> bytes:
+    """Key-switching key: ``SWK1`` header + ``level`` packed (b_j, a_j) pairs.
+
+    Defaults to :func:`wire_coeff_bits` packing (the widest modulus of the
+    key's basis), so any chain round-trips losslessly.  This is the
+    canonical encoding plan constants are fingerprinted over
+    (:mod:`repro.runtime.plan_io`).
+    """
+    basis = key.pairs[0][0].basis
+    bits = coeff_bits if coeff_bits is not None else wire_coeff_bits(basis)
+    header = SWITCHING_KEY_MAGIC + struct.pack(
+        "<IHH", basis.degree, key.level, bits
+    )
+    body = b"".join(
+        _poly_payload(b_j, bits) + _poly_payload(a_j, bits)
+        for b_j, a_j in key.pairs
+    )
+    return header + body
+
+
+def deserialize_switching_key(blob: bytes, basis: RnsBasis) -> SwitchingKey:
+    if blob[:4] != SWITCHING_KEY_MAGIC:
+        raise ValueError("not a switching-key blob")
+    degree, level, bits = struct.unpack("<IHH", blob[4:12])
+    if degree != basis.degree:
+        raise ValueError(f"degree mismatch: blob {degree}, basis {basis.degree}")
+    offset = 12
+    pairs: list[tuple[RnsPolynomial, RnsPolynomial]] = []
+    for _ in range(level):
+        b_j, offset = _poly_from_payload(basis, blob, offset, level, bits, EVAL)
+        a_j, offset = _poly_from_payload(basis, blob, offset, level, bits, EVAL)
+        pairs.append((b_j, a_j))
+    return SwitchingKey(level=level, pairs=pairs)
+
+
+# ---------------------------------------------------------------------------
+# Frame container (shared by the plan formats, docs/formats.md "Frames")
+# ---------------------------------------------------------------------------
+
+_FRAME_OVERHEAD = 4 + 4 + 4  # tag + u32 length + u32 crc32
+
+
+def pack_frame(tag: bytes, payload: bytes) -> bytes:
+    """One frame: 4-byte tag, u32 payload length, payload, u32 CRC-32.
+
+    The CRC covers only the payload; truncation is caught by the length
+    prefix, corruption by the checksum.  Readers must skip frames whose
+    tag they do not recognize (forward compatibility).
+    """
+    if len(tag) != 4:
+        raise ValueError(f"frame tag must be 4 bytes, got {tag!r}")
+    return tag + struct.pack("<I", len(payload)) + payload + struct.pack(
+        "<I", zlib.crc32(payload)
+    )
+
+
+def read_frame(blob: bytes, offset: int) -> tuple[bytes, bytes, int]:
+    """Read one frame at ``offset``; returns (tag, payload, next_offset).
+
+    Raises ``ValueError`` on truncation (declared length runs past the
+    blob) or corruption (CRC mismatch).
+    """
+    if offset + 8 > len(blob):
+        raise ValueError(
+            f"truncated frame header at offset {offset} ({len(blob)} bytes total)"
+        )
+    tag = blob[offset : offset + 4]
+    (length,) = struct.unpack_from("<I", blob, offset + 4)
+    start = offset + 8
+    end = start + length
+    if end + 4 > len(blob):
+        raise ValueError(
+            f"truncated frame {tag!r}: payload of {length} bytes runs past "
+            f"the end of the {len(blob)}-byte blob"
+        )
+    payload = blob[start:end]
+    (crc,) = struct.unpack_from("<I", blob, end)
+    if zlib.crc32(payload) != crc:
+        raise ValueError(f"corrupt frame {tag!r}: CRC mismatch")
+    return tag, payload, end + 4
 
 
 def wire_coeff_bits(basis: RnsBasis) -> int:

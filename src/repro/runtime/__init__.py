@@ -31,6 +31,17 @@ recovering, order-preserving) and
 :class:`~repro.runtime.stream.StreamingServer` feeds it from a bounded
 async queue with backpressure so encrypt/evaluate/decrypt phases of
 different requests overlap.
+
+Compiled plans are durable artifacts: :mod:`repro.runtime.plan_io`
+serializes an :class:`~repro.runtime.plan.ExecutionPlan` to the
+versioned ``EPL1`` wire format (constants deduplicated by content
+fingerprint, shipped inline or as a separate ``PCS1`` payload), a
+:class:`~repro.runtime.plan_io.PlanStore` directory backs the plan cache
+across processes (:func:`~repro.runtime.plan.set_plan_store`), and
+``ShardedExecutor(ship_plan=True)`` sends the serialized plan to each
+worker instead of relying on fork-shared state.  See
+``docs/architecture.md`` for the layer map and ``docs/formats.md`` for
+the wire formats.
 """
 
 from repro.runtime.bridge import (
@@ -55,7 +66,22 @@ from repro.runtime.plan import (
     clear_plan_cache,
     compile_fn,
     compile_graph,
+    get_plan_store,
     plan_cache_info,
+    set_plan_store,
+)
+from repro.runtime.plan_io import (
+    ConstantStore,
+    MissingConstantsError,
+    PlanFormatError,
+    PlanStore,
+    constant_fingerprint,
+    deserialize_plan,
+    graph_content_signature,
+    load_plan,
+    save_plan,
+    serialize_constants,
+    serialize_plan,
 )
 from repro.runtime.stream import RequestRecord, StreamingServer
 from repro.runtime.trace import (
@@ -90,6 +116,19 @@ __all__ = [
     "compile_graph",
     "plan_cache_info",
     "clear_plan_cache",
+    "set_plan_store",
+    "get_plan_store",
+    "ConstantStore",
+    "MissingConstantsError",
+    "PlanFormatError",
+    "PlanStore",
+    "constant_fingerprint",
+    "graph_content_signature",
+    "serialize_plan",
+    "deserialize_plan",
+    "serialize_constants",
+    "save_plan",
+    "load_plan",
     "plan_op_counts",
     "plan_to_workload",
     "plan_to_request_queue",

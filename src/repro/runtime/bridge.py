@@ -20,6 +20,13 @@ programs the runtime actually executes:
 Accounting follows :mod:`repro.accel.workload`'s documented rules: one
 modular butterfly = 1 op, RNS expansion = 1 op per (coefficient, limb),
 element-wise MACs ride in ``other_ops``.
+
+Contract (see ``docs/architecture.md``): pure analysis over an
+in-process plan — no process-level caches, nothing fork-shared, nothing
+crossing the worker boundary.  Because a deserialized plan preserves the
+full op DAG and metadata, these projections give identical results for a
+plan loaded from an ``EPL1`` artifact and for the plan it was serialized
+from.
 """
 
 from __future__ import annotations

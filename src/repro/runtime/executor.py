@@ -11,6 +11,16 @@ move between processes, through the exact wire formats of
 raw-double scales, so a round trip is bit-exact and sharded output is
 bit-identical to the single-process batched executor).
 
+``ship_plan=True`` selects the **wire path** instead of the warm-fork
+path: the parent serializes the compiled plan once
+(:func:`repro.runtime.plan_io.serialize_plan`, constants inline) and each
+worker deserializes its own copy from bytes — no reliance on fork-shared
+plan state, exactly what a cross-machine pool will do.  Outputs are
+byte-identical either way (pinned in
+``tests/integration/test_backend_identity.py``); the warm-fork default
+stays cheaper on one host because workers inherit the lowered closures
+and stacked key tensors copy-on-write instead of rebuilding them.
+
 Topology: one duplex pipe per worker, at most one request in flight per
 worker, a single parent-side I/O thread multiplexing dispatch and
 collection with :func:`multiprocessing.connection.wait`.  Because the
@@ -29,6 +39,13 @@ after).  The serving benchmarks derive it from the serialization layer's
 exact wire byte counts, making the pool's latency-hiding measurable even
 on a single core; it defaults to zero and is never used by the library
 itself.
+
+Contract summary (see ``docs/architecture.md``): fork-shared — plans,
+keys, and every warmed cache (default path); crossing the worker
+boundary — per-request ciphertexts/plaintexts always (``CTF2``/``PTX1``),
+the compiled plan itself only under ``ship_plan=True`` (``EPL1``);
+process-cached in the parent — pending payloads, futures, and crash
+accounting.
 """
 
 from __future__ import annotations
@@ -76,6 +93,18 @@ def _decode_value(blob: bytes, basis):
     if blob[:4] == PLAINTEXT_MAGIC:
         return deserialize_plaintext(blob, basis)
     return deserialize_ciphertext(blob, basis)
+
+
+def _wire_worker_loop(
+    plan_blob: bytes, evaluator, conn, coeff_bits: int, io_s: float
+) -> None:
+    """Child process body for the shipped-plan path: rebuild the plan
+    from its EPL1 bytes (constants resolved from the inline PCS1
+    payload, no re-trace, no fork-shared plan state), then serve."""
+    from repro.runtime.plan_io import deserialize_plan
+
+    plan = deserialize_plan(plan_blob, evaluator)
+    _worker_loop(plan, conn, coeff_bits, io_s)
 
 
 def _worker_loop(plan: ExecutionPlan, conn, coeff_bits: int, io_s: float) -> None:
@@ -135,11 +164,14 @@ class ShardedExecutor:
         modeled_request_io_s: float = 0.0,
         warm_inputs=None,
         max_crash_respawns: int | None = None,
+        ship_plan: bool = False,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         self.plan = plan
         self.num_workers = num_workers
+        self.ship_plan = ship_plan
+        self._plan_blob: bytes | None = None
         self._coeff_bits = coeff_bits or wire_coeff_bits(plan.evaluator.basis)
         self._io_s = float(modeled_request_io_s)
         self._max_crashes = (
@@ -178,6 +210,12 @@ class ShardedExecutor:
         # schedule always, plus (optionally) one real replay so stacked
         # key tensors and permutation tables exist before the first fork.
         plan.run_batch([warm_inputs] if warm_inputs is not None else [])
+        if ship_plan and not self._inline:
+            # Serialize once; every (re)spawned worker deserializes the
+            # same artifact instead of relying on the fork-warmed plan.
+            from repro.runtime.plan_io import serialize_plan
+
+            self._plan_blob = serialize_plan(plan)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -285,6 +323,7 @@ class ShardedExecutor:
             out = dict(self._stats)
         out["num_workers"] = self.num_workers
         out["inline"] = self._inline
+        out["plan_wire"] = self._plan_blob is not None
         out["pending"] = len(self._pending)
         return out
 
@@ -316,9 +355,13 @@ class ShardedExecutor:
 
     def _spawn(self) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe()
+        if self._plan_blob is not None:
+            target, head = _wire_worker_loop, (self._plan_blob, self.plan.evaluator)
+        else:
+            target, head = _worker_loop, (self.plan,)
         proc = self._ctx.Process(
-            target=_worker_loop,
-            args=(self.plan, child_conn, self._coeff_bits, self._io_s),
+            target=target,
+            args=(*head, child_conn, self._coeff_bits, self._io_s),
             daemon=True,
         )
         proc.start()

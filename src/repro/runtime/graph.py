@@ -11,7 +11,17 @@ millions of input ciphertexts.
 
 Graphs are append-only during tracing; optimizer passes
 (:mod:`repro.runtime.passes`) rebuild them wholesale, which keeps node
-ids dense and in topological order — an invariant both executors rely on.
+ids dense and in topological order — an invariant both executors and the
+``EPL1`` wire format rely on.
+
+Contract (see ``docs/architecture.md``): a graph is plain process-local
+data — nothing here is cached process-wide or shared across forks on its
+own.  Constants are interned **by object identity** (``id()``), which is
+what :meth:`Graph.signature` hashes for the in-memory plan cache; the
+content-addressed, process-independent counterpart used by the on-disk
+store and the worker boundary is
+:func:`repro.runtime.plan_io.graph_content_signature`.  A graph crosses
+the worker boundary only after compilation, as a serialized plan.
 """
 
 from __future__ import annotations

@@ -26,6 +26,13 @@ produces.  That constraint shapes what the passes are allowed to do:
   operands and fails compilation — naming the offending op and the ops
   that produced its operands — if the graph violates the eager evaluator's
   rules.  Plans fail at compile time, not mid-execution.
+
+Contract (see ``docs/architecture.md``): passes are stateless pure
+functions — no process-level caches, nothing fork-shared, nothing on the
+worker boundary.  They run exactly once per compiled plan, on the
+compiling host; a deserialized plan arrives already optimized and only
+re-runs ``check_alignment`` (as validation against corrupt or
+hand-crafted artifacts), never the rewrites.
 """
 
 from __future__ import annotations

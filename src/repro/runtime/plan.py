@@ -24,12 +24,25 @@ deep pipeline's live set stays proportional to its width, not its length.
 ``compile_graph`` / ``compile_fn`` front a **process-level plan cache**
 keyed by (graph signature, parameter fingerprint, reducer backend): one
 trace of a serving program is optimized once and the same plan object is
-replayed for every subsequent request with the same structure.
+replayed for every subsequent request with the same structure.  The
+cache can additionally be backed by an **on-disk plan store**
+(:func:`set_plan_store`): cache misses then consult a directory of
+serialized ``EPL1`` artifacts (:mod:`repro.runtime.plan_io`) keyed by
+the *content* signature of the traced graph — so a plan compiled by one
+process (or one host) is reused by every other, trace -> load -> execute
+with the optimizer skipped.
+
+Process/fork contract (see ``docs/architecture.md``): the plan cache,
+each plan's lowered closure schedule, and every constant it binds are
+process-local state that forked serving workers inherit copy-on-write;
+nothing in this module crosses the worker boundary except through
+:mod:`repro.runtime.plan_io`'s explicit wire formats.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 from repro.ckks.containers import Ciphertext, Plaintext
@@ -46,6 +59,8 @@ __all__ = [
     "params_fingerprint",
     "plan_cache_info",
     "clear_plan_cache",
+    "set_plan_store",
+    "get_plan_store",
 ]
 
 
@@ -325,7 +340,31 @@ class ExecutionPlan:
 # ---------------------------------------------------------------------------
 
 _PLAN_CACHE: dict[tuple, ExecutionPlan] = {}
-_CACHE_STATS = {"hits": 0, "misses": 0}
+_CACHE_STATS = {"hits": 0, "misses": 0, "disk_hits": 0, "disk_saves": 0}
+_PLAN_STORE = None
+
+
+def set_plan_store(store) -> None:
+    """Back the process-level plan cache with an on-disk plan store.
+
+    ``store`` is a :class:`repro.runtime.plan_io.PlanStore`, a directory
+    path to create one at, or ``None`` to detach.  While installed,
+    ``compile_graph`` resolves cache misses against the store (loading a
+    serialized plan instead of running the optimizer) and persists every
+    freshly compiled plan back to it — fleet-wide plan caching.
+    """
+    global _PLAN_STORE
+    if store is None or hasattr(store, "load"):
+        _PLAN_STORE = store
+        return
+    from repro.runtime.plan_io import PlanStore
+
+    _PLAN_STORE = PlanStore(store)
+
+
+def get_plan_store():
+    """The installed on-disk plan store, or ``None``."""
+    return _PLAN_STORE
 
 
 def compile_graph(
@@ -334,7 +373,8 @@ def compile_graph(
     """Optimize and schedule a traced graph, reusing a cached plan when the
     same program structure was compiled before under the same parameters
     and reducer backend (optimized and pass-free compiles cache
-    separately)."""
+    separately).  With a plan store installed (:func:`set_plan_store`),
+    misses fall through to the on-disk artifact before the optimizer runs."""
     key = (
         graph.signature(),
         params_fingerprint(evaluator),
@@ -346,6 +386,23 @@ def compile_graph(
         _CACHE_STATS["hits"] += 1
         return cached
     _CACHE_STATS["misses"] += 1
+    if run_passes and _PLAN_STORE is not None:
+        # Fail open: a corrupt/truncated/newer-version artifact or a lost
+        # sidecar must degrade to a recompile, never to a compile outage.
+        try:
+            loaded = _PLAN_STORE.load(graph, evaluator, key[2])
+        except (ValueError, OSError) as exc:
+            loaded = None
+            warnings.warn(
+                f"plan store load failed ({exc}); recompiling",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if loaded is not None:
+            _CACHE_STATS["disk_hits"] += 1
+            loaded.signature = key[0]
+            _PLAN_CACHE[key] = loaded
+            return loaded
     if run_passes:
         optimized = optimize(graph)
     else:
@@ -359,6 +416,14 @@ def compile_graph(
         hoist=hoist_groups(optimized),
     )
     _PLAN_CACHE[key] = plan
+    if run_passes and _PLAN_STORE is not None:
+        try:
+            _PLAN_STORE.save(plan, graph=graph)
+            _CACHE_STATS["disk_saves"] += 1
+        except OSError as exc:  # full/read-only disk must not kill serving
+            warnings.warn(
+                f"plan store save failed ({exc})", RuntimeWarning, stacklevel=2
+            )
     return plan
 
 
@@ -376,5 +441,5 @@ def plan_cache_info() -> dict[str, int]:
 
 def clear_plan_cache() -> None:
     _PLAN_CACHE.clear()
-    _CACHE_STATS["hits"] = 0
-    _CACHE_STATS["misses"] = 0
+    for counter in _CACHE_STATS:
+        _CACHE_STATS[counter] = 0

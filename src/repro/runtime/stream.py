@@ -20,6 +20,13 @@ projects the same served queue onto the paper's dual-RSC scheduling
 policies through the :mod:`repro.runtime.bridge` workload forms, putting
 measured software serving and modeled accelerator scheduling side by
 side.
+
+Contract (see ``docs/architecture.md``): the server is parent-process
+state only — records, depth samples, and the admission semaphore never
+cross the worker boundary and are not fork-shared (the pool is started
+*by* this class, after construction).  Everything a request sends to or
+receives from a worker goes through the executor's serialization
+boundary; this module never touches ciphertext bytes itself.
 """
 
 from __future__ import annotations

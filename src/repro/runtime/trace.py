@@ -23,6 +23,14 @@ data.  Captured plaintexts and switching keys are interned in the graph's
 constant table; the specific key each op needs is resolved during tracing
 (levels are known), so a plan can never hit a missing-key ``KeyError`` at
 run time.
+
+Contract (see ``docs/architecture.md``): tracing is a pure, process-local
+recording step — it caches nothing process-wide and shares nothing
+across forks.  In a serving fleet, tracing happens once on the compiling
+host; remote workers skip this module entirely when a serialized plan
+arrives over the wire (:mod:`repro.runtime.plan_io`), and a local fresh
+process only re-traces to *derive the plan-store key*, never to
+re-optimize.
 """
 
 from __future__ import annotations

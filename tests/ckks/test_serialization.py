@@ -13,14 +13,19 @@ from hypothesis import strategies as st
 from repro.ckks import CkksContext, toy_params
 from repro.ckks.serialization import (
     SEEDED_MAGIC,
+    SWITCHING_KEY_MAGIC,
     ciphertext_wire_bytes,
     deserialize_ciphertext,
     deserialize_plaintext,
     deserialize_seeded,
+    deserialize_switching_key,
+    pack_frame,
     pack_residues,
+    read_frame,
     serialize_ciphertext,
     serialize_plaintext,
     serialize_seeded,
+    serialize_switching_key,
     unpack_residues,
     wire_coeff_bits,
 )
@@ -246,3 +251,65 @@ class TestWorkerBoundary:
             # The child re-expanded c1 from the 16-byte seed; its full
             # form must equal the parent's full form of the same ct.
             assert echoed == serialize_ciphertext(ct, coeff_bits=bits)
+
+
+class TestSwitchingKey:
+    def test_roundtrip_bit_exact(self, sctx):
+        key = sctx.relin_keys(levels=[4])[4]
+        blob = serialize_switching_key(key)
+        assert blob[:4] == SWITCHING_KEY_MAGIC
+        back = deserialize_switching_key(blob, sctx.basis)
+        assert back.level == key.level
+        assert len(back.pairs) == len(key.pairs)
+        for (b0, a0), (b1, a1) in zip(key.pairs, back.pairs):
+            assert np.array_equal(b0.data, b1.data)
+            assert np.array_equal(a0.data, a1.data)
+            assert b1.domain == "eval" and a1.domain == "eval"
+
+    def test_reencode_is_byte_identical(self, sctx):
+        key = sctx.galois_keys([1], levels=[4])[(1, 4)]
+        blob = serialize_switching_key(key)
+        back = deserialize_switching_key(blob, sctx.basis)
+        assert serialize_switching_key(back) == blob
+
+    def test_wrong_magic_rejected(self, sctx):
+        ct = sctx.encrypt(np.zeros(sctx.params.slots))
+        blob = serialize_ciphertext(ct, coeff_bits=wire_coeff_bits(sctx.basis))
+        with pytest.raises(ValueError, match="switching-key"):
+            deserialize_switching_key(blob, sctx.basis)
+
+    def test_degree_mismatch_rejected(self, sctx):
+        key = sctx.relin_keys(levels=[4])[4]
+        blob = serialize_switching_key(key)
+        other = CkksContext.create(toy_params(degree=64, num_primes=4), seed=1)
+        with pytest.raises(ValueError, match="degree mismatch"):
+            deserialize_switching_key(blob, other.basis)
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        blob = pack_frame(b"ABCD", b"payload") + pack_frame(b"WXYZ", b"")
+        tag, payload, offset = read_frame(blob, 0)
+        assert (tag, payload) == (b"ABCD", b"payload")
+        tag, payload, offset = read_frame(blob, offset)
+        assert (tag, payload) == (b"WXYZ", b"")
+        assert offset == len(blob)
+
+    def test_bad_tag_length_rejected(self):
+        with pytest.raises(ValueError, match="4 bytes"):
+            pack_frame(b"TOOLONG", b"")
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            read_frame(pack_frame(b"ABCD", b"xy")[:6], 0)
+
+    def test_truncated_payload_rejected(self):
+        blob = pack_frame(b"ABCD", b"x" * 100)
+        with pytest.raises(ValueError, match="truncated"):
+            read_frame(blob[:50], 0)
+
+    def test_corrupt_payload_rejected(self):
+        blob = bytearray(pack_frame(b"ABCD", b"sensitive-bytes"))
+        blob[10] ^= 0x40
+        with pytest.raises(ValueError, match="CRC"):
+            read_frame(bytes(blob), 0)

@@ -25,10 +25,13 @@ SEED = 1234
 def _run_pipeline():
     """One seeded encrypt/rotate/multiply/rescale/decrypt run; all bytes.
 
-    The same program is executed four ways — eagerly, through the
+    The same program is executed five ways — eagerly, through the
     runtime's reference interpreter, through the batched plan executor,
-    and through a 2-worker sharded pool (crossing the serialization
-    boundary) — and all four must agree byte-for-byte within the run.
+    through a 2-worker sharded pool (ciphertexts crossing the
+    serialization boundary), and through a shipped-plan worker that
+    deserializes the EPL1 plan artifact instead of inheriting the
+    compiled plan via fork — and all five must agree byte-for-byte
+    within the run.
     """
     ctx = CkksContext.create(toy_params(degree=DEGREE, num_primes=NUM_PRIMES), seed=SEED)
     rlk = ctx.relin_keys(levels=[NUM_PRIMES])
@@ -54,9 +57,14 @@ def _run_pipeline():
     ((batch_rot, batch_prod),) = plan.run_batch([[ct_x, ct_y]])
     with ShardedExecutor(plan, 2) as pool:
         ((shard_rot, shard_prod),) = pool.run_batch([[ct_x, ct_y]], timeout=120)
-    for eager_ct, planned, batched, sharded in (
-        (rot, plan_rot, batch_rot, shard_rot),
-        (prod, plan_prod, batch_prod, shard_prod),
+    with ShardedExecutor(plan, 1, ship_plan=True) as wire_pool:
+        ((ship_rot, ship_prod),) = wire_pool.run_batch(
+            [[ct_x, ct_y]], timeout=120
+        )
+        assert wire_pool.stats()["plan_wire"] or wire_pool.stats()["inline"]
+    for eager_ct, planned, batched, sharded, shipped in (
+        (rot, plan_rot, batch_rot, shard_rot, ship_rot),
+        (prod, plan_prod, batch_prod, shard_prod, ship_prod),
     ):
         for i, part in enumerate(eager_ct.parts):
             assert np.array_equal(part.data, planned.parts[i].data), (
@@ -67,6 +75,9 @@ def _run_pipeline():
             )
             assert np.array_equal(part.data, sharded.parts[i].data), (
                 f"sharded execution diverged from eager at part {i}"
+            )
+            assert np.array_equal(part.data, shipped.parts[i].data), (
+                f"shipped-plan execution diverged from eager at part {i}"
             )
 
     snapshots = {

@@ -1,0 +1,379 @@
+"""Plan serialization: EPL1/PCS1 round trips, rejection of damaged
+artifacts, and the on-disk plan store behind the compile cache."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import struct
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, toy_params
+from repro.nums.kernels import available_backends, default_backend_name, using_backend
+from repro.runtime import (
+    ConstantStore,
+    CtSpec,
+    MissingConstantsError,
+    PlanFormatError,
+    PlanStore,
+    compile_fn,
+    constant_fingerprint,
+    deserialize_plan,
+    graph_content_signature,
+    load_plan,
+    plan_cache_info,
+    save_plan,
+    serialize_constants,
+    serialize_plan,
+    set_plan_store,
+)
+from repro.runtime.plan import compile_graph
+from repro.runtime.plan_io import CONSTSTORE_MAGIC, PLAN_MAGIC
+from repro.runtime.trace import trace
+
+PRIMES = 6
+
+
+@pytest.fixture(scope="module")
+def cjk(rctx):
+    return rctx.keygen.gen_conjugation(rctx.secret_key, [PRIMES])
+
+
+def _program(rctx, rlk, gks, cjk):
+    half_pt = {}  # encode once so every trace captures the same object
+
+    def model(ev, x, y):
+        rot = ev.add(ev.rotate(x, 1, gks), ev.rotate(x, 2, gks))
+        prod = ev.multiply_relin_rescale(rot, y, rlk)
+        if "half" not in half_pt:
+            half_pt["half"] = rctx.encoder.encode(
+                np.full(rctx.params.slots, 0.5),
+                level=prod.level,
+                scale=prod.scale,
+            )
+        return ev.add_plain(prod, half_pt["half"]), ev.conjugate(rot, cjk)
+
+    spec = CtSpec(level=PRIMES, scale=rctx.params.scale)
+    return model, [spec, spec]
+
+
+@pytest.fixture(scope="module")
+def plan(rctx, rlk, gks, cjk):
+    model, specs = _program(rctx, rlk, gks, cjk)
+    return compile_fn(model, rctx.evaluator, specs)
+
+
+@pytest.fixture(scope="module")
+def inputs(rctx):
+    rng = np.random.default_rng(17)
+    return [
+        rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots)),
+        rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots)),
+    ]
+
+
+def _assert_outputs_equal(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.scale == w.scale
+        for gp, wp in zip(g.parts, w.parts):
+            assert np.array_equal(gp.data, wp.data)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, rctx, plan):
+        blob = serialize_plan(plan)
+        assert blob[:4] == PLAN_MAGIC
+        back = deserialize_plan(blob, rctx.evaluator)
+        assert back.signature == plan.signature
+        assert back.backend == plan.backend
+        assert back.input_specs == plan.input_specs
+        assert back.graph.outputs == plan.graph.outputs
+        assert back.hoist == plan.hoist
+        assert len(back.graph.nodes) == len(plan.graph.nodes)
+        for a, b in zip(plan.graph.nodes, back.graph.nodes):
+            assert (a.op, a.inputs, a.attrs, a.consts) == (
+                b.op,
+                b.inputs,
+                b.attrs,
+                b.consts,
+            )
+            assert (a.level, a.scale, a.size, a.kind) == (
+                b.level,
+                b.scale,
+                b.size,
+                b.kind,
+            )
+
+    def test_reserialization_is_byte_identical(self, rctx, plan):
+        blob = serialize_plan(plan)
+        again = serialize_plan(deserialize_plan(blob, rctx.evaluator))
+        assert again == blob
+
+    def test_execution_bit_identical(self, rctx, plan, inputs):
+        back = deserialize_plan(serialize_plan(plan), rctx.evaluator)
+        _assert_outputs_equal(
+            back.run_batch([inputs])[0], plan.run_batch([inputs])[0]
+        )
+        _assert_outputs_equal(back.run(inputs), plan.run(inputs))
+
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_roundtrip_under_every_backend(self, backend, seed):
+        """Seeded program round trips, per reducer backend: deserialized
+        execution must be bit-identical to the traced plan's."""
+        with using_backend(backend):
+            ctx = CkksContext.create(
+                toy_params(degree=128, num_primes=PRIMES), seed=seed
+            )
+            rlk = ctx.relin_keys(levels=[PRIMES])
+            gks = ctx.galois_keys([1, 2], levels=[PRIMES])
+            rng = np.random.default_rng(seed)
+
+            def model(ev, x):
+                s = ev.add(ev.rotate(x, 1, gks), ev.rotate(x, 2, gks))
+                return ev.multiply_relin_rescale(s, s, rlk)
+
+            plan = compile_fn(
+                model,
+                ctx.evaluator,
+                [CtSpec(level=PRIMES, scale=ctx.params.scale)],
+            )
+            back = deserialize_plan(serialize_plan(plan), ctx.evaluator)
+            assert back.backend == default_backend_name()
+            batch = [[ctx.encrypt(rng.uniform(-1, 1, ctx.params.slots))]]
+            _assert_outputs_equal(
+                back.run_batch(batch)[0], plan.run_batch(batch)[0]
+            )
+
+    def test_params_mismatch_rejected(self, plan):
+        other = CkksContext.create(toy_params(degree=128, num_primes=4), seed=9)
+        with pytest.raises(PlanFormatError, match="compiled for"):
+            deserialize_plan(serialize_plan(plan), other.evaluator)
+
+
+class TestConstantStore:
+    def test_pcs1_roundtrip_and_dedup(self, rctx, plan):
+        pcs = serialize_constants(plan)
+        assert pcs[:4] == CONSTSTORE_MAGIC
+        store = ConstantStore.from_bytes(pcs, rctx.basis)
+        assert len(store) == len(plan.graph.consts)
+        for obj in plan.graph.consts:
+            assert constant_fingerprint(obj) in store
+        # Content addressing: re-adding value-identical copies is a no-op.
+        before = len(store)
+        for obj in plan.graph.consts:
+            store.add(obj)
+        assert len(store) == before
+
+    def test_separate_constants_path(self, rctx, plan, inputs):
+        lean = serialize_plan(plan, include_constants=False)
+        full = serialize_plan(plan)
+        assert len(lean) < len(full) / 10  # constants dominate the blob
+        store = ConstantStore.from_bytes(serialize_constants(plan), rctx.basis)
+        back = deserialize_plan(lean, rctx.evaluator, constants=store)
+        _assert_outputs_equal(
+            back.run_batch([inputs])[0], plan.run_batch([inputs])[0]
+        )
+
+    def test_live_graph_resolution_shares_objects(self, rctx, plan):
+        lean = serialize_plan(plan, include_constants=False)
+        resolver = ConstantStore.from_graph(plan.graph)
+        back = deserialize_plan(lean, rctx.evaluator, constants=resolver)
+        # Constants resolve to the *same* live objects — no copies, so
+        # per-key caches (stacked tensors) stay shared.
+        assert all(
+            any(c is obj for obj in plan.graph.consts)
+            for c in back.graph.consts
+        )
+
+    def test_missing_constants_listed(self, rctx, plan):
+        lean = serialize_plan(plan, include_constants=False)
+        with pytest.raises(MissingConstantsError) as err:
+            deserialize_plan(lean, rctx.evaluator)
+        missing = err.value.fingerprints
+        assert len(missing) == len(plan.graph.consts)
+        assert missing[0].hex() in str(err.value)
+
+    def test_content_signature_stable_across_copies(self, rctx, plan, rlk, gks, cjk):
+        """The store key must not depend on object identity: rebuilding
+        the constants from bytes yields the same content signature."""
+        model, specs = _program(rctx, rlk, gks, cjk)
+        g1 = trace(model, rctx.evaluator, specs)
+        g2 = trace(model, rctx.evaluator, specs)
+        assert g1.signature() == g2.signature()  # same live objects
+        blob = serialize_plan(plan)
+        back = deserialize_plan(blob, rctx.evaluator)
+        assert graph_content_signature(back.graph) == graph_content_signature(
+            plan.graph
+        )
+        assert back.graph.signature() != plan.graph.signature()  # id-based
+
+
+class TestDamagedArtifacts:
+    def test_wrong_magic(self, rctx, plan):
+        blob = bytearray(serialize_plan(plan))
+        blob[:4] = b"NOPE"
+        with pytest.raises(PlanFormatError, match="not an EPL1"):
+            deserialize_plan(bytes(blob), rctx.evaluator)
+
+    def test_newer_version_rejected(self, rctx, plan):
+        blob = bytearray(serialize_plan(plan))
+        blob[4:6] = struct.pack("<H", 99)
+        with pytest.raises(PlanFormatError, match="newer than supported"):
+            deserialize_plan(bytes(blob), rctx.evaluator)
+
+    def test_truncated_blob_rejected(self, rctx, plan):
+        blob = serialize_plan(plan)
+        with pytest.raises(PlanFormatError, match="truncated"):
+            deserialize_plan(blob[: len(blob) - 7], rctx.evaluator)
+
+    def test_corrupt_frame_rejected(self, rctx, plan):
+        blob = bytearray(serialize_plan(plan))
+        # Flip one bit inside the NODE frame's payload: CRC must catch it.
+        node_at = bytes(blob).index(b"NODE")
+        blob[node_at + 20] ^= 0x01
+        with pytest.raises(PlanFormatError, match="CRC"):
+            deserialize_plan(bytes(blob), rctx.evaluator)
+
+    def test_missing_required_frame_rejected(self, rctx, plan):
+        lean = serialize_plan(plan, include_constants=False)
+        # Keep only the 8-byte header + the first (META) frame.
+        from repro.ckks.serialization import read_frame
+
+        _, _, end_of_meta = read_frame(lean, 8)
+        with pytest.raises(PlanFormatError, match="missing required frame"):
+            deserialize_plan(lean[:end_of_meta], rctx.evaluator)
+
+
+class TestPlanStore:
+    def test_save_load_roundtrip(self, tmp_path, rctx, plan, inputs):
+        store = PlanStore(tmp_path / "plans")
+        path = store.save(plan)
+        assert path.exists() and path.suffix == ".epl1"
+        assert store.keys() == [path.stem]
+        # Lean plan + constants sidecar: the hot path never reads the
+        # sidecar, a fresh host reads both.
+        sidecar = store.constants_path_for(path.stem)
+        assert sidecar.exists()
+        assert path.stat().st_size < sidecar.stat().st_size
+        loaded = store.load_path(path, rctx.evaluator)
+        _assert_outputs_equal(
+            loaded.run_batch([inputs])[0], plan.run_batch([inputs])[0]
+        )
+        # Without the sidecar resolution, the lean artifact must refuse.
+        with pytest.raises(MissingConstantsError):
+            load_plan(path, rctx.evaluator)
+
+    def test_save_plan_is_atomic_file(self, tmp_path, plan, rctx):
+        path = save_plan(tmp_path / "p.epl1", plan)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert load_plan(path, rctx.evaluator).backend == plan.backend
+
+    def test_store_miss_returns_none(self, tmp_path, rctx, rlk, gks, cjk):
+        store = PlanStore(tmp_path / "plans")
+        model, specs = _program(rctx, rlk, gks, cjk)
+        graph = trace(model, rctx.evaluator, specs)
+        assert store.load(graph, rctx.evaluator, default_backend_name()) is None
+
+    def test_compile_graph_uses_installed_store(
+        self, tmp_path, rctx, rlk, gks, cjk, inputs
+    ):
+        model, specs = _program(rctx, rlk, gks, cjk)
+        set_plan_store(str(tmp_path / "plans"))
+        try:
+            first = compile_graph(trace(model, rctx.evaluator, specs), rctx.evaluator)
+            stats = plan_cache_info()
+            assert stats["disk_saves"] == 1 and stats["disk_hits"] == 0
+            reference = first.run_batch([inputs])[0]
+
+            # A "fresh process": empty in-memory cache, same store.
+            from repro.runtime.plan import clear_plan_cache
+
+            clear_plan_cache()
+            second = compile_graph(
+                trace(model, rctx.evaluator, specs), rctx.evaluator
+            )
+            stats = plan_cache_info()
+            assert stats["disk_hits"] == 1 and stats["disk_saves"] == 0
+            _assert_outputs_equal(second.run_batch([inputs])[0], reference)
+        finally:
+            set_plan_store(None)
+
+
+    def test_corrupt_store_artifact_degrades_to_recompile(
+        self, tmp_path, rctx, rlk, gks, cjk, inputs
+    ):
+        """A damaged on-disk artifact must never cause a compile outage:
+        the store fails open, recompiles, and still serves."""
+        model, specs = _program(rctx, rlk, gks, cjk)
+        store = PlanStore(tmp_path / "plans")
+        set_plan_store(store)
+        try:
+            plan = compile_graph(
+                trace(model, rctx.evaluator, specs), rctx.evaluator
+            )
+            reference = plan.run_batch([inputs])[0]
+            [key] = store.keys()
+            artifact = store.path_for(key)
+            artifact.write_bytes(artifact.read_bytes()[:40])  # truncate
+
+            from repro.runtime.plan import clear_plan_cache
+
+            clear_plan_cache()
+            with pytest.warns(RuntimeWarning, match="plan store load failed"):
+                recompiled = compile_graph(
+                    trace(model, rctx.evaluator, specs), rctx.evaluator
+                )
+            assert plan_cache_info()["disk_hits"] == 0
+            _assert_outputs_equal(recompiled.run_batch([inputs])[0], reference)
+        finally:
+            set_plan_store(None)
+
+
+def _fresh_process_serve(path, conn) -> None:
+    """Child body for the cross-process smoke: rebuild a context (fresh
+    caches, fresh everything), load the artifact — no re-trace — then
+    serve request ciphertexts arriving over the wire."""
+    from repro.ckks.serialization import (
+        deserialize_ciphertext,
+        serialize_ciphertext,
+        wire_coeff_bits,
+    )
+
+    ctx = CkksContext.create(toy_params(degree=128, num_primes=PRIMES), seed=41)
+    plan = load_plan(path, ctx.evaluator)
+    bits = wire_coeff_bits(ctx.basis)
+    batch = [deserialize_ciphertext(b, ctx.basis) for b in conn.recv()]
+    outs = plan.run_batch([batch])[0]
+    conn.send([serialize_ciphertext(o, coeff_bits=bits) for o in outs])
+    conn.close()
+
+
+@pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="requires fork"
+)
+def test_plan_serves_in_fresh_process(tmp_path, rctx, plan, inputs):
+    """Serialize here, deserialize in another process, byte-compare."""
+    from repro.ckks.serialization import serialize_ciphertext, wire_coeff_bits
+
+    path = save_plan(tmp_path / "shipped.epl1", plan)
+    bits = wire_coeff_bits(rctx.basis)
+    ctx_mp = mp.get_context("fork")
+    parent_conn, child_conn = ctx_mp.Pipe()
+    proc = ctx_mp.Process(target=_fresh_process_serve, args=(path, child_conn))
+    proc.start()
+    child_conn.close()
+    parent_conn.send(
+        [serialize_ciphertext(ct, coeff_bits=bits) for ct in inputs]
+    )
+    remote_blobs = parent_conn.recv()
+    proc.join(timeout=60)
+    parent_conn.close()
+
+    local = [
+        serialize_ciphertext(o, coeff_bits=bits)
+        for o in plan.run_batch([inputs])[0]
+    ]
+    assert remote_blobs == local
