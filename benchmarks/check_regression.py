@@ -14,9 +14,19 @@ quick, backend) matches the fresh run contributes, and each ratio is
 gated against the **minimum** matching baseline value — so a ``--quick``
 CI run compares against the most conservative committed quick sample
 rather than one lucky measurement, which keeps the gate flake-resistant
-on noisy shared runners.  Files or ratios with no comparable baseline
-are reported and skipped, not failed; brand-new benches therefore land
-green and start gating on the next PR.
+on noisy shared runners.
+
+Two failure modes the matching must not let through silently:
+
+* a ratio the shape-matched baseline tracks but the fresh run no longer
+  produces is a **failure** — a renamed or dropped bench entry must
+  update the snapshot in the same PR, never fall out of the gate
+  unnoticed;
+* a fresh ratio with no same-shape baseline is still gated against the
+  minimum of that ratio across **all** snapshot shapes (flagged
+  ``cross-shape``) when any entry tracks it — only ratios the snapshot
+  has never seen anywhere are reported and skipped, so brand-new benches
+  land green and start gating on the next PR.
 
 Usage::
 
@@ -51,20 +61,29 @@ _MATCH_KEYS = (
 )
 
 
-def _baseline_ratios(snapshot: dict, fresh_meta: dict) -> dict[str, float]:
-    """Per-ratio minimum over every snapshot entry matching the fresh
-    run's shape — the most conservative committed baseline."""
+def _baseline_ratios(
+    snapshot: dict, fresh_meta: dict
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Per-ratio minima over the snapshot (top level + trajectory).
+
+    Returns ``(matched, any_shape)``: minima over entries whose meta
+    matches the fresh run's shape, and minima over *every* entry
+    regardless of shape (the cross-shape fallback for ratios the matched
+    baseline does not track yet).
+    """
     want = {k: fresh_meta.get(k) for k in _MATCH_KEYS}
-    ratios: dict[str, float] = {}
+    matched: dict[str, float] = {}
+    any_shape: dict[str, float] = {}
     for candidate in [snapshot, *snapshot.get("trajectory", [])]:
         meta = candidate.get("meta", {})
-        if not all(meta.get(k) == want[k] for k in _MATCH_KEYS):
-            continue
+        is_match = all(meta.get(k) == want[k] for k in _MATCH_KEYS)
         for key, value in candidate.get("speedups_x", {}).items():
             value = float(value)
-            if key not in ratios or value < ratios[key]:
-                ratios[key] = value
-    return ratios
+            if value < any_shape.get(key, float("inf")):
+                any_shape[key] = value
+            if is_match and value < matched.get(key, float("inf")):
+                matched[key] = value
+    return matched, any_shape
 
 
 def check_file(
@@ -78,19 +97,28 @@ def check_file(
         return [], [f"{name}: no committed baseline at {baseline_path}; skipped"]
     fresh = json.loads(fresh_path.read_text())
     snapshot = json.loads(baseline_path.read_text())
-    base_ratios = _baseline_ratios(snapshot, fresh.get("meta", {}))
-    if not base_ratios:
+    matched, any_shape = _baseline_ratios(snapshot, fresh.get("meta", {}))
+    if not any_shape:
         return [], [
-            f"{name}: no baseline entry matches this run's shape "
-            f"({ {k: fresh.get('meta', {}).get(k) for k in _MATCH_KEYS} }); skipped"
+            f"{name}: snapshot tracks no ratios for any shape; skipped"
         ]
     fresh_ratios = fresh.get("speedups_x", {})
     regressions, notes = [], []
+    for key in sorted(matched):
+        if key not in fresh_ratios:
+            regressions.append(
+                f"{name}: {key} tracked by the baseline "
+                f"(min {matched[key]:.2f}x) but missing from the fresh run — "
+                "renamed/dropped ratios must update the snapshot in the same PR"
+            )
     for key in sorted(fresh_ratios):
-        if key not in base_ratios:
+        if key in matched:
+            base, scope = float(matched[key]), ""
+        elif key in any_shape:
+            base, scope = float(any_shape[key]), " [cross-shape]"
+        else:
             notes.append(f"{name}: {key} is new (no baseline ratio); skipped")
             continue
-        base = float(base_ratios[key])
         got = float(fresh_ratios[key])
         if base <= 0:
             notes.append(f"{name}: {key} baseline ratio {base:g} unusable; skipped")
@@ -98,7 +126,7 @@ def check_file(
         slowdown = 1.0 - got / base
         line = (
             f"{name}: {key} {base:.2f}x -> {got:.2f}x "
-            f"({-slowdown:+.1%} vs baseline)"
+            f"({-slowdown:+.1%} vs baseline){scope}"
         )
         if slowdown > max_slowdown:
             regressions.append(line)

@@ -227,12 +227,19 @@ def bench_bsgs(ctx, repeats: int) -> dict:
 RUNTIME_BATCH = 8  # ciphertexts replayed per cached plan in the batched bench
 
 
-def bench_runtime(ctx, repeats: int) -> dict:
-    """Eager dispatch vs. planned vs. batched plan replay (runtime PR)."""
+def bench_runtime(ctx, repeats: int) -> tuple[dict, dict]:
+    """Eager vs. planned vs. batched vs. fused plan replay (runtime PRs).
+
+    Returns ``(timings, fused_stats)`` — the second dict holds each
+    plan's :meth:`ExecutionPlan.stats` payload (arena slots/bytes, fused
+    group and dispatch counts), recorded alongside the timings so the
+    committed bench JSON documents *why* the fused path is faster.
+    """
     lvl = ctx.params.num_primes
     slots = ctx.params.slots
     rng = np.random.default_rng(21)
     results: dict[str, dict] = {}
+    fused_stats: dict[str, dict] = {}
 
     # --- BSGS matmul -----------------------------------------------------
     matrix = rng.uniform(-1, 1, (slots, slots)) + 1j * rng.uniform(-1, 1, (slots, slots))
@@ -243,6 +250,10 @@ def bench_runtime(ctx, repeats: int) -> dict:
     plan = hlt.plan_for(ct.scale, gks)
     plan.run([ct])  # compile + warm every cache outside the timed region
     plan.run_batch(batch[:1])
+    # Fused warm is the expensive one: arena layout, fused closures, and
+    # the per-key pre-formed tensors (SwitchingKey.stacked_pre) all build
+    # here, once, so the timed region measures steady-state replay.
+    plan.run_batch(batch[:1], fused=True)
     results["bsgs_eager_dispatch"] = _time(
         lambda: hlt.emit(ctx.evaluator, ct, gks), repeats
     )
@@ -251,6 +262,11 @@ def bench_runtime(ctx, repeats: int) -> dict:
     results["bsgs_batched_replay_per_ct"] = {
         k: v / RUNTIME_BATCH for k, v in per_batch.items()
     }
+    per_batch = _time(lambda: plan.run_batch(batch, fused=True), repeats)
+    results["bsgs_fused_replay_per_ct"] = {
+        k: v / RUNTIME_BATCH for k, v in per_batch.items()
+    }
+    fused_stats["bsgs"] = plan.stats()
 
     # --- three-level polynomial pipeline: x^4 + x^2 + 1/2 ----------------
     # The ciphertext visits three levels (L, L-2, L-4); the x^2 term is
@@ -272,6 +288,7 @@ def bench_runtime(ctx, repeats: int) -> dict:
     spec = CtSpec(level=lvl, scale=ctx.params.scale)
     pplan = compile_fn(poly3, ctx.evaluator, [spec])
     pplan.run([ct])
+    pplan.run_batch(batch[:1], fused=True)
     results["poly3_eager_dispatch"] = _time(
         lambda: poly3(ctx.evaluator, ct), repeats
     )
@@ -280,7 +297,12 @@ def bench_runtime(ctx, repeats: int) -> dict:
     results["poly3_batched_replay_per_ct"] = {
         k: v / RUNTIME_BATCH for k, v in per_batch.items()
     }
-    return results
+    per_batch = _time(lambda: pplan.run_batch(batch, fused=True), repeats)
+    results["poly3_fused_replay_per_ct"] = {
+        k: v / RUNTIME_BATCH for k, v in per_batch.items()
+    }
+    fused_stats["poly3"] = pplan.stats()
+    return results, fused_stats
 
 
 def bench_bootstrap_step(repeats: int) -> dict:
@@ -708,7 +730,7 @@ def main(argv: list[str] | None = None) -> int:
         _finalize(payload, Path(args.out), args.append_trajectory)
 
     if "runtime" in sections:
-        rt_results = bench_runtime(ctx, repeats)
+        rt_results, rt_fused_stats = bench_runtime(ctx, repeats)
 
         def rt_ratio(slow: str, fast: str) -> float:
             return rt_results[slow]["best_s"] / rt_results[fast]["best_s"]
@@ -718,14 +740,21 @@ def main(argv: list[str] | None = None) -> int:
             "bsgs_batched_replay": rt_ratio(
                 "bsgs_eager_dispatch", "bsgs_batched_replay_per_ct"
             ),
+            "bsgs_fused_replay": rt_ratio(
+                "bsgs_eager_dispatch", "bsgs_fused_replay_per_ct"
+            ),
             "poly3_planned": rt_ratio("poly3_eager_dispatch", "poly3_planned"),
             "poly3_batched_replay": rt_ratio(
                 "poly3_eager_dispatch", "poly3_batched_replay_per_ct"
+            ),
+            "poly3_fused_replay": rt_ratio(
+                "poly3_eager_dispatch", "poly3_fused_replay_per_ct"
             ),
         }
         rt_payload = {
             "meta": {"bench": "lazy-runtime", **meta_common, "batch": RUNTIME_BATCH},
             "results_s": rt_results,
+            "fused_stats": rt_fused_stats,
             "speedups_x": rt_speedups,
         }
         _print_section(

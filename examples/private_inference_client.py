@@ -88,6 +88,13 @@ def main() -> None:
         [CtSpec(level=params.num_primes, scale=params.scale)],
     )
     print(plan.summary())
+    fstats = plan.stats()
+    print(f"  fused replay: {fstats['dispatch_count_batched']} node dispatches -> "
+          f"{fstats['dispatch_count_fused']} fused "
+          f"({fstats['fused_groups']} groups covering "
+          f"{fstats['fused_nodes']} nodes); arena {fstats['arena_slots']} slots, "
+          f"peak {fstats['arena_peak_bytes'] / 1024:.0f} KiB "
+          f"[{fstats['array_backend']}]")
 
     # --- clients encrypt, then the streaming engine serves --------------
     # Each request: enter the bounded queue (backpressure at
@@ -103,9 +110,11 @@ def main() -> None:
 
     async def serve_all():
         # ship_plan: workers rebuild the plan from its EPL1 bytes instead
-        # of inheriting the compiled object through fork.
+        # of inheriting the compiled object through fork.  fused: each
+        # worker replays through the arena-backed fused executor — same
+        # bits, fewer dispatches.
         pool = ShardedExecutor(
-            plan, NUM_WORKERS, warm_inputs=[cts[0]], ship_plan=True
+            plan, NUM_WORKERS, warm_inputs=[cts[0]], ship_plan=True, fused=True
         )
         async with StreamingServer(pool, max_pending=MAX_PENDING) as server:
             served = await server.serve(cts, encrypt=as_request, decrypt=decrypt)

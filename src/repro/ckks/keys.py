@@ -109,9 +109,13 @@ class SwitchingKey:
     def stacked_pre(self, kern) -> tuple[np.ndarray, np.ndarray]:
         """:meth:`stacked` in ``kern``'s precomputed constant form.
 
-        Cached per backend so e.g. the Montgomery domain conversion of the
-        key tensors happens once per key, not once per switch.  Only call
-        when ``kern.constant_pre_cheap`` holds.
+        Cached per backend *name* so e.g. the Montgomery domain conversion
+        (or Barrett's Shoup quotients) of the key tensors happens once per
+        key, not once per switch.  The eager engine calls this only when
+        ``kern.constant_pre_cheap`` holds; the fused replayer calls it for
+        every backend, amortizing the pre-form over many replays.  Pass
+        host-namespace kernels only — device-namespaced pre-forms would
+        poison the shared per-name cache.
         """
         name = type(kern).name
         cached = self._stacked_pre.get(name)

@@ -9,11 +9,24 @@ reference model for the accelerator's modular-arithmetic hardware:
 * :mod:`repro.nums.kernels` — pluggable vectorized reducer backends
   (``generic-split`` / ``barrett`` / ``montgomery``) with the registry
   and the :class:`~repro.nums.kernels.ReducerSpec` Table I accounting;
+* :mod:`repro.nums.backend` — the array-namespace seam the kernels and
+  the fused plan replayer compute through (numpy default; optional
+  CuPy/torch resolved lazily, never imported unless requested);
 * :mod:`repro.nums.barrett` / :mod:`repro.nums.montgomery` — the three
   scalar reducer designs compared in Table I (exact-int references);
 * :mod:`repro.nums.crt` — RNS decompose / CRT combine.
 """
 
+from repro.nums.backend import (
+    ArrayNamespace,
+    array_backend_available,
+    available_array_backends,
+    default_array_backend_name,
+    get_array_namespace,
+    register_array_namespace,
+    set_default_array_backend,
+    using_array_backend,
+)
 from repro.nums.barrett import BarrettReducer
 from repro.nums.crt import CrtSystem
 from repro.nums.kernels import (
@@ -49,6 +62,14 @@ from repro.nums.primegen import NttFriendlyPrime, count_primes, find_primes, pri
 
 __all__ = [
     "REDUCER_SPECS",
+    "ArrayNamespace",
+    "array_backend_available",
+    "available_array_backends",
+    "default_array_backend_name",
+    "get_array_namespace",
+    "register_array_namespace",
+    "set_default_array_backend",
+    "using_array_backend",
     "BarrettKernel",
     "BarrettReducer",
     "CrtSystem",

@@ -165,7 +165,14 @@ class ReducerKernel:
     #: per element, so it opts out and hot paths use plain mul instead.
     constant_pre_cheap: ClassVar[bool] = True
 
-    def __init__(self, moduli) -> None:
+    def __init__(self, moduli, xp=None) -> None:
+        from repro.nums.backend import get_array_namespace
+
+        #: The array namespace every vectorized op dispatches through
+        #: (numpy unless the caller — e.g. a fused replayer lowering for
+        #: an accelerator — asks otherwise).  Tables are precomputed on
+        #: the host and moved into the namespace once, at construction.
+        self.xp = get_array_namespace(xp)
         q = np.asarray(moduli, dtype=np.uint64)
         flat = [int(v) for v in np.atleast_1d(q).ravel()]
         for v in flat:
@@ -177,10 +184,31 @@ class ReducerKernel:
                     f"most {KERNEL_LIMIT_BITS} bits (paper uses 32–36-bit primes)"
                 )
         self.q = q
+        # Deferred-accumulation budget: partial sums must fit both uint64
+        # and reduce()'s [0, q^2) domain.  Precomputed so the fused hot
+        # paths never touch host-side scalar reductions of (possibly
+        # device-resident) q.
+        self._acc_headroom = min(
+            ((1 << 64) - 1) // max(max(flat) - 1, 1), min(flat)
+        )
         self._precompute()
+        if not self.xp.is_host:
+            self._move_tables()
 
     def _precompute(self) -> None:  # pragma: no cover - overridden
         pass
+
+    def _move_tables(self) -> None:
+        """Convert the moduli and every precomputed table into the active
+        array namespace (one-time device upload for non-numpy namespaces)."""
+        for attr, value in list(self.__dict__.items()):
+            if isinstance(value, np.ndarray):
+                setattr(self, attr, self.xp.asarray(value))
+
+    def _csub_into(self, x, q, out=None):
+        """One conditional subtract (see :func:`_csub`), namespace-routed,
+        optionally writing into a preallocated output buffer."""
+        return self.xp.minimum(x, x - q, out=out)
 
     def _table(self, fn) -> np.ndarray:
         """Per-modulus precomputed table, shaped like ``self.q``.
@@ -197,7 +225,7 @@ class ReducerKernel:
 
     # -- multiplicative ------------------------------------------------
 
-    def mul(self, a: np.ndarray, b) -> np.ndarray:
+    def mul(self, a: np.ndarray, b, out=None) -> np.ndarray:
         """Elementwise ``a * b mod q`` for canonical operands."""
         raise NotImplementedError
 
@@ -208,13 +236,13 @@ class ReducerKernel:
         multiplies fastest against (Montgomery domain for ``montgomery``,
         plain residues otherwise).
         """
-        return np.asarray(b, dtype=np.uint64)
+        return self.xp.asarray(b, dtype=np.uint64)
 
-    def mul_pre(self, a: np.ndarray, b_pre: np.ndarray) -> np.ndarray:
+    def mul_pre(self, a: np.ndarray, b_pre: np.ndarray, out=None) -> np.ndarray:
         """``a * b mod q`` where ``b_pre`` came from :meth:`pre`."""
-        return self.mul(a, b_pre)
+        return self.mul(a, b_pre, out=out)
 
-    def mul_accumulate(self, a: np.ndarray, b, axis: int = 0) -> np.ndarray:
+    def mul_accumulate(self, a: np.ndarray, b, axis: int = 0, out=None) -> np.ndarray:
         """Fused ``sum_t a[t] * b[t] mod q`` along ``axis`` — one reduction.
 
         The inner-product primitive behind batched key switching: products
@@ -225,29 +253,40 @@ class ReducerKernel:
         chunked partial sums so the result stays exact.  Canonical outputs
         make the op bit-identical across backends.
         """
-        return self._accumulate(self.mul(a, b), axis)
+        return self._accumulate(self.mul(a, b), axis, out=out)
 
-    def mul_pre_accumulate(self, a: np.ndarray, b_pre: np.ndarray, axis: int = 0) -> np.ndarray:
+    def mul_pre_accumulate(
+        self, a: np.ndarray, b_pre: np.ndarray, axis: int = 0, out=None
+    ) -> np.ndarray:
         """:meth:`mul_accumulate` where ``b`` came from :meth:`pre`."""
-        return self._accumulate(self.mul_pre(a, b_pre), axis)
+        return self._accumulate(self.mul_pre(a, b_pre), axis, out=out)
 
-    def _accumulate(self, prod: np.ndarray, axis: int) -> np.ndarray:
+    def add_accumulate(self, terms: np.ndarray, axis: int = 0, out=None) -> np.ndarray:
+        """Fused ``sum_t terms[t] mod q`` along ``axis`` — one reduction.
+
+        The fused form of an add-reduction tree: canonical addends are
+        summed as raw uint64 and reduced once.  Canonical residues are
+        unique, so the result is bit-identical to folding the same terms
+        through a chain of binary :meth:`add` calls — which is what lets
+        the plan fusion pass collapse accumulation chains into one
+        dispatch without perturbing ciphertext bytes.
+        """
+        return self._accumulate(self.xp.asarray(terms, dtype=np.uint64), axis, out=out)
+
+    def _accumulate(self, prod: np.ndarray, axis: int, out=None) -> np.ndarray:
         """Sum canonical products along ``axis`` with deferred reduction."""
-        q_max = int(np.max(self.q))
-        # Partial sums must fit both uint64 and reduce()'s [0, q^2) domain.
-        headroom = min(((1 << 64) - 1) // max(q_max - 1, 1), int(np.min(self.q)))
+        xp = self.xp
+        headroom = self._acc_headroom
         terms = prod.shape[axis]
         if terms <= headroom:
-            acc = np.add.reduce(prod, axis=axis, dtype=np.uint64)
+            acc = xp.add_reduce(prod, axis=axis)
         else:  # pragma: no cover - needs > 2^23 digit rows
-            prod = np.moveaxis(prod, axis, 0)
-            acc = np.zeros(prod.shape[1:], dtype=np.uint64)
+            prod = xp.moveaxis(prod, axis, 0)
+            acc = xp.zeros(prod.shape[1:], dtype=np.uint64)
             for start in range(0, terms, headroom):
-                part = np.add.reduce(
-                    prod[start : start + headroom], axis=0, dtype=np.uint64
-                )
+                part = xp.add_reduce(prod[start : start + headroom], axis=0)
                 acc = self.add(self.reduce(acc), self.reduce(part))
-        return self.reduce(acc)
+        return self.reduce(acc, out=out)
 
     def pow(self, a: np.ndarray, exponent: int) -> np.ndarray:
         """Elementwise ``a ** exponent mod q`` by square-and-multiply."""
@@ -266,30 +305,33 @@ class ReducerKernel:
 
     # -- additive ------------------------------------------------------
 
-    def add(self, a: np.ndarray, b) -> np.ndarray:
+    def add(self, a: np.ndarray, b, out=None) -> np.ndarray:
         """Elementwise modular addition (canonical in, canonical out)."""
-        a = np.asarray(a, dtype=np.uint64)
-        b = np.asarray(b, dtype=np.uint64)
-        return _csub(a + b, self.q)
+        xp = self.xp
+        a = xp.asarray(a, dtype=np.uint64)
+        b = xp.asarray(b, dtype=np.uint64)
+        return self._csub_into(a + b, self.q, out=out)
 
-    def sub(self, a: np.ndarray, b) -> np.ndarray:
+    def sub(self, a: np.ndarray, b, out=None) -> np.ndarray:
         """Elementwise modular subtraction (canonical in, canonical out)."""
-        a = np.asarray(a, dtype=np.uint64)
-        b = np.asarray(b, dtype=np.uint64)
+        xp = self.xp
+        a = xp.asarray(a, dtype=np.uint64)
+        b = xp.asarray(b, dtype=np.uint64)
         d = a - b  # wraps when a < b; then d + q is the canonical value
-        return np.minimum(d, d + self.q)
+        return xp.minimum(d, d + self.q, out=out)
 
-    def neg(self, a: np.ndarray) -> np.ndarray:
+    def neg(self, a: np.ndarray, out=None) -> np.ndarray:
         """Elementwise modular negation."""
-        a = np.asarray(a, dtype=np.uint64)
+        xp = self.xp
+        a = xp.asarray(a, dtype=np.uint64)
         # q - a is canonical except at a == 0, where 0 - a == 0 wins the min.
-        return np.minimum(self.q - a, _U64(0) - a)
+        return xp.minimum(self.q - a, _U64(0) - a, out=out)
 
     # -- reduction -----------------------------------------------------
 
-    def reduce(self, x: np.ndarray) -> np.ndarray:
+    def reduce(self, x: np.ndarray, out=None) -> np.ndarray:
         """Reduce arbitrary values in ``[0, q^2)`` to canonical form."""
-        return np.asarray(x, dtype=np.uint64) % self.q
+        return self.xp.mod(self.xp.asarray(x, dtype=np.uint64), self.q, out=out)
 
     # ------------------------------------------------------------------
 
@@ -316,16 +358,17 @@ class GenericSplitKernel(ReducerKernel):
     _SPLIT = _U64(18)
     _SPLIT_MASK = _U64((1 << 18) - 1)
 
-    def mul(self, a: np.ndarray, b) -> np.ndarray:
+    def mul(self, a: np.ndarray, b, out=None) -> np.ndarray:
         q = self.q
-        a = np.asarray(a, dtype=np.uint64)
-        b = np.asarray(b, dtype=np.uint64)
+        xp = self.xp
+        a = xp.asarray(a, dtype=np.uint64)
+        b = xp.asarray(b, dtype=np.uint64)
         b_hi = b >> self._SPLIT
         b_lo = b & self._SPLIT_MASK
         hi = (a * b_hi) % q
         hi = (hi << self._SPLIT) % q
         lo = (a * b_lo) % q
-        return (hi + lo) % q
+        return xp.mod(hi + lo, q, out=out)
 
 
 # ---------------------------------------------------------------------------
@@ -373,7 +416,7 @@ class BarrettKernel(ReducerKernel):
             int(v).bit_length() >= 22 for v in np.atleast_1d(self.q).ravel()
         )
 
-    def _reduce_wide(self, hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+    def _reduce_wide(self, hi: np.ndarray, lo: np.ndarray, out=None) -> np.ndarray:
         """Map an exact (hi, lo) value < q^2 to its canonical residue.
 
         ``q_est = ((x >> (r-1)) * mu) >> (r+1)`` with the mu product split
@@ -385,14 +428,15 @@ class BarrettKernel(ReducerKernel):
         xs = (lo >> self._s1) | (hi << self._s1c)  # exact x >> (r-1), < 2^{r+1}
         q_est = ((xs * self._mu_hi) >> self._s3) + ((xs * self._mu_lo) >> self._s2)
         t = lo - q_est * self.q  # exact mod 2^64; true value in [0, 4q)
-        t = _csub(t, self._q2)
-        return _csub(t, self.q)
+        t = self._csub_into(t, self._q2)
+        return self._csub_into(t, self.q, out=out)
 
-    def mul(self, a: np.ndarray, b) -> np.ndarray:
-        a = np.asarray(a, dtype=np.uint64)
-        b = np.asarray(b, dtype=np.uint64)
+    def mul(self, a: np.ndarray, b, out=None) -> np.ndarray:
+        xp = self.xp
+        a = xp.asarray(a, dtype=np.uint64)
+        b = xp.asarray(b, dtype=np.uint64)
         if not self._wide:
-            return self._reduce_wide(*_mul128_41(a, b))
+            return self._reduce_wide(*_mul128_41(a, b), out=out)
         b_hi = b >> _SPLIT20
         b_lo = b & _MASK20
         p1 = a * b_hi
@@ -400,12 +444,19 @@ class BarrettKernel(ReducerKernel):
         xs = (p1 + (p0 >> _SPLIT20)) >> self._s4  # exact x >> (r-1)
         q_est = ((xs * self._mu_hi) >> self._s3) + ((xs * self._mu_lo) >> self._s2)
         t = a * b - q_est * self.q  # exact mod 2^64; true value in [0, 4q)
-        t = _csub(t, self._q2)
-        return _csub(t, self.q)
+        t = self._csub_into(t, self._q2)
+        return self._csub_into(t, self.q, out=out)
 
-    def reduce(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.uint64)
-        return self._reduce_wide(np.zeros_like(x), x)
+    def reduce(self, x: np.ndarray, out=None) -> np.ndarray:
+        # Single-word input: hi = 0, so _reduce_wide's (lo >> s1) | (hi <<
+        # s1c) collapses to the plain shift — same xs, two array ops and an
+        # allocation cheaper.
+        x = self.xp.asarray(x, dtype=np.uint64)
+        xs = x >> self._s1
+        q_est = ((xs * self._mu_hi) >> self._s3) + ((xs * self._mu_lo) >> self._s2)
+        t = x - q_est * self.q
+        t = self._csub_into(t, self._q2)
+        return self._csub_into(t, self.q, out=out)
 
     def pre(self, b) -> np.ndarray:
         """Stack ``[w, w' >> 43, (w' >> 22) & mask21]`` for Shoup quotients.
@@ -416,27 +467,28 @@ class BarrettKernel(ReducerKernel):
         piece contributes < 1 to the quotient estimate, folded into the
         conditional-subtract budget.
         """
-        b = np.asarray(b, dtype=np.uint64)
-        shape = np.broadcast_shapes(b.shape, np.shape(self.q))
+        b = np.asarray(self.xp.to_numpy(b), dtype=np.uint64)
+        q_host = np.asarray(self.xp.to_numpy(self.q), dtype=np.uint64)
+        shape = np.broadcast_shapes(b.shape, np.shape(q_host))
         # 0-d object arrays decay to Python ints under ufuncs; compute 1-d.
-        shoup = (np.atleast_1d(b).astype(object) << 64) // np.atleast_1d(self.q).astype(object)
+        shoup = (np.atleast_1d(b).astype(object) << 64) // np.atleast_1d(q_host).astype(object)
         w2 = (shoup >> 43).astype(np.uint64).reshape(shape)
         w1 = ((shoup >> 22) & ((1 << 21) - 1)).astype(np.uint64).reshape(shape)
-        return np.stack([np.broadcast_to(b, shape), w2, w1])
+        return self.xp.asarray(np.stack([np.broadcast_to(b, shape), w2, w1]))
 
-    def mul_pre(self, a: np.ndarray, b_pre: np.ndarray) -> np.ndarray:
+    def mul_pre(self, a: np.ndarray, b_pre: np.ndarray, out=None) -> np.ndarray:
         """``a * w mod q`` via the precomputed Shoup pieces of ``w``.
 
         ``q_est = mulhi(a, w')`` undershoots by at most 2 (two dropped
         floor corrections plus the discarded low piece), so the remainder
         sits in [0, 4q) and the usual 2q/q cascade finishes.
         """
-        a = np.asarray(a, dtype=np.uint64)
+        a = self.xp.asarray(a, dtype=np.uint64)
         w, w2, w1 = b_pre[0], b_pre[1], b_pre[2]
         q_est = ((a * w2) >> self._SHOUP_S2) + ((a * w1) >> self._SHOUP_S1)
         t = a * w - q_est * self.q
-        t = _csub(t, self._q2)
-        return _csub(t, self.q)
+        t = self._csub_into(t, self._q2)
+        return self._csub_into(t, self.q, out=out)
 
 
 # ---------------------------------------------------------------------------
@@ -479,35 +531,35 @@ class MontgomeryKernel(ReducerKernel):
         mid = (ll >> _S32) + (lh & _MASK32) + (hl & _MASK32)
         return m_hi * self._q_hi32 + (lh >> _S32) + (hl >> _S32) + (mid >> _S32)
 
-    def _redc(self, hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+    def _redc(self, hi: np.ndarray, lo: np.ndarray, out=None) -> np.ndarray:
         """REDC of a (hi, lo) value ``t < q * 2^64``: ``t * 2^-64 mod q``."""
         m = lo * self._ninv  # wraps mod 2^64 — exactly t * (-q^-1) mod R
         # t + m*q has zero low word; its high word is hi + mulhi(m, q) plus
         # the carry out of the low word, which is 1 iff lo != 0 (mq_lo ≡ -lo).
         u = hi + self._mulhi_mq(m) + (lo != 0)
-        return _csub(u, self.q)
+        return self._csub_into(u, self.q, out=out)
 
     def to_montgomery(self, a: np.ndarray) -> np.ndarray:
         """Map canonical residues into the Montgomery domain (``a * R mod q``)."""
-        a = np.asarray(a, dtype=np.uint64)
+        a = self.xp.asarray(a, dtype=np.uint64)
         return self._redc(*_mul128_41(a, self._r2))
 
     def from_montgomery(self, a_mont: np.ndarray) -> np.ndarray:
         """Map Montgomery-domain values back to canonical residues."""
-        a_mont = np.asarray(a_mont, dtype=np.uint64)
-        return self._redc(np.zeros_like(a_mont), a_mont)
+        a_mont = self.xp.asarray(a_mont, dtype=np.uint64)
+        return self._redc(self.xp.zeros_like(a_mont), a_mont)
 
-    def mul(self, a: np.ndarray, b) -> np.ndarray:
-        a = np.asarray(a, dtype=np.uint64)
-        b = np.asarray(b, dtype=np.uint64)
-        return self._redc(*_mul128_41(a, self.to_montgomery(b)))
+    def mul(self, a: np.ndarray, b, out=None) -> np.ndarray:
+        a = self.xp.asarray(a, dtype=np.uint64)
+        b = self.xp.asarray(b, dtype=np.uint64)
+        return self._redc(*_mul128_41(a, self.to_montgomery(b)), out=out)
 
     def pre(self, b) -> np.ndarray:
-        return self.to_montgomery(np.asarray(b, dtype=np.uint64))
+        return self.to_montgomery(self.xp.asarray(b, dtype=np.uint64))
 
-    def mul_pre(self, a: np.ndarray, b_pre: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.uint64)
-        return self._redc(*_mul128_41(a, b_pre))
+    def mul_pre(self, a: np.ndarray, b_pre: np.ndarray, out=None) -> np.ndarray:
+        a = self.xp.asarray(a, dtype=np.uint64)
+        return self._redc(*_mul128_41(a, b_pre), out=out)
 
 
 # ---------------------------------------------------------------------------
@@ -584,9 +636,14 @@ class using_backend:
         set_default_backend(self._previous)
 
 
-def make_kernel(moduli, backend: str | None = None) -> ReducerKernel:
-    """Instantiate a kernel for a modulus (array) under a backend."""
-    return get_backend(backend)(moduli)
+def make_kernel(moduli, backend: str | None = None, xp=None) -> ReducerKernel:
+    """Instantiate a kernel for a modulus (array) under a backend.
+
+    ``xp`` selects the array namespace (name or :class:`ArrayNamespace`)
+    the kernel computes on; ``None`` means the process default (numpy
+    unless overridden).
+    """
+    return get_backend(backend)(moduli, xp=xp)
 
 
 _SCALAR_KERNELS: dict[tuple[str, int], ReducerKernel] = {}

@@ -21,9 +21,14 @@ subexpressions and dead nodes, fuse rescale chains, group hoistable
 rotations, and validate level/scale alignment at plan time
 (:mod:`repro.runtime.passes`); the resulting
 :class:`~repro.runtime.plan.ExecutionPlan` is cached process-wide and
-executed by a bit-identical reference interpreter or a batched replayer
-(:mod:`repro.runtime.plan`); :mod:`repro.runtime.bridge` converts traced
-plans into accelerator workload/queue form for scheduler experiments.
+executed by a bit-identical reference interpreter, a batched replayer, or
+the fused replayer (``plan.run_batch(..., fused=True)``) — an
+arena-backed :class:`~repro.runtime.plan.FusedExecutor` that preassigns
+every intermediate to a slot in one preallocated pool and collapses
+elementwise/MAC/hoisted-rotation runs into single kernel dispatches,
+optionally on a non-numpy array namespace (:mod:`repro.nums.backend`);
+:mod:`repro.runtime.bridge` converts traced plans into accelerator
+workload/queue form for scheduler experiments.
 
 For serving, :class:`~repro.runtime.executor.ShardedExecutor` shards
 ``run_batch`` across a forked worker pool (bit-identical, crash-
@@ -50,19 +55,22 @@ from repro.runtime.bridge import (
     plan_to_request_queue,
     plan_to_workload,
 )
+from repro.runtime.arena import ArenaLayout, ArenaStep, BufferArena
 from repro.runtime.executor import ShardedExecutor, WorkerError
-from repro.runtime.graph import CtSpec, Graph, Node, PtSpec
+from repro.runtime.graph import ELEMENTWISE_OPS, CtSpec, FusedGroup, Graph, Node, PtSpec
 from repro.runtime.passes import (
     PlanValidationError,
     check_alignment,
     eliminate_common_subexpressions,
     eliminate_dead_nodes,
     fuse_rescales,
+    fusion_groups,
     hoist_groups,
     optimize,
 )
 from repro.runtime.plan import (
     ExecutionPlan,
+    FusedExecutor,
     clear_plan_cache,
     compile_fn,
     compile_graph,
@@ -98,6 +106,8 @@ __all__ = [
     "PtSpec",
     "Graph",
     "Node",
+    "FusedGroup",
+    "ELEMENTWISE_OPS",
     "TraceError",
     "LazyCiphertext",
     "LazyPlaintext",
@@ -109,9 +119,14 @@ __all__ = [
     "eliminate_common_subexpressions",
     "eliminate_dead_nodes",
     "fuse_rescales",
+    "fusion_groups",
     "hoist_groups",
     "check_alignment",
     "ExecutionPlan",
+    "FusedExecutor",
+    "ArenaLayout",
+    "ArenaStep",
+    "BufferArena",
     "compile_fn",
     "compile_graph",
     "plan_cache_info",

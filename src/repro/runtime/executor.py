@@ -96,7 +96,7 @@ def _decode_value(blob: bytes, basis):
 
 
 def _wire_worker_loop(
-    plan_blob: bytes, evaluator, conn, coeff_bits: int, io_s: float
+    plan_blob: bytes, evaluator, conn, coeff_bits: int, io_s: float, fused: bool
 ) -> None:
     """Child process body for the shipped-plan path: rebuild the plan
     from its EPL1 bytes (constants resolved from the inline PCS1
@@ -104,10 +104,12 @@ def _wire_worker_loop(
     from repro.runtime.plan_io import deserialize_plan
 
     plan = deserialize_plan(plan_blob, evaluator)
-    _worker_loop(plan, conn, coeff_bits, io_s)
+    _worker_loop(plan, conn, coeff_bits, io_s, fused)
 
 
-def _worker_loop(plan: ExecutionPlan, conn, coeff_bits: int, io_s: float) -> None:
+def _worker_loop(
+    plan: ExecutionPlan, conn, coeff_bits: int, io_s: float, fused: bool = False
+) -> None:
     """Child process body: recv request -> replay plan -> send result."""
     basis = plan.evaluator.basis
     upload_s = download_s = io_s / 2.0
@@ -123,7 +125,7 @@ def _worker_loop(plan: ExecutionPlan, conn, coeff_bits: int, io_s: float) -> Non
             if upload_s:
                 time.sleep(upload_s)
             inputs = [_decode_value(b, basis) for b in blobs]
-            outputs = plan.run_batch([inputs])[0]
+            outputs = plan.run_batch([inputs], fused=fused)[0]
             payload = [_encode_value(o, coeff_bits) for o in outputs]
             if download_s:
                 time.sleep(download_s)
@@ -153,6 +155,11 @@ class ShardedExecutor:
         plan: the compiled :class:`ExecutionPlan` every worker replays.
         num_workers: pool size; ``0`` selects the inline (single-process)
             fallback that still crosses the serialization boundary.
+        fused: route every replay through the arena-backed
+            :class:`~repro.runtime.plan.FusedExecutor` instead of the
+            batched interpreter.  Output bits are identical either way;
+            the fused warm (arena + key pre-forms) happens in the parent
+            before the first fork so workers inherit it copy-on-write.
     """
 
     def __init__(
@@ -165,12 +172,14 @@ class ShardedExecutor:
         warm_inputs=None,
         max_crash_respawns: int | None = None,
         ship_plan: bool = False,
+        fused: bool = False,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         self.plan = plan
         self.num_workers = num_workers
         self.ship_plan = ship_plan
+        self.fused = fused
         self._plan_blob: bytes | None = None
         self._coeff_bits = coeff_bits or wire_coeff_bits(plan.evaluator.basis)
         self._io_s = float(modeled_request_io_s)
@@ -209,7 +218,14 @@ class ShardedExecutor:
         # Warm every fork-shared cache in the parent: the lowered closure
         # schedule always, plus (optionally) one real replay so stacked
         # key tensors and permutation tables exist before the first fork.
-        plan.run_batch([warm_inputs] if warm_inputs is not None else [])
+        # Under ``fused=True`` the warm goes through the fused replayer so
+        # the arena layout, fused closures, and per-key pre-formed tensors
+        # (``SwitchingKey.stacked_pre``) are all built once in the parent
+        # and inherited copy-on-write — the pre-forms are by far the most
+        # expensive warm step and must never be paid per worker.
+        plan.run_batch(
+            [warm_inputs] if warm_inputs is not None else [], fused=fused
+        )
         if ship_plan and not self._inline:
             # Serialize once; every (re)spawned worker deserializes the
             # same artifact instead of relying on the fork-warmed plan.
@@ -324,6 +340,7 @@ class ShardedExecutor:
         out["num_workers"] = self.num_workers
         out["inline"] = self._inline
         out["plan_wire"] = self._plan_blob is not None
+        out["fused"] = self.fused
         out["pending"] = len(self._pending)
         return out
 
@@ -341,7 +358,7 @@ class ShardedExecutor:
             if self._io_s:  # parity with the worker-side link model
                 time.sleep(self._io_s)
             inputs = [_decode_value(b, basis) for b in blobs]
-            outputs = self.plan.run_batch([inputs])[0]
+            outputs = self.plan.run_batch([inputs], fused=self.fused)[0]
             round_tripped = [
                 _decode_value(_encode_value(o, self._coeff_bits), basis)
                 for o in outputs
@@ -361,7 +378,7 @@ class ShardedExecutor:
             target, head = _worker_loop, (self.plan,)
         proc = self._ctx.Process(
             target=target,
-            args=(*head, child_conn, self._coeff_bits, self._io_s),
+            args=(*head, child_conn, self._coeff_bits, self._io_s, self.fused),
             daemon=True,
         )
         proc.start()

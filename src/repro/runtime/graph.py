@@ -34,9 +34,11 @@ __all__ = [
     "PtSpec",
     "Node",
     "Graph",
+    "FusedGroup",
     "CT_OPS",
     "AUTOMORPHISM_OPS",
     "COMMUTATIVE_OPS",
+    "ELEMENTWISE_OPS",
 ]
 
 # Every ciphertext-producing op the tracer records.  ``input``/``pt_input``
@@ -65,6 +67,13 @@ AUTOMORPHISM_OPS = frozenset({"rotate", "conjugate", "apply_galois"})
 #: Ops whose operand order does not change the result bit pattern
 #: (modular adds/multiplies commute limb-wise); CSE canonicalizes these.
 COMMUTATIVE_OPS = frozenset({"add", "multiply"})
+
+#: Per-element ops over same-level operands — the fusion pass may collapse
+#: runs of these into single fused kernel dispatches without changing a
+#: single output bit (modular add/sub/neg and per-element products are
+#: position-independent, and deferred-reduction accumulation of canonical
+#: residues is exact; see ``ReducerKernel.add_accumulate``).
+ELEMENTWISE_OPS = frozenset({"add", "sub", "negate", "add_plain", "multiply_plain"})
 
 
 @dataclass(frozen=True)
@@ -114,6 +123,38 @@ class Node:
     scale: float
     size: int
     kind: str = "ct"
+
+
+@dataclass(frozen=True)
+class FusedGroup:
+    """One fused schedule step discovered by the fusion pass.
+
+    Pure analysis metadata over node ids — the graph itself is never
+    rewritten by fusion (ids stay dense and topological; the EPL1 wire
+    format is untouched).  The fused executor replays every ``members``
+    node as a single dispatch anchored at the ``anchor`` schedule slot.
+
+    Attributes:
+        kind: ``"mac"`` (multiply_plain terms folded into one
+            mul-accumulate), ``"sum"`` (an add-reduction tree folded into
+            one add-accumulate), ``"hoisted_automorphisms"`` (rotations
+            sharing one gadget decomposition, batched through one NTT
+            dispatch), or ``"chain"`` (a linear elementwise run executed
+            back-to-back in one step).
+        anchor: node id whose schedule position the group executes at.
+        members: every node id the group covers (skipped elsewhere).
+        outputs: member ids whose buffers later steps (or the caller)
+            read.
+        sources: external node ids the group reads.
+        payload: kind-specific extras (e.g. the mac's term node ids).
+    """
+
+    kind: str
+    anchor: int
+    members: tuple[int, ...]
+    outputs: tuple[int, ...]
+    sources: tuple[int, ...]
+    payload: tuple = ()
 
 
 class Graph:

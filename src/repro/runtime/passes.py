@@ -43,6 +43,8 @@ from repro.ckks.evaluator import SCALE_RTOL
 from repro.runtime.graph import (
     AUTOMORPHISM_OPS,
     COMMUTATIVE_OPS,
+    ELEMENTWISE_OPS,
+    FusedGroup,
     Graph,
     GraphBuilder,
     Node,
@@ -54,6 +56,7 @@ __all__ = [
     "fuse_rescales",
     "eliminate_dead_nodes",
     "hoist_groups",
+    "fusion_groups",
     "check_alignment",
     "optimize",
 ]
@@ -159,6 +162,194 @@ def hoist_groups(graph: Graph) -> dict[int, tuple[int, ...]]:
     return {
         src: tuple(nodes) for src, nodes in by_source.items() if len(nodes) > 1
     }
+
+
+#: Ops a linear fused chain may contain: per-element runs plus rescale
+#: (whose fused coeff<->eval round trip is itself one dispatch).
+_CHAINABLE_OPS = ELEMENTWISE_OPS | {"rescale"}
+
+
+def _captured_only(node: Node) -> bool:
+    """Whether a plain-operand op reads a captured constant (not a
+    symbolic pt_input), so its plaintext is resolvable at lower time."""
+    return node.op not in ("add_plain", "multiply_plain") or len(node.inputs) == 1
+
+
+def fusion_groups(
+    graph: Graph, hoist: dict[int, tuple[int, ...]] | None = None
+) -> tuple[FusedGroup, ...]:
+    """Discover fused schedule steps; pure analysis, no rewrite.
+
+    Three shapes, claimed greedily and disjointly (a node belongs to at
+    most one group):
+
+    1. ``hoisted_automorphisms`` — the :func:`hoist_groups` families,
+       lifted into schedule steps so one gadget decomposition (one batched
+       NTT dispatch) serves every rotation of the family.
+    2. ``mac`` / ``sum`` — add-reduction trees.  Interior adds must be
+       single-consumer non-outputs at the root's level/size, so collapsing
+       the tree into one deferred-reduction accumulate is invisible
+       outside the group; when *every* leaf is a single-consumer
+       captured-constant ``multiply_plain`` at the same level, the leaves
+       fold in too and the whole tree becomes one ``mul_accumulate``
+       (``mac``).  Trees need >= 3 leaves to beat two binary adds.
+    3. ``chain`` — maximal linear runs of elementwise/rescale ops where
+       each node's sole consumer is the next and every external operand
+       precedes the run, executed back-to-back in one step.
+
+    Bit-identity: modular addition of canonical residues is exactly
+    associative/commutative, and deferred uint64 accumulation reduces to
+    the same canonical bytes (``ReducerKernel.add_accumulate``), so
+    regrouping changes no output bit.
+    """
+    hoist = hoist_groups(graph) if hoist is None else hoist
+    consumers = graph.consumer_counts()
+    outputs = set(graph.outputs)
+    claimed: set[int] = set()
+    groups: list[FusedGroup] = []
+
+    for src, members in sorted(hoist.items()):
+        groups.append(
+            FusedGroup(
+                kind="hoisted_automorphisms",
+                anchor=min(members),
+                members=tuple(members),
+                outputs=tuple(members),
+                sources=(src,),
+            )
+        )
+        claimed.update(members)
+
+    def _expandable(nid: int, root: Node) -> bool:
+        n = graph.nodes[nid]
+        return (
+            n.op == "add"
+            and n.kind == "ct"
+            and consumers[nid] == 1
+            and nid not in outputs
+            and nid not in claimed
+            and n.level == root.level
+            and n.size == root.size
+        )
+
+    def _mac_term(nid: int, root: Node) -> bool:
+        n = graph.nodes[nid]
+        return (
+            n.op == "multiply_plain"
+            and len(n.inputs) == 1
+            and consumers[nid] == 1
+            and nid not in outputs
+            and nid not in claimed
+            and n.level == root.level
+            and n.size == root.size
+            and graph.nodes[n.inputs[0]].level == root.level
+        )
+
+    for root in reversed(graph.nodes):
+        if root.op != "add" or root.kind != "ct" or root.id in claimed:
+            continue
+        interiors: list[int] = []
+        terms: list[int] = []
+        stack = [root.id]
+        while stack:
+            nid = stack.pop()
+            for i in graph.nodes[nid].inputs:
+                if _expandable(i, root):
+                    interiors.append(i)
+                    stack.append(i)
+                else:
+                    terms.append(i)
+        if len(terms) < 3:
+            continue
+        # The fused accumulate stacks every term at the root's shape; a
+        # term at a different level/size would need the eager add's
+        # drop-to-min branches, so such trees stay unfused.
+        if not all(
+            graph.nodes[t].kind == "ct"
+            and graph.nodes[t].level == root.level
+            and graph.nodes[t].size == root.size
+            for t in terms
+        ):
+            continue
+        if all(_mac_term(t, root) for t in terms):
+            members = (root.id, *interiors, *terms)
+            group = FusedGroup(
+                kind="mac",
+                anchor=root.id,
+                members=members,
+                outputs=(root.id,),
+                sources=tuple(graph.nodes[t].inputs[0] for t in terms),
+                payload=tuple(terms),
+            )
+        else:
+            members = (root.id, *interiors)
+            group = FusedGroup(
+                kind="sum",
+                anchor=root.id,
+                members=members,
+                outputs=(root.id,),
+                sources=tuple(terms),
+            )
+        groups.append(group)
+        claimed.update(members)
+
+    def _chainable(nid: int) -> bool:
+        n = graph.nodes[nid]
+        return (
+            n.kind == "ct"
+            and n.op in _CHAINABLE_OPS
+            and nid not in claimed
+            and _captured_only(n)
+        )
+
+    for node in graph.nodes:
+        if not _chainable(node.id):
+            continue
+        run = [node.id]
+        cur = node.id
+        while consumers[cur] == 1 and cur not in outputs:
+            # The sole consumer (node ids are topological, so scan forward).
+            nxt = next(
+                (
+                    n.id
+                    for n in graph.nodes[cur + 1 :]
+                    if cur in n.inputs
+                ),
+                None,
+            )
+            if (
+                nxt is None
+                or not _chainable(nxt)
+                or any(
+                    i != cur and i >= node.id for i in graph.nodes[nxt].inputs
+                )
+            ):
+                break
+            run.append(nxt)
+            cur = nxt
+        if len(run) < 2:
+            continue
+        in_run = set(run)
+        sources = tuple(
+            dict.fromkeys(
+                i
+                for nid in run
+                for i in graph.nodes[nid].inputs
+                if i not in in_run
+            )
+        )
+        groups.append(
+            FusedGroup(
+                kind="chain",
+                anchor=run[0],
+                members=tuple(run),
+                outputs=(run[-1],),
+                sources=sources,
+            )
+        )
+        claimed.update(run)
+
+    return tuple(sorted(groups, key=lambda g: g.anchor))
 
 
 def check_alignment(graph: Graph) -> None:

@@ -1,7 +1,7 @@
 """Execution plans: topologically scheduled, ref-counted, cached, replayable.
 
 An :class:`ExecutionPlan` binds an optimized :class:`~repro.runtime.graph.Graph`
-to one eager :class:`~repro.ckks.evaluator.Evaluator` and executes it two
+to one eager :class:`~repro.ckks.evaluator.Evaluator` and executes it three
 ways:
 
 * :meth:`ExecutionPlan.run` — the **reference interpreter**.  It walks the
@@ -16,10 +16,32 @@ ways:
   bound, Galois elements computed, plaintext operands pre-dropped to
   level and pre-transformed to the NTT domain), then replayed across many
   input ciphertexts.  Same bits, far less per-op dispatch work.
+* ``run_batch(..., fused=True)`` — the **fused replayer**
+  (:class:`FusedExecutor`).  Fusion groups
+  (:func:`~repro.runtime.passes.fusion_groups`) collapse elementwise
+  runs, MAC/sum trees, and hoisted rotation families into single fused
+  kernel dispatches; an :class:`~repro.runtime.arena.ArenaLayout`
+  preassigns every intermediate to a slot in one preallocated
+  ``(slots, L, N)`` pool, so steady-state replay performs zero
+  result-buffer allocations; and all array math goes through a
+  pluggable :class:`~repro.nums.backend.ArrayNamespace` resolved at
+  lower time (numpy default, optional CuPy/torch).  Still the same
+  bits: every fused transformation rests on the uniqueness of canonical
+  residues (deferred uint64 accumulation and Shoup/Montgomery
+  pre-formed constant multiplies reproduce exact eager bytes).
 
-Both executors release intermediate buffers by reference counting: a
-node's ciphertext is freed the moment its last consumer has run, so a
-deep pipeline's live set stays proportional to its width, not its length.
+The first two executors release intermediate buffers by reference
+counting: a node's ciphertext is freed the moment its last consumer has
+run, so a deep pipeline's live set stays proportional to its width, not
+its length.  The fused replayer makes the same liveness decisions at
+lower time via its arena layout.
+
+Process/fork contract for the fused path: each plan caches one
+:class:`FusedExecutor` per array-namespace name; the executor's arena
+pool, fused closures, and the per-key pre-formed switching-key tensors
+it triggers (:meth:`SwitchingKey.stacked_pre`) are all parent-process
+state that forked serving workers inherit copy-on-write when the parent
+warms ``fused=True`` before forking (``ShardedExecutor`` does).
 
 ``compile_graph`` / ``compile_fn`` front a **process-level plan cache**
 keyed by (graph signature, parameter fingerprint, reducer backend): one
@@ -45,15 +67,27 @@ import math
 import warnings
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.ckks.containers import Ciphertext, Plaintext
 from repro.ckks.evaluator import SCALE_RTOL, Evaluator
-from repro.nums.kernels import default_backend_name
+from repro.nums.backend import get_array_namespace
+from repro.nums.kernels import default_backend_name, make_kernel
+from repro.rns.poly import EVAL, RnsPolynomial
+from repro.runtime.arena import ArenaLayout, ArenaStep, BufferArena
 from repro.runtime.graph import AUTOMORPHISM_OPS, CtSpec, Graph, Node, PtSpec
-from repro.runtime.passes import check_alignment, hoist_groups, optimize
+from repro.runtime.passes import (
+    check_alignment,
+    fusion_groups,
+    hoist_groups,
+    optimize,
+)
 from repro.runtime.trace import trace
+from repro.transforms.ntt import galois_permutation
 
 __all__ = [
     "ExecutionPlan",
+    "FusedExecutor",
     "compile_graph",
     "compile_fn",
     "params_fingerprint",
@@ -91,6 +125,7 @@ class ExecutionPlan:
     _releases: list[tuple[int, ...]] = field(init=False, repr=False)
     _dec_done: dict[int, int] = field(init=False, repr=False)
     _steps: list | None = field(default=None, init=False, repr=False)
+    _fused: dict = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._releases = self._release_schedule()
@@ -124,6 +159,24 @@ class ExecutionPlan:
             f"{len(self.input_specs)} inputs -> {self.num_outputs} outputs, "
             f"{len(self.hoist)} hoist group(s), backend={self.backend}: {hist}"
         )
+
+    def stats(self) -> dict:
+        """Plan-shape and fused-replay statistics (lowers the fused
+        executor for the default array backend on first call)."""
+        ex = self.fused()
+        fused_nodes = sum(len(g.members) for g in ex.groups)
+        return {
+            "nodes": len(self.graph.nodes),
+            "consts": len(self.graph.consts),
+            "hoist_groups": len(self.hoist),
+            "fused_groups": len(ex.groups),
+            "fused_nodes": fused_nodes,
+            "dispatch_count_batched": len(self.graph.nodes),
+            "dispatch_count_fused": ex.dispatch_count,
+            "arena_slots": ex.layout.num_slots,
+            "arena_peak_bytes": ex.layout.pool_bytes,
+            "array_backend": ex.xp.name,
+        }
 
     # ------------------------------------------------------------------
     # Reference interpreter
@@ -183,14 +236,23 @@ class ExecutionPlan:
     # Batched executor
     # ------------------------------------------------------------------
 
-    def run_batch(self, batches) -> list[list[Ciphertext]]:
+    def run_batch(
+        self, batches, *, fused: bool = False, array_backend=None
+    ) -> list[list[Ciphertext]]:
         """Replay the plan across many input tuples (throughput serving).
 
         ``batches`` is a sequence of input lists, each matching
         ``input_specs``; returns one output list per batch entry.  The
         schedule is lowered to pre-resolved closures on first use and
         shared by every replay (and every later ``run_batch`` call).
+
+        With ``fused=True`` the replay goes through the
+        :class:`FusedExecutor` instead — arena-backed buffers, fused
+        kernel dispatch, optionally on a non-default array backend —
+        with bit-identical outputs.
         """
+        if fused or array_backend is not None:
+            return self.fused(array_backend).run_batch(batches)
         if self._steps is None:
             self._steps = self._lower()
         results = []
@@ -287,6 +349,26 @@ class ExecutionPlan:
         raise AssertionError(f"unschedulable op {op!r}")
 
     # ------------------------------------------------------------------
+    # Fused executor
+    # ------------------------------------------------------------------
+
+    def fused(self, array_backend=None) -> "FusedExecutor":
+        """The arena-backed fused replayer, lowered once per array backend.
+
+        ``array_backend`` is an array-namespace name (``"numpy"``,
+        ``"cupy"``, ``"torch"``, or anything registered via
+        :func:`repro.nums.backend.register_array_namespace`) or an
+        :class:`~repro.nums.backend.ArrayNamespace`; ``None`` means the
+        process default.  Executors are cached per namespace name — the
+        same ``EPL1`` artifact replays anywhere without re-lowering.
+        """
+        xp = get_array_namespace(array_backend)
+        ex = self._fused.get(xp.name)
+        if ex is None:
+            ex = self._fused[xp.name] = FusedExecutor(self, array_backend=xp)
+        return ex
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
@@ -333,6 +415,635 @@ class ExecutionPlan:
                     f"input {i}: plan compiled for scale {spec.scale:g}, "
                     f"got {value.scale:g}"
                 )
+
+
+# ---------------------------------------------------------------------------
+# Fused executor: arena buffers + fused kernel dispatch + array namespace
+# ---------------------------------------------------------------------------
+
+
+def _rescale_consts(basis, lvl: int, times: int):
+    """Everything :meth:`RnsPolynomial.rescale` recomputes per call,
+    resolved once at lower time: the per-digit tail kernels and inverses,
+    the mixed-radix weights, and the final ``P^{-1}`` column."""
+    keep = lvl - times
+    tail = []
+    for t in range(times):
+        rows = times - 1 - t
+        if rows:
+            bk = basis.kernel_range(keep, keep + rows)
+            q_d = basis.moduli[lvl - 1 - t]
+            inv = np.array(
+                [pow(q_d, -1, basis.moduli[keep + i]) for i in range(rows)],
+                dtype=np.uint64,
+            ).reshape(-1, 1)
+            tail.append((rows, bk, inv))
+        else:
+            tail.append((0, None, None))
+    kern = basis.kernel(keep)
+    kept = basis.moduli[:keep]
+    weights = np.empty((times, keep, 1), dtype=np.uint64)
+    radix = 1
+    for t in range(times):
+        weights[t, :, 0] = [radix % q for q in kept]
+        radix *= basis.moduli[lvl - 1 - t]
+    inv_col = np.array(
+        [pow(radix, -1, q) for q in kept], dtype=np.uint64
+    ).reshape(-1, 1)
+    return keep, tail, kern, weights, inv_col
+
+
+def _rescale_stack(coeff_all: np.ndarray, consts) -> np.ndarray:
+    """:meth:`RnsPolynomial.rescale` vectorized over a leading part axis.
+
+    ``coeff_all`` is ``(P, L, N)`` — all ciphertext parts stacked.  Every
+    kernel call below is the eager rescale's call on a leading-axis-
+    stacked operand: the moduli columns broadcast against the trailing
+    ``(rows, N)`` dims and the deferred accumulation sums the same terms,
+    so the result is bit-identical per part.
+    """
+    keep, tail, kern, weights, inv_col = consts
+    times = len(tail)
+    parts, _, n = coeff_all.shape
+    block = coeff_all[:, keep:, :].copy()
+    digits = np.empty((parts, times, n), dtype=np.uint64)
+    for t, (rows, bk, inv) in enumerate(tail):
+        digit = block[:, rows, :]
+        digits[:, t, :] = digit
+        if rows:
+            red = bk.reduce(np.broadcast_to(digit[:, None, :], (parts, rows, n)))
+            block[:, :rows, :] = bk.mul(bk.sub(block[:, :rows, :], red), inv)
+    wide = np.broadcast_to(digits[:, :, None, :], (parts, times, keep, n))
+    remainder = kern.mul_accumulate(kern.reduce(wide), weights, axis=1)
+    diff = kern.sub(coeff_all[:, :keep, :], remainder)
+    return kern.mul(diff, inv_col)
+
+
+class FusedExecutor:
+    """Arena-backed fused replayer for one plan on one array namespace.
+
+    Lowering (once per plan per namespace) runs :func:`fusion_groups`,
+    plans an :class:`ArenaLayout` over the *fused* schedule, allocates the
+    buffer pool, and compiles every step into a closure that reads its
+    operands from preassigned pool views and writes its result into its
+    own — steady-state replay performs zero result-buffer allocations and
+    ``dispatch_count`` Python dispatches (vs one per graph node for the
+    batched executor).  Outputs are bit-identical to the eager evaluator:
+    every raw step mirrors the eager op's exact kernel calls, and the
+    fused accumulations are exact by deferred-reduction canonicity (see
+    :mod:`repro.runtime.passes`).
+
+    Array namespace: elementwise and accumulate steps run on ``xp``
+    (numpy by default; CuPy/torch/registered namespaces otherwise);
+    NTT-bound steps (key switching, rescale) stage through the host via
+    the namespace's exact uint64 ``to_numpy``/``from_numpy`` boundary.
+    The executor (pool included) is per-process state — forked workers
+    inherit it copy-on-write when the parent lowered before forking;
+    nothing here crosses the worker boundary or the ``EPL1`` format.
+    """
+
+    def __init__(self, plan: ExecutionPlan, array_backend=None) -> None:
+        self.plan = plan
+        self.xp = get_array_namespace(array_backend)
+        self._host = self.xp.is_host
+        self._basis = plan.evaluator.basis
+        self._dkern_cache: dict[int, object] = {}
+        self._scratch_cache: dict[tuple, object] = {}
+        g = plan.graph
+        self.groups = fusion_groups(g, plan.hoist)
+        by_anchor = {grp.anchor: grp for grp in self.groups}
+        covered = {m for grp in self.groups for m in grp.members}
+
+        schedule: list[tuple[str, object]] = []
+        arena_steps: list[ArenaStep] = []
+        for node in g.nodes:
+            grp = by_anchor.get(node.id)
+            if grp is not None:
+                schedule.append(("group", grp))
+                arena_steps.append(self._arena_step_for_group(grp, g))
+            elif node.id in covered:
+                continue
+            elif node.op in ("input", "pt_input"):
+                schedule.append(("node", node))
+                arena_steps.append(ArenaStep(produced=(), consumed=()))
+            else:
+                schedule.append(("node", node))
+                arena_steps.append(
+                    ArenaStep(
+                        produced=((node.id, node.size),), consumed=node.inputs
+                    )
+                )
+        level = max(
+            (
+                g.nodes[nid].level
+                for step in arena_steps
+                for nid, _ in step.produced
+            ),
+            default=1,
+        )
+        self.layout = ArenaLayout.plan(
+            arena_steps, g.outputs, level=level, degree=self._basis.degree
+        )
+        self.arena = BufferArena(self.layout, self.xp)
+        self.arena.ensure()
+        self._views = {
+            nid: self.arena.views(nid, g.nodes[nid].level)
+            for nid in self.layout.slots
+        }
+        template: list = [None] * len(g.nodes)
+        for nid, views in self._views.items():
+            template[nid] = views
+        self._template = template
+        self._steps = [
+            self._lower_group(obj) if kind == "group" else self._lower_raw(obj)
+            for kind, obj in schedule
+        ]
+        self._out_build = []
+        for o in g.outputs:
+            node = g.nodes[o]
+            if node.op in ("input", "pt_input"):
+                self._out_build.append((None, node.attrs[0], None, None))
+            else:
+                self._out_build.append((o, None, node.scale, node.level))
+
+    @property
+    def dispatch_count(self) -> int:
+        """Python dispatches (schedule steps) per replay."""
+        return len(self._steps)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, inputs) -> list[Ciphertext]:
+        return self.run_batch([inputs])[0]
+
+    def run_batch(self, batches) -> list[list[Ciphertext]]:
+        results = []
+        for inputs in batches:
+            self.plan._check_inputs(inputs)
+            env = self._template.copy()
+            for fn in self._steps:
+                fn(env, inputs)
+            results.append(self._collect(inputs))
+        return results
+
+    def _collect(self, inputs) -> list[Ciphertext]:
+        basis = self._basis
+        outs = []
+        for nid, input_index, scale, _level in self._out_build:
+            if nid is None:
+                outs.append(inputs[input_index])
+                continue
+            parts = [
+                RnsPolynomial(basis, np.array(self._H(v), copy=True), EVAL)
+                for v in self._views[nid]
+            ]
+            outs.append(Ciphertext(parts=parts, scale=scale))
+        return outs
+
+    # ------------------------------------------------------------------
+    # Namespace staging helpers
+    # ------------------------------------------------------------------
+
+    def _H(self, x):
+        """Host view of an array (identity on the numpy namespace)."""
+        return x if self._host else np.asarray(self.xp.to_numpy(x))
+
+    def _S(self, view, host_arr) -> None:
+        """Store a host result into a pool view."""
+        if self._host:
+            np.copyto(view, host_arr)
+        else:
+            self.xp.copyto(
+                view, self.xp.from_numpy(np.ascontiguousarray(host_arr))
+            )
+
+    def _dev(self, host_arr):
+        return host_arr if self._host else self.xp.asarray(host_arr)
+
+    def _add_into(self, kern, a, b, view) -> None:
+        if self._host:
+            kern.add(a, b, out=view)
+        else:
+            self._S(view, kern.add(a, b))
+
+    def _dkern(self, lvl: int):
+        """Kernel for fused elementwise steps, in the active namespace."""
+        if self._host:
+            return self._basis.kernel(lvl)
+        kern = self._dkern_cache.get(lvl)
+        if kern is None:
+            q_col = np.array(
+                self._basis.moduli[:lvl], dtype=np.uint64
+            ).reshape(-1, 1)
+            kern = make_kernel(q_col, self.plan.backend, xp=self.xp)
+            self._dkern_cache[lvl] = kern
+        return kern
+
+    def _scratch(self, tag: str, lvl: int, *, host: bool = False):
+        """A lower-time-allocated ``(lvl, N)`` uint64 work buffer.
+
+        Keyed by (tag, lvl) so independent closures never share a buffer
+        that could still be live; replays reuse the same arrays, keeping
+        the steady state allocation-free.
+        """
+        key = (tag, lvl, host)
+        buf = self._scratch_cache.get(key)
+        if buf is None:
+            shape = (lvl, self._basis.degree)
+            buf = (
+                np.empty(shape, dtype=np.uint64)
+                if host or self._host
+                else self.xp.empty(shape, dtype=np.uint64)
+            )
+            self._scratch_cache[key] = buf
+        return buf
+
+    def _contract(self, kern, tensor, pre, lvl: int, out=None):
+        """``sum_j tensor[j] * key[j] mod q`` — the key-switch inner product
+        as per-digit-row precomputed-constant multiplies with raw uint64
+        accumulation.
+
+        Bit-identical to ``kern.mul_accumulate(tensor, stacked)``: each
+        row product is the same canonical residue whichever multiplication
+        algorithm produced it, the uint64 sum of L canonical terms is far
+        inside the deferred-reduction headroom, and the single final
+        reduce sees the identical accumulator.  Row-sized operands keep
+        every temporary cache-resident, which is where the speedup over
+        one whole-tensor multiply comes from.
+        """
+        acc = self._scratch("ks-acc", lvl, host=True)
+        tmp = self._scratch("ks-tmp", lvl, host=True)
+        # Backend pre-forms may stack extra precomputed pieces ahead of the
+        # value axes (Barrett's Shoup pieces); index rows accordingly.
+        stacked = pre.ndim == tensor.ndim + 1
+        kern.mul_pre(tensor[0], pre[:, 0] if stacked else pre[0], out=acc)
+        for j in range(1, tensor.shape[0]):
+            kern.mul_pre(tensor[j], pre[:, j] if stacked else pre[j], out=tmp)
+            acc += tmp
+        return kern.reduce(acc, out=out)
+
+    def _contract2(
+        self, kern, tensor, b_pre, a_pre, lvl: int, perm=None, out0=None, out1=None
+    ):
+        """Both key-component contractions in one pass over the digit rows.
+
+        Same arithmetic as two :meth:`_contract` calls, but each (possibly
+        permuted) tensor row is gathered once and fed to both component
+        multiplies while cache-hot, and the optional ``perm`` folds the
+        Galois slot permutation into the row loop instead of materializing
+        a permuted copy of the whole tensor.  Permuting row-by-row gathers
+        the identical elements, so the products — and every accumulated
+        bit — match the whole-tensor-permute path exactly.
+        """
+        acc0 = self._scratch("ks-acc0", lvl, host=True)
+        acc1 = self._scratch("ks-acc1", lvl, host=True)
+        tmp = self._scratch("ks-tmp", lvl, host=True)
+        stacked = b_pre.ndim == tensor.ndim + 1
+
+        def _row(pre, j):
+            return pre[:, j] if stacked else pre[j]
+
+        row = tensor[0] if perm is None else tensor[0][:, perm]
+        kern.mul_pre(row, _row(b_pre, 0), out=acc0)
+        kern.mul_pre(row, _row(a_pre, 0), out=acc1)
+        for j in range(1, tensor.shape[0]):
+            row = tensor[j] if perm is None else tensor[j][:, perm]
+            kern.mul_pre(row, _row(b_pre, j), out=tmp)
+            acc0 += tmp
+            kern.mul_pre(row, _row(a_pre, j), out=tmp)
+            acc1 += tmp
+        return kern.reduce(acc0, out=out0), kern.reduce(acc1, out=out1)
+
+    # ------------------------------------------------------------------
+    # Host-staged key-switch core (mirrors KeySwitchEngine bit-for-bit)
+    # ------------------------------------------------------------------
+
+    def _decompose(self, data: np.ndarray, lvl: int) -> np.ndarray:
+        basis = self._basis
+        bat = basis.batch_ntt(lvl)
+        coeff = bat.inverse(data)
+        wide = np.broadcast_to(
+            coeff[:, np.newaxis, :], (lvl, lvl, basis.degree)
+        )
+        return bat.forward(basis.kernel(lvl).reduce(wide))
+
+    def _apply(self, tensor: np.ndarray, key, lvl: int, perm=None, out0=None, out1=None):
+        """Contract a decomposed tensor against one switching key.
+
+        Unlike the eager engine (which pre-forms key tensors only when
+        ``constant_pre_cheap`` holds), the fused replayer always uses
+        :meth:`SwitchingKey.stacked_pre` — the pre-form cost is paid once
+        per (key, backend) and cached on the key, and every replay then
+        runs the cache-friendly per-row contraction (see :meth:`_contract`
+        for the bit-identity argument).
+        """
+        kern = self._basis.kernel(lvl)
+        b_pre, a_pre = key.stacked_pre(kern)
+        return self._contract2(
+            kern, tensor, b_pre, a_pre, lvl, perm=perm, out0=out0, out1=out1
+        )
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _arena_step_for_group(grp, g: Graph) -> ArenaStep:
+        if grp.kind in ("mac", "sum"):
+            return ArenaStep(
+                produced=((grp.anchor, g.nodes[grp.anchor].size),),
+                consumed=grp.sources,
+            )
+        if grp.kind == "hoisted_automorphisms":
+            return ArenaStep(
+                produced=tuple((m, g.nodes[m].size) for m in grp.members),
+                consumed=grp.sources,
+            )
+        # chain: internal edges count too, so interior slots free at the
+        # end of the step rather than leaking for the whole replay.
+        return ArenaStep(
+            produced=tuple((m, g.nodes[m].size) for m in grp.members),
+            consumed=tuple(
+                i for m in grp.members for i in g.nodes[m].inputs
+            ),
+        )
+
+    def _lower_group(self, grp):
+        g = self.plan.graph
+        if grp.kind == "chain":
+            closures = [self._lower_raw(g.nodes[m]) for m in grp.members]
+
+            def chain_step(env, inputs):
+                for fn in closures:
+                    fn(env, inputs)
+
+            return chain_step
+        if grp.kind == "hoisted_automorphisms":
+            return self._lower_hoisted(grp)
+        root = g.nodes[grp.anchor]
+        lvl = root.level
+        dkern = self._dkern(lvl)
+        xp = self.xp
+        views = self._views[root.id]
+        srcs = grp.sources
+        # Raw uint64 accumulation of canonical terms with one final reduce
+        # is bit-identical to the eager binary add tree (canonical residues
+        # are unique; see ReducerKernel.add_accumulate) as long as the term
+        # count stays inside the deferred-reduction headroom.
+        assert len(srcs) <= dkern._acc_headroom
+        # Shared per-level work buffers: replay is single-threaded and the
+        # accumulator is dead by the end of each group step.
+        acc = self._scratch("grp-acc", lvl)
+        tmp = self._scratch("grp-tmp", lvl)
+        if grp.kind == "mac":
+            # Per-term precomputed-constant multiplies (Shoup/Montgomery
+            # pre-forms, resolved at lower time) beat one stacked multiply:
+            # same canonical products, but row-sized temporaries stay in
+            # cache and the constant pre-form halves the per-element work.
+            m_pre = [
+                dkern.pre(
+                    self._dev(
+                        g.consts[g.nodes[t].consts[0]]
+                        .poly.drop_limbs(lvl)
+                        .to_eval()
+                        .data
+                    )
+                )
+                for t in grp.payload
+            ]
+
+            def mac_step(env, inputs):
+                a_ = acc  # local alias: += must not rebind the closure cell
+                for i, v in enumerate(views):
+                    dkern.mul_pre(env[srcs[0]][i][:lvl], m_pre[0], out=a_)
+                    for t in range(1, len(srcs)):
+                        dkern.mul_pre(env[srcs[t]][i][:lvl], m_pre[t], out=tmp)
+                        a_ += tmp
+                    dkern.reduce(a_, out=v)
+
+            return mac_step
+
+        def sum_step(env, inputs):
+            a_ = acc
+            for i, v in enumerate(views):
+                xp.copyto(a_, env[srcs[0]][i][:lvl])
+                for t in range(1, len(srcs)):
+                    a_ += env[srcs[t]][i][:lvl]
+                dkern.reduce(a_, out=v)
+
+        return sum_step
+
+    def _lower_hoisted(self, grp):
+        g = self.plan.graph
+        src = grp.sources[0]
+        lvl = g.nodes[src].level
+        hkern = self._basis.kernel(lvl)
+        two_n = 2 * self._basis.degree
+        members_meta = [
+            (
+                galois_permutation(self._basis.degree, g.nodes[m].attrs[-1] % two_n),
+                g.consts[g.nodes[m].consts[0]],
+                self._views[m],
+            )
+            for m in grp.members
+        ]
+
+        host = self._host
+
+        def hoisted_step(env, inputs):
+            parts = env[src]
+            p0 = self._H(parts[0][:lvl])
+            dec = self._decompose(self._H(parts[1][:lvl]), lvl)
+            for perm, key, mviews in members_meta:
+                out1 = mviews[1] if host else None
+                ks0, ks1 = self._apply(dec, key, lvl, perm=perm, out1=out1)
+                self._add_into(hkern, p0[:, perm], ks0, mviews[0])
+                if not host:
+                    self._S(mviews[1], ks1)
+
+        return hoisted_step
+
+    def _lower_raw(self, node: Node):
+        """One node -> one closure writing into its preassigned views.
+
+        Each branch issues the exact kernel-call sequence the eager
+        evaluator performs for that op (with ``out=`` routed into the
+        arena), so single-node steps are bit-identical by construction.
+        """
+        g = self.plan.graph
+        op = node.op
+        xp = self.xp
+        nid = node.id
+        if op in ("input", "pt_input"):
+            index = node.attrs[0]
+            if op == "pt_input":
+
+                def pt_step(env, inputs):
+                    env[nid] = inputs[index]
+
+                return pt_step
+
+            def input_step(env, inputs):
+                env[nid] = [self._dev(p.data) for p in inputs[index].parts]
+
+            return input_step
+
+        views = self._views[nid]
+        lvl = node.level
+        ids = node.inputs
+        if op in ("add", "sub"):
+            a, b = ids
+            asize = g.nodes[a].size
+            bsize = g.nodes[b].size
+            kern = self._dkern(lvl)
+            is_sub = op == "sub"
+
+            def add_step(env, inputs):
+                pa = env[a]
+                pb = env[b]
+                for i, v in enumerate(views):
+                    if i < asize and i < bsize:
+                        if is_sub:
+                            # kern.sub == add(a, neg(b)) by canonicity.
+                            kern.sub(pa[i][:lvl], pb[i][:lvl], out=v)
+                        else:
+                            kern.add(pa[i][:lvl], pb[i][:lvl], out=v)
+                    elif i < asize:
+                        xp.copyto(v, pa[i][:lvl])
+                    elif is_sub:
+                        kern.neg(pb[i][:lvl], out=v)
+                    else:
+                        xp.copyto(v, pb[i][:lvl])
+
+            return add_step
+        if op == "negate":
+            (a,) = ids
+            kern = self._dkern(lvl)
+
+            def neg_step(env, inputs):
+                pa = env[a]
+                for i, v in enumerate(views):
+                    kern.neg(pa[i][:lvl], out=v)
+
+            return neg_step
+        if op == "multiply":
+            a, b = ids
+            kern = self._dkern(lvl)
+
+            def mul_step(env, inputs):
+                pa = env[a]
+                pb = env[b]
+                a0, a1 = pa[0][:lvl], pa[1][:lvl]
+                b0, b1 = pb[0][:lvl], pb[1][:lvl]
+                kern.mul(a0, b0, out=views[0])
+                kern.add(kern.mul(a0, b1), kern.mul(a1, b0), out=views[1])
+                kern.mul(a1, b1, out=views[2])
+
+            return mul_step
+        if op in ("add_plain", "multiply_plain"):
+            if len(ids) == 2:  # symbolic plaintext: eager fallback
+                return self._lower_plain_fallback(node)
+            (a,) = ids
+            pt = g.consts[node.consts[0]]
+            m = self._dev(pt.poly.drop_limbs(lvl).to_eval().data)
+            kern = self._dkern(lvl)
+            if op == "add_plain":
+
+                def addp_step(env, inputs):
+                    pa = env[a]
+                    kern.add(pa[0][:lvl], m, out=views[0])
+                    for i in range(1, len(views)):
+                        xp.copyto(views[i], pa[i][:lvl])
+
+                return addp_step
+
+            m_pre = kern.pre(m)  # constant operand: pre-form at lower time
+
+            def mulp_step(env, inputs):
+                pa = env[a]
+                for i, v in enumerate(views):
+                    kern.mul_pre(pa[i][:lvl], m_pre, out=v)
+
+            return mulp_step
+        if op == "relinearize":
+            (a,) = ids
+            key = g.consts[node.consts[0]]
+            hkern = self._basis.kernel(lvl)
+
+            def relin_step(env, inputs):
+                parts = env[a]
+                dec = self._decompose(self._H(parts[2][:lvl]), lvl)
+                ks0, ks1 = self._apply(dec, key, lvl)
+                self._add_into(hkern, self._H(parts[0][:lvl]), ks0, views[0])
+                self._add_into(hkern, self._H(parts[1][:lvl]), ks1, views[1])
+
+            return relin_step
+        if op == "rescale":
+            (a,) = ids
+            times = node.attrs[0]
+            lvl_in = g.nodes[a].level
+            consts = _rescale_consts(self._basis, lvl_in, times)
+            bat_in = self._basis.batch_ntt(lvl_in)
+            bat_out = self._basis.batch_ntt(lvl_in - times)
+
+            def rescale_step(env, inputs):
+                stacked = np.stack([self._H(p[:lvl_in]) for p in env[a]])
+                res = _rescale_stack(bat_in.inverse(stacked), consts)
+                out = bat_out.forward(res)
+                for i, v in enumerate(views):
+                    self._S(v, out[i])
+
+            return rescale_step
+        if op in AUTOMORPHISM_OPS:
+            (a,) = ids
+            key = g.consts[node.consts[0]]
+            hkern = self._basis.kernel(lvl)
+            perm = galois_permutation(
+                self._basis.degree, node.attrs[-1] % (2 * self._basis.degree)
+            )
+
+            host = self._host
+
+            def galois_step(env, inputs):
+                parts = env[a]
+                dec = self._decompose(self._H(parts[1][:lvl]), lvl)
+                out1 = views[1] if host else None
+                ks0, ks1 = self._apply(dec, key, lvl, perm=perm, out1=out1)
+                c0r = self._H(parts[0][:lvl])[:, perm]
+                self._add_into(hkern, c0r, ks0, views[0])
+                if not host:
+                    self._S(views[1], ks1)
+
+            return galois_step
+        raise AssertionError(f"unschedulable op {op!r}")
+
+    def _lower_plain_fallback(self, node: Node):
+        """Plain op over a *symbolic* plaintext: per-replay data, so the
+        step materializes containers and calls the eager evaluator."""
+        g = self.plan.graph
+        ev = self.plan.evaluator
+        basis = self._basis
+        a, p = node.inputs
+        method = ev.add_plain if node.op == "add_plain" else ev.multiply_plain
+        alvl = g.nodes[a].level
+        scale = g.nodes[a].scale
+        views = self._views[node.id]
+
+        def plain_step(env, inputs):
+            ct = Ciphertext(
+                parts=[
+                    RnsPolynomial(basis, self._H(part[:alvl]), EVAL)
+                    for part in env[a]
+                ],
+                scale=scale,
+            )
+            res = method(ct, env[p])
+            for i, v in enumerate(views):
+                self._S(v, res.parts[i].data)
+
+        return plain_step
 
 
 # ---------------------------------------------------------------------------

@@ -25,13 +25,13 @@ SEED = 1234
 def _run_pipeline():
     """One seeded encrypt/rotate/multiply/rescale/decrypt run; all bytes.
 
-    The same program is executed five ways — eagerly, through the
+    The same program is executed six ways — eagerly, through the
     runtime's reference interpreter, through the batched plan executor,
-    through a 2-worker sharded pool (ciphertexts crossing the
-    serialization boundary), and through a shipped-plan worker that
-    deserializes the EPL1 plan artifact instead of inheriting the
-    compiled plan via fork — and all five must agree byte-for-byte
-    within the run.
+    through the arena-backed fused replayer, through a 2-worker sharded
+    pool (ciphertexts crossing the serialization boundary), and through
+    a shipped-plan worker that deserializes the EPL1 plan artifact and
+    replays it *fused* — and all six must agree byte-for-byte within
+    the run.
     """
     ctx = CkksContext.create(toy_params(degree=DEGREE, num_primes=NUM_PRIMES), seed=SEED)
     rlk = ctx.relin_keys(levels=[NUM_PRIMES])
@@ -55,16 +55,18 @@ def _run_pipeline():
     plan = compile_fn(program, ctx.evaluator, [spec, spec])
     plan_rot, plan_prod = plan.run([ct_x, ct_y])
     ((batch_rot, batch_prod),) = plan.run_batch([[ct_x, ct_y]])
+    ((fused_rot, fused_prod),) = plan.run_batch([[ct_x, ct_y]], fused=True)
     with ShardedExecutor(plan, 2) as pool:
         ((shard_rot, shard_prod),) = pool.run_batch([[ct_x, ct_y]], timeout=120)
-    with ShardedExecutor(plan, 1, ship_plan=True) as wire_pool:
+    with ShardedExecutor(plan, 1, ship_plan=True, fused=True) as wire_pool:
         ((ship_rot, ship_prod),) = wire_pool.run_batch(
             [[ct_x, ct_y]], timeout=120
         )
         assert wire_pool.stats()["plan_wire"] or wire_pool.stats()["inline"]
-    for eager_ct, planned, batched, sharded, shipped in (
-        (rot, plan_rot, batch_rot, shard_rot, ship_rot),
-        (prod, plan_prod, batch_prod, shard_prod, ship_prod),
+        assert wire_pool.stats()["fused"]
+    for eager_ct, planned, batched, fused, sharded, shipped in (
+        (rot, plan_rot, batch_rot, fused_rot, shard_rot, ship_rot),
+        (prod, plan_prod, batch_prod, fused_prod, shard_prod, ship_prod),
     ):
         for i, part in enumerate(eager_ct.parts):
             assert np.array_equal(part.data, planned.parts[i].data), (
@@ -73,11 +75,14 @@ def _run_pipeline():
             assert np.array_equal(part.data, batched.parts[i].data), (
                 f"batched execution diverged from eager at part {i}"
             )
+            assert np.array_equal(part.data, fused.parts[i].data), (
+                f"fused execution diverged from eager at part {i}"
+            )
             assert np.array_equal(part.data, sharded.parts[i].data), (
                 f"sharded execution diverged from eager at part {i}"
             )
             assert np.array_equal(part.data, shipped.parts[i].data), (
-                f"shipped-plan execution diverged from eager at part {i}"
+                f"shipped-plan (fused) execution diverged from eager at part {i}"
             )
 
     snapshots = {
@@ -86,6 +91,8 @@ def _run_pipeline():
         "prod": [p.data.copy() for p in prod.parts],
         "plan_rot": [p.data.copy() for p in plan_rot.parts],
         "plan_prod": [p.data.copy() for p in plan_prod.parts],
+        "fused_rot": [p.data.copy() for p in fused_rot.parts],
+        "fused_prod": [p.data.copy() for p in fused_prod.parts],
         "out": out.copy(),
         "plan_out": ctx.decrypt_decode(plan_prod).copy(),
         "expected": x * y,
@@ -109,7 +116,10 @@ def test_ciphertexts_bit_identical_across_backends():
     ref = runs[names[0]]
     for other in names[1:]:
         got = runs[other]
-        for key in ("ct_x", "rot", "prod", "plan_rot", "plan_prod"):
+        for key in (
+            "ct_x", "rot", "prod", "plan_rot", "plan_prod",
+            "fused_rot", "fused_prod",
+        ):
             for i, (a, b) in enumerate(zip(ref[key], got[key])):
                 assert np.array_equal(a, b), (
                     f"{key} part {i} differs between {names[0]} and {other}"

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+import numpy as np
+
 from repro.runtime import (
     CtSpec,
     PlanValidationError,
@@ -11,6 +13,7 @@ from repro.runtime import (
     eliminate_common_subexpressions,
     eliminate_dead_nodes,
     fuse_rescales,
+    fusion_groups,
     hoist_groups,
     optimize,
     trace,
@@ -113,6 +116,115 @@ class TestHoistGrouping:
         assert len(groups) == 1
         (members,) = groups.values()
         assert len(members) == 2  # the lone rotation stays ungrouped
+
+
+class TestFusion:
+    """fusion_groups is analysis only — the graph is never rewritten."""
+
+    def _pts(self, rctx, count, level=None, scale=None):
+        level = rctx.params.num_primes if level is None else level
+        scale = rctx.params.scale if scale is None else scale
+        slots = rctx.params.slots
+        return [
+            rctx.encoder.encode(np.full(slots, 0.1 * (i + 1)), level=level, scale=scale)
+            for i in range(count)
+        ]
+
+    def test_mac_tree_folds_terms_and_adds(self, rctx):
+        p1, p2, p3 = self._pts(rctx, 3)
+
+        def program(ev, x):
+            t1 = ev.multiply_plain(x, p1)
+            t2 = ev.multiply_plain(x, p2)
+            t3 = ev.multiply_plain(x, p3)
+            return ev.add(ev.add(t1, t2), t3)
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        (group,) = fusion_groups(g)
+        assert group.kind == "mac"
+        assert len(group.payload) == 3  # the three multiply_plain terms
+        # Every mac source is the term's ciphertext operand, term-aligned.
+        assert group.sources == tuple(
+            g.nodes[t].inputs[0] for t in group.payload
+        )
+        # The whole tree (root + interior add + 3 terms) is covered.
+        assert len(group.members) == 5
+        assert group.outputs == (group.anchor,)
+
+    def test_multi_consumer_term_degrades_mac_to_sum(self, rctx):
+        p1, p2, p3 = self._pts(rctx, 3)
+
+        def program(ev, x):
+            t1 = ev.multiply_plain(x, p1)
+            t2 = ev.multiply_plain(x, p2)
+            t3 = ev.multiply_plain(x, p3)
+            s = ev.add(ev.add(t1, t2), t3)
+            return ev.add(s, t1)  # t1 read twice -> cannot fold its multiply
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        groups = fusion_groups(g)
+        kinds = {grp.kind for grp in groups}
+        assert "mac" not in kinds
+        assert "sum" in kinds
+
+    def test_two_term_add_stays_unfused(self, rctx):
+        p1, p2 = self._pts(rctx, 2)
+
+        def program(ev, x):
+            return ev.add(ev.multiply_plain(x, p1), ev.multiply_plain(x, p2))
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        assert not any(
+            grp.kind in ("mac", "sum") for grp in fusion_groups(g)
+        )
+
+    def test_elementwise_chain_runs_as_one_step(self, rctx):
+        (p1,) = self._pts(rctx, 1)
+        # add_plain operand must match the product's squared scale.
+        (p2,) = self._pts(rctx, 1, scale=rctx.params.scale * p1.scale)
+
+        def program(ev, x):
+            y = ev.add_plain(ev.multiply_plain(x, p1), p2)
+            return ev.negate(y)
+
+        g = trace(program, rctx.evaluator, [_spec(rctx)])
+        chains = [grp for grp in fusion_groups(g) if grp.kind == "chain"]
+        (chain,) = chains
+        assert len(chain.members) == 3
+        assert chain.outputs == (chain.members[-1],)
+        assert chain.sources == (0,)  # the lone graph input
+
+    def test_hoist_families_become_schedule_steps(self, rctx, gks):
+        def program(ev, x):
+            return ev.add(ev.rotate(x, 1, gks), ev.rotate(x, 2, gks))
+
+        g = optimize(trace(program, rctx.evaluator, [_spec(rctx)]))
+        hoist = hoist_groups(g)
+        hoisted = [
+            grp for grp in fusion_groups(g, hoist)
+            if grp.kind == "hoisted_automorphisms"
+        ]
+        (grp,) = hoisted
+        (members,) = hoist.values()
+        assert grp.members == tuple(members)
+        assert grp.anchor == min(members)
+
+    def test_groups_are_disjoint(self, rctx, gks):
+        p1, p2, p3 = self._pts(rctx, 3)
+
+        def program(ev, x):
+            r1 = ev.rotate(x, 1, gks)
+            r2 = ev.rotate(x, 2, gks)
+            t1 = ev.multiply_plain(r1, p1)
+            t2 = ev.multiply_plain(r2, p2)
+            t3 = ev.multiply_plain(x, p3)
+            return ev.add(ev.add(t1, t2), t3)
+
+        g = optimize(trace(program, rctx.evaluator, [_spec(rctx)]))
+        seen: set[int] = set()
+        for grp in fusion_groups(g):
+            assert seen.isdisjoint(grp.members)
+            seen.update(grp.members)
 
 
 class TestAlignmentChecker:
