@@ -46,6 +46,7 @@ DEFAULT_FILES = [
     "BENCH_runtime.json",
     "BENCH_serving.json",
     "BENCH_planio.json",
+    "BENCH_chaos.json",
 ]
 
 # workers/requests keep serving-bench baselines from being compared

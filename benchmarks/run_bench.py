@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Standalone performance runner: kernels, runtime, serving, plan I/O.
+"""Standalone performance runner: kernels, runtime, serving, plan I/O,
+and fault-recovery overhead.
 
-Four sections, selectable with ``--sections``:
+Five sections, selectable with ``--sections``:
 
 * ``core`` — the hot primitives (mulmod, batched NTT, key switching,
   rotation plain/hoisted, BSGS, a bootstrap step) against the pre-PR
@@ -18,7 +19,12 @@ Four sections, selectable with ``--sections``:
 * ``planio`` — plan-artifact costs on the BSGS matmul program:
   trace+optimize (cold compile) vs. trace+disk-store load vs. raw
   EPL1 deserialization, plus serialize time and blob size, written to
-  ``BENCH_planio.json``.
+  ``BENCH_planio.json``;
+* ``chaos`` — fault-recovery overhead: the same served batch under
+  seeded injected worker crashes (5/10/20% per-attempt rates), with
+  zero-lost/zero-duplicated and bit-identity hard-asserted and the
+  fault-free/faulted wall-clock ratio gated, written to
+  ``BENCH_chaos.json``.
 
 Every output JSON carries a ``trajectory`` list: by default the history
 already in the file is preserved and this run appended, so the per-PR
@@ -572,6 +578,96 @@ def bench_serving(
     }
 
 
+def bench_chaos(
+    ctx, workers: int, n_requests: int, crash_rates: list[float], seed: int
+) -> dict:
+    """Recovery overhead of the fault-tolerant serving engine.
+
+    One fresh pool per fault level (chaos decisions key on request ids,
+    so reusing a pool would shift the injected schedule), each serving
+    the same ``n_requests``-request batch.  At every level the run must
+    complete with **zero lost and zero duplicated requests** and outputs
+    byte-identical to the fault-free single-process replay — the bench
+    hard-fails otherwise; the timing rows then quantify what the crash
+    recovery (worker respawn + retry) costs.
+
+    Gated ratios (``chaos_recovery_efficiency_p<pct>``): fault-free
+    wall-clock / faulted wall-clock, higher is better (1.0 = recovery is
+    free).  The 10% level additionally hard-asserts the acceptance bound
+    ``faulted <= 2 x fault-free``.
+    """
+    from repro.runtime import FaultPlan, FaultPolicy
+
+    rng = np.random.default_rng(43)
+    slots = ctx.params.slots
+    plan = _inference_plan(ctx)
+    batches = [[ctx.encrypt(rng.uniform(-1, 1, slots))] for _ in range(n_requests)]
+    reference = plan.run_batch(batches)  # warms every fork-shared cache
+
+    # Generous budgets: the bench measures recovery cost, so no request
+    # may be lost to a retry/crash budget at the rates swept here.
+    policy = FaultPolicy(
+        max_attempts=10,
+        backoff_base_s=0.01,
+        backoff_max_s=0.1,
+        crash_loop_threshold=100,
+    )
+
+    def run_level(crash_rate: float) -> tuple[float, dict]:
+        chaos = (
+            FaultPlan(seed, crash_rate=crash_rate) if crash_rate > 0 else None
+        )
+        with ShardedExecutor(
+            plan,
+            workers,
+            chaos=chaos,
+            policy=policy,
+            max_crash_respawns=10_000,
+            warm_inputs=batches[0],
+        ) as pool:
+            t0 = time.perf_counter()
+            outs = pool.run_batch(batches, timeout=600)
+            elapsed = time.perf_counter() - t0
+            stats = pool.stats()
+        label = f"{crash_rate:.0%} crash rate"
+        assert len(outs) == n_requests, f"{label}: lost/duplicated requests"
+        assert stats["completed"] == n_requests, f"{label}: incomplete batch"
+        assert stats["errors"] == 0, f"{label}: requests failed"
+        _assert_bit_identical(outs, reference, f"chaos {label}")
+        return elapsed, stats
+
+    results: dict[str, dict] = {}
+    fault_free_s, _ = run_level(0.0)
+    results["chaos_fault_free"] = {"best_s": fault_free_s, "mean_s": fault_free_s}
+    speedups: dict[str, float] = {}
+    recovery = {}
+    for rate in crash_rates:
+        faulted_s, stats = run_level(rate)
+        pct = int(round(rate * 100))
+        results[f"chaos_crash_p{pct}"] = {
+            "best_s": faulted_s,
+            "mean_s": faulted_s,
+        }
+        speedups[f"chaos_recovery_efficiency_p{pct}"] = fault_free_s / faulted_s
+        recovery[f"p{pct}"] = {
+            "worker_crashes": stats["worker_crashes"],
+            "respawns": stats["respawns"],
+            "retries": stats["retries"],
+            "overhead_x": faulted_s / fault_free_s,
+        }
+        if pct == 10:
+            assert faulted_s <= 2.0 * fault_free_s, (
+                f"10% crash-rate batch took {faulted_s:.3f}s, more than 2x "
+                f"the fault-free {fault_free_s:.3f}s"
+            )
+    return {
+        "results": results,
+        "fault_free_s": fault_free_s,
+        "recovery": recovery,
+        "speedups_x": speedups,
+    }
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -607,7 +703,7 @@ def _print_section(title: str, results: dict, speedups: dict, legend: str) -> No
         print(f"  {name:<{width}}  {x:5.2f}x")
 
 
-KNOWN_SECTIONS = ("core", "runtime", "serving", "planio")
+KNOWN_SECTIONS = ("core", "runtime", "serving", "planio", "chaos")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -615,7 +711,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--quick", action="store_true", help="CI smoke sizes")
     ap.add_argument(
         "--sections",
-        default="core,runtime,serving,planio",
+        default="core,runtime,serving,planio,chaos",
         help=f"comma list of sections to run: {', '.join(KNOWN_SECTIONS)}",
     )
     ap.add_argument("--out", default="BENCH_keyswitch.json", help="output JSON path")
@@ -638,6 +734,29 @@ def main(argv: list[str] | None = None) -> int:
         "--serving-workers",
         default="1,2,4",
         help="comma list of pool sizes for the serving scaling sweep",
+    )
+    ap.add_argument(
+        "--chaos-out",
+        default="BENCH_chaos.json",
+        help="chaos-section output JSON path",
+    )
+    ap.add_argument(
+        "--chaos-workers",
+        type=int,
+        default=2,
+        help="pool size for the chaos recovery bench",
+    )
+    ap.add_argument(
+        "--chaos-requests",
+        type=int,
+        default=None,
+        help="requests per chaos measurement (default 16 quick / 64 full)",
+    )
+    ap.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=1,
+        help="fault-injection seed for the chaos bench",
     )
     ap.add_argument(
         "--serving-requests",
@@ -810,6 +929,42 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         _finalize(sv_payload, Path(args.serving_out), args.append_trajectory)
+
+    if "chaos" in sections:
+        chaos_requests = args.chaos_requests or (16 if args.quick else 64)
+        crash_rates = [0.05, 0.10, 0.20]
+        chaos = bench_chaos(
+            ctx, args.chaos_workers, chaos_requests, crash_rates, args.chaos_seed
+        )
+        ch_payload = {
+            "meta": {
+                "bench": "chaos-recovery",
+                **meta_common,
+                "requests": chaos_requests,
+                "workers": args.chaos_workers,
+                "crash_rates": crash_rates,
+                "chaos_seed": args.chaos_seed,
+            },
+            **{k: v for k, v in chaos.items() if k != "results"},
+            "results_s": chaos["results"],
+            "speedups_x": chaos["speedups_x"],
+        }
+        _print_section(
+            f"\nchaos-recovery bench  (N=2^{degree.bit_length()-1}, L={primes}, "
+            f"{chaos_requests} requests, {args.chaos_workers} workers, "
+            f"seed {args.chaos_seed}; surviving outputs asserted "
+            "bit-identical, zero lost/duplicated)",
+            chaos["results"],
+            chaos["speedups_x"],
+            "fault-free / faulted wall-clock (1.0 = recovery is free)",
+        )
+        for level, row in chaos["recovery"].items():
+            print(
+                f"  {level}: {row['worker_crashes']} crashes, "
+                f"{row['respawns']} respawns, {row['retries']} retries, "
+                f"overhead {row['overhead_x']:.2f}x"
+            )
+        _finalize(ch_payload, Path(args.chaos_out), args.append_trajectory)
 
     if "planio" in sections:
         planio = bench_plan_io(ctx, repeats)

@@ -33,6 +33,7 @@ from repro.ckks.security import (
     max_modulus_bits,
 )
 from repro.ckks.serialization import (
+    WireFormatError,
     ciphertext_wire_bytes,
     deserialize_ciphertext,
     deserialize_plaintext,
@@ -65,6 +66,7 @@ __all__ = [
     "HomomorphicLinearTransform",
     "evaluate_chebyshev",
     "SecurityReport",
+    "WireFormatError",
     "check_parameters",
     "ciphertext_wire_bytes",
     "deserialize_ciphertext",

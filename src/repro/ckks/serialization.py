@@ -50,6 +50,7 @@ from repro.rns.basis import RnsBasis
 from repro.rns.poly import COEFF, EVAL, RnsPolynomial
 
 __all__ = [
+    "WireFormatError",
     "pack_residues",
     "unpack_residues",
     "pack_frame",
@@ -78,6 +79,17 @@ SEEDED_MAGIC = b"CTS2"
 PLAINTEXT_MAGIC = b"PTX1"
 SWITCHING_KEY_MAGIC = b"SWK1"
 
+
+class WireFormatError(ValueError):
+    """A wire blob failed decoding: wrong magic, truncation, or CRC
+    mismatch.
+
+    Subclasses :class:`ValueError` for backward compatibility, but gives
+    the serving stack a *typed* corruption signal: the worker boundary
+    maps it to :class:`repro.runtime.faults.WireCorruption` (a per-request
+    typed reply) instead of letting a corrupt frame take a process down.
+    """
+
 _MAGIC_FULL = CIPHERTEXT_MAGIC
 _MAGIC_SEED = SEEDED_MAGIC
 _MAGIC_PLAIN = PLAINTEXT_MAGIC
@@ -102,7 +114,7 @@ def unpack_residues(blob: bytes, bits: int, count: int) -> np.ndarray:
     raw = np.unpackbits(np.frombuffer(blob, dtype=np.uint8), bitorder="little")
     needed = bits * count
     if len(raw) < needed:
-        raise ValueError(f"blob too short: {len(raw)} bits < {needed}")
+        raise WireFormatError(f"blob too short: {len(raw)} bits < {needed}")
     bitmat = raw[:needed].reshape(count, bits).astype(np.uint64)
     shifts = np.arange(bits, dtype=np.uint64)
     return (bitmat << shifts).sum(axis=1, dtype=np.uint64)
@@ -152,13 +164,15 @@ def serialize_ciphertext(ct: Ciphertext, coeff_bits: int = 44) -> bytes:
 
 def deserialize_ciphertext(blob: bytes, basis: RnsBasis) -> Ciphertext:
     if blob[:4] != _MAGIC_FULL:
-        raise ValueError("not a full-ciphertext blob")
+        raise WireFormatError("not a full-ciphertext blob")
     degree, _, level, bits, scale = struct.unpack(
         "<IIHHd", blob[4 : 4 + struct.calcsize("<IIHHd")]
     )
     (size,) = struct.unpack("<H", blob[_HEADER_LEN - 2 : _HEADER_LEN])
     if degree != basis.degree:
-        raise ValueError(f"degree mismatch: blob {degree}, basis {basis.degree}")
+        raise WireFormatError(
+            f"degree mismatch: blob {degree}, basis {basis.degree}"
+        )
     offset = _HEADER_LEN
     parts = []
     for _ in range(size):
@@ -183,12 +197,14 @@ def serialize_seeded(ct: Ciphertext, seed: bytes, coeff_bits: int = 44) -> bytes
 def deserialize_seeded(blob: bytes, basis: RnsBasis) -> Ciphertext:
     """Rebuild the full ciphertext server-side, re-expanding c1."""
     if blob[:4] != _MAGIC_SEED:
-        raise ValueError("not a seeded-ciphertext blob")
+        raise WireFormatError("not a seeded-ciphertext blob")
     degree, _, level, bits, scale = struct.unpack(
         "<IIHHd", blob[4 : 4 + struct.calcsize("<IIHHd")]
     )
     if degree != basis.degree:
-        raise ValueError(f"degree mismatch: blob {degree}, basis {basis.degree}")
+        raise WireFormatError(
+            f"degree mismatch: blob {degree}, basis {basis.degree}"
+        )
     offset = _HEADER_LEN
     c0, offset = _poly_from_payload(basis, blob, offset, level, bits, EVAL)
     seed = blob[offset : offset + 16]
@@ -210,13 +226,15 @@ def serialize_plaintext(pt: Plaintext, coeff_bits: int = 44) -> bytes:
 
 def deserialize_plaintext(blob: bytes, basis: RnsBasis) -> Plaintext:
     if blob[:4] != _MAGIC_PLAIN:
-        raise ValueError("not a plaintext blob")
+        raise WireFormatError("not a plaintext blob")
     degree, _, level, bits, scale = struct.unpack(
         "<IIHHd", blob[4 : 4 + struct.calcsize("<IIHHd")]
     )
     (domain_flag,) = struct.unpack("<H", blob[_HEADER_LEN - 2 : _HEADER_LEN])
     if degree != basis.degree:
-        raise ValueError(f"degree mismatch: blob {degree}, basis {basis.degree}")
+        raise WireFormatError(
+            f"degree mismatch: blob {degree}, basis {basis.degree}"
+        )
     domain = EVAL if domain_flag else COEFF
     poly, _ = _poly_from_payload(basis, blob, _HEADER_LEN, level, bits, domain)
     return Plaintext(poly=poly, scale=scale)
@@ -244,10 +262,12 @@ def serialize_switching_key(key: SwitchingKey, coeff_bits: int | None = None) ->
 
 def deserialize_switching_key(blob: bytes, basis: RnsBasis) -> SwitchingKey:
     if blob[:4] != SWITCHING_KEY_MAGIC:
-        raise ValueError("not a switching-key blob")
+        raise WireFormatError("not a switching-key blob")
     degree, level, bits = struct.unpack("<IHH", blob[4:12])
     if degree != basis.degree:
-        raise ValueError(f"degree mismatch: blob {degree}, basis {basis.degree}")
+        raise WireFormatError(
+            f"degree mismatch: blob {degree}, basis {basis.degree}"
+        )
     offset = 12
     pairs: list[tuple[RnsPolynomial, RnsPolynomial]] = []
     for _ in range(level):
@@ -281,11 +301,11 @@ def pack_frame(tag: bytes, payload: bytes) -> bytes:
 def read_frame(blob: bytes, offset: int) -> tuple[bytes, bytes, int]:
     """Read one frame at ``offset``; returns (tag, payload, next_offset).
 
-    Raises ``ValueError`` on truncation (declared length runs past the
-    blob) or corruption (CRC mismatch).
+    Raises :class:`WireFormatError` on truncation (declared length runs
+    past the blob) or corruption (CRC mismatch).
     """
     if offset + 8 > len(blob):
-        raise ValueError(
+        raise WireFormatError(
             f"truncated frame header at offset {offset} ({len(blob)} bytes total)"
         )
     tag = blob[offset : offset + 4]
@@ -293,14 +313,14 @@ def read_frame(blob: bytes, offset: int) -> tuple[bytes, bytes, int]:
     start = offset + 8
     end = start + length
     if end + 4 > len(blob):
-        raise ValueError(
+        raise WireFormatError(
             f"truncated frame {tag!r}: payload of {length} bytes runs past "
             f"the end of the {len(blob)}-byte blob"
         )
     payload = blob[start:end]
     (crc,) = struct.unpack_from("<I", blob, end)
     if zlib.crc32(payload) != crc:
-        raise ValueError(f"corrupt frame {tag!r}: CRC mismatch")
+        raise WireFormatError(f"corrupt frame {tag!r}: CRC mismatch")
     return tag, payload, end + 4
 
 

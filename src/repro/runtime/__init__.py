@@ -56,7 +56,20 @@ from repro.runtime.bridge import (
     plan_to_workload,
 )
 from repro.runtime.arena import ArenaLayout, ArenaStep, BufferArena
+from repro.runtime.chaos import SITES, FaultAction, FaultPlan, flip_frame_byte
 from repro.runtime.executor import ShardedExecutor, WorkerError
+from repro.runtime.faults import (
+    FAULT_MAGIC,
+    DeadlineExceeded,
+    FaultPolicy,
+    PoisonRequest,
+    RequestError,
+    WireCorruption,
+    WorkerCrash,
+    WorkerHang,
+    deserialize_fault,
+    serialize_fault,
+)
 from repro.runtime.graph import ELEMENTWISE_OPS, CtSpec, FusedGroup, Graph, Node, PtSpec
 from repro.runtime.passes import (
     PlanValidationError,
@@ -150,6 +163,20 @@ __all__ = [
     "plan_schedule_comparison",
     "ShardedExecutor",
     "WorkerError",
+    "RequestError",
+    "WorkerCrash",
+    "WorkerHang",
+    "DeadlineExceeded",
+    "WireCorruption",
+    "PoisonRequest",
+    "FaultPolicy",
+    "FAULT_MAGIC",
+    "serialize_fault",
+    "deserialize_fault",
+    "FaultAction",
+    "FaultPlan",
+    "SITES",
+    "flip_frame_byte",
     "StreamingServer",
     "RequestRecord",
 ]

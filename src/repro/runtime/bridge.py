@@ -124,7 +124,9 @@ def plan_to_workload(plan: ExecutionPlan, degree: int | None = None) -> ClientWo
     )
 
 
-def plan_to_request_queue(plan: ExecutionPlan, requests: int = 1) -> RequestQueue:
+def plan_to_request_queue(
+    plan: ExecutionPlan, requests: int = 1, *, failures: int = 0
+) -> RequestQueue:
     """Client task queue for ``requests`` replays of the plan.
 
     Every replay makes the client encode+encrypt one ciphertext per plan
@@ -132,12 +134,20 @@ def plan_to_request_queue(plan: ExecutionPlan, requests: int = 1) -> RequestQueu
     :meth:`repro.accel.scheduler.RscScheduler.compare` runs the paper's
     scheduling-policy experiment on a real traced program instead of an
     analytic queue.
+
+    ``failures`` counts requests that entered the engine but never
+    produced a result (deadline-failed, poisoned).  They still cost the
+    client their encode+encrypt — the upload happened before the failure
+    — but never reach decode+decrypt, so the two queue legs diverge
+    exactly the way a faulted serving run does.
     """
+    if failures < 0:
+        raise ValueError("failures must be >= 0")
     num_ct_inputs = sum(
         1 for i in plan.graph.input_ids if plan.graph.nodes[i].kind == "ct"
     )
     return RequestQueue(
-        encode_encrypt=requests * num_ct_inputs,
+        encode_encrypt=(requests + failures) * num_ct_inputs,
         decode_decrypt=requests * plan.num_outputs,
     )
 
@@ -147,6 +157,8 @@ def plan_schedule_comparison(
     requests: int,
     config=None,
     degree: int | None = None,
+    *,
+    failures: int = 0,
 ):
     """Schedule ``requests`` replays of a plan on the dual RSCs.
 
@@ -155,6 +167,8 @@ def plan_schedule_comparison(
     (best makespan first) — the accelerator-side counterpart of the
     software serving engine's measured queue, so streaming-server stats
     can sit next to the paper's dual-RSC scheduling policies.
+    ``failures`` projects failed requests onto the queue the same way
+    :func:`plan_to_request_queue` does (encrypt leg only).
     """
     from repro.accel.config import abc_fhe
     from repro.accel.scheduler import RscScheduler
@@ -163,4 +177,6 @@ def plan_schedule_comparison(
         config=config if config is not None else abc_fhe(),
         workload=plan_to_workload(plan, degree=degree),
     )
-    return scheduler.compare(plan_to_request_queue(plan, requests=requests))
+    return scheduler.compare(
+        plan_to_request_queue(plan, requests=requests, failures=failures)
+    )

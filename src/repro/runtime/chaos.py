@@ -1,0 +1,226 @@
+"""Deterministic fault injection for the serving stack.
+
+:class:`FaultPlan` is a *seeded, pure* description of which faults to
+inject where: given a hook site, a request id, and an attempt number it
+always returns the same decision, in every process, regardless of call
+order.  The executor consults it at four well-defined hook points:
+
+* ``pre_dispatch`` (parent, before the request is sent): byte-flips the
+  outgoing request envelope — exercises worker-side CRC detection and
+  the typed :class:`~repro.runtime.faults.WireCorruption` reply path;
+* ``pre_evaluate`` (worker, after decoding inputs): ``crash`` (SIGKILL
+  self), ``stop`` (SIGSTOP self — a genuinely stuck-not-dead worker, the
+  hang detector's prey), ``hang`` (sleep with heartbeats suppressed),
+  ``slow`` (sleep with heartbeats flowing — slow is *not* hung);
+* ``post_evaluate`` (worker, after computing, before replying): ``crash``
+  — exercises exactly-once delivery when work is lost after completion;
+* ``reply_encode`` (worker, after encoding outputs): byte-flips the
+  reply envelope — exercises parent-side CRC detection and retry.
+
+Decisions are rate-based (one hash draw per ``(seed, site, request_id,
+attempt)``) and can be pinned exactly with ``scripted`` entries for
+surgical tests.  Because retries carry a fresh attempt number, a request
+that draws a crash on attempt 0 usually draws nothing on attempt 1 and
+completes — which is exactly the recovery path under test.
+
+Contract (see ``docs/architecture.md``): immutable value object; crosses
+the worker boundary by pickling at fork/spawn time; never consulted by
+the inline degraded path (injecting a SIGKILL into the parent process
+would defeat the purpose of graceful degradation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+__all__ = ["FaultAction", "FaultPlan", "SITES", "flip_frame_byte"]
+
+SITES = ("pre_dispatch", "pre_evaluate", "post_evaluate", "reply_encode")
+
+# Fixed draw order within a site: at most one fault fires per decision.
+_PRE_EVALUATE_KINDS = ("crash", "stop", "hang", "slow")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One injected fault: what to do, where, and any parameters."""
+
+    kind: str  # "crash" | "stop" | "hang" | "slow" | "flip"
+    site: str
+    duration_s: float = 0.0  # for hang/slow
+    salt: int = 0  # for flip: which byte of the frame payload
+
+
+class FaultPlan:
+    """Seeded fault schedule, identical in parent and workers.
+
+    Attributes:
+        seed: the injection seed; two plans with equal seeds and rates
+            make identical decisions everywhere.
+        crash_rate / stop_rate / hang_rate / slow_rate: per-attempt
+            probabilities at ``pre_evaluate`` (drawn in that order from
+            one hash, so at most one fires).
+        crash_after_rate: probability of a ``post_evaluate`` crash.
+        request_flip_rate: probability of a ``pre_dispatch`` byte flip.
+        reply_flip_rate: probability of a ``reply_encode`` byte flip.
+        hang_s / slow_s: sleep durations for hang/slow injections.
+        scripted: exact overrides — ``{(site, request_id, attempt):
+            FaultAction | None}``; ``None`` pins "no fault" at that key.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        crash_rate: float = 0.0,
+        stop_rate: float = 0.0,
+        hang_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        crash_after_rate: float = 0.0,
+        request_flip_rate: float = 0.0,
+        reply_flip_rate: float = 0.0,
+        hang_s: float = 30.0,
+        slow_s: float = 0.05,
+        scripted: dict[tuple[str, int, int], FaultAction | None] | None = None,
+    ) -> None:
+        rates = (
+            crash_rate,
+            stop_rate,
+            hang_rate,
+            slow_rate,
+            crash_after_rate,
+            request_flip_rate,
+            reply_flip_rate,
+        )
+        if any(r < 0 or r > 1 for r in rates):
+            raise ValueError("fault rates must be in [0, 1]")
+        if sum((crash_rate, stop_rate, hang_rate, slow_rate)) > 1:
+            raise ValueError("pre_evaluate rates must sum to <= 1")
+        self.seed = seed
+        self.crash_rate = crash_rate
+        self.stop_rate = stop_rate
+        self.hang_rate = hang_rate
+        self.slow_rate = slow_rate
+        self.crash_after_rate = crash_after_rate
+        self.request_flip_rate = request_flip_rate
+        self.reply_flip_rate = reply_flip_rate
+        self.hang_s = hang_s
+        self.slow_s = slow_s
+        self.scripted = dict(scripted or {})
+
+    # ------------------------------------------------------------------
+
+    def _draw(self, site: str, request_id: int, attempt: int) -> float:
+        digest = hashlib.blake2b(
+            f"{self.seed}|{site}|{request_id}|{attempt}".encode(),
+            digest_size=8,
+        ).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def decide(
+        self, site: str, request_id: int, attempt: int
+    ) -> FaultAction | None:
+        """The (deterministic) fault to inject at this hook, if any."""
+        if site not in SITES:
+            raise ValueError(f"unknown fault site {site!r}")
+        key = (site, request_id, attempt)
+        if key in self.scripted:
+            return self.scripted[key]
+        u = self._draw(site, request_id, attempt)
+        salt = int(self._draw(site + "#salt", request_id, attempt) * 2**31)
+        if site == "pre_evaluate":
+            edge = 0.0
+            for kind, rate in zip(
+                _PRE_EVALUATE_KINDS,
+                (self.crash_rate, self.stop_rate, self.hang_rate, self.slow_rate),
+            ):
+                edge += rate
+                if u < edge:
+                    duration = (
+                        self.hang_s
+                        if kind == "hang"
+                        else self.slow_s
+                        if kind == "slow"
+                        else 0.0
+                    )
+                    return FaultAction(kind, site, duration_s=duration, salt=salt)
+            return None
+        if site == "post_evaluate":
+            if u < self.crash_after_rate:
+                return FaultAction("crash", site, salt=salt)
+            return None
+        rate = (
+            self.request_flip_rate
+            if site == "pre_dispatch"
+            else self.reply_flip_rate
+        )
+        if u < rate:
+            return FaultAction("flip", site, salt=salt)
+        return None
+
+    def __reduce__(self):
+        return (
+            _rebuild_plan,
+            (
+                self.seed,
+                self.crash_rate,
+                self.stop_rate,
+                self.hang_rate,
+                self.slow_rate,
+                self.crash_after_rate,
+                self.request_flip_rate,
+                self.reply_flip_rate,
+                self.hang_s,
+                self.slow_s,
+                self.scripted,
+            ),
+        )
+
+
+def _rebuild_plan(
+    seed,
+    crash_rate,
+    stop_rate,
+    hang_rate,
+    slow_rate,
+    crash_after_rate,
+    request_flip_rate,
+    reply_flip_rate,
+    hang_s,
+    slow_s,
+    scripted,
+) -> FaultPlan:
+    return FaultPlan(
+        seed,
+        crash_rate=crash_rate,
+        stop_rate=stop_rate,
+        hang_rate=hang_rate,
+        slow_rate=slow_rate,
+        crash_after_rate=crash_after_rate,
+        request_flip_rate=request_flip_rate,
+        reply_flip_rate=reply_flip_rate,
+        hang_s=hang_s,
+        slow_s=slow_s,
+        scripted=scripted,
+    )
+
+
+def flip_frame_byte(frame: bytes, action: FaultAction) -> bytes:
+    """Flip one byte inside a frame's *payload* region.
+
+    The boundary envelope is ``tag(4) | u32 length | payload | crc32``
+    (see docs/formats.md), so flipping inside the payload is guaranteed
+    to trip the CRC check on the receiving side — a deterministic,
+    detectable corruption.  Frames too short to carry a payload get
+    their last byte flipped instead (caught as truncation/CRC anyway).
+    """
+    (length,) = struct.unpack_from("<I", frame, 4)
+    mutated = bytearray(frame)
+    if length > 0:
+        index = 8 + (action.salt % length)
+    else:
+        index = len(frame) - 1
+    mutated[index] ^= 0xFF
+    return bytes(mutated)

@@ -9,7 +9,27 @@ with zero per-process recompilation.  Only the per-request ciphertexts
 move between processes, through the exact wire formats of
 :mod:`repro.ckks.serialization` (packed at :func:`wire_coeff_bits`, with
 raw-double scales, so a round trip is bit-exact and sharded output is
-bit-identical to the single-process batched executor).
+bit-identical to the single-process batched executor).  Every blob is
+wrapped in a CRC-guarded ``ENV1`` envelope frame at the boundary, so a
+flipped byte anywhere in transit is *detected* — and surfaces as a typed
+per-request :class:`~repro.runtime.faults.WireCorruption`, never as a
+silent wrong answer or a dead worker.
+
+**Failure semantics** (see ``docs/architecture.md`` "Failure semantics"
+and :mod:`repro.runtime.faults`): the parent I/O loop enforces a
+:class:`~repro.runtime.faults.FaultPolicy` — per-request deadlines,
+heartbeat-based hang detection (a hung worker is SIGKILLed and replaced
+like a crashed one; a slow worker keeps heartbeating and is left alone),
+a retry budget with deterministic exponential backoff + jitter, and
+quarantine: a request that keeps killing workers fails *itself* with a
+typed :class:`~repro.runtime.faults.PoisonRequest` while the pool keeps
+serving everything else.  If replacement forks keep dying, the
+crash-loop breaker either fails outstanding requests loudly (default) or
+— with ``FaultPolicy(degrade_to_inline=True)`` — drains the queue
+through the inline single-process path with a warning instead of
+deadlocking.  Deterministic fault injection for all of these paths is
+provided by :class:`~repro.runtime.chaos.FaultPlan` via the ``chaos=``
+constructor knob.
 
 ``ship_plan=True`` selects the **wire path** instead of the warm-fork
 path: the parent serializes the compiled plan once
@@ -22,16 +42,19 @@ stays cheaper on one host because workers inherit the lowered closures
 and stacked key tensors copy-on-write instead of rebuilding them.
 
 Topology: one duplex pipe per worker, at most one request in flight per
-worker, a single parent-side I/O thread multiplexing dispatch and
-collection with :func:`multiprocessing.connection.wait`.  Because the
-parent always knows which request each worker holds, a crashed worker is
-detected by pipe EOF, its in-flight request is requeued at the front,
-and a replacement is forked — requests are never lost and never
-duplicated.
+worker, a single parent-side I/O thread multiplexing dispatch,
+collection, heartbeats, and timers with
+:func:`multiprocessing.connection.wait`.  Because the parent always
+knows which request (and which attempt) each worker holds, a crashed
+worker is detected by pipe EOF, its in-flight request is re-queued under
+the retry budget, and a replacement is forked — requests are never lost
+and never duplicated.
 
 ``num_workers=0`` (or a platform without ``fork``) degrades to an inline
 executor that still routes every request through the serialization
-boundary, so codec behaviour is identical everywhere.
+boundary, so codec behaviour is identical everywhere.  The inline path
+never consults the chaos plan and cannot preempt, so deadlines/hangs do
+not apply there (documented degradation ladder).
 
 ``modeled_request_io_s`` optionally charges each request a client-link
 transfer delay inside the worker (upload before evaluation, download
@@ -41,78 +64,192 @@ on a single core; it defaults to zero and is never used by the library
 itself.
 
 Contract summary (see ``docs/architecture.md``): fork-shared — plans,
-keys, and every warmed cache (default path); crossing the worker
-boundary — per-request ciphertexts/plaintexts always (``CTF2``/``PTX1``),
+keys, every warmed cache, and the (immutable) policy/chaos values;
+crossing the worker boundary — per-request ciphertexts/plaintexts always
+(``ENV1``-framed ``CTF2``/``PTX1``), typed failures as ``FLT1`` frames,
 the compiled plan itself only under ``ship_plan=True`` (``EPL1``);
-process-cached in the parent — pending payloads, futures, and crash
-accounting.
+process-cached in the parent — request table, futures, retry/backoff
+schedule, and crash accounting.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import multiprocessing as mp
+import os
+import signal
 import threading
 import time
 import warnings
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass
 from multiprocessing.connection import wait as connection_wait
 
 from repro.ckks.containers import Ciphertext, Plaintext
 from repro.ckks.serialization import (
     PLAINTEXT_MAGIC,
+    WireFormatError,
     deserialize_ciphertext,
     deserialize_plaintext,
+    pack_frame,
+    read_frame,
     serialize_ciphertext,
     serialize_plaintext,
     wire_coeff_bits,
 )
+from repro.runtime.chaos import FaultPlan, flip_frame_byte
+from repro.runtime.faults import (
+    DeadlineExceeded,
+    FaultPolicy,
+    PoisonRequest,
+    RequestError,
+    WireCorruption,
+    WorkerCrash,
+    WorkerError,
+    WorkerHang,
+    deserialize_fault,
+    serialize_fault,
+)
 from repro.runtime.plan import ExecutionPlan
 
-__all__ = ["ShardedExecutor", "WorkerError"]
+__all__ = ["ShardedExecutor", "WorkerError", "ENVELOPE_MAGIC"]
 
-
-class WorkerError(RuntimeError):
-    """An exception raised inside a worker process, re-raised verbatim
-    (as text) in the parent so failed requests fail their futures instead
-    of wedging the pool."""
+# Boundary envelope: every blob crossing the worker pipe rides in one
+# CRC-guarded frame so corruption is detected, not silently decoded.
+ENVELOPE_MAGIC = b"ENV1"
 
 
 def _encode_value(value, coeff_bits: int) -> bytes:
     if isinstance(value, Ciphertext):
-        return serialize_ciphertext(value, coeff_bits=coeff_bits)
-    if isinstance(value, Plaintext):
-        return serialize_plaintext(value, coeff_bits=coeff_bits)
-    raise TypeError(
-        f"plan inputs must be Ciphertext or Plaintext, got {type(value).__name__}"
-    )
+        blob = serialize_ciphertext(value, coeff_bits=coeff_bits)
+    elif isinstance(value, Plaintext):
+        blob = serialize_plaintext(value, coeff_bits=coeff_bits)
+    else:
+        raise TypeError(
+            f"plan inputs must be Ciphertext or Plaintext, got {type(value).__name__}"
+        )
+    return pack_frame(ENVELOPE_MAGIC, blob)
 
 
-def _decode_value(blob: bytes, basis):
+def _decode_value(frame: bytes, basis):
+    tag, blob, _ = read_frame(frame, 0)
+    if tag != ENVELOPE_MAGIC:
+        raise WireFormatError(f"unexpected boundary frame tag {tag!r}")
     if blob[:4] == PLAINTEXT_MAGIC:
         return deserialize_plaintext(blob, basis)
     return deserialize_ciphertext(blob, basis)
 
 
-def _wire_worker_loop(
-    plan_blob: bytes, evaluator, conn, coeff_bits: int, io_s: float, fused: bool
-) -> None:
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Per-worker knobs, pickled once into every (re)spawned child."""
+
+    coeff_bits: int
+    io_s: float
+    fused: bool
+    chaos: FaultPlan | None
+    heartbeat_s: float | None
+
+
+def _wire_worker_loop(plan_blob: bytes, evaluator, conn, cfg: _WorkerConfig) -> None:
     """Child process body for the shipped-plan path: rebuild the plan
     from its EPL1 bytes (constants resolved from the inline PCS1
     payload, no re-trace, no fork-shared plan state), then serve."""
     from repro.runtime.plan_io import deserialize_plan
 
     plan = deserialize_plan(plan_blob, evaluator)
-    _worker_loop(plan, conn, coeff_bits, io_s, fused)
+    _worker_loop(plan, conn, cfg)
 
 
-def _worker_loop(
-    plan: ExecutionPlan, conn, coeff_bits: int, io_s: float, fused: bool = False
-) -> None:
-    """Child process body: recv request -> replay plan -> send result."""
+def _heartbeat_loop(conn, send_lock, state, stop, interval: float) -> None:
+    """Worker-side progress beacon: while a request is being served (and
+    not chaos-suppressed), tell the parent we are alive every
+    ``interval`` seconds.  A SIGSTOPped worker stops beating — which is
+    exactly how the parent tells hung from slow."""
+    while not stop.wait(interval):
+        req_id = state.get("req")
+        if req_id is None or state.get("suspend"):
+            continue
+        try:
+            with send_lock:
+                conn.send(("hb", req_id, state.get("attempt", 0)))
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _inject(action, state) -> None:
+    """Apply one worker-side chaos action at its hook point."""
+    if action.kind == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action.kind == "stop":
+        # Genuinely stuck-not-dead: the whole process (heartbeat thread
+        # included) freezes until the parent SIGKILLs it.
+        os.kill(os.getpid(), signal.SIGSTOP)
+    elif action.kind == "hang":
+        state["suspend"] = True  # stop heartbeating: look hung, not slow
+        time.sleep(action.duration_s)
+    elif action.kind == "slow":
+        time.sleep(action.duration_s)
+
+
+def _serve_request(plan, basis, cfg: _WorkerConfig, state, req_id, attempt, blobs):
+    """Serve one request in the worker; always returns a reply tuple.
+
+    Wire corruption in the incoming frames becomes a typed
+    ``WireCorruption`` reply; any evaluation error becomes a typed
+    ``RequestError`` reply — the worker itself never dies for a bad
+    request, only for injected/real process faults.
+    """
+    chaos = cfg.chaos
+    upload_s = download_s = cfg.io_s / 2.0
+    try:
+        try:
+            inputs = [_decode_value(b, basis) for b in blobs]
+        except WireFormatError as exc:
+            fault = WireCorruption(
+                f"request frame corrupt: {exc}",
+                request_id=req_id,
+                attempts=attempt + 1,
+            )
+            return ("err", req_id, attempt, serialize_fault(fault))
+        action = chaos.decide("pre_evaluate", req_id, attempt) if chaos else None
+        if action is not None:
+            _inject(action, state)
+        if upload_s:
+            time.sleep(upload_s)
+        outputs = plan.run_batch([inputs], fused=cfg.fused)[0]
+        action = chaos.decide("post_evaluate", req_id, attempt) if chaos else None
+        if action is not None:
+            _inject(action, state)
+        payload = [_encode_value(o, cfg.coeff_bits) for o in outputs]
+        action = chaos.decide("reply_encode", req_id, attempt) if chaos else None
+        if action is not None and action.kind == "flip":
+            payload[0] = flip_frame_byte(payload[0], action)
+        if download_s:
+            time.sleep(download_s)
+        return ("ok", req_id, attempt, payload)
+    except Exception as exc:  # noqa: BLE001 — forwarded to the parent, typed
+        fault = RequestError(
+            f"{type(exc).__name__}: {exc}", request_id=req_id, attempts=attempt + 1
+        )
+        return ("err", req_id, attempt, serialize_fault(fault))
+
+
+def _worker_loop(plan: ExecutionPlan, conn, cfg: _WorkerConfig) -> None:
+    """Child process body: recv request -> replay plan -> send reply."""
     basis = plan.evaluator.basis
-    upload_s = download_s = io_s / 2.0
+    send_lock = threading.Lock()
+    state: dict = {"req": None, "attempt": 0, "suspend": False}
+    hb_stop = threading.Event()
+    if cfg.heartbeat_s:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(conn, send_lock, state, hb_stop, cfg.heartbeat_s),
+            daemon=True,
+        ).start()
     while True:
         try:
             msg = conn.recv()
@@ -120,32 +257,71 @@ def _worker_loop(
             break
         if msg is None:
             break
-        req_id, blobs = msg
+        req_id, attempt, blobs = msg
+        state["attempt"] = attempt
+        state["suspend"] = False
+        state["req"] = req_id
+        reply = _serve_request(plan, basis, cfg, state, req_id, attempt, blobs)
+        state["req"] = None
         try:
-            if upload_s:
-                time.sleep(upload_s)
-            inputs = [_decode_value(b, basis) for b in blobs]
-            outputs = plan.run_batch([inputs], fused=fused)[0]
-            payload = [_encode_value(o, coeff_bits) for o in outputs]
-            if download_s:
-                time.sleep(download_s)
-            reply = (req_id, True, payload)
-        except Exception as exc:  # noqa: BLE001 — forwarded to the parent
-            reply = (req_id, False, f"{type(exc).__name__}: {exc}")
-        try:
-            conn.send(reply)
+            with send_lock:
+                conn.send(reply)
         except (BrokenPipeError, OSError):
             break
+    hb_stop.set()
     conn.close()
 
 
+class _Request:
+    __slots__ = (
+        "id",
+        "blobs",
+        "future",
+        "attempts",
+        "causes",
+        "deadline_at",
+        "submitted_at",
+        "first_dispatch_at",
+        "last_dispatch_at",
+        "cancelled",
+    )
+
+    def __init__(self, req_id: int, blobs, future: Future, deadline_at):
+        self.id = req_id
+        self.blobs = blobs
+        self.future = future
+        self.attempts = 0  # dispatches so far; attempt index is 0-based
+        self.causes: list[str] = []
+        self.deadline_at = deadline_at
+        self.submitted_at = time.monotonic()
+        self.first_dispatch_at: float | None = None
+        self.last_dispatch_at: float | None = None
+        self.cancelled = False
+
+
 class _Worker:
-    __slots__ = ("proc", "conn", "busy")
+    __slots__ = ("proc", "conn", "busy", "busy_attempt", "dispatched_at", "last_beat")
 
     def __init__(self, proc, conn):
         self.proc = proc
         self.conn = conn
         self.busy: int | None = None  # request id in flight, if any
+        self.busy_attempt = 0
+        self.dispatched_at = 0.0
+        self.last_beat = 0.0
+
+
+def _resolve(fut: Future, *, result=None, exc=None) -> None:
+    """Resolve a future exactly once; cancelled futures are left alone."""
+    if fut.done():
+        return
+    try:
+        if exc is not None:
+            fut.set_exception(exc)
+        else:
+            fut.set_result(result)
+    except Exception:  # noqa: BLE001 — lost a race with cancel()
+        pass
 
 
 class ShardedExecutor:
@@ -155,6 +331,12 @@ class ShardedExecutor:
         plan: the compiled :class:`ExecutionPlan` every worker replays.
         num_workers: pool size; ``0`` selects the inline (single-process)
             fallback that still crosses the serialization boundary.
+        policy: the :class:`~repro.runtime.faults.FaultPolicy` enforced by
+            the parent I/O loop (deadlines, hang detection, retry budget,
+            quarantine, breaker behaviour).
+        chaos: optional :class:`~repro.runtime.chaos.FaultPlan` consulted
+            at the documented hook points for deterministic fault
+            injection (tests/benches only; ``None`` in production).
         fused: route every replay through the arena-backed
             :class:`~repro.runtime.plan.FusedExecutor` instead of the
             batched interpreter.  Output bits are identical either way;
@@ -173,6 +355,8 @@ class ShardedExecutor:
         max_crash_respawns: int | None = None,
         ship_plan: bool = False,
         fused: bool = False,
+        policy: FaultPolicy | None = None,
+        chaos: FaultPlan | None = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
@@ -180,6 +364,8 @@ class ShardedExecutor:
         self.num_workers = num_workers
         self.ship_plan = ship_plan
         self.fused = fused
+        self.policy = policy if policy is not None else FaultPolicy()
+        self.chaos = chaos
         self._plan_blob: bytes | None = None
         self._coeff_bits = coeff_bits or wire_coeff_bits(plan.evaluator.basis)
         self._io_s = float(modeled_request_io_s)
@@ -202,10 +388,11 @@ class ShardedExecutor:
         self._stop = threading.Event()
         self._lock = threading.Lock()
         self._pending: deque[int] = deque()
-        self._payloads: dict[int, list[bytes]] = {}
-        self._futures: dict[int, Future] = {}
-        self._crash_counts: dict[int, int] = {}
-        self._max_request_retries = 2
+        self._delayed: list[tuple[float, int]] = []  # (ready_at, req_id) heap
+        self._requests: dict[int, _Request] = {}
+        self._consecutive_crashes = 0
+        self._degraded = False
+        self._has_deadlines = self.policy.deadline_s is not None
         self._req_ids = itertools.count()
         self._started = False
         self._stats = {
@@ -214,6 +401,12 @@ class ShardedExecutor:
             "errors": 0,
             "worker_crashes": 0,
             "respawns": 0,
+            "retries": 0,
+            "hang_kills": 0,
+            "deadline_failures": 0,
+            "wire_corruptions": 0,
+            "poisoned": 0,
+            "cancelled": 0,
         }
         # Warm every fork-shared cache in the parent: the lowered closure
         # schedule always, plus (optionally) one real replay so stacked
@@ -254,24 +447,63 @@ class ShardedExecutor:
         return self
 
     def close(self) -> None:
-        """Drain nothing, stop the pool; outstanding futures fail."""
+        """Stop the pool; outstanding futures fail.  Idempotent, and loud
+        (warns with pids) when a worker has to be escalated or leaks
+        instead of joining."""
         if self._inline or not self._started:
             self._started = False
             return
+        self._started = False  # flip first: a second close() is a no-op
         self._stop.set()
         self._wake()
-        self._io_thread.join(timeout=5.0)
+        if self._io_thread is not None:
+            self._io_thread.join(timeout=5.0)
+            if self._io_thread.is_alive():
+                warnings.warn(
+                    "ShardedExecutor I/O thread failed to stop within 5s",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            self._io_thread = None
         for worker in self._workers:
             try:
                 worker.conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
+        escalated: list[int] = []
+        leaked: list[int] = []
         for worker in self._workers:
             worker.proc.join(timeout=2.0)
             if worker.proc.is_alive():
                 worker.proc.terminate()
                 worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():
+                # A SIGSTOPped (or otherwise wedged) worker ignores the
+                # sentinel and holds SIGTERM pending; SIGKILL is the only
+                # signal guaranteed to reap it.
+                escalated.append(worker.proc.pid)
+                try:
+                    os.kill(worker.proc.pid, signal.SIGKILL)
+                except (ProcessLookupError, OSError):
+                    pass
+                worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():
+                leaked.append(worker.proc.pid)
             worker.conn.close()
+        if escalated:
+            warnings.warn(
+                f"ShardedExecutor.close(): worker(s) failed to join and were "
+                f"SIGKILLed: pids {escalated}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if leaked:
+            warnings.warn(
+                f"ShardedExecutor.close(): worker(s) leaked (still alive after "
+                f"SIGKILL): pids {leaked}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self._workers.clear()
         for pipe_end in (self._wake_r, self._wake_w):
             try:
@@ -279,13 +511,12 @@ class ShardedExecutor:
             except OSError:
                 pass
         with self._lock:
-            for fut in self._futures.values():
-                if not fut.done():
-                    fut.set_exception(RuntimeError("executor closed"))
-            self._futures.clear()
-            self._payloads.clear()
+            requests = list(self._requests.values())
+            self._requests.clear()
             self._pending.clear()
-        self._started = False
+            self._delayed.clear()
+        for req in requests:
+            _resolve(req.future, exc=RuntimeError("executor closed"))
 
     def __enter__(self) -> "ShardedExecutor":
         return self.start()
@@ -297,38 +528,94 @@ class ShardedExecutor:
     # Submission
     # ------------------------------------------------------------------
 
-    def submit(self, inputs) -> Future:
-        """Queue one plan replay; resolves to its output ciphertexts."""
+    def submit(self, inputs, *, deadline_s: float | None = None) -> Future:
+        """Queue one plan replay; resolves to its output ciphertexts.
+
+        ``deadline_s`` bounds the request's *total* time in the engine
+        (queue wait plus every attempt); past it the request fails with a
+        typed :class:`~repro.runtime.faults.DeadlineExceeded`.  ``None``
+        falls back to the policy default.
+        """
         if not self._started:
             self.start()
-        if not self._inline and self._stop.is_set():
+        if not self._inline and not self._degraded and self._stop.is_set():
             # The pool exceeded its crash budget and shut itself down;
             # fail fast instead of queueing requests nobody will serve.
             raise RuntimeError("executor stopped (crash budget exceeded)")
         blobs = [_encode_value(v, self._coeff_bits) for v in inputs]
         fut: Future = Future()
-        if self._inline:
+        if self._inline or self._degraded:
             self._run_inline(blobs, fut)
             return fut
+        deadline = deadline_s if deadline_s is not None else self.policy.deadline_s
+        deadline_at = None if deadline is None else time.monotonic() + deadline
         with self._lock:
             req_id = next(self._req_ids)
+            fut.request_id = req_id
             self._stats["submitted"] += 1
-            self._futures[req_id] = fut
-            self._payloads[req_id] = blobs
+            self._requests[req_id] = _Request(req_id, blobs, fut, deadline_at)
             self._pending.append(req_id)
+            if deadline_at is not None:
+                self._has_deadlines = True
         self._wake()
         return fut
 
-    def run_batch(self, batches, timeout: float | None = None):
+    def cancel(self, fut: Future) -> bool:
+        """Cancel one submitted request.
+
+        Pending (queued or backoff-delayed) requests are dropped
+        immediately; an in-flight request is *drained* — its worker is
+        left to finish and the result is discarded, so the pool stays
+        healthy.  Returns whether the future was cancelled.
+        """
+        req_id = getattr(fut, "request_id", None)
+        if req_id is None:
+            return False
+        with self._lock:
+            req = self._requests.get(req_id)
+            if req is None or req.cancelled:
+                return False
+            in_flight = any(w.busy == req_id for w in self._workers)
+            req.cancelled = True
+            if not in_flight:
+                self._requests.pop(req_id, None)
+            self._stats["cancelled"] += 1
+        return fut.cancel()
+
+    def run_batch(
+        self, batches, timeout: float | None = None, *, deadline_s: float | None = None
+    ):
         """Shard a materialized batch across the pool, order-preserving.
 
         Bit-identical to ``plan.run_batch(batches)``: every entry is the
         same plan replay, inputs/outputs round-trip losslessly through the
         wire format, and results are returned in submission order no
         matter which worker finished first.
+
+        ``timeout`` bounds the whole batch; on expiry every unfinished
+        request is cancelled (queued entries dropped, in-flight entries
+        drained and discarded), ``TimeoutError`` is raised, and the pool
+        remains fully serviceable for the next batch.
         """
-        futures = [self.submit(entry) for entry in batches]
-        return [f.result(timeout=timeout) for f in futures]
+        futures = [self.submit(entry, deadline_s=deadline_s) for entry in batches]
+        budget = None if timeout is None else time.monotonic() + timeout
+        results = []
+        try:
+            for fut in futures:
+                remaining = None if budget is None else budget - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise _FuturesTimeout()
+                results.append(fut.result(timeout=remaining))
+        except (_FuturesTimeout, TimeoutError):
+            dropped = sum(
+                1 for f in futures if not f.done() and self.cancel(f)
+            )
+            raise TimeoutError(
+                f"run_batch timed out after {timeout:g}s; cancelled {dropped} "
+                "outstanding request(s) (queued dropped, in-flight drained); "
+                "the pool remains serviceable"
+            ) from None
+        return results
 
     # ------------------------------------------------------------------
     # Introspection
@@ -337,18 +624,19 @@ class ShardedExecutor:
     def stats(self) -> dict:
         with self._lock:
             out = dict(self._stats)
+            out["pending"] = len(self._pending) + len(self._delayed)
         out["num_workers"] = self.num_workers
         out["inline"] = self._inline
         out["plan_wire"] = self._plan_blob is not None
         out["fused"] = self.fused
-        out["pending"] = len(self._pending)
+        out["degraded"] = self._degraded
         return out
 
     def worker_pids(self) -> list[int]:
         return [w.proc.pid for w in self._workers]
 
     # ------------------------------------------------------------------
-    # Internals
+    # Inline / degraded path
     # ------------------------------------------------------------------
 
     def _run_inline(self, blobs, fut: Future) -> None:
@@ -365,21 +653,35 @@ class ShardedExecutor:
             ]
         except Exception as exc:  # noqa: BLE001 — mirror the pool contract
             self._stats["errors"] += 1
-            fut.set_exception(WorkerError(f"{type(exc).__name__}: {exc}"))
+            fut.attempts = 1
+            _resolve(
+                fut, exc=RequestError(f"{type(exc).__name__}: {exc}", attempts=1)
+            )
             return
         self._stats["completed"] += 1
-        fut.set_result(round_tripped)
+        fut.attempts = 1
+        fut.retry_s = 0.0
+        _resolve(fut, result=round_tripped)
+
+    # ------------------------------------------------------------------
+    # Pool internals (parent I/O thread unless noted)
+    # ------------------------------------------------------------------
 
     def _spawn(self) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe()
+        cfg = _WorkerConfig(
+            coeff_bits=self._coeff_bits,
+            io_s=self._io_s,
+            fused=self.fused,
+            chaos=self.chaos,
+            heartbeat_s=self.policy.heartbeat_interval_s(),
+        )
         if self._plan_blob is not None:
             target, head = _wire_worker_loop, (self._plan_blob, self.plan.evaluator)
         else:
             target, head = _worker_loop, (self.plan,)
         proc = self._ctx.Process(
-            target=target,
-            args=(*head, child_conn, self._coeff_bits, self._io_s, self.fused),
-            daemon=True,
+            target=target, args=(*head, child_conn, cfg), daemon=True
         )
         proc.start()
         # The parent's copy of the child end must close so worker death
@@ -390,111 +692,340 @@ class ShardedExecutor:
     def _wake(self) -> None:
         try:
             self._wake_w.send_bytes(b"x")
-        except (BrokenPipeError, OSError):
+        except (BrokenPipeError, OSError, AttributeError):
             pass
 
     def _io_loop(self) -> None:
         while not self._stop.is_set():
+            now = time.monotonic()
+            self._promote_delayed(now)
+            self._check_deadlines(now)
+            self._check_hangs(now)
+            if self._stop.is_set():  # a breaker may have tripped above
+                break
             self._dispatch()
             conns = [w.conn for w in self._workers] + [self._wake_r]
-            for ready in connection_wait(conns, timeout=0.2):
+            timeout = 0.05 if self._timers_active() else 0.2
+            for ready in connection_wait(conns, timeout=timeout):
                 if ready is self._wake_r:
                     while self._wake_r.poll():
                         self._wake_r.recv_bytes()
                     continue
-                worker = next(w for w in self._workers if w.conn is ready)
-                try:
-                    req_id, ok, payload = ready.recv()
-                except (EOFError, OSError):
-                    self._handle_crash(worker)
+                worker = next(
+                    (w for w in self._workers if w.conn is ready), None
+                )
+                if worker is None:  # retired earlier in this very loop
                     continue
-                self._complete(worker, req_id, ok, payload)
+                try:
+                    msg = ready.recv()
+                except (EOFError, OSError):
+                    self._on_worker_death(worker)
+                    continue
+                self._on_message(worker, msg)
+
+    def _timers_active(self) -> bool:
+        return bool(
+            self._delayed
+            or self._has_deadlines
+            or (
+                self.policy.hang_timeout_s is not None
+                and any(w.busy is not None for w in self._workers)
+            )
+        )
+
+    def _promote_delayed(self, now: float) -> None:
+        """Move backoff-expired retries to the *front* of the queue."""
+        due: list[int] = []
+        with self._lock:
+            while self._delayed and self._delayed[0][0] <= now:
+                _, req_id = heapq.heappop(self._delayed)
+                req = self._requests.get(req_id)
+                if req is not None and not req.cancelled:
+                    due.append(req_id)
+            if due:
+                self._pending.extendleft(reversed(due))
+
+    def _check_deadlines(self, now: float) -> None:
+        if not self._has_deadlines:
+            return
+        in_flight = {w.busy: w for w in self._workers if w.busy is not None}
+        with self._lock:
+            expired = [
+                req
+                for req in self._requests.values()
+                if req.deadline_at is not None
+                and now > req.deadline_at
+                and not req.cancelled
+            ]
+        for req in expired:
+            worker = in_flight.get(req.id)
+            if worker is not None:
+                # The worker is stuck on this request past its budget;
+                # the only way to reclaim it is to replace the process.
+                self._kill_and_retire(worker)
+                self._stats["respawns"] += 1
+                self._workers.append(self._spawn())
+            with self._lock:
+                self._requests.pop(req.id, None)
+            self._stats["deadline_failures"] += 1
+            self._stats["errors"] += 1
+            elapsed = now - req.submitted_at
+            req.future.attempts = req.attempts
+            _resolve(
+                req.future,
+                exc=DeadlineExceeded(
+                    f"request {req.id} exceeded its {elapsed:.3f}s "
+                    f"deadline after {req.attempts} attempt(s)",
+                    request_id=req.id,
+                    attempts=req.attempts,
+                ),
+            )
+
+    def _check_hangs(self, now: float) -> None:
+        hang_timeout = self.policy.hang_timeout_s
+        if hang_timeout is None:
+            return
+        for worker in list(self._workers):
+            if worker.busy is None:
+                continue
+            if now - worker.last_beat <= hang_timeout:
+                continue
+            req_id = worker.busy
+            pid = worker.proc.pid
+            self._kill_and_retire(worker)
+            self._stats["hang_kills"] += 1
+            with self._lock:
+                req = self._requests.get(req_id)
+                if req is not None and req.cancelled:
+                    self._requests.pop(req_id, None)
+                    req = None
+            if req is not None:
+                self._retry_or_fail(
+                    req,
+                    f"worker pid {pid} hung (no heartbeat for "
+                    f"{hang_timeout:g}s) on attempt {req.attempts}",
+                    kind=WorkerHang,
+                )
+            self._stats["respawns"] += 1
+            self._workers.append(self._spawn())
 
     def _dispatch(self) -> None:
         for worker in list(self._workers):
-            with self._lock:
-                if worker.busy is not None or not self._pending:
-                    continue
-                req_id = self._pending.popleft()
-                payload = self._payloads[req_id]
+            if worker.busy is not None:
+                continue
+            req = self._next_ready_request()
+            if req is None:
+                return
+            blobs = req.blobs
+            if self.chaos is not None:
+                action = self.chaos.decide("pre_dispatch", req.id, req.attempts)
+                if action is not None and action.kind == "flip":
+                    blobs = [flip_frame_byte(blobs[0], action), *blobs[1:]]
             try:
-                worker.conn.send((req_id, payload))
+                worker.conn.send((req.id, req.attempts, blobs))
             except (BrokenPipeError, OSError):
                 with self._lock:
-                    self._pending.appendleft(req_id)
-                self._handle_crash(worker)
+                    self._pending.appendleft(req.id)
+                self._on_worker_death(worker)
                 continue
-            worker.busy = req_id
+            now = time.monotonic()
+            req.attempts += 1
+            if req.first_dispatch_at is None:
+                req.first_dispatch_at = now
+            req.last_dispatch_at = now
+            worker.busy = req.id
+            worker.busy_attempt = req.attempts - 1
+            worker.dispatched_at = now
+            worker.last_beat = now
 
-    def _complete(self, worker: _Worker, req_id: int, ok: bool, payload) -> None:
+    def _next_ready_request(self) -> _Request | None:
+        with self._lock:
+            while self._pending:
+                req_id = self._pending.popleft()
+                req = self._requests.get(req_id)
+                if req is not None and not req.cancelled:
+                    return req
+        return None
+
+    def _on_message(self, worker: _Worker, msg) -> None:
+        kind = msg[0]
+        if kind == "hb":
+            _, req_id, attempt = msg
+            if worker.busy == req_id and worker.busy_attempt == attempt:
+                worker.last_beat = time.monotonic()
+            return
+        _, req_id, attempt, payload = msg
+        if worker.busy != req_id or worker.busy_attempt != attempt:
+            return  # stale reply from a superseded attempt; drop it
         worker.busy = None
         with self._lock:
-            fut = self._futures.pop(req_id, None)
-            self._payloads.pop(req_id, None)
-            self._crash_counts.pop(req_id, None)
-        if fut is None:
+            req = self._requests.get(req_id)
+            if req is not None and req.cancelled:
+                self._requests.pop(req_id, None)
+                req = None
+        if req is None:
             return
-        if not ok:
+        if kind == "err":
+            fault = deserialize_fault(payload, request_id=req_id)
+            if isinstance(fault, WireCorruption):
+                self._stats["wire_corruptions"] += 1
+                self._retry_or_fail(req, str(fault), kind=WireCorruption)
+                return
+            fault.attempts = req.attempts
+            with self._lock:
+                self._requests.pop(req_id, None)
             self._stats["errors"] += 1
-            fut.set_exception(WorkerError(payload))
+            req.future.attempts = req.attempts
+            _resolve(req.future, exc=fault)
             return
         basis = self.plan.evaluator.basis
         try:
             outputs = [_decode_value(b, basis) for b in payload]
-        except Exception as exc:  # noqa: BLE001 — corrupt reply
-            self._stats["errors"] += 1
-            fut.set_exception(WorkerError(f"undecodable reply: {exc}"))
+        except (WireFormatError, ValueError) as exc:
+            self._stats["wire_corruptions"] += 1
+            self._retry_or_fail(req, f"reply frame corrupt: {exc}", kind=WireCorruption)
             return
+        with self._lock:
+            self._requests.pop(req_id, None)
         self._stats["completed"] += 1
-        fut.set_result(outputs)
+        self._consecutive_crashes = 0
+        req.future.attempts = req.attempts
+        req.future.retry_s = (
+            (req.last_dispatch_at or 0.0) - (req.first_dispatch_at or 0.0)
+            if req.attempts > 1
+            else 0.0
+        )
+        _resolve(req.future, result=outputs)
 
-    def _handle_crash(self, worker: _Worker) -> None:
-        """Requeue the dead worker's in-flight request and fork a spare."""
-        if worker not in self._workers:
+    def _retry_or_fail(self, req: _Request, cause: str, *, kind) -> None:
+        """Apply the retry budget to one failed attempt.
+
+        Either schedules a backoff-delayed re-dispatch or quarantines the
+        request as a typed :class:`PoisonRequest` carrying every cause.
+        The caller has already freed/replaced the worker.
+        """
+        req.causes.append(cause)
+        if req.attempts >= self.policy.max_attempts:
+            with self._lock:
+                self._requests.pop(req.id, None)
+            self._stats["poisoned"] += 1
+            self._stats["errors"] += 1
+            req.future.attempts = req.attempts
+            _resolve(
+                req.future,
+                exc=PoisonRequest(
+                    f"request {req.id} quarantined after {req.attempts} "
+                    f"attempt(s): " + "; ".join(req.causes),
+                    request_id=req.id,
+                    attempts=req.attempts,
+                    causes=tuple(req.causes),
+                ),
+            )
             return
-        self._workers.remove(worker)
+        if kind is not None and not kind.retriable:
+            raise AssertionError(f"{kind.__name__} must not reach the retry path")
+        delay = self.policy.backoff_s(req.attempts, req.id)
+        self._stats["retries"] += 1
+        with self._lock:
+            heapq.heappush(self._delayed, (time.monotonic() + delay, req.id))
+
+    def _kill_and_retire(self, worker: _Worker) -> None:
+        """SIGKILL a worker the parent has given up on (hang/deadline)
+        and remove it from the pool without touching crash accounting."""
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            os.kill(worker.proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, OSError):
+            pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.proc.join(timeout=2.0)
+
+    def _retire(self, worker: _Worker) -> None:
+        if worker in self._workers:
+            self._workers.remove(worker)
         try:
             worker.conn.close()
         except OSError:
             pass
         worker.proc.join(timeout=1.0)
+
+    def _on_worker_death(self, worker: _Worker) -> None:
+        """An unexpected EOF: account the crash, retry its request under
+        the budget, and either respawn or trip the breaker."""
+        if worker not in self._workers:
+            return
+        pid = worker.proc.pid
+        self._retire(worker)
         self._stats["worker_crashes"] += 1
-        requeued = worker.busy
-        poisoned: Future | None = None
-        if requeued is not None:
+        self._consecutive_crashes += 1
+        req_id = worker.busy
+        if req_id is not None:
             with self._lock:
-                if requeued in self._futures:
-                    crashes = self._crash_counts.get(requeued, 0) + 1
-                    self._crash_counts[requeued] = crashes
-                    if crashes > self._max_request_retries:
-                        # A poison request must not serially kill every
-                        # respawn: fail it alone, keep the pool serving.
-                        poisoned = self._futures.pop(requeued)
-                        self._payloads.pop(requeued, None)
-                        self._crash_counts.pop(requeued, None)
-                    else:
-                        self._pending.appendleft(requeued)
-        if poisoned is not None and not poisoned.done():
-            poisoned.set_exception(
-                WorkerError(
-                    f"request crashed {self._max_request_retries + 1} "
-                    "worker(s) in a row; giving up on it"
+                req = self._requests.get(req_id)
+                if req is not None and req.cancelled:
+                    self._requests.pop(req_id, None)
+                    req = None
+            if req is not None:
+                self._retry_or_fail(
+                    req,
+                    f"worker pid {pid} crashed on attempt {req.attempts}",
+                    kind=WorkerCrash,
                 )
+        budget_blown = self._stats["worker_crashes"] > self._max_crashes
+        crash_loop = self._consecutive_crashes >= self.policy.crash_loop_threshold
+        if budget_blown or crash_loop:
+            reason = (
+                f"pool exceeded {self._max_crashes} worker crashes"
+                if budget_blown
+                else f"{self._consecutive_crashes} consecutive worker crashes "
+                "with no completed request (crash loop)"
             )
-        if self._stats["worker_crashes"] > self._max_crashes:
-            with self._lock:
-                futures = list(self._futures.values())
-                self._futures.clear()
-                self._payloads.clear()
-                self._pending.clear()
-            for fut in futures:
-                if not fut.done():
-                    fut.set_exception(
-                        WorkerError(
-                            f"pool exceeded {self._max_crashes} worker crashes"
-                        )
-                    )
-            self._stop.set()
+            self._trip_breaker(reason)
             return
         self._stats["respawns"] += 1
         self._workers.append(self._spawn())
+
+    def _trip_breaker(self, reason: str) -> None:
+        """Replacement forks keep dying: stop forking.  Either degrade to
+        the inline path (serve the queue in-process, keep accepting) or
+        fail everything outstanding and stop the pool."""
+        for worker in list(self._workers):
+            self._kill_and_retire(worker)
+        if self.policy.degrade_to_inline:
+            warnings.warn(
+                f"ShardedExecutor crash-loop breaker tripped ({reason}); "
+                "degrading to the inline single-process executor — worker "
+                "fault injection and preemption no longer apply",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._degraded = True
+            with self._lock:
+                queued = sorted(self._requests.items())
+                self._requests.clear()
+                self._pending.clear()
+                self._delayed.clear()
+            for _, req in queued:
+                if req.cancelled:
+                    continue
+                # Inline drain double-counts "submitted"; undo it so the
+                # counter keeps meaning "requests entering the engine".
+                self._run_inline(req.blobs, req.future)
+                self._stats["submitted"] -= 1
+            self._stop.set()
+            return
+        with self._lock:
+            requests = list(self._requests.values())
+            self._requests.clear()
+            self._pending.clear()
+            self._delayed.clear()
+        for req in requests:
+            _resolve(
+                req.future,
+                exc=WorkerCrash(reason, request_id=req.id, attempts=req.attempts),
+            )
+        self._stop.set()

@@ -45,6 +45,7 @@ from repro.ckks.keys import SwitchingKey
 from repro.ckks.serialization import (
     PLAINTEXT_MAGIC,
     SWITCHING_KEY_MAGIC,
+    WireFormatError,
     deserialize_plaintext,
     deserialize_switching_key,
     pack_frame,
@@ -114,9 +115,13 @@ _CONST_PLAINTEXT = 0
 _CONST_SWITCHING_KEY = 1
 
 
-class PlanFormatError(ValueError):
+class PlanFormatError(WireFormatError):
     """A plan/constant blob is malformed: bad magic, unsupported version,
-    truncated or corrupt frame, or inconsistent graph structure."""
+    truncated or corrupt frame, or inconsistent graph structure.
+
+    Subclasses :class:`repro.ckks.serialization.WireFormatError`, so the
+    serving stack's worker boundary surfaces a corrupt shipped plan as
+    the same typed corruption signal as any other bad wire frame."""
 
 
 class MissingConstantsError(PlanFormatError):

@@ -21,6 +21,19 @@ policies through the :mod:`repro.runtime.bridge` workload forms, putting
 measured software serving and modeled accelerator scheduling side by
 side.
 
+Failure semantics ride through unchanged from the executor (see
+``docs/architecture.md``): ``serve``/``serve_one``/``submit`` accept a
+per-request ``deadline_s`` that is plumbed to
+:meth:`ShardedExecutor.submit`, and a request that fails gets a
+:class:`RequestRecord` with ``outcome="failed"`` and the typed error
+name — the typed :class:`~repro.runtime.faults.RequestError` itself
+propagates to the caller.  :meth:`stats` separates succeeded / retried /
+failed requests and reports the retry latency contribution, and
+:meth:`schedule_comparison` projects only *successful* service onto the
+accelerator queue (failed requests contribute their encrypt leg via the
+bridge's ``failures`` parameter), so scheduling numbers are never
+flattered by requests that returned nothing.
+
 Contract (see ``docs/architecture.md``): the server is parent-process
 state only — records, depth samples, and the admission semaphore never
 cross the worker boundary and are not fork-shared (the pool is started
@@ -35,15 +48,17 @@ import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 
 from repro.runtime.bridge import plan_schedule_comparison
+from repro.runtime.faults import WorkerError
 
 __all__ = ["RequestRecord", "StreamingServer"]
 
 
 @dataclass
 class RequestRecord:
-    """Timings for one served request (all in seconds)."""
+    """Timings and outcome for one served request (times in seconds)."""
 
     index: int
     wait_s: float = 0.0
@@ -52,6 +67,10 @@ class RequestRecord:
     decrypt_s: float = 0.0
     total_s: float = 0.0
     done_at_s: float = 0.0  # relative to server start
+    outcome: str = "ok"  # "ok" | "failed"
+    error: str | None = None  # taxonomy class name when failed
+    attempts: int = 1  # dispatch attempts the executor made
+    retry_s: float = 0.0  # latency added by retries (first->last dispatch)
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -116,27 +135,35 @@ class StreamingServer:
     # Serving
     # ------------------------------------------------------------------
 
-    async def submit(self, inputs) -> list:
+    async def submit(self, inputs, *, deadline_s: float | None = None) -> list:
         """Admit one request (awaiting a slot under backpressure), serve
         it on the pool, and return its output ciphertexts."""
-        return await self._serve_request(inputs, None, None)
+        return await self._serve_request(inputs, None, None, deadline_s)
 
-    async def serve_one(self, payload, *, encrypt, decrypt):
+    async def serve_one(self, payload, *, encrypt, decrypt, deadline_s=None):
         """Full client pipeline for one request: encrypt -> evaluate ->
         decrypt, with the CPU phases off the event loop so they overlap
-        other requests' pool evaluation."""
-        return await self._serve_request(payload, encrypt, decrypt)
+        other requests' pool evaluation.  ``deadline_s`` bounds the
+        request's time inside the *pool* (executor deadline semantics);
+        a typed :class:`~repro.runtime.faults.DeadlineExceeded` reaches
+        the caller when it fires."""
+        return await self._serve_request(payload, encrypt, decrypt, deadline_s)
 
-    async def serve(self, payloads, *, encrypt, decrypt) -> list:
+    async def serve(self, payloads, *, encrypt, decrypt, deadline_s=None) -> list:
         """Stream a sequence of request payloads through the pipeline,
         returning results in request order."""
         return list(
             await asyncio.gather(
-                *(self.serve_one(p, encrypt=encrypt, decrypt=decrypt) for p in payloads)
+                *(
+                    self.serve_one(
+                        p, encrypt=encrypt, decrypt=decrypt, deadline_s=deadline_s
+                    )
+                    for p in payloads
+                )
             )
         )
 
-    async def _serve_request(self, payload, encrypt, decrypt):
+    async def _serve_request(self, payload, encrypt, decrypt, deadline_s=None):
         """One request, entirely inside the admission bound: at most
         ``max_pending`` requests are in *any* phase at once, so memory
         stays O(max_pending) however long the payload stream is."""
@@ -160,11 +187,26 @@ class StreamingServer:
             t0 = time.perf_counter()
             # executor.submit serializes the inputs before returning its
             # future — run it on the phase thread, not the event loop.
-            pool_future = await loop.run_in_executor(
-                self._phase_pool, self.executor.submit, inputs
-            )
-            outputs = await asyncio.wrap_future(pool_future)
+            # The deadline kwarg is only passed when set, so plain
+            # ``submit(inputs)`` executors (test stubs) keep working.
+            if deadline_s is None:
+                submit_call = partial(self.executor.submit, inputs)
+            else:
+                submit_call = partial(
+                    self.executor.submit, inputs, deadline_s=deadline_s
+                )
+            pool_future = await loop.run_in_executor(self._phase_pool, submit_call)
+            try:
+                outputs = await asyncio.wrap_future(pool_future)
+            except WorkerError as exc:
+                record.outcome = "failed"
+                record.error = type(exc).__name__
+                record.attempts = max(1, getattr(exc, "attempts", 0) or 1)
+                record.service_s = time.perf_counter() - t0
+                raise
             record.service_s = time.perf_counter() - t0
+            record.attempts = max(1, getattr(pool_future, "attempts", 1))
+            record.retry_s = getattr(pool_future, "retry_s", 0.0)
             if decrypt is None:
                 result = outputs
             else:
@@ -173,12 +215,17 @@ class StreamingServer:
                     self._phase_pool, decrypt, outputs
                 )
                 record.decrypt_s = time.perf_counter() - t0
+        except Exception as exc:
+            if record.outcome == "ok":  # phase failures, cancellation, ...
+                record.outcome = "failed"
+                record.error = type(exc).__name__
+            raise
         finally:
             self._finish()
             self._sem.release()
-        record.total_s = time.perf_counter() - enqueue
-        record.done_at_s = time.perf_counter() - self._started_at
-        self._records.append(record)
+            record.total_s = time.perf_counter() - enqueue
+            record.done_at_s = time.perf_counter() - self._started_at
+            self._records.append(record)
         return result
 
     # ------------------------------------------------------------------
@@ -190,7 +237,10 @@ class StreamingServer:
         return list(self._records)
 
     def latency_summary(self) -> dict[str, float]:
-        totals = sorted(r.total_s for r in self._records)
+        """Latency percentiles over *successful* requests only — failed
+        requests returned nothing, so mixing their (often deadline-
+        truncated) timings in would corrupt the service-time picture."""
+        totals = sorted(r.total_s for r in self._records if r.outcome == "ok")
         return {
             "count": len(totals),
             "mean_s": sum(totals) / len(totals) if totals else 0.0,
@@ -200,10 +250,21 @@ class StreamingServer:
         }
 
     def stats(self) -> dict:
-        done = [r.done_at_s for r in self._records]
+        ok = [r for r in self._records if r.outcome == "ok"]
+        failed = [r for r in self._records if r.outcome != "ok"]
+        retried = [r for r in ok if r.attempts > 1]
+        failures_by_type: dict[str, int] = {}
+        for r in failed:
+            name = r.error or "unknown"
+            failures_by_type[name] = failures_by_type.get(name, 0) + 1
+        done = [r.done_at_s for r in ok]
         makespan = max(done) if done else 0.0
         return {
-            "completed": len(self._records),
+            "completed": len(ok),
+            "failed": len(failed),
+            "retried": len(retried),
+            "retry_latency_s": sum(r.retry_s for r in ok),
+            "failures_by_type": failures_by_type,
             "max_queue_depth": max(self._depth_samples, default=0),
             "mean_queue_depth": (
                 sum(self._depth_samples) / len(self._depth_samples)
@@ -219,12 +280,17 @@ class StreamingServer:
 
     def schedule_comparison(self, config=None, degree: int | None = None):
         """The served queue on the accelerator's dual-RSC policies (via
-        the bridge's workload forms), best makespan first."""
+        the bridge's workload forms), best makespan first.  Only
+        successful requests count as served; failed ones contribute just
+        their client-side encrypt leg."""
+        ok = sum(1 for r in self._records if r.outcome == "ok")
+        failed = len(self._records) - ok
         return plan_schedule_comparison(
             self.executor.plan,
-            requests=max(1, len(self._records)),
+            requests=max(1, ok),
             config=config,
             degree=degree,
+            failures=failed,
         )
 
     # ------------------------------------------------------------------

@@ -313,3 +313,33 @@ class TestFrames:
         blob[10] ^= 0x40
         with pytest.raises(ValueError, match="CRC"):
             read_frame(bytes(blob), 0)
+
+
+class TestTypedWireErrors:
+    """Every decode-path rejection is a WireFormatError so the serving
+    engine can map corruption to a typed, retriable failure — while
+    staying a ValueError for pre-existing handlers."""
+
+    def test_wire_format_error_is_a_value_error(self):
+        from repro.ckks import WireFormatError
+
+        assert issubclass(WireFormatError, ValueError)
+
+    def test_frame_corruption_is_typed(self):
+        from repro.ckks import WireFormatError
+
+        blob = bytearray(pack_frame(b"ABCD", b"payload-bytes"))
+        blob[9] ^= 0x01
+        with pytest.raises(WireFormatError):
+            read_frame(bytes(blob), 0)
+        with pytest.raises(WireFormatError):
+            read_frame(blob[:6], 0)
+
+    def test_container_magic_mismatch_is_typed(self, sctx):
+        from repro.ckks import WireFormatError
+
+        ct = sctx.encrypt(np.full(sctx.params.slots, 0.5))
+        blob = bytearray(serialize_ciphertext(ct))
+        blob[:4] = b"XXXX"
+        with pytest.raises(WireFormatError):
+            deserialize_ciphertext(bytes(blob), sctx.evaluator.basis)

@@ -15,7 +15,14 @@ import pytest
 
 from repro.ckks import CkksContext, toy_params
 from repro.nums.kernels import available_backends, using_backend
-from repro.runtime import CtSpec, ShardedExecutor, compile_fn
+from repro.runtime import (
+    CtSpec,
+    FaultAction,
+    FaultPlan,
+    FaultPolicy,
+    ShardedExecutor,
+    compile_fn,
+)
 
 DEGREE = 256
 NUM_PRIMES = 6
@@ -25,13 +32,15 @@ SEED = 1234
 def _run_pipeline():
     """One seeded encrypt/rotate/multiply/rescale/decrypt run; all bytes.
 
-    The same program is executed six ways — eagerly, through the
+    The same program is executed seven ways — eagerly, through the
     runtime's reference interpreter, through the batched plan executor,
     through the arena-backed fused replayer, through a 2-worker sharded
-    pool (ciphertexts crossing the serialization boundary), and through
-    a shipped-plan worker that deserializes the EPL1 plan artifact and
-    replays it *fused* — and all six must agree byte-for-byte within
-    the run.
+    pool (ciphertexts crossing the serialization boundary), through a
+    shipped-plan worker that deserializes the EPL1 plan artifact and
+    replays it *fused*, and through a pool whose first worker is
+    SIGSTOPped mid-request by a scripted chaos plan (hang-killed,
+    replaced, request retried) — and all seven must agree byte-for-byte
+    within the run.
     """
     ctx = CkksContext.create(toy_params(degree=DEGREE, num_primes=NUM_PRIMES), seed=SEED)
     rlk = ctx.relin_keys(levels=[NUM_PRIMES])
@@ -64,9 +73,34 @@ def _run_pipeline():
         )
         assert wire_pool.stats()["plan_wire"] or wire_pool.stats()["inline"]
         assert wire_pool.stats()["fused"]
-    for eager_ct, planned, batched, fused, sharded, shipped in (
-        (rot, plan_rot, batch_rot, fused_rot, shard_rot, ship_rot),
-        (prod, plan_prod, batch_prod, fused_prod, shard_prod, ship_prod),
+    # Mode 7, faulted: the worker taking the request freezes (SIGSTOP)
+    # before evaluating; the hang detector SIGKILLs and replaces it, and
+    # the retried attempt must still land byte-identical output.
+    chaos = FaultPlan(
+        0,
+        scripted={
+            ("pre_evaluate", 0, 0): FaultAction("stop", "pre_evaluate")
+        },
+    )
+    policy = FaultPolicy(hang_timeout_s=0.6, backoff_base_s=0.01)
+    with ShardedExecutor(plan, 1, chaos=chaos, policy=policy) as fault_pool:
+        ((fault_rot, fault_prod),) = fault_pool.run_batch(
+            [[ct_x, ct_y]], timeout=120
+        )
+        fault_stats = fault_pool.stats()
+        assert fault_stats["inline"] or fault_stats["hang_kills"] == 1
+        assert fault_stats["completed"] == 1
+    for eager_ct, planned, batched, fused, sharded, shipped, faulted in (
+        (rot, plan_rot, batch_rot, fused_rot, shard_rot, ship_rot, fault_rot),
+        (
+            prod,
+            plan_prod,
+            batch_prod,
+            fused_prod,
+            shard_prod,
+            ship_prod,
+            fault_prod,
+        ),
     ):
         for i, part in enumerate(eager_ct.parts):
             assert np.array_equal(part.data, planned.parts[i].data), (
@@ -83,6 +117,10 @@ def _run_pipeline():
             )
             assert np.array_equal(part.data, shipped.parts[i].data), (
                 f"shipped-plan (fused) execution diverged from eager at part {i}"
+            )
+            assert np.array_equal(part.data, faulted.parts[i].data), (
+                f"faulted (hang-recovered) execution diverged from eager "
+                f"at part {i}"
             )
 
     snapshots = {

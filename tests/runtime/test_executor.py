@@ -13,6 +13,8 @@ import pytest
 
 from repro.runtime import (
     CtSpec,
+    FaultPolicy,
+    PoisonRequest,
     PtSpec,
     ShardedExecutor,
     WorkerError,
@@ -149,6 +151,82 @@ class TestCrashRecovery:
             # instead of queueing forever.
             with pytest.raises(RuntimeError, match="stopped"):
                 pool.submit(batches[0])
+
+    def test_sigstopped_worker_is_hang_killed_and_request_retried(
+        self, rctx, serving_plan
+    ):
+        # A worker that is stopped (not dead) mid-request: no pipe EOF
+        # ever arrives, so only heartbeat-based hang detection can save
+        # the request.  The parent must SIGKILL + replace the worker and
+        # retry, and the output must stay bit-identical.
+        batches = _batches(rctx, 4, seed=16)
+        reference = serving_plan.run_batch(batches)
+        policy = FaultPolicy(hang_timeout_s=1.0, backoff_base_s=0.01)
+        with ShardedExecutor(
+            serving_plan,
+            2,
+            modeled_request_io_s=0.4,
+            policy=policy,
+            warm_inputs=batches[0],
+        ) as pool:
+            futures = [pool.submit(entry) for entry in batches]
+            time.sleep(0.1)  # let both workers take a request
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGSTOP)
+            results = [f.result(timeout=RESULT_TIMEOUT) for f in futures]
+            stats = pool.stats()
+        for i, (got, want) in enumerate(zip(results, reference)):
+            _assert_outputs_equal(got, want, f"post-hang entry {i}")
+        assert stats["hang_kills"] >= 1
+        assert stats["respawns"] >= 1
+        assert stats["worker_crashes"] == 0  # stopped, never crashed
+        assert stats["retries"] >= 1
+        assert stats["completed"] == len(batches)
+        # The stopped worker was SIGKILLed, not leaked.
+        with pytest.raises(OSError):
+            os.kill(victim, 0)
+
+    def test_repeat_worker_killer_gets_typed_failure_queue_drains(
+        self, rctx, serving_plan
+    ):
+        # Regression for the crash-loop starvation bug: the old engine
+        # front-requeued a crashed request forever.  Submit first a
+        # request that SIGKILLs its worker on every attempt (simulated by
+        # killing whichever worker picks it up), then normal requests —
+        # the poison one must fail typed, the rest must complete.
+        batches = _batches(rctx, 3, seed=17)
+        reference = serving_plan.run_batch(batches[1:])
+        policy = FaultPolicy(max_attempts=2, backoff_base_s=0.01)
+        with ShardedExecutor(
+            serving_plan,
+            1,
+            modeled_request_io_s=0.6,
+            policy=policy,
+            max_crash_respawns=10,
+            warm_inputs=batches[0],
+        ) as pool:
+            poison = pool.submit(batches[0])
+            for crashes_so_far in range(2):  # kill whoever serves it, twice
+                deadline = time.monotonic() + 30
+                # Wait for the (re)dispatch of the only queued request,
+                # then strike inside its modeled-I/O window.
+                while (
+                    pool.stats()["worker_crashes"] < crashes_so_far
+                    or not pool.worker_pids()
+                ):
+                    assert time.monotonic() < deadline, "pool never respawned"
+                    time.sleep(0.01)
+                time.sleep(0.25)
+                os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            with pytest.raises(PoisonRequest, match="quarantined"):
+                poison.result(timeout=RESULT_TIMEOUT)
+            # The queue drains: later requests are served bit-identically.
+            results = pool.run_batch(batches[1:], timeout=RESULT_TIMEOUT)
+            stats = pool.stats()
+        for i, (got, want) in enumerate(zip(results, reference)):
+            _assert_outputs_equal(got, want, f"post-poison entry {i}")
+        assert stats["poisoned"] == 1
+        assert stats["completed"] == len(batches) - 1
 
     def test_bad_input_fails_its_future_not_the_pool(self, rctx, serving_plan):
         good = _batches(rctx, 1, seed=13)[0]

@@ -1,5 +1,6 @@
 """StreamingServer: backpressure bounds, phase overlap, ordered results,
-latency/queue-depth statistics, and the dual-RSC scheduler comparison."""
+latency/queue-depth statistics, typed failure outcomes, deadline
+plumbing, and the dual-RSC scheduler comparison."""
 
 from __future__ import annotations
 
@@ -11,6 +12,10 @@ import pytest
 
 from repro.runtime import (
     CtSpec,
+    FaultAction,
+    FaultPlan,
+    FaultPolicy,
+    PoisonRequest,
     ShardedExecutor,
     StreamingServer,
     compile_fn,
@@ -38,6 +43,18 @@ class StubExecutor:
         fut: Future = Future()
         self.submissions.append((inputs, fut))
         return fut
+
+
+class DeadlineRecordingStub(StubExecutor):
+    """Stub that accepts and records the per-request deadline kwarg."""
+
+    def __init__(self):
+        super().__init__()
+        self.deadlines: list[float | None] = []
+
+    def submit(self, inputs, *, deadline_s=None) -> Future:
+        self.deadlines.append(deadline_s)
+        return super().submit(inputs)
 
 
 @pytest.fixture(scope="module")
@@ -150,6 +167,110 @@ class TestStreamingPipeline:
 
         stats = asyncio.run(scenario())
         assert stats["makespan_s"] < n * io_s
+
+    def test_deadline_is_plumbed_to_the_executor(self):
+        async def scenario():
+            stub = DeadlineRecordingStub()
+            async with StreamingServer(stub, max_pending=2) as server:
+                tasks = [
+                    asyncio.create_task(server.submit([0], deadline_s=1.5)),
+                    asyncio.create_task(server.submit([1])),
+                ]
+                await asyncio.sleep(0.02)
+                for _, fut in stub.submissions:
+                    fut.set_result(["r"])
+                await asyncio.gather(*tasks)
+            return stub.deadlines
+
+        assert sorted(asyncio.run(scenario()), key=str) == [1.5, None]
+
+    def test_failed_requests_get_typed_records_and_stats(
+        self, rctx, square_plan
+    ):
+        # Request 0 crashes its worker on every attempt and is
+        # quarantined; the later requests complete.  The server must
+        # surface the typed error, record the failure, and keep failed
+        # requests out of the latency/throughput statistics.
+        chaos = FaultPlan(
+            0,
+            scripted={
+                ("pre_evaluate", 0, a): FaultAction("crash", "pre_evaluate")
+                for a in range(2)
+            },
+        )
+        policy = FaultPolicy(max_attempts=2, backoff_base_s=0.01)
+
+        def encrypt(values):
+            return [rctx.encrypt(values)]
+
+        def decrypt(outputs):
+            return rctx.decrypt_decode(outputs[0]).real
+
+        payload = np.full(rctx.params.slots, 0.25)
+
+        async def scenario():
+            pool = ShardedExecutor(
+                square_plan, 1, chaos=chaos, policy=policy, max_crash_respawns=10
+            )
+            async with StreamingServer(pool, max_pending=1) as server:
+                with pytest.raises(PoisonRequest):
+                    await server.serve_one(
+                        payload, encrypt=encrypt, decrypt=decrypt
+                    )
+                results = await server.serve(
+                    [payload] * 2, encrypt=encrypt, decrypt=decrypt
+                )
+                return results, server.stats(), server.records
+
+        results, stats, records = asyncio.run(scenario())
+        for result in results:
+            assert np.max(np.abs(result - payload**2)) < 1e-4
+        assert stats["completed"] == 2
+        assert stats["failed"] == 1
+        assert stats["failures_by_type"] == {"PoisonRequest": 1}
+        assert stats["latency"]["count"] == 2  # failures excluded
+        failed = [r for r in records if r.outcome == "failed"]
+        assert len(failed) == 1
+        assert failed[0].error == "PoisonRequest"
+        assert failed[0].attempts == 2
+
+    def test_retried_requests_are_counted_with_latency_contribution(
+        self, rctx, square_plan
+    ):
+        chaos = FaultPlan(
+            0,
+            scripted={
+                ("pre_evaluate", 0, 0): FaultAction("crash", "pre_evaluate")
+            },
+        )
+
+        def encrypt(values):
+            return [rctx.encrypt(values)]
+
+        def decrypt(outputs):
+            return rctx.decrypt_decode(outputs[0]).real
+
+        payload = np.full(rctx.params.slots, 0.3)
+
+        async def scenario():
+            pool = ShardedExecutor(square_plan, 1, chaos=chaos)
+            async with StreamingServer(pool, max_pending=2) as server:
+                results = await server.serve(
+                    [payload] * 3, encrypt=encrypt, decrypt=decrypt
+                )
+                return results, server.stats(), server.records
+
+        results, stats, records = asyncio.run(scenario())
+        for result in results:
+            assert np.max(np.abs(result - payload**2)) < 1e-4
+        assert stats["completed"] == 3
+        assert stats["failed"] == 0
+        assert stats["retried"] == 1
+        assert stats["retry_latency_s"] > 0
+        retried = [r for r in records if r.attempts > 1]
+        assert len(retried) == 1
+        assert retried[0].retry_s > 0
+        assert retried[0].outcome == "ok"
 
     def test_schedule_comparison_covers_all_policies(self, rctx, square_plan):
         async def scenario():
