@@ -47,6 +47,7 @@ DEFAULT_FILES = [
     "BENCH_serving.json",
     "BENCH_planio.json",
     "BENCH_chaos.json",
+    "BENCH_telemetry.json",
 ]
 
 # workers/requests keep serving-bench baselines from being compared

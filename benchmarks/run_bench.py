@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Standalone performance runner: kernels, runtime, serving, plan I/O,
-and fault-recovery overhead.
+fault-recovery overhead, and telemetry overhead.
 
-Five sections, selectable with ``--sections``:
+Six sections, selectable with ``--sections``:
 
 * ``core`` — the hot primitives (mulmod, batched NTT, key switching,
   rotation plain/hoisted, BSGS, a bootstrap step) against the pre-PR
@@ -24,7 +24,12 @@ Five sections, selectable with ``--sections``:
   seeded injected worker crashes (5/10/20% per-attempt rates), with
   zero-lost/zero-duplicated and bit-identity hard-asserted and the
   fault-free/faulted wall-clock ratio gated, written to
-  ``BENCH_chaos.json``.
+  ``BENCH_chaos.json``;
+* ``telemetry`` — observability overhead: fused BSGS replay and a
+  2-worker serve under telemetry off / enabled-but-sampled-out / full
+  tracing, hard-asserting in-run that disabled hooks cost <= 2% and
+  full tracing <= 10% on the fused replay, written to
+  ``BENCH_telemetry.json``.
 
 Every output JSON carries a ``trajectory`` list: by default the history
 already in the file is preserved and this run appended, so the per-PR
@@ -668,6 +673,143 @@ def bench_chaos(
     }
 
 
+def bench_telemetry(ctx, repeats: int, workers: int, n_requests: int) -> dict:
+    """Observability overhead: the same work under three telemetry modes.
+
+    * ``off``            — tracing disabled (the default state);
+    * ``disabled_hooks`` — tracing enabled with ``sample_rate=0.0``, so
+      every instrumentation site is reached but no span is recorded;
+    * ``on``             — tracing enabled at ``sample_rate=1.0``, full
+      span capture.
+
+    Two workloads: the fused BSGS replay (single-process hot loop, where
+    per-step span hooks would hurt most) and a ``workers``-worker sharded
+    serve (where TRC1 frames ride the worker pipe).  The fused replay is
+    measured best-of-N with the three modes *interleaved* round-robin —
+    each round times off, then disabled, then on — so clock drift
+    (thermal, cache, noisy neighbors) lands on every mode equally instead
+    of masquerading as instrumentation overhead; the acceptance bounds
+    are hard-asserted in-run: disabled hooks cost <= 2% and full tracing
+    <= 10% over off.  The serving runs (one fresh pool per mode,
+    wall-clock once per mode) get a looser 1.5x sanity bound;
+    multi-process wall-clock is too noisy for a 2% gate.
+
+    Gated ratios (``telemetry_*_efficiency``): off / mode wall-clock,
+    higher is better (1.0 = instrumentation is free).
+    """
+    from repro.runtime import get_telemetry
+
+    telemetry = get_telemetry()
+    slots = ctx.params.slots
+    lvl = ctx.params.num_primes
+    rng = np.random.default_rng(47)
+    fused_repeats = max(repeats, 5)
+
+    matrix = rng.uniform(-1, 1, (slots, slots)) + 1j * rng.uniform(
+        -1, 1, (slots, slots)
+    )
+    hlt = HomomorphicLinearTransform(ctx, matrix, level=lvl)
+    gks = ctx.galois_keys(hlt.required_rotations(), levels=[lvl])
+    batch = [[ctx.encrypt(rng.uniform(-1, 1, slots))] for _ in range(RUNTIME_BATCH)]
+    plan = hlt.plan_for(batch[0][0].scale, gks)
+    plan.run_batch(batch[:1], fused=True)  # arena + fused closures build here
+
+    serve_plan = _inference_plan(ctx)
+    serve_batches = [
+        [ctx.encrypt(rng.uniform(-1, 1, slots))] for _ in range(n_requests)
+    ]
+
+    def fused_replay():
+        plan.run_batch(batch, fused=True)
+
+    def serve_once() -> float:
+        with ShardedExecutor(
+            serve_plan, workers, warm_inputs=serve_batches[0]
+        ) as pool:
+            t0 = time.perf_counter()
+            pool.run_batch(serve_batches, timeout=600)
+            return time.perf_counter() - t0
+
+    fused_modes = (
+        ("off", telemetry.disable),
+        ("disabled_hooks", lambda: telemetry.enable(sample_rate=0.0)),
+        ("on", lambda: telemetry.enable(sample_rate=1.0)),
+    )
+    results: dict[str, dict] = {}
+    span_counts: dict[str, int] = {}
+    try:
+        telemetry.disable()
+        telemetry.reset()
+        fused_replay()  # shared warmup outside the timed rounds
+        samples: dict[str, list[float]] = {mode: [] for mode, _ in fused_modes}
+        for _ in range(fused_repeats):
+            for mode, arm in fused_modes:
+                arm()
+                t0 = time.perf_counter()
+                fused_replay()
+                samples[mode].append(time.perf_counter() - t0)
+                telemetry.disable()
+        span_counts["on"] = len(telemetry.spans())
+        for mode, rows in samples.items():
+            results[f"telemetry_fused_{mode}"] = {
+                "best_s": min(rows),
+                "mean_s": sum(rows) / len(rows),
+            }
+
+        telemetry.reset()
+        serve_s = serve_once()
+        results["telemetry_serving_off"] = {"best_s": serve_s, "mean_s": serve_s}
+        for mode, arm in fused_modes[1:]:
+            telemetry.reset()
+            arm()
+            serve_s = serve_once()
+            results[f"telemetry_serving_{mode}"] = {
+                "best_s": serve_s,
+                "mean_s": serve_s,
+            }
+            if mode == "disabled_hooks":
+                span_counts[mode] = len(telemetry.spans())
+            telemetry.disable()
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+
+    fused_off = results["telemetry_fused_off"]["best_s"]
+    fused_disabled = results["telemetry_fused_disabled_hooks"]["best_s"]
+    fused_on = results["telemetry_fused_on"]["best_s"]
+    assert fused_disabled <= 1.02 * fused_off, (
+        f"disabled-hooks fused replay {fused_disabled:.4f}s exceeds 2% over "
+        f"the telemetry-off baseline {fused_off:.4f}s"
+    )
+    assert fused_on <= 1.10 * fused_off, (
+        f"full-tracing fused replay {fused_on:.4f}s exceeds 10% over the "
+        f"telemetry-off baseline {fused_off:.4f}s"
+    )
+    serve_off = results["telemetry_serving_off"]["best_s"]
+    for mode, _ in fused_modes[1:]:
+        serve_mode = results[f"telemetry_serving_{mode}"]["best_s"]
+        assert serve_mode <= 1.5 * serve_off, (
+            f"serving with telemetry {mode} took {serve_mode:.3f}s, more "
+            f"than 1.5x the telemetry-off {serve_off:.3f}s"
+        )
+
+    speedups = {
+        "telemetry_fused_disabled_efficiency": fused_off / fused_disabled,
+        "telemetry_fused_enabled_efficiency": fused_off / fused_on,
+        "telemetry_serving_disabled_efficiency": serve_off
+        / results["telemetry_serving_disabled_hooks"]["best_s"],
+        "telemetry_serving_enabled_efficiency": serve_off
+        / results["telemetry_serving_on"]["best_s"],
+    }
+    overhead = {
+        "fused_disabled_x": fused_disabled / fused_off,
+        "fused_enabled_x": fused_on / fused_off,
+        "spans_recorded_on": span_counts.get("on", 0),
+        "spans_recorded_disabled": span_counts.get("disabled_hooks", 0),
+    }
+    return {"results": results, "overhead": overhead, "speedups_x": speedups}
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -703,7 +845,7 @@ def _print_section(title: str, results: dict, speedups: dict, legend: str) -> No
         print(f"  {name:<{width}}  {x:5.2f}x")
 
 
-KNOWN_SECTIONS = ("core", "runtime", "serving", "planio", "chaos")
+KNOWN_SECTIONS = ("core", "runtime", "serving", "planio", "chaos", "telemetry")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -711,7 +853,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--quick", action="store_true", help="CI smoke sizes")
     ap.add_argument(
         "--sections",
-        default="core,runtime,serving,planio,chaos",
+        default="core,runtime,serving,planio,chaos,telemetry",
         help=f"comma list of sections to run: {', '.join(KNOWN_SECTIONS)}",
     )
     ap.add_argument("--out", default="BENCH_keyswitch.json", help="output JSON path")
@@ -739,6 +881,24 @@ def main(argv: list[str] | None = None) -> int:
         "--chaos-out",
         default="BENCH_chaos.json",
         help="chaos-section output JSON path",
+    )
+    ap.add_argument(
+        "--telemetry-out",
+        default="BENCH_telemetry.json",
+        help="telemetry-section output JSON path",
+    )
+    ap.add_argument(
+        "--telemetry-workers",
+        type=int,
+        default=2,
+        help="pool size for the telemetry serving overhead bench",
+    )
+    ap.add_argument(
+        "--telemetry-requests",
+        type=int,
+        default=None,
+        help="requests per telemetry serving measurement "
+        "(default 8 quick / 16 full)",
     )
     ap.add_argument(
         "--chaos-workers",
@@ -965,6 +1125,39 @@ def main(argv: list[str] | None = None) -> int:
                 f"overhead {row['overhead_x']:.2f}x"
             )
         _finalize(ch_payload, Path(args.chaos_out), args.append_trajectory)
+
+    if "telemetry" in sections:
+        tel_requests = args.telemetry_requests or (8 if args.quick else 16)
+        tel = bench_telemetry(ctx, repeats, args.telemetry_workers, tel_requests)
+        tel_payload = {
+            "meta": {
+                "bench": "telemetry-overhead",
+                **meta_common,
+                "requests": tel_requests,
+                "workers": args.telemetry_workers,
+                "batch": RUNTIME_BATCH,
+            },
+            **{k: v for k, v in tel.items() if k != "results"},
+            "results_s": tel["results"],
+            "speedups_x": tel["speedups_x"],
+        }
+        _print_section(
+            f"\ntelemetry-overhead bench  (N=2^{degree.bit_length()-1}, "
+            f"L={primes}, fused batch={RUNTIME_BATCH}, {tel_requests} "
+            f"requests on {args.telemetry_workers} workers; in-run bounds: "
+            "disabled hooks <=2%, full tracing <=10% on fused replay)",
+            tel["results"],
+            tel["speedups_x"],
+            "telemetry off / mode wall-clock (1.0 = instrumentation is free)",
+        )
+        ov = tel["overhead"]
+        print(
+            f"  fused overhead: disabled {ov['fused_disabled_x']:.3f}x, "
+            f"enabled {ov['fused_enabled_x']:.3f}x "
+            f"({ov['spans_recorded_on']} spans recorded when on, "
+            f"{ov['spans_recorded_disabled']} when sampled out)"
+        )
+        _finalize(tel_payload, Path(args.telemetry_out), args.append_trajectory)
 
     if "planio" in sections:
         planio = bench_plan_io(ctx, repeats)

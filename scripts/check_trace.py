@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Schema checker for exported Chrome trace-event JSON.
+
+Validates that a telemetry export (``scripts/obs.py demo`` or
+``Telemetry.export_chrome_trace``) is a well-formed, Perfetto-loadable
+trace:
+
+* top level is an object with a ``traceEvents`` list;
+* every event has ``name``/``ph``/``pid``/``tid``, and every ``ph:"X"``
+  complete event has numeric non-negative ``ts``/``dur`` plus
+  ``args.trace_id``/``args.span_id``;
+* every pid appearing in a complete event has a ``process_name``
+  metadata row;
+* within each trace, every non-root ``parent_id`` resolves to another
+  span of the *same* trace (causal nesting never crosses traces).
+
+With ``--expect-crash-retry`` it additionally asserts the acceptance
+criteria of the observability PR: at least one trace contains two or
+more ``attempt-*`` spans (a crash-retried request), exactly one
+successful worker ``evaluate`` span, and spans from at least two
+distinct OS processes (parent + worker) under that single trace ID.
+
+Usage::
+
+    python scripts/check_trace.py obs-demo/trace.json --expect-crash-retry
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def fail(msg: str) -> int:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def check(path: Path, expect_crash_retry: bool) -> int:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return fail(f"cannot read {path}: {exc}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return fail("top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+    if not events:
+        return fail("traceEvents is empty")
+
+    complete: list[dict] = []
+    named_pids: set[int] = set()
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            return fail(f"event {i} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                return fail(f"event {i} missing required field {key!r}")
+        if e["ph"] == "M":
+            if e["name"] == "process_name":
+                named_pids.add(e["pid"])
+            continue
+        if e["ph"] != "X":
+            return fail(f"event {i} has unsupported phase {e['ph']!r}")
+        for key in ("ts", "dur"):
+            if not isinstance(e.get(key), (int, float)) or e[key] < 0:
+                return fail(f"event {i} ({e['name']}) has bad {key!r}: {e.get(key)!r}")
+        args = e.get("args")
+        if not isinstance(args, dict):
+            return fail(f"event {i} ({e['name']}) missing args")
+        for key in ("trace_id", "span_id"):
+            if not isinstance(args.get(key), int):
+                return fail(f"event {i} ({e['name']}) missing args.{key}")
+        complete.append(e)
+
+    if not complete:
+        return fail("no complete (ph=X) spans")
+    span_pids = {e["pid"] for e in complete}
+    unnamed = span_pids - named_pids
+    if unnamed:
+        return fail(f"pids without a process_name metadata row: {sorted(unnamed)}")
+
+    by_trace: dict[int, list[dict]] = defaultdict(list)
+    for e in complete:
+        by_trace[e["args"]["trace_id"]].append(e)
+    for trace_id, spans in by_trace.items():
+        ids = {s["args"]["span_id"] for s in spans}
+        if len(ids) != len(spans):
+            return fail(f"trace {trace_id} has duplicate span ids")
+        for s in spans:
+            parent = s["args"].get("parent_id", 0)
+            if parent and parent not in ids:
+                return fail(
+                    f"trace {trace_id} span {s['name']!r} parents to "
+                    f"{parent}, which is not a span of this trace"
+                )
+
+    summary = f"{len(complete)} spans across {len(by_trace)} traces OK"
+    if not expect_crash_retry:
+        print(summary)
+        return 0
+
+    for trace_id, spans in sorted(by_trace.items()):
+        attempts = [s for s in spans if s["name"].startswith("attempt-")]
+        ok_evals = [
+            s
+            for s in spans
+            if s["name"] == "evaluate" and s["args"].get("status") == "ok"
+        ]
+        pids = {s["pid"] for s in spans}
+        if len(attempts) >= 2 and len(ok_evals) == 1 and len(pids) >= 2:
+            print(
+                f"{summary}; trace {trace_id} is crash-retried: "
+                f"{len(attempts)} attempts, 1 success span, "
+                f"{len(pids)} processes"
+            )
+            return 0
+    return fail(
+        "no trace with >=2 attempt spans, exactly one successful evaluate "
+        "span, and spans from >=2 processes"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", type=Path)
+    ap.add_argument(
+        "--expect-crash-retry",
+        action="store_true",
+        help="require a crash-retried cross-process trace (CI acceptance)",
+    )
+    args = ap.parse_args(argv)
+    return check(args.trace, args.expect_crash_retry)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

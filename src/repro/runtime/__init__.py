@@ -47,6 +47,14 @@ across processes (:func:`~repro.runtime.plan.set_plan_store`), and
 worker instead of relying on fork-shared state.  See
 ``docs/architecture.md`` for the layer map and ``docs/formats.md`` for
 the wire formats.
+
+Observability: :mod:`repro.runtime.telemetry` is the process-wide
+metric registry and cross-process tracer behind every layer — compiler
+passes, plan cache/store, fused replay, executor, and streaming
+admission all report into it, and per-request trace contexts ride the
+worker pipe as ``TRC1`` frames so one request's spans nest into a
+single Perfetto-loadable timeline across processes and retries (see
+``docs/observability.md``).
 """
 
 from repro.runtime.bridge import (
@@ -105,6 +113,19 @@ from repro.runtime.plan_io import (
     serialize_plan,
 )
 from repro.runtime.stream import RequestRecord, StreamingServer
+from repro.runtime.telemetry import (
+    TRACE_MAGIC,
+    MetricGroup,
+    Span,
+    Telemetry,
+    TraceContext,
+    WorkerSpanRecorder,
+    deserialize_trace_frame,
+    get_telemetry,
+    serialize_trace_context,
+    serialize_worker_spans,
+)
+from repro.runtime.telemetry import now as monotonic_now
 from repro.runtime.trace import (
     LazyCiphertext,
     LazyDecomposed,
@@ -179,4 +200,15 @@ __all__ = [
     "flip_frame_byte",
     "StreamingServer",
     "RequestRecord",
+    "Telemetry",
+    "TraceContext",
+    "Span",
+    "MetricGroup",
+    "WorkerSpanRecorder",
+    "TRACE_MAGIC",
+    "get_telemetry",
+    "monotonic_now",
+    "serialize_trace_context",
+    "serialize_worker_spans",
+    "deserialize_trace_frame",
 ]

@@ -114,12 +114,23 @@ from repro.runtime.faults import (
     serialize_fault,
 )
 from repro.runtime.plan import ExecutionPlan
+from repro.runtime.telemetry import (
+    WorkerSpanRecorder,
+    deserialize_trace_frame,
+    get_telemetry,
+    serialize_trace_context,
+)
+from repro.runtime.telemetry import now as _mono
 
 __all__ = ["ShardedExecutor", "WorkerError", "ENVELOPE_MAGIC"]
 
 # Boundary envelope: every blob crossing the worker pipe rides in one
 # CRC-guarded frame so corruption is detected, not silently decoded.
 ENVELOPE_MAGIC = b"ENV1"
+
+# Distinguishes the metric label set of concurrently-live pools in one
+# process (test suites build dozens); monotone so exports stay stable.
+_POOL_IDS = itertools.count()
 
 
 def _encode_value(value, coeff_bits: int) -> bytes:
@@ -195,47 +206,58 @@ def _inject(action, state) -> None:
         time.sleep(action.duration_s)
 
 
-def _serve_request(plan, basis, cfg: _WorkerConfig, state, req_id, attempt, blobs):
+def _serve_request(
+    plan, basis, cfg: _WorkerConfig, state, req_id, attempt, blobs, rec
+):
     """Serve one request in the worker; always returns a reply tuple.
 
     Wire corruption in the incoming frames becomes a typed
     ``WireCorruption`` reply; any evaluation error becomes a typed
     ``RequestError`` reply — the worker itself never dies for a bad
-    request, only for injected/real process faults.
+    request, only for injected/real process faults.  ``rec`` is the
+    attempt's :class:`WorkerSpanRecorder`; when the attempt is traced,
+    deserialize/evaluate/serialize spans ship back in the reply's final
+    TRC1 field (on a crash the worker dies with its spans — the parent's
+    attempt span still records the attempt's extent and outcome).
     """
     chaos = cfg.chaos
     upload_s = download_s = cfg.io_s / 2.0
     try:
         try:
-            inputs = [_decode_value(b, basis) for b in blobs]
+            with rec.span("deserialize", blobs=len(blobs)):
+                inputs = [_decode_value(b, basis) for b in blobs]
         except WireFormatError as exc:
             fault = WireCorruption(
                 f"request frame corrupt: {exc}",
                 request_id=req_id,
                 attempts=attempt + 1,
             )
-            return ("err", req_id, attempt, serialize_fault(fault))
+            return ("err", req_id, attempt, serialize_fault(fault), rec.payload())
         action = chaos.decide("pre_evaluate", req_id, attempt) if chaos else None
         if action is not None:
             _inject(action, state)
         if upload_s:
-            time.sleep(upload_s)
-        outputs = plan.run_batch([inputs], fused=cfg.fused)[0]
+            with rec.span("upload_wait"):
+                time.sleep(upload_s)
+        with rec.span("evaluate"):
+            outputs = plan.run_batch([inputs], fused=cfg.fused)[0]
         action = chaos.decide("post_evaluate", req_id, attempt) if chaos else None
         if action is not None:
             _inject(action, state)
-        payload = [_encode_value(o, cfg.coeff_bits) for o in outputs]
+        with rec.span("serialize"):
+            payload = [_encode_value(o, cfg.coeff_bits) for o in outputs]
         action = chaos.decide("reply_encode", req_id, attempt) if chaos else None
         if action is not None and action.kind == "flip":
             payload[0] = flip_frame_byte(payload[0], action)
         if download_s:
-            time.sleep(download_s)
-        return ("ok", req_id, attempt, payload)
+            with rec.span("download_wait"):
+                time.sleep(download_s)
+        return ("ok", req_id, attempt, payload, rec.payload())
     except Exception as exc:  # noqa: BLE001 — forwarded to the parent, typed
         fault = RequestError(
             f"{type(exc).__name__}: {exc}", request_id=req_id, attempts=attempt + 1
         )
-        return ("err", req_id, attempt, serialize_fault(fault))
+        return ("err", req_id, attempt, serialize_fault(fault), rec.payload())
 
 
 def _worker_loop(plan: ExecutionPlan, conn, cfg: _WorkerConfig) -> None:
@@ -257,11 +279,22 @@ def _worker_loop(plan: ExecutionPlan, conn, cfg: _WorkerConfig) -> None:
             break
         if msg is None:
             break
-        req_id, attempt, blobs = msg
+        req_id, attempt, blobs, trace_blob = msg
+        ctx = None
+        if trace_blob is not None:
+            try:
+                kind, ctx = deserialize_trace_frame(trace_blob)
+                if kind != "ctx":
+                    ctx = None
+            except WireFormatError:
+                ctx = None  # a corrupt trace frame never fails the request
+        rec = WorkerSpanRecorder(ctx, attempt)
         state["attempt"] = attempt
         state["suspend"] = False
         state["req"] = req_id
-        reply = _serve_request(plan, basis, cfg, state, req_id, attempt, blobs)
+        reply = _serve_request(
+            plan, basis, cfg, state, req_id, attempt, blobs, rec
+        )
         state["req"] = None
         try:
             with send_lock:
@@ -284,6 +317,10 @@ class _Request:
         "first_dispatch_at",
         "last_dispatch_at",
         "cancelled",
+        "trace",
+        "root_span",
+        "attempt_span",
+        "backoff_from",
     )
 
     def __init__(self, req_id: int, blobs, future: Future, deadline_at):
@@ -297,6 +334,10 @@ class _Request:
         self.first_dispatch_at: float | None = None
         self.last_dispatch_at: float | None = None
         self.cancelled = False
+        self.trace = None  # TraceContext spans parent under (None=untraced)
+        self.root_span = None  # executor-owned root handle, if we minted it
+        self.attempt_span = None  # open span for the in-flight attempt
+        self.backoff_from: float | None = None  # retry scheduled at (mono)
 
 
 class _Worker:
@@ -395,19 +436,28 @@ class ShardedExecutor:
         self._has_deadlines = self.policy.deadline_s is not None
         self._req_ids = itertools.count()
         self._started = False
-        self._stats = {
-            "submitted": 0,
-            "completed": 0,
-            "errors": 0,
-            "worker_crashes": 0,
-            "respawns": 0,
-            "retries": 0,
-            "hang_kills": 0,
-            "deadline_failures": 0,
-            "wire_corruptions": 0,
-            "poisoned": 0,
-            "cancelled": 0,
-        }
+        # Single source of truth for pool accounting: a telemetry counter
+        # group (unique per pool instance); stats() stays a dict view.
+        self._telemetry = get_telemetry()
+        self._m = self._telemetry.group(
+            "executor", pool=str(next(_POOL_IDS))
+        ).declare(
+            "submitted",
+            "completed",
+            "errors",
+            "worker_crashes",
+            "respawns",
+            "retries",
+            "hang_kills",
+            "deadline_failures",
+            "wire_corruptions",
+            "poisoned",
+            "cancelled",
+            "busy_s",
+        )
+        self._staleness_gauge = self._telemetry.gauge(
+            "executor_heartbeat_staleness_s", **self._m.labels
+        )
         # Warm every fork-shared cache in the parent: the lowered closure
         # schedule always, plus (optionally) one real replay so stacked
         # key tensors and permutation tables exist before the first fork.
@@ -516,6 +566,8 @@ class ShardedExecutor:
             self._pending.clear()
             self._delayed.clear()
         for req in requests:
+            self._close_attempt(req, "closed")
+            self._finish_trace(req, "closed")
             _resolve(req.future, exc=RuntimeError("executor closed"))
 
     def __enter__(self) -> "ShardedExecutor":
@@ -528,13 +580,20 @@ class ShardedExecutor:
     # Submission
     # ------------------------------------------------------------------
 
-    def submit(self, inputs, *, deadline_s: float | None = None) -> Future:
+    def submit(
+        self, inputs, *, deadline_s: float | None = None, trace=None
+    ) -> Future:
         """Queue one plan replay; resolves to its output ciphertexts.
 
         ``deadline_s`` bounds the request's *total* time in the engine
         (queue wait plus every attempt); past it the request fails with a
         typed :class:`~repro.runtime.faults.DeadlineExceeded`.  ``None``
         falls back to the policy default.
+
+        ``trace`` optionally parents this request's spans under a caller
+        :class:`~repro.runtime.telemetry.TraceContext` (the streaming
+        front end passes its service span); otherwise the executor mints
+        a fresh trace at ingress when tracing is enabled.
         """
         if not self._started:
             self.start()
@@ -545,15 +604,27 @@ class ShardedExecutor:
         blobs = [_encode_value(v, self._coeff_bits) for v in inputs]
         fut: Future = Future()
         if self._inline or self._degraded:
-            self._run_inline(blobs, fut)
+            self._run_inline(blobs, fut, trace=trace)
             return fut
         deadline = deadline_s if deadline_s is not None else self.policy.deadline_s
         deadline_at = None if deadline is None else time.monotonic() + deadline
         with self._lock:
             req_id = next(self._req_ids)
             fut.request_id = req_id
-            self._stats["submitted"] += 1
-            self._requests[req_id] = _Request(req_id, blobs, fut, deadline_at)
+            self._m.inc("submitted")
+            req = _Request(req_id, blobs, fut, deadline_at)
+            # Trace minting happens under the lock so trace ids follow
+            # request ids deterministically under concurrent submitters.
+            if trace is not None and trace.sampled:
+                req.trace = trace
+            else:
+                root = self._telemetry.start_trace(
+                    "request", category="serve", request=req_id
+                )
+                if root:
+                    req.root_span = root
+                    req.trace = root.ctx
+            self._requests[req_id] = req
             self._pending.append(req_id)
             if deadline_at is not None:
                 self._has_deadlines = True
@@ -579,7 +650,9 @@ class ShardedExecutor:
             req.cancelled = True
             if not in_flight:
                 self._requests.pop(req_id, None)
-            self._stats["cancelled"] += 1
+            self._m.inc("cancelled")
+        self._close_attempt(req, "cancelled")
+        self._finish_trace(req, "cancelled")
         return fut.cancel()
 
     def run_batch(
@@ -623,7 +696,7 @@ class ShardedExecutor:
 
     def stats(self) -> dict:
         with self._lock:
-            out = dict(self._stats)
+            out = self._m.to_dict()  # view over the telemetry registry
             out["pending"] = len(self._pending) + len(self._delayed)
         out["num_workers"] = self.num_workers
         out["inline"] = self._inline
@@ -639,9 +712,15 @@ class ShardedExecutor:
     # Inline / degraded path
     # ------------------------------------------------------------------
 
-    def _run_inline(self, blobs, fut: Future) -> None:
+    def _run_inline(self, blobs, fut: Future, trace=None) -> None:
         basis = self.plan.evaluator.basis
-        self._stats["submitted"] += 1
+        self._m.inc("submitted")
+        if trace is not None and trace.sampled:
+            span = self._telemetry.child_span(
+                "inline_evaluate", trace, category="serve"
+            )
+        else:
+            span = self._telemetry.start_trace("inline_evaluate", category="serve")
         try:
             if self._io_s:  # parity with the worker-side link model
                 time.sleep(self._io_s)
@@ -652,16 +731,60 @@ class ShardedExecutor:
                 for o in outputs
             ]
         except Exception as exc:  # noqa: BLE001 — mirror the pool contract
-            self._stats["errors"] += 1
+            span.end(status="error")
+            self._m.inc("errors")
             fut.attempts = 1
             _resolve(
                 fut, exc=RequestError(f"{type(exc).__name__}: {exc}", attempts=1)
             )
             return
-        self._stats["completed"] += 1
+        span.end(status="ok")
+        self._m.inc("completed")
         fut.attempts = 1
         fut.retry_s = 0.0
         _resolve(fut, result=round_tripped)
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _close_attempt(req: _Request, status: str, **attrs) -> None:
+        """Close the in-flight attempt span (idempotent): the parent
+        records the attempt's extent and outcome even when the worker
+        died and its own spans never came back."""
+        span, req.attempt_span = req.attempt_span, None
+        if span is not None:
+            span.end(status=status, **attrs)
+
+    @staticmethod
+    def _finish_trace(req: _Request, status: str) -> None:
+        """Close the request root span iff this executor minted it (a
+        caller-provided trace context is closed by the caller)."""
+        span, req.root_span = req.root_span, None
+        if span is not None:
+            span.end(status=status)
+
+    def _accrue_busy(self, worker: _Worker, now: float) -> None:
+        """Fold one finished (or terminated) attempt's wall time into
+        the pool's busy-seconds counter — worker utilization is
+        ``busy_s / (workers * pool uptime)``."""
+        if worker.dispatched_at:
+            self._m.inc("busy_s", max(0.0, now - worker.dispatched_at))
+            worker.dispatched_at = 0.0
+
+    def _ingest_worker_spans(self, span_blob) -> None:
+        if span_blob is None:
+            return
+        try:
+            kind, spans = deserialize_trace_frame(span_blob)
+        except (WireFormatError, ValueError, KeyError):
+            return  # corrupt telemetry never fails a request
+        if kind == "spans":
+            try:
+                self._telemetry.ingest_spans(spans)
+            except (TypeError, KeyError):
+                pass
 
     # ------------------------------------------------------------------
     # Pool internals (parent I/O thread unless noted)
@@ -762,14 +885,26 @@ class ShardedExecutor:
             if worker is not None:
                 # The worker is stuck on this request past its budget;
                 # the only way to reclaim it is to replace the process.
+                self._accrue_busy(worker, now)
                 self._kill_and_retire(worker)
-                self._stats["respawns"] += 1
+                self._m.inc("respawns")
+                self._telemetry.event(
+                    "respawn", pool=self._m.labels["pool"], reason="deadline"
+                )
                 self._workers.append(self._spawn())
             with self._lock:
                 self._requests.pop(req.id, None)
-            self._stats["deadline_failures"] += 1
-            self._stats["errors"] += 1
+            self._m.inc("deadline_failures")
+            self._m.inc("errors")
             elapsed = now - req.submitted_at
+            self._close_attempt(req, "deadline")
+            self._finish_trace(req, "deadline")
+            self._telemetry.event(
+                "deadline_failure",
+                request=req.id,
+                attempts=req.attempts,
+                code=DeadlineExceeded.code,
+            )
             req.future.attempts = req.attempts
             _resolve(
                 req.future,
@@ -785,29 +920,46 @@ class ShardedExecutor:
         hang_timeout = self.policy.hang_timeout_s
         if hang_timeout is None:
             return
+        staleness = 0.0
         for worker in list(self._workers):
             if worker.busy is None:
                 continue
-            if now - worker.last_beat <= hang_timeout:
+            stale = now - worker.last_beat
+            if stale > staleness:
+                staleness = stale
+            if stale <= hang_timeout:
                 continue
             req_id = worker.busy
             pid = worker.proc.pid
+            self._accrue_busy(worker, now)
             self._kill_and_retire(worker)
-            self._stats["hang_kills"] += 1
+            self._m.inc("hang_kills")
             with self._lock:
                 req = self._requests.get(req_id)
                 if req is not None and req.cancelled:
                     self._requests.pop(req_id, None)
                     req = None
+            self._telemetry.event(
+                "hang_kill",
+                pool=self._m.labels["pool"],
+                worker_pid=pid,
+                request=req_id,
+                code=WorkerHang.code,
+            )
             if req is not None:
+                self._close_attempt(req, "hang", worker_pid=pid)
                 self._retry_or_fail(
                     req,
                     f"worker pid {pid} hung (no heartbeat for "
                     f"{hang_timeout:g}s) on attempt {req.attempts}",
                     kind=WorkerHang,
                 )
-            self._stats["respawns"] += 1
+            self._m.inc("respawns")
+            self._telemetry.event(
+                "respawn", pool=self._m.labels["pool"], reason="hang"
+            )
             self._workers.append(self._spawn())
+        self._staleness_gauge.set(staleness)
 
     def _dispatch(self) -> None:
         for worker in list(self._workers):
@@ -821,9 +973,35 @@ class ShardedExecutor:
                 action = self.chaos.decide("pre_dispatch", req.id, req.attempts)
                 if action is not None and action.kind == "flip":
                     blobs = [flip_frame_byte(blobs[0], action), *blobs[1:]]
+            trace_blob = None
+            if req.trace is not None and req.trace.sampled:
+                now = _mono()
+                if req.backoff_from is not None:
+                    self._telemetry.record_span(
+                        "backoff",
+                        req.trace,
+                        req.backoff_from,
+                        now,
+                        category="serve",
+                        after_attempt=req.attempts - 1,
+                    )
+                if req.first_dispatch_at is None:
+                    self._telemetry.record_span(
+                        "queue_wait", req.trace, req.submitted_at, now,
+                        category="serve",
+                    )
+                req.attempt_span = self._telemetry.child_span(
+                    f"attempt-{req.attempts}",
+                    req.trace,
+                    category="serve",
+                    worker_pid=worker.proc.pid,
+                )
+                trace_blob = serialize_trace_context(req.attempt_span.ctx)
+            req.backoff_from = None
             try:
-                worker.conn.send((req.id, req.attempts, blobs))
+                worker.conn.send((req.id, req.attempts, blobs, trace_blob))
             except (BrokenPipeError, OSError):
+                self._close_attempt(req, "send_failed")
                 with self._lock:
                     self._pending.appendleft(req.id)
                 self._on_worker_death(worker)
@@ -854,10 +1032,11 @@ class ShardedExecutor:
             if worker.busy == req_id and worker.busy_attempt == attempt:
                 worker.last_beat = time.monotonic()
             return
-        _, req_id, attempt, payload = msg
+        _, req_id, attempt, payload, span_blob = msg
         if worker.busy != req_id or worker.busy_attempt != attempt:
             return  # stale reply from a superseded attempt; drop it
         worker.busy = None
+        self._accrue_busy(worker, _mono())
         with self._lock:
             req = self._requests.get(req_id)
             if req is not None and req.cancelled:
@@ -865,30 +1044,48 @@ class ShardedExecutor:
                 req = None
         if req is None:
             return
+        self._ingest_worker_spans(span_blob)
         if kind == "err":
             fault = deserialize_fault(payload, request_id=req_id)
             if isinstance(fault, WireCorruption):
-                self._stats["wire_corruptions"] += 1
+                self._m.inc("wire_corruptions")
+                self._close_attempt(req, "wire_corruption")
+                self._telemetry.event(
+                    "wire_corruption", request=req_id, code=WireCorruption.code
+                )
                 self._retry_or_fail(req, str(fault), kind=WireCorruption)
                 return
             fault.attempts = req.attempts
             with self._lock:
                 self._requests.pop(req_id, None)
-            self._stats["errors"] += 1
+            self._m.inc("errors")
+            self._close_attempt(req, "error", code=getattr(fault, "code", None))
+            self._finish_trace(req, "error")
             req.future.attempts = req.attempts
             _resolve(req.future, exc=fault)
             return
         basis = self.plan.evaluator.basis
+        decode_from = _mono()
         try:
             outputs = [_decode_value(b, basis) for b in payload]
         except (WireFormatError, ValueError) as exc:
-            self._stats["wire_corruptions"] += 1
+            self._m.inc("wire_corruptions")
+            self._close_attempt(req, "wire_corruption")
+            self._telemetry.event(
+                "wire_corruption", request=req_id, code=WireCorruption.code
+            )
             self._retry_or_fail(req, f"reply frame corrupt: {exc}", kind=WireCorruption)
             return
         with self._lock:
             self._requests.pop(req_id, None)
-        self._stats["completed"] += 1
+        self._m.inc("completed")
         self._consecutive_crashes = 0
+        if req.trace is not None and req.trace.sampled:
+            self._telemetry.record_span(
+                "reply_decode", req.trace, decode_from, _mono(), category="serve"
+            )
+        self._close_attempt(req, "ok")
+        self._finish_trace(req, "ok")
         req.future.attempts = req.attempts
         req.future.retry_s = (
             (req.last_dispatch_at or 0.0) - (req.first_dispatch_at or 0.0)
@@ -908,8 +1105,16 @@ class ShardedExecutor:
         if req.attempts >= self.policy.max_attempts:
             with self._lock:
                 self._requests.pop(req.id, None)
-            self._stats["poisoned"] += 1
-            self._stats["errors"] += 1
+            self._m.inc("poisoned")
+            self._m.inc("errors")
+            self._telemetry.event(
+                "quarantine",
+                request=req.id,
+                attempts=req.attempts,
+                code=PoisonRequest.code,
+                causes=len(req.causes),
+            )
+            self._finish_trace(req, "poisoned")
             req.future.attempts = req.attempts
             _resolve(
                 req.future,
@@ -925,7 +1130,15 @@ class ShardedExecutor:
         if kind is not None and not kind.retriable:
             raise AssertionError(f"{kind.__name__} must not reach the retry path")
         delay = self.policy.backoff_s(req.attempts, req.id)
-        self._stats["retries"] += 1
+        self._m.inc("retries")
+        self._telemetry.event(
+            "retry",
+            request=req.id,
+            attempt=req.attempts,
+            code=None if kind is None else kind.code,
+            backoff_s=delay,
+        )
+        req.backoff_from = _mono()
         with self._lock:
             heapq.heappush(self._delayed, (time.monotonic() + delay, req.id))
 
@@ -959,10 +1172,18 @@ class ShardedExecutor:
         if worker not in self._workers:
             return
         pid = worker.proc.pid
+        self._accrue_busy(worker, _mono())
         self._retire(worker)
-        self._stats["worker_crashes"] += 1
+        self._m.inc("worker_crashes")
         self._consecutive_crashes += 1
         req_id = worker.busy
+        self._telemetry.event(
+            "worker_crash",
+            pool=self._m.labels["pool"],
+            worker_pid=pid,
+            request=req_id,
+            code=WorkerCrash.code,
+        )
         if req_id is not None:
             with self._lock:
                 req = self._requests.get(req_id)
@@ -970,12 +1191,13 @@ class ShardedExecutor:
                     self._requests.pop(req_id, None)
                     req = None
             if req is not None:
+                self._close_attempt(req, "crash", worker_pid=pid)
                 self._retry_or_fail(
                     req,
                     f"worker pid {pid} crashed on attempt {req.attempts}",
                     kind=WorkerCrash,
                 )
-        budget_blown = self._stats["worker_crashes"] > self._max_crashes
+        budget_blown = self._m.get("worker_crashes") > self._max_crashes
         crash_loop = self._consecutive_crashes >= self.policy.crash_loop_threshold
         if budget_blown or crash_loop:
             reason = (
@@ -986,7 +1208,10 @@ class ShardedExecutor:
             )
             self._trip_breaker(reason)
             return
-        self._stats["respawns"] += 1
+        self._m.inc("respawns")
+        self._telemetry.event(
+            "respawn", pool=self._m.labels["pool"], reason="crash"
+        )
         self._workers.append(self._spawn())
 
     def _trip_breaker(self, reason: str) -> None:
@@ -1012,10 +1237,12 @@ class ShardedExecutor:
             for _, req in queued:
                 if req.cancelled:
                     continue
+                self._close_attempt(req, "breaker")
+                self._finish_trace(req, "degraded_inline")
                 # Inline drain double-counts "submitted"; undo it so the
                 # counter keeps meaning "requests entering the engine".
                 self._run_inline(req.blobs, req.future)
-                self._stats["submitted"] -= 1
+                self._m.inc("submitted", -1)
             self._stop.set()
             return
         with self._lock:
@@ -1024,6 +1251,8 @@ class ShardedExecutor:
             self._pending.clear()
             self._delayed.clear()
         for req in requests:
+            self._close_attempt(req, "breaker")
+            self._finish_trace(req, "breaker")
             _resolve(
                 req.future,
                 exc=WorkerCrash(reason, request_id=req.id, attempts=req.attempts),

@@ -428,9 +428,49 @@ def check_alignment(graph: Graph) -> None:
 
 
 def optimize(graph: Graph) -> Graph:
-    """The default pass pipeline: CSE -> rescale fusion -> DCE -> verify."""
-    graph = eliminate_common_subexpressions(graph)
-    graph = fuse_rescales(graph)
-    graph = eliminate_dead_nodes(graph)
-    check_alignment(graph)
+    """The default pass pipeline: CSE -> rescale fusion -> DCE -> verify.
+
+    With telemetry enabled, each pass runs under a ``compile`` span and
+    records its wall time plus node-count delta (the registry keeps a
+    per-pass seconds histogram either way the trace sampling falls);
+    when disabled the pipeline is the plain four calls.
+    """
+    from repro.runtime.telemetry import get_telemetry
+    from repro.runtime.telemetry import now as _mono
+
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        graph = eliminate_common_subexpressions(graph)
+        graph = fuse_rescales(graph)
+        graph = eliminate_dead_nodes(graph)
+        check_alignment(graph)
+        return graph
+    pipeline = (
+        ("cse", eliminate_common_subexpressions),
+        ("fuse_rescales", fuse_rescales),
+        ("dce", eliminate_dead_nodes),
+    )
+    root = telemetry.start_trace(
+        "compile", category="compile", nodes_in=len(graph.nodes)
+    )
+    try:
+        for name, fn in pipeline:
+            before = len(graph.nodes)
+            start = _mono()
+            with telemetry.child_span(name, root.ctx, category="compile"):
+                graph = fn(graph)
+            telemetry.histogram(
+                "compile_pass_seconds", **{"pass": name}
+            ).observe(_mono() - start)
+            telemetry.event(
+                "compile_pass",
+                nodes_before=before,
+                nodes_after=len(graph.nodes),
+                delta=len(graph.nodes) - before,
+                **{"pass": name},
+            )
+        with telemetry.child_span("check_alignment", root.ctx, category="compile"):
+            check_alignment(graph)
+    finally:
+        root.end(nodes_out=len(graph.nodes))
     return graph

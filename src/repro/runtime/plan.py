@@ -82,6 +82,7 @@ from repro.runtime.passes import (
     hoist_groups,
     optimize,
 )
+from repro.runtime.telemetry import get_telemetry
 from repro.runtime.trace import trace
 from repro.transforms.ntt import galois_permutation
 
@@ -265,6 +266,10 @@ class ExecutionPlan:
                 for victim in releases:
                     env.pop(victim, None)
             results.append([env[o] for o in self.graph.outputs])
+        if batches:
+            get_telemetry().counter(
+                "plan_replays", mode="batched", plan=self.signature[:12]
+            ).inc(len(batches))
         return results
 
     def _lower(self) -> list:
@@ -558,6 +563,27 @@ class FusedExecutor:
             self._lower_group(obj) if kind == "group" else self._lower_raw(obj)
             for kind, obj in schedule
         ]
+        # Stable per-step labels for traced replay: fused groups by
+        # kind@anchor, raw nodes by op@id — deterministic per plan.
+        self._step_labels = [
+            f"{obj.kind}@{obj.anchor}" if kind == "group" else f"{obj.op}@{obj.id}"
+            for kind, obj in schedule
+        ]
+        telemetry = get_telemetry()
+        self._telemetry = telemetry
+        self._metrics = telemetry.group(
+            "fused", plan=plan.signature[:12], backend=self.xp.name
+        ).declare("replays", "dispatches")
+        # Arena occupancy is plan metadata: publish it once as gauges so
+        # the exporter sees the same numbers ``plan.stats()`` reports.
+        telemetry.gauge(
+            "fused_arena_slots", plan=plan.signature[:12], backend=self.xp.name
+        ).set(self.layout.num_slots)
+        telemetry.gauge(
+            "fused_arena_peak_bytes",
+            plan=plan.signature[:12],
+            backend=self.xp.name,
+        ).set(self.layout.pool_bytes)
         self._out_build = []
         for o in g.outputs:
             node = g.nodes[o]
@@ -579,14 +605,44 @@ class FusedExecutor:
         return self.run_batch([inputs])[0]
 
     def run_batch(self, batches) -> list[list[Ciphertext]]:
+        telemetry = self._telemetry
         results = []
         for inputs in batches:
             self.plan._check_inputs(inputs)
             env = self._template.copy()
+            if telemetry.enabled:
+                self._run_steps_traced(telemetry, env, inputs)
+            else:
+                for fn in self._steps:
+                    fn(env, inputs)
+            results.append(self._collect(inputs))
+        if batches:
+            self._metrics.inc("replays", len(batches))
+            self._metrics.inc("dispatches", len(self._steps) * len(batches))
+        return results
+
+    def _run_steps_traced(self, telemetry, env, inputs) -> None:
+        """One replay under tracing: a root span per replay with one
+        child span per fused step.  Only reached when telemetry is
+        enabled; an unsampled trace falls back to the plain loop."""
+        root = telemetry.start_trace(
+            "fused_replay",
+            category="replay",
+            plan=self.plan.signature[:12],
+            backend=self.xp.name,
+            arena_slots=self.layout.num_slots,
+            arena_peak_bytes=self.layout.pool_bytes,
+        )
+        if not root:
             for fn in self._steps:
                 fn(env, inputs)
-            results.append(self._collect(inputs))
-        return results
+            return
+        try:
+            for fn, label in zip(self._steps, self._step_labels):
+                with telemetry.child_span(label, root.ctx, category="replay"):
+                    fn(env, inputs)
+        finally:
+            root.end(dispatches=len(self._steps))
 
     def _collect(self, inputs) -> list[Ciphertext]:
         basis = self._basis
@@ -1051,7 +1107,11 @@ class FusedExecutor:
 # ---------------------------------------------------------------------------
 
 _PLAN_CACHE: dict[tuple, ExecutionPlan] = {}
-_CACHE_STATS = {"hits": 0, "misses": 0, "disk_hits": 0, "disk_saves": 0}
+# Single source of truth for the cache accounting: a telemetry counter
+# group; ``plan_cache_info()`` stays the thin dict view over it.
+_CACHE_STATS = get_telemetry().group("plan_cache").declare(
+    "hits", "misses", "disk_hits", "disk_saves"
+)
 _PLAN_STORE = None
 
 
@@ -1094,9 +1154,9 @@ def compile_graph(
     )
     cached = _PLAN_CACHE.get(key)
     if cached is not None:
-        _CACHE_STATS["hits"] += 1
+        _CACHE_STATS.inc("hits")
         return cached
-    _CACHE_STATS["misses"] += 1
+    _CACHE_STATS.inc("misses")
     if run_passes and _PLAN_STORE is not None:
         # Fail open: a corrupt/truncated/newer-version artifact or a lost
         # sidecar must degrade to a recompile, never to a compile outage.
@@ -1110,7 +1170,7 @@ def compile_graph(
                 stacklevel=2,
             )
         if loaded is not None:
-            _CACHE_STATS["disk_hits"] += 1
+            _CACHE_STATS.inc("disk_hits")
             loaded.signature = key[0]
             _PLAN_CACHE[key] = loaded
             return loaded
@@ -1130,7 +1190,7 @@ def compile_graph(
     if run_passes and _PLAN_STORE is not None:
         try:
             _PLAN_STORE.save(plan, graph=graph)
-            _CACHE_STATS["disk_saves"] += 1
+            _CACHE_STATS.inc("disk_saves")
         except OSError as exc:  # full/read-only disk must not kill serving
             warnings.warn(
                 f"plan store save failed ({exc})", RuntimeWarning, stacklevel=2
@@ -1146,11 +1206,11 @@ def compile_fn(fn, evaluator: Evaluator, input_specs, *, run_passes: bool = True
 
 
 def plan_cache_info() -> dict[str, int]:
-    """Hit/miss/size counters for the process-level plan cache."""
-    return {**_CACHE_STATS, "size": len(_PLAN_CACHE)}
+    """Hit/miss/size counters for the process-level plan cache — a view
+    over the telemetry registry's ``plan_cache_*`` counters."""
+    return {**_CACHE_STATS.to_dict(), "size": len(_PLAN_CACHE)}
 
 
 def clear_plan_cache() -> None:
     _PLAN_CACHE.clear()
-    for counter in _CACHE_STATS:
-        _CACHE_STATS[counter] = 0
+    _CACHE_STATS.reset()

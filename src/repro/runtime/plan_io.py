@@ -56,6 +56,7 @@ from repro.ckks.serialization import (
 )
 from repro.runtime.graph import CtSpec, Graph, PtSpec
 from repro.runtime.passes import check_alignment, hoist_groups
+from repro.runtime.telemetry import get_telemetry
 from repro.runtime.plan import ExecutionPlan, params_fingerprint
 
 __all__ = [
@@ -631,6 +632,12 @@ class PlanStore:
     SUFFIX = ".epl1"
     CONSTS_SUFFIX = ".pcs1"
 
+    # Store traffic accounting, shared by every PlanStore instance in
+    # the process (the store is fleet-level state, not per-directory).
+    _METRICS = get_telemetry().group("plan_store").declare(
+        "hits", "misses", "bytes_read", "bytes_written"
+    )
+
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -662,8 +669,13 @@ class PlanStore:
         key = self.store_key(sig, plan.evaluator, plan.backend)
         # Sidecar first: a reader that sees the plan must find its
         # constants (the reverse order would race).
-        _atomic_write(self.constants_path_for(key), serialize_constants(plan))
-        return save_plan(self.path_for(key), plan, include_constants=False)
+        sidecar_blob = serialize_constants(plan)
+        _atomic_write(self.constants_path_for(key), sidecar_blob)
+        saved = save_plan(self.path_for(key), plan, include_constants=False)
+        self._METRICS.inc(
+            "bytes_written", len(sidecar_blob) + saved.stat().st_size
+        )
+        return saved
 
     def load(
         self,
@@ -680,19 +692,24 @@ class PlanStore:
         key = self.store_key(graph_content_signature(graph), evaluator, backend)
         path = self.path_for(key)
         if not path.exists():
+            self._METRICS.inc("misses")
             return None
         resolver = ConstantStore.from_graph(graph)
         if constants is not None:
             resolver.merge(constants)
         blob = path.read_bytes()
+        self._METRICS.inc("hits")
+        self._METRICS.inc("bytes_read", len(blob))
         try:
             return deserialize_plan(blob, evaluator, constants=resolver)
         except MissingConstantsError:
             sidecar = self.constants_path_for(key)
             if not sidecar.exists():
                 raise
+            sidecar_blob = sidecar.read_bytes()
+            self._METRICS.inc("bytes_read", len(sidecar_blob))
             resolver.merge(
-                ConstantStore.from_bytes(sidecar.read_bytes(), evaluator.basis)
+                ConstantStore.from_bytes(sidecar_blob, evaluator.basis)
             )
             return deserialize_plan(blob, evaluator, constants=resolver)
 

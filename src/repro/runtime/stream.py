@@ -45,20 +45,28 @@ boundary; this module never touches ciphertext bytes itself.
 from __future__ import annotations
 
 import asyncio
-import time
+import inspect
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from functools import partial
 
 from repro.runtime.bridge import plan_schedule_comparison
 from repro.runtime.faults import WorkerError
+from repro.runtime.telemetry import get_telemetry
+from repro.runtime.telemetry import now as _now
 
 __all__ = ["RequestRecord", "StreamingServer"]
 
 
 @dataclass
 class RequestRecord:
-    """Timings and outcome for one served request (times in seconds)."""
+    """Timings and outcome for one served request (times in seconds).
+
+    Every duration is sourced from the telemetry monotonic clock
+    (:func:`repro.runtime.telemetry.now`) — no ``time.time`` /
+    ``perf_counter`` mixing — so records are directly comparable with
+    executor- and worker-side span timestamps.
+    """
 
     index: int
     wait_s: float = 0.0
@@ -69,8 +77,18 @@ class RequestRecord:
     done_at_s: float = 0.0  # relative to server start
     outcome: str = "ok"  # "ok" | "failed"
     error: str | None = None  # taxonomy class name when failed
+    error_code: int | None = None  # stable faults.py code when typed
     attempts: int = 1  # dispatch attempts the executor made
     retry_s: float = 0.0  # latency added by retries (first->last dispatch)
+    trace_id: int = 0  # telemetry trace id (0 == untraced)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; typed errors ride as (name, stable code)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RequestRecord":
+        return cls(**data)
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -106,6 +124,7 @@ class StreamingServer:
         self._records: list[RequestRecord] = []
         self._started_at: float | None = None
         self._index = 0
+        self._accepts_trace: bool | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -121,7 +140,7 @@ class StreamingServer:
         self._phase_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="stream-phase"
         )
-        self._started_at = time.perf_counter()
+        self._started_at = _now()
         return self
 
     async def __aexit__(self, *exc) -> None:
@@ -170,62 +189,91 @@ class StreamingServer:
         if self._sem is None:
             raise RuntimeError("use 'async with StreamingServer(...)'")
         loop = asyncio.get_running_loop()
+        telemetry = get_telemetry()
         record = RequestRecord(self._next_index())
-        enqueue = time.perf_counter()
+        # The trace is minted at streaming ingress; the executor parents
+        # its queue/attempt/worker spans under our service span via the
+        # ``trace=`` kwarg (only passed to executors that accept it).
+        root = telemetry.start_trace(
+            "request", category="stream", index=record.index
+        )
+        record.trace_id = root.ctx.trace_id
+        enqueue = _now()
         await self._sem.acquire()
         self._admit()
-        record.wait_s = time.perf_counter() - enqueue
+        record.wait_s = _now() - enqueue
+        telemetry.record_span(
+            "admission_wait", root.ctx, enqueue, enqueue + record.wait_s,
+            category="stream",
+        )
         try:
             if encrypt is None:
                 inputs = payload
             else:
-                t0 = time.perf_counter()
+                t0 = _now()
                 inputs = await loop.run_in_executor(
                     self._phase_pool, encrypt, payload
                 )
-                record.encrypt_s = time.perf_counter() - t0
-            t0 = time.perf_counter()
+                record.encrypt_s = _now() - t0
+                telemetry.record_span(
+                    "encrypt", root.ctx, t0, t0 + record.encrypt_s,
+                    category="stream",
+                )
+            t0 = _now()
             # executor.submit serializes the inputs before returning its
             # future — run it on the phase thread, not the event loop.
-            # The deadline kwarg is only passed when set, so plain
+            # The deadline/trace kwargs are only passed when set, so plain
             # ``submit(inputs)`` executors (test stubs) keep working.
-            if deadline_s is None:
-                submit_call = partial(self.executor.submit, inputs)
-            else:
-                submit_call = partial(
-                    self.executor.submit, inputs, deadline_s=deadline_s
-                )
-            pool_future = await loop.run_in_executor(self._phase_pool, submit_call)
+            kwargs = {}
+            if deadline_s is not None:
+                kwargs["deadline_s"] = deadline_s
+            service = telemetry.child_span("service", root.ctx, category="stream")
+            if service and self._submit_accepts_trace():
+                kwargs["trace"] = service.ctx
+            submit_call = partial(self.executor.submit, inputs, **kwargs)
             try:
-                outputs = await asyncio.wrap_future(pool_future)
-            except WorkerError as exc:
-                record.outcome = "failed"
-                record.error = type(exc).__name__
-                record.attempts = max(1, getattr(exc, "attempts", 0) or 1)
-                record.service_s = time.perf_counter() - t0
-                raise
-            record.service_s = time.perf_counter() - t0
+                pool_future = await loop.run_in_executor(
+                    self._phase_pool, submit_call
+                )
+                try:
+                    outputs = await asyncio.wrap_future(pool_future)
+                except WorkerError as exc:
+                    record.outcome = "failed"
+                    record.error = type(exc).__name__
+                    record.error_code = getattr(exc, "code", None)
+                    record.attempts = max(1, getattr(exc, "attempts", 0) or 1)
+                    record.service_s = _now() - t0
+                    raise
+            finally:
+                service.end(status=record.outcome)
+            record.service_s = _now() - t0
             record.attempts = max(1, getattr(pool_future, "attempts", 1))
             record.retry_s = getattr(pool_future, "retry_s", 0.0)
             if decrypt is None:
                 result = outputs
             else:
-                t0 = time.perf_counter()
+                t0 = _now()
                 result = await loop.run_in_executor(
                     self._phase_pool, decrypt, outputs
                 )
-                record.decrypt_s = time.perf_counter() - t0
+                record.decrypt_s = _now() - t0
+                telemetry.record_span(
+                    "decrypt", root.ctx, t0, t0 + record.decrypt_s,
+                    category="stream",
+                )
         except Exception as exc:
             if record.outcome == "ok":  # phase failures, cancellation, ...
                 record.outcome = "failed"
                 record.error = type(exc).__name__
+                record.error_code = getattr(exc, "code", None)
             raise
         finally:
             self._finish()
             self._sem.release()
-            record.total_s = time.perf_counter() - enqueue
-            record.done_at_s = time.perf_counter() - self._started_at
+            record.total_s = _now() - enqueue
+            record.done_at_s = _now() - self._started_at
             self._records.append(record)
+            root.end(status=record.outcome)
         return result
 
     # ------------------------------------------------------------------
@@ -278,6 +326,16 @@ class StreamingServer:
             "executor": self.executor.stats(),
         }
 
+    def to_dict(self) -> dict:
+        """JSON-round-trippable snapshot: :meth:`stats` plus every
+        :class:`RequestRecord` (typed errors already rendered as stable
+        name/code pairs).  ``json.loads(json.dumps(server.to_dict()))``
+        reproduces the same structure bit-for-bit."""
+        return {
+            "stats": self.stats(),
+            "records": [r.to_dict() for r in self._records],
+        }
+
     def schedule_comparison(self, config=None, degree: int | None = None):
         """The served queue on the accelerator's dual-RSC policies (via
         the bridge's workload forms), best makespan first.  Only
@@ -301,6 +359,18 @@ class StreamingServer:
         index = self._index
         self._index += 1
         return index
+
+    def _submit_accepts_trace(self) -> bool:
+        """Whether the executor's ``submit`` takes a ``trace=`` kwarg —
+        probed once, so plain ``submit(inputs)`` stubs keep working."""
+        if self._accepts_trace is None:
+            try:
+                params = inspect.signature(self.executor.submit).parameters
+            except (TypeError, ValueError):
+                self._accepts_trace = False
+            else:
+                self._accepts_trace = "trace" in params
+        return self._accepts_trace
 
     def _admit(self) -> None:
         self._depth += 1
