@@ -48,6 +48,7 @@ DEFAULT_FILES = [
     "BENCH_planio.json",
     "BENCH_chaos.json",
     "BENCH_telemetry.json",
+    "BENCH_fabric.json",
 ]
 
 # workers/requests keep serving-bench baselines from being compared

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Standalone performance runner: kernels, runtime, serving, plan I/O,
-fault-recovery overhead, and telemetry overhead.
+fault-recovery overhead, telemetry overhead, and the transport fabric.
 
-Six sections, selectable with ``--sections``:
+Seven sections, selectable with ``--sections``:
 
 * ``core`` — the hot primitives (mulmod, batched NTT, key switching,
   rotation plain/hoisted, BSGS, a bootstrap step) against the pre-PR
@@ -29,7 +29,13 @@ Six sections, selectable with ``--sections``:
   2-worker serve under telemetry off / enabled-but-sampled-out / full
   tracing, hard-asserting in-run that disabled hooks cost <= 2% and
   full tracing <= 10% on the fused replay, written to
-  ``BENCH_telemetry.json``.
+  ``BENCH_telemetry.json``;
+* ``fabric`` — the cross-machine serving fabric: the same served batch
+  through the pipe, shared-memory-ring, and loopback-TCP transports
+  (bit-identity hard-asserted on each), plus two gated micro-benches —
+  large-reply shipping through the shm ring vs. a plain pipe, and
+  batched vs. per-message ``FBT1`` session framing — written to
+  ``BENCH_fabric.json``.
 
 Every output JSON carries a ``trajectory`` list: by default the history
 already in the file is preserved and this run appended, so the per-PR
@@ -79,6 +85,7 @@ from repro.ckks.keys import rotation_galois_elt
 from repro.nums.kernels import default_backend_name
 from repro.runtime import (
     CtSpec,
+    ServingConfig,
     ShardedExecutor,
     StreamingServer,
     compile_fn,
@@ -583,6 +590,197 @@ def bench_serving(
     }
 
 
+def _fabric_large_reply_roundtrips(
+    use_shm: bool, reply_bytes: int, n_replies: int
+) -> float:
+    """Wall-clock for ``n_replies`` request→large-reply round trips to a
+    forked echo worker, over a plain pipe or a shared-memory ring."""
+    import multiprocessing as mp
+
+    from repro.runtime.transport import ShmChannel, ShmRing
+
+    fork = mp.get_context("fork")
+    parent_conn, child_conn = fork.Pipe()
+    ring = ShmRing(capacity=reply_bytes + 4096) if use_shm else None
+
+    def echo_loop():
+        parent_conn.close()
+        ch = (
+            ShmChannel(child_conn, ring, tx_half=1) if use_shm else child_conn
+        )
+        reply = b"\xa5" * reply_bytes
+        while True:
+            msg = ch.recv()
+            if msg is None:
+                break
+            ch.send(("reply", reply))
+
+    proc = fork.Process(target=echo_loop, daemon=True)
+    proc.start()
+    child_conn.close()
+    ch = ShmChannel(parent_conn, ring, tx_half=0) if use_shm else parent_conn
+    ch.send(("ping", 0))  # warm the worker before the timed window
+    ch.recv()
+    t0 = time.perf_counter()
+    for i in range(n_replies):
+        ch.send(("ping", i))
+        tag, payload = ch.recv()
+        assert tag == "reply" and len(payload) == reply_bytes
+    elapsed = time.perf_counter() - t0
+    ch.send(None)
+    proc.join(timeout=30)
+    ch.close()
+    if ring is not None:
+        ring.close()
+    return elapsed
+
+
+def _fabric_framing_drain(
+    payloads: list[bytes], messages_per_frame: int
+) -> tuple[float, int]:
+    """Wall-clock to push ``payloads`` through a loopback socket as
+    ``FBT1`` session frames of ``messages_per_frame`` messages each (the
+    receiver decodes and counts every message), plus the frame count."""
+    import socket
+    import threading
+
+    from repro.runtime.coordinator import (
+        SESSION_BATCH_MAGIC,
+        decode_batch,
+        encode_batch,
+        recv_session_frame,
+        send_session_frame,
+    )
+
+    tx, rx = socket.socketpair()
+    total = len(payloads)
+    got = []
+
+    def drain():
+        while len(got) < total:
+            tag, payload = recv_session_frame(rx)
+            assert tag == SESSION_BATCH_MAGIC
+            got.extend(decode_batch(payload))
+
+    reader = threading.Thread(target=drain, daemon=True)
+    reader.start()
+    frames = 0
+    t0 = time.perf_counter()
+    for start in range(0, total, messages_per_frame):
+        chunk = payloads[start : start + messages_per_frame]
+        send_session_frame(
+            tx, SESSION_BATCH_MAGIC, encode_batch(list(enumerate(chunk, start)))
+        )
+        frames += 1
+    reader.join(timeout=30)
+    elapsed = time.perf_counter() - t0
+    assert len(got) == total and not reader.is_alive()
+    tx.close()
+    rx.close()
+    return elapsed, frames
+
+
+def bench_fabric(ctx, repeats: int, workers: int, n_requests: int, quick: bool) -> dict:
+    """The cross-machine serving fabric: pipe vs. tcp vs. shm.
+
+    Three measurements:
+
+    * the same served batch through all three transports, each asserted
+      bit-identical to the single-process replay (end-to-end transport
+      overhead, reported as throughput, not gated — the loopback-TCP
+      coordinator pays real framing/session costs by design);
+    * large-reply shipping through the shared-memory ring vs. a plain
+      pipe (forked echo worker, request→1 MiB-reply ping-pong) —
+      **hard-asserts the ring wins** and gates the ratio as
+      ``fabric_shm_large_reply``;
+    * ``FBT1`` session framing batched vs. one-frame-per-message over a
+      loopback socket — **hard-asserts batching wins** and gates the
+      ratio as ``fabric_tcp_batched_framing``.
+    """
+    rng = np.random.default_rng(41)
+    slots = ctx.params.slots
+    plan = _inference_plan(ctx)
+    batches = [
+        [ctx.encrypt(rng.uniform(-1, 1, slots))] for _ in range(n_requests)
+    ]
+    reference = plan.run_batch(batches)  # warms every fork-shared cache
+
+    results: dict[str, dict] = {}
+    throughput: dict[str, float] = {}
+    for transport in ("pipe", "shm", "tcp"):
+        cfg = ServingConfig(num_workers=workers, transport=transport)
+        with ShardedExecutor(plan, config=cfg) as pool:
+            sharded = pool.run_batch(batches, timeout=600)
+            _assert_bit_identical(sharded, reference, f"fabric {transport}")
+            row = _time(
+                lambda: pool.run_batch(batches, timeout=600), repeats, warmup=0
+            )
+        results[f"serve_{transport}_w{workers}"] = row
+        throughput[transport] = n_requests / row["best_s"]
+
+    # -- shared-memory ring vs. pipe on large replies ------------------
+    reply_bytes = 1 << 20
+    n_replies = 8 if quick else 32
+    pipe_s = min(
+        _fabric_large_reply_roundtrips(False, reply_bytes, n_replies)
+        for _ in range(repeats)
+    )
+    shm_s = min(
+        _fabric_large_reply_roundtrips(True, reply_bytes, n_replies)
+        for _ in range(repeats)
+    )
+    results["large_reply_pipe"] = {"best_s": pipe_s, "mean_s": pipe_s}
+    results["large_reply_shm_ring"] = {"best_s": shm_s, "mean_s": shm_s}
+    shm_ratio = pipe_s / shm_s
+    assert shm_ratio > 1.0, (
+        f"shared-memory ring lost to the pipe on {reply_bytes}-byte replies "
+        f"({shm_s:.4f}s vs {pipe_s:.4f}s)"
+    )
+
+    # -- batched vs. per-message FBT1 framing --------------------------
+    n_messages = 256 if quick else 1024
+    msg_bytes = 2048
+    group = 32
+    payloads = [rng.bytes(msg_bytes) for _ in range(n_messages)]
+    per_msg_s, per_msg_frames = min(
+        (_fabric_framing_drain(payloads, 1) for _ in range(repeats)),
+        key=lambda r: r[0],
+    )
+    batched_s, batched_frames = min(
+        (_fabric_framing_drain(payloads, group) for _ in range(repeats)),
+        key=lambda r: r[0],
+    )
+    results["framing_per_message"] = {"best_s": per_msg_s, "mean_s": per_msg_s}
+    results["framing_batched"] = {"best_s": batched_s, "mean_s": batched_s}
+    framing_ratio = per_msg_s / batched_s
+    assert framing_ratio > 1.0, (
+        f"batched framing lost to per-message frames "
+        f"({batched_s:.4f}s vs {per_msg_s:.4f}s)"
+    )
+
+    return {
+        "results": results,
+        "throughput_rps": throughput,
+        "large_reply": {
+            "reply_bytes": reply_bytes,
+            "replies": n_replies,
+            "pipe_s": pipe_s,
+            "shm_s": shm_s,
+        },
+        "framing": {
+            "messages": n_messages,
+            "message_bytes": msg_bytes,
+            "messages_per_frame": group,
+            "frames_batched": batched_frames,
+            "frames_per_message": per_msg_frames,
+        },
+        "speedups_x": {
+            "fabric_shm_large_reply": shm_ratio,
+            "fabric_tcp_batched_framing": framing_ratio,
+        },
+    }
+
+
 def bench_chaos(
     ctx, workers: int, n_requests: int, crash_rates: list[float], seed: int
 ) -> dict:
@@ -845,7 +1043,15 @@ def _print_section(title: str, results: dict, speedups: dict, legend: str) -> No
         print(f"  {name:<{width}}  {x:5.2f}x")
 
 
-KNOWN_SECTIONS = ("core", "runtime", "serving", "planio", "chaos", "telemetry")
+KNOWN_SECTIONS = (
+    "core",
+    "runtime",
+    "serving",
+    "planio",
+    "chaos",
+    "telemetry",
+    "fabric",
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -853,7 +1059,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--quick", action="store_true", help="CI smoke sizes")
     ap.add_argument(
         "--sections",
-        default="core,runtime,serving,planio,chaos,telemetry",
+        default="core,runtime,serving,planio,chaos,telemetry,fabric",
         help=f"comma list of sections to run: {', '.join(KNOWN_SECTIONS)}",
     )
     ap.add_argument("--out", default="BENCH_keyswitch.json", help="output JSON path")
@@ -898,6 +1104,24 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="requests per telemetry serving measurement "
+        "(default 8 quick / 16 full)",
+    )
+    ap.add_argument(
+        "--fabric-out",
+        default="BENCH_fabric.json",
+        help="fabric-section output JSON path",
+    )
+    ap.add_argument(
+        "--fabric-workers",
+        type=int,
+        default=2,
+        help="pool size for the fabric transport benches",
+    )
+    ap.add_argument(
+        "--fabric-requests",
+        type=int,
+        default=None,
+        help="requests per fabric transport measurement "
         "(default 8 quick / 16 full)",
     )
     ap.add_argument(
@@ -1158,6 +1382,52 @@ def main(argv: list[str] | None = None) -> int:
             f"{ov['spans_recorded_disabled']} when sampled out)"
         )
         _finalize(tel_payload, Path(args.telemetry_out), args.append_trajectory)
+
+    if "fabric" in sections:
+        fabric_requests = args.fabric_requests or (8 if args.quick else 16)
+        fabric = bench_fabric(
+            ctx, repeats, args.fabric_workers, fabric_requests, args.quick
+        )
+        fb_payload = {
+            "meta": {
+                "bench": "serving-fabric",
+                **meta_common,
+                "requests": fabric_requests,
+                "workers": args.fabric_workers,
+            },
+            **{k: v for k, v in fabric.items() if k != "results"},
+            "results_s": fabric["results"],
+            "speedups_x": fabric["speedups_x"],
+        }
+        lr = fabric["large_reply"]
+        fr = fabric["framing"]
+        _print_section(
+            f"\nserving-fabric bench  (N=2^{degree.bit_length()-1}, L={primes}, "
+            f"{fabric_requests} requests on {args.fabric_workers} workers; "
+            "all transports asserted bit-identical; shm ring and batched "
+            "framing asserted to win their micro-benches)",
+            fabric["results"],
+            fabric["speedups_x"],
+            "pipe / shm large-reply time; per-message / batched framing time",
+        )
+        print(
+            "  transports: "
+            + ", ".join(
+                f"{t} {rps:.1f} req/s"
+                for t, rps in fabric["throughput_rps"].items()
+            )
+        )
+        print(
+            f"  large replies: {lr['replies']} x {lr['reply_bytes']>>20} MiB — "
+            f"pipe {lr['pipe_s']*1e3:.1f} ms, shm ring {lr['shm_s']*1e3:.1f} ms"
+        )
+        print(
+            f"  framing: {fr['messages']} x {fr['message_bytes']} B — "
+            f"{fr['frames_per_message']} frames per-message vs "
+            f"{fr['frames_batched']} batched "
+            f"({fr['messages_per_frame']} msgs/frame)"
+        )
+        _finalize(fb_payload, Path(args.fabric_out), args.append_trajectory)
 
     if "planio" in sections:
         planio = bench_plan_io(ctx, repeats)

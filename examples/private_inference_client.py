@@ -6,12 +6,12 @@ CKKS-friendly network).  Clients encrypt, the server computes blind, the
 clients decrypt.  The server side is written once against the shared
 evaluator surface, traced, compiled to a cached
 :class:`~repro.runtime.plan.ExecutionPlan`, and **served by the
-multi-process engine**: a :class:`~repro.runtime.executor.ShardedExecutor`
-runs a worker pool in ``ship_plan`` mode — the compiled plan crosses to
-each worker as a serialized ``EPL1`` artifact (constants resolved by
-fingerprint from the inline ``PCS1`` payload, the cross-machine path;
-see docs/formats.md) — and a
-:class:`~repro.runtime.stream.StreamingServer` feeds it from a bounded
+multi-process engine** through the unified surface: ``serve(plan,
+ServingConfig(...))`` opens a session whose worker pool runs in
+``ship_plan`` mode — the compiled plan crosses to each worker as a
+serialized ``EPL1`` artifact (constants resolved by fingerprint from
+the inline ``PCS1`` payload, the cross-machine path; see
+docs/formats.md) — and ``session.streaming()`` feeds it from a bounded
 request queue so each client's encrypt -> evaluate -> decrypt pipeline
 overlaps the others'.  Ciphertexts cross the worker boundary through the
 wire formats of :mod:`repro.ckks.serialization`, and the streamed
@@ -36,15 +36,18 @@ from repro.accel import calibration as cal
 from repro.ckks import CkksContext, toy_params
 from repro.runtime import (
     CtSpec,
-    ShardedExecutor,
-    StreamingServer,
+    ServingConfig,
     compile_fn,
     plan_to_workload,
+    serve,
 )
 
 NUM_CLIENTS = 4
-NUM_WORKERS = 2
-MAX_PENDING = 3
+# ship_plan: workers rebuild the plan from its EPL1 bytes instead of
+# inheriting the compiled object through fork.  fused: each worker
+# replays through the arena-backed fused executor — same bits, fewer
+# dispatches.  max_pending bounds the streaming admission queue.
+SERVING = ServingConfig(num_workers=2, max_pending=3, ship_plan=True, fused=True)
 
 
 def server_side_model(ev, ct, ctx, weights1, bias1, weights2, relin_keys):
@@ -98,8 +101,8 @@ def main() -> None:
 
     # --- clients encrypt, then the streaming engine serves --------------
     # Each request: enter the bounded queue (backpressure at
-    # MAX_PENDING), evaluate on a forked worker, decrypt in the thread
-    # pool — phases overlap across clients.
+    # SERVING.max_pending), evaluate on a forked worker, decrypt in the
+    # thread pool — phases overlap across clients.
     cts = [ctx.encrypt(f) for f in features]
 
     def as_request(ct):
@@ -109,14 +112,8 @@ def main() -> None:
         return ctx.decrypt_decode(outputs[0]).real, outputs[0]
 
     async def serve_all():
-        # ship_plan: workers rebuild the plan from its EPL1 bytes instead
-        # of inheriting the compiled object through fork.  fused: each
-        # worker replays through the arena-backed fused executor — same
-        # bits, fewer dispatches.
-        pool = ShardedExecutor(
-            plan, NUM_WORKERS, warm_inputs=[cts[0]], ship_plan=True, fused=True
-        )
-        async with StreamingServer(pool, max_pending=MAX_PENDING) as server:
+        session = serve(plan, SERVING, warm_inputs=[cts[0]])
+        async with session.streaming() as server:
             served = await server.serve(cts, encrypt=as_request, decrypt=decrypt)
             return served, server.stats(), server.schedule_comparison()
 
@@ -137,7 +134,8 @@ def main() -> None:
 
     latency = stats["latency"]
     print(f"private inference: W2 * (W1*x + b1)^2, {NUM_CLIENTS} clients, "
-          f"{NUM_WORKERS} forked workers, queue bound {MAX_PENDING}")
+          f"{SERVING.num_workers} forked workers, queue bound "
+          f"{SERVING.max_pending}")
     print(f"  ciphertext levels: {params.num_primes} -> {output_cts[0].level} "
           "(server consumed levels, as in Fig. 2a)")
     print(f"  max error vs plaintext model: {worst:.2e}")

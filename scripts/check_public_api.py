@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Public-surface gate: examples and docs import only the stable API.
+
+``repro.runtime`` re-exports its supported surface in ``__all__``; the
+submodules behind it (``executor``, ``transport``, ``coordinator``,
+``chaos``, ...) are implementation detail that may move between
+releases.  This gate scans ``examples/*.py`` and every fenced python
+code block in ``README.md`` and ``docs/*.md`` and fails when either
+
+* a ``repro.runtime.<submodule>`` deep import appears, or
+* a ``from repro.runtime import X`` pulls a name missing from
+  ``repro.runtime.__all__``.
+
+Tests and benchmarks are deliberately out of scope — they are allowed
+to reach into internals.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_public_api.py
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+_FENCE_RE = re.compile(r"```(?:python|py)\n(.*?)```", re.DOTALL)
+
+
+def _python_sources() -> list[tuple[str, str]]:
+    """(label, source) pairs: example scripts plus doc code blocks."""
+    sources: list[tuple[str, str]] = []
+    for path in sorted((ROOT / "examples").glob("*.py")):
+        sources.append((str(path.relative_to(ROOT)), path.read_text()))
+    docs = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+    for path in docs:
+        for i, match in enumerate(_FENCE_RE.finditer(path.read_text())):
+            label = f"{path.relative_to(ROOT)} (python block {i + 1})"
+            sources.append((label, match.group(1)))
+    return sources
+
+
+def _violations(label: str, source: str, public: set[str]) -> list[str]:
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:  # doc snippets must at least parse
+        return [f"{label}: code does not parse: {exc}"]
+    bad: list[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.runtime."):
+                    bad.append(
+                        f"{label}:{node.lineno}: deep import "
+                        f"'import {alias.name}' — use 'from repro.runtime "
+                        "import ...'"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod.startswith("repro.runtime."):
+                bad.append(
+                    f"{label}:{node.lineno}: deep import 'from {mod} "
+                    "import ...' — import from repro.runtime instead"
+                )
+            elif mod == "repro.runtime":
+                for alias in node.names:
+                    if alias.name not in public:
+                        bad.append(
+                            f"{label}:{node.lineno}: '{alias.name}' is not "
+                            "in repro.runtime.__all__ — export it or use a "
+                            "supported name"
+                        )
+    return bad
+
+
+def main() -> int:
+    import repro.runtime as runtime
+
+    public = set(runtime.__all__)
+    missing = [name for name in public if not hasattr(runtime, name)]
+    if missing:
+        print("repro.runtime.__all__ names missing attributes:", missing)
+        return 1
+    problems: list[str] = []
+    checked = 0
+    for label, source in _python_sources():
+        checked += 1
+        problems.extend(_violations(label, source, public))
+    if problems:
+        print(f"{len(problems)} public-surface violation(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(
+        f"checked {checked} source(s): examples and docs import only the "
+        f"stable repro.runtime surface ({len(public)} exported names)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

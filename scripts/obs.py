@@ -47,14 +47,14 @@ import numpy as np
 from repro.ckks import CkksContext, toy_params
 from repro.runtime import (
     CtSpec,
+    FaultAction,
     FaultPlan,
     FaultPolicy,
-    ShardedExecutor,
-    StreamingServer,
+    ServingConfig,
     compile_fn,
     get_telemetry,
+    serve,
 )
-from repro.runtime.chaos import FaultAction
 
 DEGREE = 256
 PRIMES = 6
@@ -112,15 +112,18 @@ def cmd_demo(args: argparse.Namespace) -> int:
             ("pre_evaluate", 0, 0): FaultAction(kind="crash", site="pre_evaluate")
         },
     )
-    pool = ShardedExecutor(
+    session = serve(
         plan,
-        args.workers,
-        chaos=chaos,
-        policy=FaultPolicy(max_attempts=6),
+        ServingConfig(
+            num_workers=args.workers,
+            max_pending=4,
+            chaos=chaos,
+            fault_policy=FaultPolicy(max_attempts=6),
+        ),
     )
 
     async def run():
-        async with StreamingServer(pool, max_pending=4) as server:
+        async with session.streaming() as server:
             await server.serve(payloads, encrypt=encrypt, decrypt=decrypt)
             return server.stats()
 

@@ -30,9 +30,20 @@ optionally on a non-numpy array namespace (:mod:`repro.nums.backend`);
 :mod:`repro.runtime.bridge` converts traced plans into accelerator
 workload/queue form for scheduler experiments.
 
-For serving, :class:`~repro.runtime.executor.ShardedExecutor` shards
-``run_batch`` across a forked worker pool (bit-identical, crash-
-recovering, order-preserving) and
+For serving, the stable surface is :func:`~repro.runtime.serving.serve`
+plus a frozen :class:`~repro.runtime.serving.ServingConfig`::
+
+    from repro.runtime import ServingConfig, serve
+
+    with serve(plan, ServingConfig(num_workers=4, transport="shm")) as s:
+        outputs = s.run_batch(batches)
+
+Underneath, :class:`~repro.runtime.executor.ShardedExecutor` shards
+``run_batch`` across a worker pool (bit-identical, crash-recovering,
+order-preserving) reached through a pluggable transport — fork+pipe,
+a same-host shared-memory ring, or TCP worker-host sessions
+(:mod:`repro.runtime.transport` / :mod:`repro.runtime.coordinator`,
+``docs/serving.md``) — and
 :class:`~repro.runtime.stream.StreamingServer` feeds it from a bounded
 async queue with backpressure so encrypt/evaluate/decrypt phases of
 different requests overlap.
@@ -112,7 +123,14 @@ from repro.runtime.plan_io import (
     serialize_constants,
     serialize_plan,
 )
+from repro.runtime.serving import ServingConfig, ServingSession, serve
 from repro.runtime.stream import RequestRecord, StreamingServer
+from repro.runtime.transport import (
+    PipeTransport,
+    ShmTransport,
+    Transport,
+    available_transports,
+)
 from repro.runtime.telemetry import (
     TRACE_MAGIC,
     MetricGroup,
@@ -198,6 +216,13 @@ __all__ = [
     "FaultPlan",
     "SITES",
     "flip_frame_byte",
+    "serve",
+    "ServingConfig",
+    "ServingSession",
+    "Transport",
+    "PipeTransport",
+    "ShmTransport",
+    "available_transports",
     "StreamingServer",
     "RequestRecord",
     "Telemetry",

@@ -15,7 +15,13 @@ order.  The executor consults it at four well-defined hook points:
 * ``post_evaluate`` (worker, after computing, before replying): ``crash``
   — exercises exactly-once delivery when work is lost after completion;
 * ``reply_encode`` (worker, after encoding outputs): byte-flips the
-  reply envelope — exercises parent-side CRC detection and retry.
+  reply envelope — exercises parent-side CRC detection and retry;
+* ``host_relay`` (worker host, before relaying a reply upstream over
+  the TCP session — see :mod:`repro.runtime.coordinator`):
+  ``disconnect`` (drop the session socket), ``partial`` (write half a
+  frame, then drop), ``slow`` (delay the relay with heartbeats already
+  through) — exercises the coordinator's host-loss requeue path and
+  frame-truncation detection.
 
 Decisions are rate-based (one hash draw per ``(seed, site, request_id,
 attempt)``) and can be pinned exactly with ``scripted`` entries for
@@ -37,10 +43,17 @@ from dataclasses import dataclass
 
 __all__ = ["FaultAction", "FaultPlan", "SITES", "flip_frame_byte"]
 
-SITES = ("pre_dispatch", "pre_evaluate", "post_evaluate", "reply_encode")
+SITES = (
+    "pre_dispatch",
+    "pre_evaluate",
+    "post_evaluate",
+    "reply_encode",
+    "host_relay",
+)
 
 # Fixed draw order within a site: at most one fault fires per decision.
 _PRE_EVALUATE_KINDS = ("crash", "stop", "hang", "slow")
+_HOST_RELAY_KINDS = ("disconnect", "partial", "slow")
 
 
 @dataclass(frozen=True)
@@ -65,7 +78,12 @@ class FaultPlan:
         crash_after_rate: probability of a ``post_evaluate`` crash.
         request_flip_rate: probability of a ``pre_dispatch`` byte flip.
         reply_flip_rate: probability of a ``reply_encode`` byte flip.
+        disconnect_rate / partial_frame_rate / slow_host_rate:
+            per-reply probabilities at the TCP coordinator's
+            ``host_relay`` site (drawn in that order from one hash, so
+            at most one fires per relayed reply).
         hang_s / slow_s: sleep durations for hang/slow injections.
+        slow_host_s: relay delay for a ``host_relay`` slow injection.
         scripted: exact overrides — ``{(site, request_id, attempt):
             FaultAction | None}``; ``None`` pins "no fault" at that key.
     """
@@ -81,8 +99,12 @@ class FaultPlan:
         crash_after_rate: float = 0.0,
         request_flip_rate: float = 0.0,
         reply_flip_rate: float = 0.0,
+        disconnect_rate: float = 0.0,
+        partial_frame_rate: float = 0.0,
+        slow_host_rate: float = 0.0,
         hang_s: float = 30.0,
         slow_s: float = 0.05,
+        slow_host_s: float = 0.05,
         scripted: dict[tuple[str, int, int], FaultAction | None] | None = None,
     ) -> None:
         rates = (
@@ -93,11 +115,16 @@ class FaultPlan:
             crash_after_rate,
             request_flip_rate,
             reply_flip_rate,
+            disconnect_rate,
+            partial_frame_rate,
+            slow_host_rate,
         )
         if any(r < 0 or r > 1 for r in rates):
             raise ValueError("fault rates must be in [0, 1]")
         if sum((crash_rate, stop_rate, hang_rate, slow_rate)) > 1:
             raise ValueError("pre_evaluate rates must sum to <= 1")
+        if sum((disconnect_rate, partial_frame_rate, slow_host_rate)) > 1:
+            raise ValueError("host_relay rates must sum to <= 1")
         self.seed = seed
         self.crash_rate = crash_rate
         self.stop_rate = stop_rate
@@ -106,8 +133,12 @@ class FaultPlan:
         self.crash_after_rate = crash_after_rate
         self.request_flip_rate = request_flip_rate
         self.reply_flip_rate = reply_flip_rate
+        self.disconnect_rate = disconnect_rate
+        self.partial_frame_rate = partial_frame_rate
+        self.slow_host_rate = slow_host_rate
         self.hang_s = hang_s
         self.slow_s = slow_s
+        self.slow_host_s = slow_host_s
         self.scripted = dict(scripted or {})
 
     # ------------------------------------------------------------------
@@ -151,6 +182,17 @@ class FaultPlan:
             if u < self.crash_after_rate:
                 return FaultAction("crash", site, salt=salt)
             return None
+        if site == "host_relay":
+            edge = 0.0
+            for kind, rate in zip(
+                _HOST_RELAY_KINDS,
+                (self.disconnect_rate, self.partial_frame_rate, self.slow_host_rate),
+            ):
+                edge += rate
+                if u < edge:
+                    duration = self.slow_host_s if kind == "slow" else 0.0
+                    return FaultAction(kind, site, duration_s=duration, salt=salt)
+            return None
         rate = (
             self.request_flip_rate
             if site == "pre_dispatch"
@@ -172,8 +214,12 @@ class FaultPlan:
                 self.crash_after_rate,
                 self.request_flip_rate,
                 self.reply_flip_rate,
+                self.disconnect_rate,
+                self.partial_frame_rate,
+                self.slow_host_rate,
                 self.hang_s,
                 self.slow_s,
+                self.slow_host_s,
                 self.scripted,
             ),
         )
@@ -188,8 +234,12 @@ def _rebuild_plan(
     crash_after_rate,
     request_flip_rate,
     reply_flip_rate,
+    disconnect_rate,
+    partial_frame_rate,
+    slow_host_rate,
     hang_s,
     slow_s,
+    slow_host_s,
     scripted,
 ) -> FaultPlan:
     return FaultPlan(
@@ -201,8 +251,12 @@ def _rebuild_plan(
         crash_after_rate=crash_after_rate,
         request_flip_rate=request_flip_rate,
         reply_flip_rate=reply_flip_rate,
+        disconnect_rate=disconnect_rate,
+        partial_frame_rate=partial_frame_rate,
+        slow_host_rate=slow_host_rate,
         hang_s=hang_s,
         slow_s=slow_s,
+        slow_host_s=slow_host_s,
         scripted=scripted,
     )
 

@@ -1,0 +1,903 @@
+"""TCP worker-host coordination for the serving fabric.
+
+This module implements the ``tcp`` transport of
+:mod:`repro.runtime.transport`: worker *slots* hosted by a
+:class:`WorkerHostServer` process and multiplexed over one
+length-prefixed CRC-framed socket **session** per host.  The session
+protocol reuses the repo's frame container
+(:func:`repro.ckks.serialization.pack_frame`: ``tag(4) | u32 length |
+payload | u32 crc32``) and carries the *unchanged* worker protocol
+messages — every ciphertext still rides an ``ENV1`` envelope, faults
+are still ``FLT1``, spans still ``TRC1`` — so swapping pipe for socket
+changes byte transport, never semantics.
+
+Session shape (documented normatively in ``docs/formats.md``):
+
+1. coordinator → host: ``FHL1`` HELLO (version, flags, plan
+   fingerprint, pickled worker config);
+2. host → coordinator: ``FHA1`` HELLO-ACK (``need_plan``, host pid) —
+   the host caches deserialized plans by content fingerprint across
+   sessions, so a reconnect (or a second pool) never re-uploads a plan
+   the host already holds;
+3. coordinator → host, only when asked: ``FPL1`` (the ``EPL1`` plan
+   bytes);
+4. both directions, steady state: ``FBT1`` batches (multiple worker
+   messages per frame, amortizing framing + syscalls) and ``FCT1``
+   control ops (slot spawn/kill, up/down notifications, session bye).
+
+Fault model: the host relay consults the session chaos plan at the
+``host_relay`` site (disconnect, partial frame, slow host).  Any
+session loss — injected or real — closes every slot's parent-side
+delivery pipe, which the executor's I/O loop observes as worker EOFs
+and handles with its existing requeue/retry/quarantine machinery; the
+transport then restarts the host (or reconnects) on the next spawn.
+Requests are therefore never lost and never duplicated across host
+loss, exactly as for single-process crashes.
+
+Contract (see ``docs/architecture.md``): the host is forked from the
+parent (daemonic — it can never outlive the coordinator); slot workers
+run the verbatim :func:`repro.runtime.executor._worker_loop`; nothing
+host-side caches ciphertext bytes beyond the in-flight frame.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import signal
+import socket
+import struct
+import threading
+import time
+from multiprocessing.connection import wait as connection_wait
+
+from repro.ckks.serialization import WireFormatError, pack_frame, read_frame
+
+__all__ = [
+    "SESSION_HELLO_MAGIC",
+    "SESSION_ACK_MAGIC",
+    "SESSION_PLAN_MAGIC",
+    "SESSION_BATCH_MAGIC",
+    "SESSION_CONTROL_MAGIC",
+    "SESSION_VERSION",
+    "WorkerHostServer",
+    "TcpTransport",
+    "encode_batch",
+    "decode_batch",
+    "recv_session_frame",
+    "send_session_frame",
+]
+
+SESSION_HELLO_MAGIC = b"FHL1"
+SESSION_ACK_MAGIC = b"FHA1"
+SESSION_PLAN_MAGIC = b"FPL1"
+SESSION_BATCH_MAGIC = b"FBT1"
+SESSION_CONTROL_MAGIC = b"FCT1"
+SESSION_VERSION = 1
+
+_HELLO_FLAG_SHIP_PLAN = 1  # coordinator holds EPL1 bytes for this plan
+
+_HANDSHAKE_TIMEOUT_S = 30.0
+_SPAWN_ACK_TIMEOUT_S = 30.0
+
+
+# ---------------------------------------------------------------------------
+# Frame plumbing
+# ---------------------------------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("session socket closed mid-frame")
+        buf += chunk
+    return bytes(buf)
+
+
+def recv_session_frame(sock: socket.socket) -> tuple[bytes, bytes]:
+    """Read one CRC-framed session frame; raises on EOF/truncation and
+    :class:`WireFormatError` on CRC mismatch (both end the session)."""
+    header = _recv_exact(sock, 8)
+    (length,) = struct.unpack_from("<I", header, 4)
+    body = _recv_exact(sock, length + 4)
+    tag, payload, _ = read_frame(header + body, 0)
+    return tag, payload
+
+
+def send_session_frame(sock: socket.socket, tag: bytes, payload: bytes) -> None:
+    sock.sendall(pack_frame(tag, payload))
+
+
+def encode_batch(items: list[tuple[int, bytes]]) -> bytes:
+    """``FBT1`` payload: ``u32 count | count x (u32 slot | u32 len |
+    pickled worker message)``."""
+    parts = [struct.pack("<I", len(items))]
+    for slot, msg_bytes in items:
+        parts.append(struct.pack("<II", slot, len(msg_bytes)))
+        parts.append(msg_bytes)
+    return b"".join(parts)
+
+
+def decode_batch(payload: bytes) -> list[tuple[int, bytes]]:
+    (count,) = struct.unpack_from("<I", payload, 0)
+    offset = 4
+    items: list[tuple[int, bytes]] = []
+    for _ in range(count):
+        slot, length = struct.unpack_from("<II", payload, offset)
+        offset += 8
+        items.append((slot, payload[offset : offset + length]))
+        offset += length
+    if offset != len(payload):
+        raise WireFormatError("FBT1 batch payload has trailing bytes")
+    return items
+
+
+def _encode_hello(ship_plan: bool, signature: str, cfg) -> bytes:
+    sig = signature.encode()
+    cfg_blob = pickle.dumps(cfg)
+    flags = _HELLO_FLAG_SHIP_PLAN if ship_plan else 0
+    return (
+        struct.pack("<HBH", SESSION_VERSION, flags, len(sig))
+        + sig
+        + struct.pack("<I", len(cfg_blob))
+        + cfg_blob
+    )
+
+
+def _decode_hello(payload: bytes) -> tuple[int, int, str, object]:
+    version, flags, sig_len = struct.unpack_from("<HBH", payload, 0)
+    offset = 5
+    sig = payload[offset : offset + sig_len].decode()
+    offset += sig_len
+    (cfg_len,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    cfg = pickle.loads(payload[offset : offset + cfg_len])
+    return version, flags, sig, cfg
+
+
+# ---------------------------------------------------------------------------
+# Worker host (child-process side)
+# ---------------------------------------------------------------------------
+
+
+class _SessionDrop(Exception):
+    """Internal: tear the current session down (injected or real)."""
+
+
+class WorkerHostServer:
+    """One worker host: accepts coordinator sessions, forks slot workers.
+
+    Runs as the body of a forked daemon process
+    (:meth:`TcpTransport._fork_host` starts it).  One session is served
+    at a time; the plan cache (``fingerprint -> deserialized plan``)
+    persists across sessions, which is what makes reconnect-after-drop
+    cheap and keeps plan shipping once-per-host.
+    """
+
+    def __init__(self, plan, host_label: str) -> None:
+        self.plan = plan  # fork-inherited; also supplies the evaluator
+        self.host_label = host_label
+        self._plans_by_sig: dict[str, object] = {}
+        self._listener: socket.socket | None = None
+
+    # -- process body ---------------------------------------------------
+
+    def run(self, report_conn) -> None:
+        # The host forks slot workers, so it cannot be daemonic itself;
+        # instead it watches for re-parenting (coordinator death) and
+        # exits on its own — no orphaned hosts, no leaked ports.
+        coordinator_pid = os.getppid()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        listener.settimeout(1.0)
+        self._listener = listener
+        report_conn.send((listener.getsockname()[1], os.getpid()))
+        report_conn.close()
+        try:
+            while True:
+                try:
+                    sock, _ = listener.accept()
+                except TimeoutError:
+                    if os.getppid() != coordinator_pid:
+                        break  # orphaned: the coordinator is gone
+                    continue
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                try:
+                    if self._serve_session(sock):
+                        break  # coordinator said bye: host retires
+                finally:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+        finally:
+            listener.close()
+
+    # -- one session ----------------------------------------------------
+
+    def _negotiate(self, sock: socket.socket):
+        tag, payload = recv_session_frame(sock)
+        if tag != SESSION_HELLO_MAGIC:
+            raise WireFormatError(f"expected FHL1, got {tag!r}")
+        version, flags, sig, cfg = _decode_hello(payload)
+        if version != SESSION_VERSION:
+            raise WireFormatError(f"unsupported session version {version}")
+        if flags & _HELLO_FLAG_SHIP_PLAN:
+            need_plan = sig not in self._plans_by_sig
+            send_session_frame(
+                sock,
+                SESSION_ACK_MAGIC,
+                struct.pack("<BI", int(need_plan), os.getpid()),
+            )
+            if need_plan:
+                tag, blob = recv_session_frame(sock)
+                if tag != SESSION_PLAN_MAGIC:
+                    raise WireFormatError(f"expected FPL1, got {tag!r}")
+                from repro.runtime.plan_io import deserialize_plan
+
+                self._plans_by_sig[sig] = deserialize_plan(
+                    blob, self.plan.evaluator
+                )
+            session_plan = self._plans_by_sig[sig]
+        else:
+            # Warm-fork mode: serve the fork-inherited plan (loopback
+            # only; a genuinely remote host requires ship_plan=True).
+            send_session_frame(
+                sock, SESSION_ACK_MAGIC, struct.pack("<BI", 0, os.getpid())
+            )
+            session_plan = self.plan
+        return session_plan, cfg
+
+    def _serve_session(self, sock: socket.socket) -> bool:
+        """Serve one coordinator session; returns True on graceful bye."""
+        import multiprocessing as mp
+
+        from repro.runtime.executor import _worker_loop
+
+        try:
+            session_plan, cfg = self._negotiate(sock)
+        except (ConnectionError, OSError, WireFormatError, EOFError):
+            return False
+        ctx = mp.get_context("fork")
+        chaos = getattr(cfg, "chaos", None)
+        workers: dict[int, tuple] = {}  # slot -> (proc, conn)
+        bye = False
+        try:
+            while True:
+                conns = [sock] + [w[1] for w in workers.values()]
+                ready_list = connection_wait(conns, timeout=0.2)
+                out: list[tuple[int, bytes]] = []
+                for ready in ready_list:
+                    if ready is sock:
+                        bye = self._on_session_frame(
+                            sock, workers, ctx, session_plan, cfg, _worker_loop
+                        )
+                        if bye:
+                            raise _SessionDrop()
+                        continue
+                    slot = next(
+                        (s for s, w in workers.items() if w[1] is ready), None
+                    )
+                    if slot is None:
+                        continue
+                    try:
+                        msg = ready.recv()
+                    except (EOFError, OSError):
+                        self._reap_slot(workers, slot)
+                        out.append((slot, pickle.dumps(("down", slot))))
+                        continue
+                    out.append((slot, pickle.dumps(msg)))
+                if out:
+                    self._relay_upstream(sock, out, chaos)
+        except _SessionDrop:
+            pass
+        except (ConnectionError, OSError, WireFormatError, EOFError):
+            pass
+        finally:
+            for slot in list(workers):
+                self._kill_slot(workers, slot)
+        return bye
+
+    def _on_session_frame(
+        self, sock, workers, ctx, session_plan, cfg, worker_loop
+    ) -> bool:
+        tag, payload = recv_session_frame(sock)
+        if tag == SESSION_BATCH_MAGIC:
+            for slot, msg_bytes in decode_batch(payload):
+                entry = workers.get(slot)
+                if entry is None:
+                    continue
+                try:
+                    entry[1].send(pickle.loads(msg_bytes))
+                except (BrokenPipeError, OSError):
+                    self._reap_slot(workers, slot)
+            return False
+        if tag == SESSION_CONTROL_MAGIC:
+            op = pickle.loads(payload)
+            if op[0] == "spawn":
+                slot = op[1]
+                parent_conn, child_conn = ctx.Pipe()
+                # Fork-inherited fds the slot worker must NOT keep: the
+                # session socket and listener (a dead host's session
+                # would otherwise never EOF at the coordinator while a
+                # worker still holds them), its OWN parent-side pipe end
+                # (holding both ends of one socketpair would mask the
+                # host-death EOF forever), and the sibling workers'
+                # parent ends (which would likewise mask sibling EOFs).
+                inherited = [self._listener, sock, parent_conn]
+                inherited += [w[1] for w in workers.values()]
+                proc = ctx.Process(
+                    target=_slot_entry,
+                    args=(worker_loop, session_plan, child_conn, cfg, inherited),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                workers[slot] = (proc, parent_conn)
+                send_session_frame(
+                    sock,
+                    SESSION_CONTROL_MAGIC,
+                    pickle.dumps(("up", slot, proc.pid)),
+                )
+            elif op[0] == "kill":
+                if op[1] in workers:
+                    self._kill_slot(workers, op[1])
+                    send_session_frame(
+                        sock,
+                        SESSION_CONTROL_MAGIC,
+                        pickle.dumps(("down", op[1])),
+                    )
+            elif op[0] == "bye":
+                return True
+            return False
+        raise WireFormatError(f"unexpected session frame {tag!r}")
+
+    def _relay_upstream(self, sock, out, chaos) -> None:
+        """Ship collected worker messages upstream as one batch,
+        consulting the ``host_relay`` chaos site per reply."""
+        clean: list[tuple[int, bytes]] = []
+        for slot, msg_bytes in out:
+            action = None
+            if chaos is not None:
+                msg = pickle.loads(msg_bytes)
+                if isinstance(msg, tuple) and len(msg) == 5:
+                    action = chaos.decide("host_relay", msg[1], msg[2])
+            if action is None:
+                clean.append((slot, msg_bytes))
+                continue
+            if action.kind == "slow":
+                time.sleep(action.duration_s)
+                clean.append((slot, msg_bytes))
+                continue
+            # disconnect / partial: flush what precedes the fault, then
+            # break the session (the faulted reply is lost either way —
+            # its request re-runs under the executor's retry budget).
+            if clean:
+                send_session_frame(sock, SESSION_BATCH_MAGIC, encode_batch(clean))
+            if action.kind == "partial":
+                frame = pack_frame(
+                    SESSION_BATCH_MAGIC, encode_batch([(slot, msg_bytes)])
+                )
+                sock.sendall(frame[: max(9, len(frame) // 2)])
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            raise _SessionDrop()
+        if clean:
+            send_session_frame(sock, SESSION_BATCH_MAGIC, encode_batch(clean))
+
+    @staticmethod
+    def _reap_slot(workers: dict, slot: int) -> None:
+        proc, conn = workers.pop(slot, (None, None))
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if proc is not None:
+            proc.join(timeout=1.0)
+
+    @staticmethod
+    def _kill_slot(workers: dict, slot: int) -> None:
+        proc, conn = workers.pop(slot, (None, None))
+        if proc is not None and proc.pid is not None:
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                pass
+            proc.join(timeout=2.0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def _slot_entry(worker_loop, plan, conn, cfg, inherited) -> None:
+    """Slot-worker process body: drop fork-inherited host fds (session
+    socket, listener, sibling pipes) before entering the worker loop, so
+    host death propagates as EOF instead of being masked by workers."""
+    for obj in inherited:
+        if obj is None:
+            continue
+        try:
+            obj.close()
+        except OSError:
+            pass
+    worker_loop(plan, conn, cfg)
+
+
+def _host_main(plan, host_label: str, report_conn) -> None:
+    WorkerHostServer(plan, host_label).run(report_conn)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator (parent side)
+# ---------------------------------------------------------------------------
+
+
+class _SlotProc:
+    """Process-like handle for a remote slot worker (the executor's
+    ``worker.proc`` duck type)."""
+
+    def __init__(self) -> None:
+        self.pid: int | None = None
+        self.up = threading.Event()
+        self.down = threading.Event()
+
+    def is_alive(self) -> bool:
+        return self.up.is_set() and not self.down.is_set()
+
+    def join(self, timeout: float | None = None) -> None:
+        self.down.wait(timeout)
+
+    def terminate(self) -> None:
+        if self._kill is not None:
+            self._kill()
+
+    _kill = None  # bound by the host handle at slot-open time
+
+
+class _SlotChannel:
+    """Connection-like handle for a remote slot: sends enqueue into the
+    host session's flusher; receives read a local delivery pipe fed by
+    the session reader thread (so the executor's ``connection_wait``
+    loop works unchanged)."""
+
+    def __init__(self, handle: "_HostHandle", slot: int, delivery_r) -> None:
+        self._handle = handle
+        self._slot = slot
+        self._delivery_r = delivery_r
+
+    def send(self, msg) -> None:
+        self._handle.enqueue(self._slot, msg)
+
+    def recv(self):
+        return self._delivery_r.recv()
+
+    def poll(self, timeout=0.0) -> bool:
+        return self._delivery_r.poll(timeout)
+
+    def fileno(self) -> int:
+        return self._delivery_r.fileno()
+
+    def close(self) -> None:
+        try:
+            self._delivery_r.close()
+        except OSError:
+            pass
+
+
+class _SlotState:
+    __slots__ = ("proc", "delivery_w")
+
+    def __init__(self, proc: _SlotProc, delivery_w) -> None:
+        self.proc = proc
+        self.delivery_w = delivery_w
+
+
+_FLUSH_SENTINEL = object()
+
+
+class _HostHandle:
+    """One live host process + one session socket + its pump threads."""
+
+    def __init__(self, transport: "TcpTransport", host_id: int) -> None:
+        self.transport = transport
+        self.host_id = host_id
+        self.label = f"host{host_id}"
+        self.dead = False
+        self.host_proc = None
+        self.host_pid: int | None = None
+        self.port: int | None = None
+        self.sock: socket.socket | None = None
+        self.slots: dict[int, _SlotState] = {}
+        self.lock = threading.Lock()
+        self.send_lock = threading.Lock()
+        self.out_q: queue.SimpleQueue = queue.SimpleQueue()
+        self.frames_sent = 0
+        self.messages_sent = 0
+        self.plan_uploaded = False
+        self._threads: list[threading.Thread] = []
+
+    # -- bring-up -------------------------------------------------------
+
+    def start(self, *, reuse_proc=None) -> None:
+        t = self.transport
+        if reuse_proc is not None and reuse_proc.is_alive():
+            self.host_proc = reuse_proc
+            self.host_pid = reuse_proc.pid
+            self.port = t._ports.get(id(reuse_proc))
+        else:
+            self.host_proc, self.port = t._fork_host(self.label)
+            self.host_pid = self.host_proc.pid
+            t._ports[id(self.host_proc)] = self.port
+        self.sock = socket.create_connection(
+            ("127.0.0.1", self.port), timeout=_HANDSHAKE_TIMEOUT_S
+        )
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        ship = t.plan_blob is not None
+        send_session_frame(
+            self.sock,
+            SESSION_HELLO_MAGIC,
+            _encode_hello(ship, t.signature, t.cfg),
+        )
+        tag, payload = recv_session_frame(self.sock)
+        if tag != SESSION_ACK_MAGIC:
+            raise WireFormatError(f"expected FHA1, got {tag!r}")
+        need_plan, _host_pid = struct.unpack_from("<BI", payload, 0)
+        if ship and need_plan:
+            send_session_frame(self.sock, SESSION_PLAN_MAGIC, t.plan_blob)
+            self.plan_uploaded = True
+        self.sock.settimeout(None)
+        for name, target in (("reader", self._reader_loop), ("flusher", self._flush_loop)):
+            thread = threading.Thread(
+                target=target, name=f"fabric-{self.label}-{name}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    # -- outbound -------------------------------------------------------
+
+    def enqueue(self, slot: int, msg) -> None:
+        if self.dead:
+            raise BrokenPipeError(f"session to {self.label} is down")
+        self.out_q.put((slot, pickle.dumps(msg)))
+
+    def _flush_loop(self) -> None:
+        while True:
+            item = self.out_q.get()
+            if item is _FLUSH_SENTINEL:
+                return
+            items = [item]
+            while True:
+                try:
+                    nxt = self.out_q.get(block=False)
+                except queue.Empty:
+                    break
+                if nxt is _FLUSH_SENTINEL:
+                    items = [i for i in items if i is not _FLUSH_SENTINEL]
+                    self._send_items(items)
+                    return
+                items.append(nxt)
+            self._send_items(items)
+
+    def _send_items(self, items) -> None:
+        if not items or self.dead:
+            return
+        try:
+            with self.send_lock:
+                if self.transport.batch_messages:
+                    send_session_frame(
+                        self.sock, SESSION_BATCH_MAGIC, encode_batch(items)
+                    )
+                    self.frames_sent += 1
+                else:
+                    for entry in items:
+                        send_session_frame(
+                            self.sock, SESSION_BATCH_MAGIC, encode_batch([entry])
+                        )
+                        self.frames_sent += 1
+                self.messages_sent += len(items)
+        except (OSError, BrokenPipeError):
+            self._mark_dead()
+
+    def send_control(self, op: tuple) -> None:
+        if self.dead:
+            raise BrokenPipeError(f"session to {self.label} is down")
+        try:
+            with self.send_lock:
+                send_session_frame(
+                    self.sock, SESSION_CONTROL_MAGIC, pickle.dumps(op)
+                )
+        except (OSError, BrokenPipeError):
+            self._mark_dead()
+            raise BrokenPipeError(f"session to {self.label} is down") from None
+
+    # -- inbound --------------------------------------------------------
+
+    def _reader_loop(self) -> None:
+        try:
+            while True:
+                tag, payload = recv_session_frame(self.sock)
+                if tag == SESSION_BATCH_MAGIC:
+                    for slot, msg_bytes in decode_batch(payload):
+                        msg = pickle.loads(msg_bytes)
+                        if (
+                            isinstance(msg, tuple)
+                            and len(msg) == 2
+                            and msg[0] == "down"
+                        ):
+                            self._close_slot(msg[1])
+                            continue
+                        with self.lock:
+                            state = self.slots.get(slot)
+                        if state is not None:
+                            try:
+                                state.delivery_w.send(msg)
+                            except (BrokenPipeError, OSError):
+                                pass
+                elif tag == SESSION_CONTROL_MAGIC:
+                    op = pickle.loads(payload)
+                    if op[0] == "up":
+                        with self.lock:
+                            state = self.slots.get(op[1])
+                        if state is not None:
+                            state.proc.pid = op[2]
+                            state.proc.up.set()
+                    elif op[0] == "down":
+                        self._close_slot(op[1])
+        except (ConnectionError, OSError, WireFormatError, EOFError, ValueError):
+            pass
+        finally:
+            self._mark_dead()
+
+    def _close_slot(self, slot: int) -> None:
+        with self.lock:
+            state = self.slots.pop(slot, None)
+        if state is None:
+            return
+        state.proc.down.set()
+        try:
+            state.delivery_w.close()
+        except OSError:
+            pass
+
+    def _mark_dead(self) -> None:
+        if self.dead:
+            return
+        self.dead = True
+        # Closing every delivery writer surfaces host loss to the
+        # executor as per-worker EOFs — its standard crash path.
+        with self.lock:
+            slots = list(self.slots.items())
+            self.slots.clear()
+        for _, state in slots:
+            state.proc.down.set()
+            try:
+                state.delivery_w.close()
+            except OSError:
+                pass
+        self.out_q.put(_FLUSH_SENTINEL)
+
+    # -- slots ----------------------------------------------------------
+
+    def open_slot(self, ctx):
+        from repro.runtime.transport import WorkerEndpoint
+
+        with self.lock:
+            slot = self.transport._next_slot()
+        delivery_r, delivery_w = ctx.Pipe(duplex=False)
+        proc = _SlotProc()
+        state = _SlotState(proc, delivery_w)
+        with self.lock:
+            self.slots[slot] = state
+        proc._kill = lambda: self._kill_slot(slot, proc)
+        self.send_control(("spawn", slot))
+        if not proc.up.wait(timeout=_SPAWN_ACK_TIMEOUT_S) or self.dead:
+            self._close_slot(slot)
+            raise BrokenPipeError(f"{self.label} never acked slot {slot}")
+        channel = _SlotChannel(self, slot, delivery_r)
+        return WorkerEndpoint(
+            proc,
+            channel,
+            host=self.label,
+            on_kill=lambda: self._kill_slot(slot, proc),
+        )
+
+    def _kill_slot(self, slot: int, proc: _SlotProc) -> None:
+        # Loopback best effort first (prompt even if the relay is busy),
+        # then the protocol kill so the host reaps and acks the slot.
+        if proc.pid is not None:
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                pass
+        try:
+            self.send_control(("kill", slot))
+        except BrokenPipeError:
+            self._close_slot(slot)
+
+    # -- teardown -------------------------------------------------------
+
+    def close(self, *, retire_host: bool) -> None:
+        if not self.dead and self.sock is not None:
+            try:
+                self.send_control(("bye",))
+            except BrokenPipeError:
+                pass
+        self._mark_dead()
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        if retire_host and self.host_proc is not None:
+            self.host_proc.join(timeout=2.0)
+            if self.host_proc.is_alive():
+                try:
+                    os.kill(self.host_proc.pid, signal.SIGKILL)
+                except (ProcessLookupError, OSError):
+                    pass
+                self.host_proc.join(timeout=1.0)
+
+
+class TcpTransport:
+    """Socket transport: worker slots multiplexed over per-host
+    sessions (see module docstring).  Duck-types
+    :class:`repro.runtime.transport.Transport`."""
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        ctx,
+        *,
+        plan,
+        cfg,
+        plan_blob: bytes | None = None,
+        signature: str = "",
+        hosts: int = 1,
+        batch_messages: bool = True,
+        chaos=None,
+    ) -> None:
+        from repro.runtime import transport as _transport
+
+        if hosts < 1:
+            raise ValueError("tcp transport needs at least one host")
+        self._ctx = ctx
+        self.plan = plan
+        self.cfg = cfg
+        self.plan_blob = plan_blob
+        self.signature = signature or getattr(plan, "signature", "")
+        self.num_hosts = hosts
+        self.batch_messages = batch_messages
+        self.chaos = chaos
+        self._hosts: list[_HostHandle | None] = [None] * hosts
+        self._host_ids = iter(range(10**9))
+        self._slot_ids = iter(range(10**9))
+        self._assign = 0
+        self._ports: dict[int, int] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self.sessions_opened = 0
+        self.hosts_spawned = 0
+        self.plan_uploads = 0
+        _transport._LIVE_TRANSPORTS.add(self)
+        import weakref
+
+        self._finalizer = weakref.finalize(
+            self, _transport.Transport._finalize_close, weakref.ref(self)
+        )
+
+    # -- host lifecycle -------------------------------------------------
+
+    def _next_slot(self) -> int:
+        return next(self._slot_ids)
+
+    def _fork_host(self, label: str):
+        report_r, report_w = self._ctx.Pipe(duplex=False)
+        # daemon=False: the host forks slot workers (daemonic processes
+        # may not have children); it self-terminates when orphaned.
+        proc = self._ctx.Process(
+            target=_host_main, args=(self.plan, label, report_w), daemon=False
+        )
+        proc.start()
+        report_w.close()
+        if not report_r.poll(_HANDSHAKE_TIMEOUT_S):
+            proc.terminate()
+            raise RuntimeError(f"worker host {label} never reported its port")
+        port, _pid = report_r.recv()
+        report_r.close()
+        self.hosts_spawned += 1
+        return proc, port
+
+    def _ensure_host(self, index: int) -> _HostHandle:
+        handle = self._hosts[index]
+        if handle is not None and not handle.dead:
+            return handle
+        reuse = None
+        if handle is not None:
+            # Session died; reconnect to the host process when it is
+            # still alive (plan cache warm — no re-upload), refork when
+            # the host itself is gone.
+            if handle.host_proc is not None and handle.host_proc.is_alive():
+                reuse = handle.host_proc
+            handle.close(retire_host=reuse is None)
+        fresh = _HostHandle(self, next(self._host_ids))
+        try:
+            fresh.start(reuse_proc=reuse)
+        except (ConnectionError, OSError, WireFormatError):
+            if reuse is None:
+                raise
+            # The host raced its own death: is_alive() said yes but the
+            # listener is already gone (a SIGKILLed process is not
+            # waitable for a moment).  Retire it and fork a fresh host.
+            fresh.close(retire_host=True)
+            fresh = _HostHandle(self, next(self._host_ids))
+            fresh.start(reuse_proc=None)
+        self.sessions_opened += 1
+        if fresh.plan_uploaded:
+            self.plan_uploads += 1
+        self._hosts[index] = fresh
+        return fresh
+
+    # -- Transport surface ----------------------------------------------
+
+    def spawn(self):
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("tcp transport is closed")
+            index = self._assign % self.num_hosts
+            self._assign += 1
+            last_error: Exception | None = None
+            for _ in range(2):  # one retry against a freshly dead host
+                try:
+                    handle = self._ensure_host(index)
+                    return handle.open_slot(self._ctx)
+                except (BrokenPipeError, ConnectionError, OSError, WireFormatError) as exc:
+                    last_error = exc
+                    if self._hosts[index] is not None:
+                        self._hosts[index]._mark_dead()
+            raise RuntimeError(
+                f"could not open a worker slot on host index {index}: {last_error}"
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles, self._hosts = list(self._hosts), [None] * self.num_hosts
+        for handle in handles:
+            if handle is not None:
+                handle.close(retire_host=True)
+
+    def host_pids(self) -> list[int]:
+        return [
+            h.host_pid
+            for h in self._hosts
+            if h is not None and h.host_pid is not None
+        ]
+
+    def stats(self) -> dict:
+        return {
+            "transport": self.name,
+            "hosts": self.num_hosts,
+            "hosts_spawned": self.hosts_spawned,
+            "sessions_opened": self.sessions_opened,
+            "plan_uploads": self.plan_uploads,
+            "frames_sent": sum(
+                h.frames_sent for h in self._hosts if h is not None
+            ),
+            "messages_sent": sum(
+                h.messages_sent for h in self._hosts if h is not None
+            ),
+            "batch_messages": self.batch_messages,
+        }

@@ -114,6 +114,7 @@ from repro.runtime.faults import (
     serialize_fault,
 )
 from repro.runtime.plan import ExecutionPlan
+from repro.runtime.serving import ServingConfig, config_from_legacy_kwargs
 from repro.runtime.telemetry import (
     WorkerSpanRecorder,
     deserialize_trace_frame,
@@ -121,6 +122,7 @@ from repro.runtime.telemetry import (
     serialize_trace_context,
 )
 from repro.runtime.telemetry import now as _mono
+from repro.runtime.transport import create_transport
 
 __all__ = ["ShardedExecutor", "WorkerError", "ENVELOPE_MAGIC"]
 
@@ -341,15 +343,32 @@ class _Request:
 
 
 class _Worker:
-    __slots__ = ("proc", "conn", "busy", "busy_attempt", "dispatched_at", "last_beat")
+    __slots__ = (
+        "endpoint",
+        "proc",
+        "conn",
+        "host",
+        "busy",
+        "busy_attempt",
+        "dispatched_at",
+        "last_beat",
+    )
 
-    def __init__(self, proc, conn):
-        self.proc = proc
-        self.conn = conn
+    def __init__(self, endpoint):
+        self.endpoint = endpoint
+        self.proc = endpoint.proc
+        self.conn = endpoint.conn
+        self.host = endpoint.host
         self.busy: int | None = None  # request id in flight, if any
         self.busy_attempt = 0
         self.dispatched_at = 0.0
         self.last_beat = 0.0
+
+    def kill(self) -> None:
+        self.endpoint.kill()
+
+    def release(self) -> None:
+        self.endpoint.release()
 
 
 def _resolve(fut: Future, *, result=None, exc=None) -> None:
@@ -388,33 +407,48 @@ class ShardedExecutor:
     def __init__(
         self,
         plan: ExecutionPlan,
-        num_workers: int = 2,
+        num_workers: int | None = None,
         *,
-        coeff_bits: int | None = None,
-        modeled_request_io_s: float = 0.0,
+        config: ServingConfig | None = None,
         warm_inputs=None,
-        max_crash_respawns: int | None = None,
-        ship_plan: bool = False,
-        fused: bool = False,
-        policy: FaultPolicy | None = None,
-        chaos: FaultPlan | None = None,
+        **legacy,
     ) -> None:
-        if num_workers < 0:
-            raise ValueError("num_workers must be >= 0")
+        # Preferred surface: ``ShardedExecutor(plan, config=ServingConfig(...))``.
+        # The historical keyword sprawl (ship_plan/fused/policy/chaos/...)
+        # still works for one release behind a DeprecationWarning; the
+        # positional pool size alone stays silent.
+        cfg = config_from_legacy_kwargs(config, legacy, caller="ShardedExecutor")
+        if legacy:
+            raise TypeError(
+                f"ShardedExecutor got unexpected keyword(s) {sorted(legacy)}"
+            )
+        if num_workers is not None:
+            if config is not None:
+                raise TypeError(
+                    "pass the pool size inside ServingConfig when using config="
+                )
+            if num_workers < 0:
+                raise ValueError("num_workers must be >= 0")
+            cfg = cfg.replace(num_workers=num_workers)
+        self.config = cfg
+        num_workers = cfg.num_workers
         self.plan = plan
         self.num_workers = num_workers
-        self.ship_plan = ship_plan
-        self.fused = fused
-        self.policy = policy if policy is not None else FaultPolicy()
-        self.chaos = chaos
+        self.ship_plan = cfg.ship_plan
+        self.fused = cfg.fused
+        self.policy = (
+            cfg.fault_policy if cfg.fault_policy is not None else FaultPolicy()
+        )
+        self.chaos = cfg.chaos
         self._plan_blob: bytes | None = None
-        self._coeff_bits = coeff_bits or wire_coeff_bits(plan.evaluator.basis)
-        self._io_s = float(modeled_request_io_s)
+        self._coeff_bits = cfg.coeff_bits or wire_coeff_bits(plan.evaluator.basis)
+        self._io_s = float(cfg.modeled_request_io_s)
         self._max_crashes = (
-            max_crash_respawns
-            if max_crash_respawns is not None
+            cfg.max_crash_respawns
+            if cfg.max_crash_respawns is not None
             else 3 + 2 * max(num_workers, 1)
         )
+        self._transport = None
         self._inline = num_workers == 0 or "fork" not in mp.get_all_start_methods()
         if self._inline and num_workers > 0:
             warnings.warn(
@@ -467,9 +501,9 @@ class ShardedExecutor:
         # and inherited copy-on-write — the pre-forms are by far the most
         # expensive warm step and must never be paid per worker.
         plan.run_batch(
-            [warm_inputs] if warm_inputs is not None else [], fused=fused
+            [warm_inputs] if warm_inputs is not None else [], fused=self.fused
         )
-        if ship_plan and not self._inline:
+        if self.ship_plan and not self._inline:
             # Serialize once; every (re)spawned worker deserializes the
             # same artifact instead of relying on the fork-warmed plan.
             from repro.runtime.plan_io import serialize_plan
@@ -487,6 +521,7 @@ class ShardedExecutor:
                 return self
             self._stop.clear()
             self._wake_r, self._wake_w = self._ctx.Pipe(duplex=False)
+            self._transport = self._make_transport()
             for _ in range(self.num_workers):
                 self._workers.append(self._spawn())
             self._io_thread = threading.Thread(
@@ -529,17 +564,16 @@ class ShardedExecutor:
                 worker.proc.join(timeout=1.0)
             if worker.proc.is_alive():
                 # A SIGSTOPped (or otherwise wedged) worker ignores the
-                # sentinel and holds SIGTERM pending; SIGKILL is the only
-                # signal guaranteed to reap it.
+                # sentinel and holds SIGTERM pending; SIGKILL (locally,
+                # or the transport's kill-slot escalation) is the only
+                # path guaranteed to reap it.
                 escalated.append(worker.proc.pid)
-                try:
-                    os.kill(worker.proc.pid, signal.SIGKILL)
-                except (ProcessLookupError, OSError):
-                    pass
+                worker.kill()
                 worker.proc.join(timeout=1.0)
             if worker.proc.is_alive():
                 leaked.append(worker.proc.pid)
             worker.conn.close()
+            worker.release()
         if escalated:
             warnings.warn(
                 f"ShardedExecutor.close(): worker(s) failed to join and were "
@@ -555,6 +589,13 @@ class ShardedExecutor:
                 stacklevel=2,
             )
         self._workers.clear()
+        # Transport teardown frees everything workers rode on — sockets,
+        # host processes, /dev/shm segments.  Transports also register
+        # atexit/finalize hooks, so even a run that never reaches this
+        # line cannot leak segments or bound ports.
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
         for pipe_end in (self._wake_r, self._wake_w):
             try:
                 pipe_end.close()
@@ -703,6 +744,10 @@ class ShardedExecutor:
         out["plan_wire"] = self._plan_blob is not None
         out["fused"] = self.fused
         out["degraded"] = self._degraded
+        out["transport"] = self.config.transport
+        transport = self._transport
+        if transport is not None:
+            out["transport_stats"] = transport.stats()
         return out
 
     def worker_pids(self) -> list[int]:
@@ -790,8 +835,14 @@ class ShardedExecutor:
     # Pool internals (parent I/O thread unless noted)
     # ------------------------------------------------------------------
 
-    def _spawn(self) -> _Worker:
-        parent_conn, child_conn = self._ctx.Pipe()
+    def _make_transport(self):
+        """Build the worker-boundary transport from the serving config.
+
+        The executor stays the composition root: it hands the transport
+        the worker loop callable and its leading arguments (the wire
+        path's plan blob + evaluator, or the warm-fork plan object), so
+        transports never reach into plan internals themselves.
+        """
         cfg = _WorkerConfig(
             coeff_bits=self._coeff_bits,
             io_s=self._io_s,
@@ -803,14 +854,40 @@ class ShardedExecutor:
             target, head = _wire_worker_loop, (self._plan_blob, self.plan.evaluator)
         else:
             target, head = _worker_loop, (self.plan,)
-        proc = self._ctx.Process(
-            target=target, args=(*head, child_conn, cfg), daemon=True
+        return create_transport(
+            self.config.transport,
+            ctx=self._ctx,
+            target=target,
+            head=head,
+            cfg=cfg,
+            plan=self.plan,
+            plan_blob=self._plan_blob,
+            signature=getattr(self.plan, "signature", ""),
+            hosts=self.config.hosts,
+            ring_bytes=self.config.ring_bytes,
+            batch_messages=self.config.batch_messages,
+            chaos=self.chaos,
         )
-        proc.start()
-        # The parent's copy of the child end must close so worker death
-        # surfaces as EOF on the parent connection.
-        child_conn.close()
-        return _Worker(proc, parent_conn)
+
+    def _spawn(self) -> _Worker:
+        return _Worker(self._transport.spawn())
+
+    def _respawn(self, reason: str) -> None:
+        """Replace a retired worker, accounting the respawn; a spawn
+        failure (e.g. an unreachable worker host) trips the breaker
+        instead of killing the I/O thread."""
+        if self._stop.is_set():
+            return  # closing: late EOFs must not refork workers/hosts
+        try:
+            worker = self._spawn()
+        except Exception as exc:  # noqa: BLE001 — any spawn failure trips
+            self._trip_breaker(f"respawn after {reason} failed: {exc}")
+            return
+        self._workers.append(worker)
+        self._m.inc("respawns")
+        self._telemetry.event(
+            "respawn", pool=self._m.labels["pool"], reason=reason, host=worker.host
+        )
 
     def _wake(self) -> None:
         try:
@@ -887,11 +964,7 @@ class ShardedExecutor:
                 # the only way to reclaim it is to replace the process.
                 self._accrue_busy(worker, now)
                 self._kill_and_retire(worker)
-                self._m.inc("respawns")
-                self._telemetry.event(
-                    "respawn", pool=self._m.labels["pool"], reason="deadline"
-                )
-                self._workers.append(self._spawn())
+                self._respawn("deadline")
             with self._lock:
                 self._requests.pop(req.id, None)
             self._m.inc("deadline_failures")
@@ -931,6 +1004,7 @@ class ShardedExecutor:
                 continue
             req_id = worker.busy
             pid = worker.proc.pid
+            host = worker.host
             self._accrue_busy(worker, now)
             self._kill_and_retire(worker)
             self._m.inc("hang_kills")
@@ -943,6 +1017,7 @@ class ShardedExecutor:
                 "hang_kill",
                 pool=self._m.labels["pool"],
                 worker_pid=pid,
+                host=host,
                 request=req_id,
                 code=WorkerHang.code,
             )
@@ -954,11 +1029,7 @@ class ShardedExecutor:
                     f"{hang_timeout:g}s) on attempt {req.attempts}",
                     kind=WorkerHang,
                 )
-            self._m.inc("respawns")
-            self._telemetry.event(
-                "respawn", pool=self._m.labels["pool"], reason="hang"
-            )
-            self._workers.append(self._spawn())
+            self._respawn("hang")
         self._staleness_gauge.set(staleness)
 
     def _dispatch(self) -> None:
@@ -1143,19 +1214,19 @@ class ShardedExecutor:
             heapq.heappush(self._delayed, (time.monotonic() + delay, req.id))
 
     def _kill_and_retire(self, worker: _Worker) -> None:
-        """SIGKILL a worker the parent has given up on (hang/deadline)
-        and remove it from the pool without touching crash accounting."""
+        """Forcibly stop a worker the parent has given up on
+        (hang/deadline) and remove it from the pool without touching
+        crash accounting.  ``kill`` goes through the transport endpoint
+        (a SIGKILL locally, a kill-slot control op on a worker host)."""
         if worker in self._workers:
             self._workers.remove(worker)
-        try:
-            os.kill(worker.proc.pid, signal.SIGKILL)
-        except (ProcessLookupError, OSError):
-            pass
+        worker.kill()
         try:
             worker.conn.close()
         except OSError:
             pass
         worker.proc.join(timeout=2.0)
+        worker.release()
 
     def _retire(self, worker: _Worker) -> None:
         if worker in self._workers:
@@ -1165,6 +1236,7 @@ class ShardedExecutor:
         except OSError:
             pass
         worker.proc.join(timeout=1.0)
+        worker.release()
 
     def _on_worker_death(self, worker: _Worker) -> None:
         """An unexpected EOF: account the crash, retry its request under
@@ -1181,6 +1253,7 @@ class ShardedExecutor:
             "worker_crash",
             pool=self._m.labels["pool"],
             worker_pid=pid,
+            host=worker.host,
             request=req_id,
             code=WorkerCrash.code,
         )
@@ -1208,11 +1281,7 @@ class ShardedExecutor:
             )
             self._trip_breaker(reason)
             return
-        self._m.inc("respawns")
-        self._telemetry.event(
-            "respawn", pool=self._m.labels["pool"], reason="crash"
-        )
-        self._workers.append(self._spawn())
+        self._respawn("crash")
 
     def _trip_breaker(self, reason: str) -> None:
         """Replacement forks keep dying: stop forking.  Either degrade to

@@ -1,0 +1,285 @@
+"""Unified serving surface: one frozen config, one facade.
+
+The serving stack grew one keyword at a time — ``num_workers``,
+``fused``, ``ship_plan``, ``policy``, ``chaos``, ``max_pending``, and
+now transport selection — until standing up a pool meant threading six
+knobs through two constructors.  This module consolidates all of it:
+
+* :class:`ServingConfig` — a frozen dataclass holding every serving
+  knob (pool shape, transport, execution mode, fault policy, chaos,
+  streaming admission, tracing).  Immutable, hashable, and safe to
+  share between a pool and its streaming front end.
+* :func:`serve` — the facade: takes a compiled
+  :class:`~repro.runtime.plan.ExecutionPlan` *or* a traceable function
+  (compiled on the spot via :func:`~repro.runtime.trace.trace` +
+  :func:`~repro.runtime.plan.compile_graph`), and returns a
+  :class:`ServingSession` wrapping a configured
+  :class:`~repro.runtime.executor.ShardedExecutor` with batch, submit,
+  and async streaming entry points.
+
+The legacy keyword surface keeps working for one release: passing the
+old kwargs to :class:`ShardedExecutor` / :class:`StreamingServer` /
+:func:`serve` emits a :class:`DeprecationWarning` whose message starts
+with ``legacy serving kwargs`` (pin in tests with
+``pytest.warns(DeprecationWarning, match="legacy serving kwargs")``)
+and is translated onto a :class:`ServingConfig` internally, so both
+surfaces execute the identical code path.
+
+Contract (see ``docs/architecture.md``): pure parent-process
+configuration — nothing here crosses the worker boundary except as
+fields already covered by the executor's contract (policy/chaos values,
+pool shape).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+
+from repro.runtime.chaos import FaultPlan
+from repro.runtime.faults import FaultPolicy
+from repro.runtime.transport import DEFAULT_RING_BYTES, available_transports
+
+__all__ = ["ServingConfig", "ServingSession", "serve"]
+
+# One release of grace for the pre-config keyword surface; every warning
+# about it starts with this prefix (pyproject ignores it suite-wide).
+_DEPRECATION_PREFIX = "legacy serving kwargs"
+
+# Executor-era keyword -> ServingConfig field.
+_LEGACY_FIELDS = {
+    "num_workers": "num_workers",
+    "coeff_bits": "coeff_bits",
+    "modeled_request_io_s": "modeled_request_io_s",
+    "max_crash_respawns": "max_crash_respawns",
+    "ship_plan": "ship_plan",
+    "fused": "fused",
+    "policy": "fault_policy",
+    "fault_policy": "fault_policy",
+    "chaos": "chaos",
+    "transport": "transport",
+    "hosts": "hosts",
+    "ring_bytes": "ring_bytes",
+    "batch_messages": "batch_messages",
+    "max_pending": "max_pending",
+    "trace": "trace",
+    "trace_sample_rate": "trace_sample_rate",
+}
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Every serving knob in one immutable value.
+
+    Attributes:
+        num_workers: pool size; ``0`` selects the inline single-process
+            fallback.
+        transport: worker-boundary transport — ``"pipe"`` (fork+pipe,
+            default), ``"shm"`` (pipe control + shared-memory ring for
+            large payloads), or ``"tcp"`` (worker-host sessions over
+            loopback sockets; see ``docs/serving.md``).
+        hosts: worker-host count for the ``tcp`` transport (slots are
+            assigned round-robin); ignored by same-host transports.
+        ship_plan: serialize the plan once and have each worker (or
+            worker host, deduplicated by content fingerprint)
+            deserialize its own copy — the cross-machine wire path.
+        fused: replay through the arena-backed fused executor.
+        fault_policy: deadlines / hang detection / retry budget /
+            breaker behaviour (``None`` = :class:`FaultPolicy` defaults).
+        chaos: deterministic fault injection plan (tests/benches only).
+        max_pending: streaming admission bound
+            (:class:`~repro.runtime.stream.StreamingServer`).
+        modeled_request_io_s: modeled client-link transfer delay charged
+            per request inside the worker (benchmarks only).
+        coeff_bits: wire coefficient width override (``None`` = derived
+            from the plan's modulus basis).
+        max_crash_respawns: pool-lifetime crash budget override.
+        ring_bytes: per-direction shared-memory ring capacity for the
+            ``shm`` transport.
+        batch_messages: batch multiple worker messages per TCP session
+            frame (``False`` sends one frame per message — measurably
+            slower; kept as a knob for the framing benchmark).
+        trace: enable process-wide telemetry tracing when the session
+            starts (left enabled on exit; use
+            :meth:`Telemetry.disable` to turn it off).
+        trace_sample_rate: trace sampling rate when ``trace`` is set.
+    """
+
+    num_workers: int = 2
+    transport: str = "pipe"
+    hosts: int = 1
+    ship_plan: bool = False
+    fused: bool = False
+    fault_policy: FaultPolicy | None = None
+    chaos: FaultPlan | None = None
+    max_pending: int = 8
+    modeled_request_io_s: float = 0.0
+    coeff_bits: int | None = None
+    max_crash_respawns: int | None = None
+    ring_bytes: int = DEFAULT_RING_BYTES
+    batch_messages: bool = True
+    trace: bool = False
+    trace_sample_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if self.transport not in available_transports():
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                f"known: {', '.join(available_transports())}"
+            )
+        if self.hosts < 1:
+            raise ValueError("hosts must be >= 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.ring_bytes < 1:
+            raise ValueError("ring_bytes must be positive")
+
+    def replace(self, **changes) -> "ServingConfig":
+        return dataclasses.replace(self, **changes)
+
+
+def config_from_legacy_kwargs(
+    config: ServingConfig | None,
+    kwargs: dict,
+    *,
+    caller: str,
+    stacklevel: int = 3,
+) -> ServingConfig:
+    """Translate a pre-config keyword surface onto a :class:`ServingConfig`.
+
+    ``kwargs`` is consumed (translated keys are popped); unknown keys
+    are left for the caller to reject.  Passing both a ``config`` and
+    legacy keywords is an error — a half-overridden config is always a
+    bug, not a convenience.
+    """
+    legacy = {k: kwargs.pop(k) for k in list(kwargs) if k in _LEGACY_FIELDS}
+    if not legacy:
+        return config if config is not None else ServingConfig()
+    if config is not None:
+        raise TypeError(
+            f"{caller}: pass either config=ServingConfig(...) or the legacy "
+            f"keywords ({', '.join(sorted(legacy))}), not both"
+        )
+    warnings.warn(
+        f"{_DEPRECATION_PREFIX} on {caller} ({', '.join(sorted(legacy))}) are "
+        "deprecated; pass config=ServingConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return ServingConfig(
+        **{_LEGACY_FIELDS[key]: value for key, value in legacy.items()}
+    )
+
+
+class ServingSession:
+    """A configured pool plus its entry points, as one context manager.
+
+    Synchronous use::
+
+        with serve(plan, config) as session:
+            outputs = session.run_batch(batches)
+
+    Streaming use::
+
+        session = serve(plan, config)
+        async with session.streaming() as server:
+            await server.serve(payloads, encrypt=enc, decrypt=dec)
+    """
+
+    def __init__(self, plan, config: ServingConfig, *, warm_inputs=None) -> None:
+        from repro.runtime.executor import ShardedExecutor
+
+        self.plan = plan
+        self.config = config
+        if config.trace:
+            from repro.runtime.telemetry import get_telemetry
+
+            get_telemetry().enable(sample_rate=config.trace_sample_rate)
+        self.executor = ShardedExecutor(plan, config=config, warm_inputs=warm_inputs)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ServingSession":
+        self.executor.start()
+        return self
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def __enter__(self) -> "ServingSession":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- serving --------------------------------------------------------
+
+    def submit(self, inputs, *, deadline_s: float | None = None, trace=None):
+        return self.executor.submit(inputs, deadline_s=deadline_s, trace=trace)
+
+    def run_batch(self, batches, timeout=None, *, deadline_s=None):
+        return self.executor.run_batch(batches, timeout, deadline_s=deadline_s)
+
+    def streaming(self):
+        """A :class:`~repro.runtime.stream.StreamingServer` over this
+        session's pool, admission-bounded by ``config.max_pending``."""
+        from repro.runtime.stream import StreamingServer
+
+        return StreamingServer(self.executor, config=self.config)
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> dict:
+        return self.executor.stats()
+
+
+def serve(
+    plan_or_fn,
+    config: ServingConfig | None = None,
+    *,
+    evaluator=None,
+    input_specs=None,
+    warm_inputs=None,
+    **legacy,
+) -> ServingSession:
+    """Build a :class:`ServingSession` for a plan or traceable function.
+
+    Args:
+        plan_or_fn: a compiled :class:`ExecutionPlan`, or a function
+            written against the evaluator surface (then ``evaluator``
+            and ``input_specs`` are required and the plan is compiled
+            here through the process-level plan cache).
+        config: the :class:`ServingConfig`; ``None`` means defaults.
+        evaluator / input_specs: only for the traceable-function form.
+        warm_inputs: optional real inputs replayed once in the parent
+            before the first fork, warming every fork-shared cache.
+        **legacy: the deprecated pre-config keyword surface; translated
+            with a :class:`DeprecationWarning`.
+    """
+    config = config_from_legacy_kwargs(config, legacy, caller="serve()")
+    if legacy:
+        raise TypeError(f"serve() got unexpected keywords {sorted(legacy)}")
+    from repro.runtime.plan import ExecutionPlan
+
+    if isinstance(plan_or_fn, ExecutionPlan):
+        plan = plan_or_fn
+    elif callable(plan_or_fn):
+        if evaluator is None or input_specs is None:
+            raise TypeError(
+                "serve(fn, ...) requires evaluator= and input_specs= to "
+                "compile the function into a plan"
+            )
+        from repro.runtime.plan import compile_graph
+        from repro.runtime.trace import trace as trace_fn
+
+        graph = trace_fn(plan_or_fn, evaluator, input_specs)
+        plan = compile_graph(graph, evaluator)
+    else:
+        raise TypeError(
+            "serve() takes an ExecutionPlan or a traceable function, "
+            f"got {type(plan_or_fn).__name__}"
+        )
+    return ServingSession(plan, config, warm_inputs=warm_inputs)

@@ -109,14 +109,23 @@ class StreamingServer:
             ``submit(inputs) -> concurrent.futures.Future`` and a
             ``plan``; inline executors work for tests).
         max_pending: admission bound — at most this many requests are
-            inside the engine (queued or in flight) at once.
+            inside the engine (queued or in flight) at once.  Prefer
+            passing ``config=ServingConfig(max_pending=...)``; the bare
+            ``max_pending=`` keyword is the deprecated legacy surface.
     """
 
-    def __init__(self, executor, *, max_pending: int = 8) -> None:
-        if max_pending < 1:
-            raise ValueError("max_pending must be >= 1")
+    def __init__(self, executor, *, config=None, **legacy) -> None:
+        from repro.runtime.serving import config_from_legacy_kwargs
+
+        cfg = config_from_legacy_kwargs(
+            config, legacy, caller="StreamingServer"
+        )
+        if legacy:
+            raise TypeError(
+                f"StreamingServer got unexpected keyword(s) {sorted(legacy)}"
+            )
         self.executor = executor
-        self.max_pending = max_pending
+        self.max_pending = cfg.max_pending
         self._sem: asyncio.Semaphore | None = None
         self._phase_pool: ThreadPoolExecutor | None = None
         self._depth = 0

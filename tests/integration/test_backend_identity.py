@@ -20,6 +20,7 @@ from repro.runtime import (
     FaultAction,
     FaultPlan,
     FaultPolicy,
+    ServingConfig,
     ShardedExecutor,
     compile_fn,
 )
@@ -32,15 +33,17 @@ SEED = 1234
 def _run_pipeline():
     """One seeded encrypt/rotate/multiply/rescale/decrypt run; all bytes.
 
-    The same program is executed seven ways — eagerly, through the
+    The same program is executed nine ways — eagerly, through the
     runtime's reference interpreter, through the batched plan executor,
     through the arena-backed fused replayer, through a 2-worker sharded
     pool (ciphertexts crossing the serialization boundary), through a
     shipped-plan worker that deserializes the EPL1 plan artifact and
-    replays it *fused*, and through a pool whose first worker is
+    replays it *fused*, through a pool whose first worker is
     SIGSTOPped mid-request by a scripted chaos plan (hang-killed,
-    replaced, request retried) — and all seven must agree byte-for-byte
-    within the run.
+    replaced, request retried), through a shared-memory-ring pool
+    (payloads crossing /dev/shm instead of the pipe), and through a
+    loopback-TCP worker-host session — and all nine must agree
+    byte-for-byte within the run.
     """
     ctx = CkksContext.create(toy_params(degree=DEGREE, num_primes=NUM_PRIMES), seed=SEED)
     rlk = ctx.relin_keys(levels=[NUM_PRIMES])
@@ -90,8 +93,28 @@ def _run_pipeline():
         fault_stats = fault_pool.stats()
         assert fault_stats["inline"] or fault_stats["hang_kills"] == 1
         assert fault_stats["completed"] == 1
-    for eager_ct, planned, batched, fused, sharded, shipped, faulted in (
-        (rot, plan_rot, batch_rot, fused_rot, shard_rot, ship_rot, fault_rot),
+    # Modes 8 and 9: the same request through the shared-memory-ring
+    # and loopback-TCP transports — the transport must be invisible.
+    shm_cfg = ServingConfig(num_workers=2, transport="shm")
+    with ShardedExecutor(plan, config=shm_cfg) as shm_pool:
+        ((shm_rot, shm_prod),) = shm_pool.run_batch([[ct_x, ct_y]], timeout=120)
+        assert shm_pool.stats()["transport"] == "shm"
+    tcp_cfg = ServingConfig(num_workers=1, transport="tcp", ship_plan=True)
+    with ShardedExecutor(plan, config=tcp_cfg) as tcp_pool:
+        ((tcp_rot, tcp_prod),) = tcp_pool.run_batch([[ct_x, ct_y]], timeout=120)
+        assert tcp_pool.stats()["transport"] == "tcp"
+    for eager_ct, planned, batched, fused, sharded, shipped, faulted, shmmed, tcped in (
+        (
+            rot,
+            plan_rot,
+            batch_rot,
+            fused_rot,
+            shard_rot,
+            ship_rot,
+            fault_rot,
+            shm_rot,
+            tcp_rot,
+        ),
         (
             prod,
             plan_prod,
@@ -100,6 +123,8 @@ def _run_pipeline():
             shard_prod,
             ship_prod,
             fault_prod,
+            shm_prod,
+            tcp_prod,
         ),
     ):
         for i, part in enumerate(eager_ct.parts):
@@ -121,6 +146,12 @@ def _run_pipeline():
             assert np.array_equal(part.data, faulted.parts[i].data), (
                 f"faulted (hang-recovered) execution diverged from eager "
                 f"at part {i}"
+            )
+            assert np.array_equal(part.data, shmmed.parts[i].data), (
+                f"shared-memory transport diverged from eager at part {i}"
+            )
+            assert np.array_equal(part.data, tcped.parts[i].data), (
+                f"tcp transport diverged from eager at part {i}"
             )
 
     snapshots = {

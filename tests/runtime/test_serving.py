@@ -1,0 +1,162 @@
+"""The unified serving surface: ServingConfig, serve(), and the
+one-release deprecation bridge for the legacy keyword surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CtSpec,
+    ServingConfig,
+    ServingSession,
+    ShardedExecutor,
+    StreamingServer,
+    compile_fn,
+    serve,
+)
+
+RESULT_TIMEOUT = 120.0
+
+
+@pytest.fixture(scope="module")
+def square_plan(rctx, rlk):
+    def program(ev, x):
+        return (ev.multiply_relin_rescale(x, x, rlk),)
+
+    spec = CtSpec(level=rctx.params.num_primes, scale=rctx.params.scale)
+    return compile_fn(program, rctx.evaluator, [spec])
+
+
+def _batches(rctx, n, seed=21):
+    rng = np.random.default_rng(seed)
+    return [
+        [rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots))] for _ in range(n)
+    ]
+
+
+class TestServingConfig:
+    def test_defaults_are_valid(self):
+        cfg = ServingConfig()
+        assert cfg.num_workers == 2
+        assert cfg.transport == "pipe"
+
+    def test_frozen(self):
+        cfg = ServingConfig()
+        with pytest.raises(AttributeError):
+            cfg.num_workers = 4
+
+    def test_replace_returns_new_value(self):
+        cfg = ServingConfig(num_workers=2)
+        other = cfg.replace(transport="shm", num_workers=3)
+        assert other.transport == "shm" and other.num_workers == 3
+        assert cfg.transport == "pipe" and cfg.num_workers == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_workers": -1},
+            {"transport": "carrier-pigeon"},
+            {"hosts": 0},
+            {"max_pending": 0},
+            {"ring_bytes": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+
+class TestServeFacade:
+    def test_serve_plan_matches_run_batch(self, rctx, square_plan):
+        batches = _batches(rctx, 4)
+        reference = square_plan.run_batch(batches)
+        with serve(square_plan, ServingConfig(num_workers=2)) as session:
+            served = session.run_batch(batches, timeout=RESULT_TIMEOUT)
+        assert isinstance(session, ServingSession)
+        for got, want in zip(served, reference):
+            for g, w in zip(got, want):
+                for pg, pw in zip(g.parts, w.parts):
+                    assert np.array_equal(pg.data, pw.data)
+
+    def test_serve_compiles_a_traceable_function(self, rctx, rlk):
+        def program(ev, x):
+            return (ev.multiply_relin_rescale(x, x, rlk),)
+
+        spec = CtSpec(level=rctx.params.num_primes, scale=rctx.params.scale)
+        batches = _batches(rctx, 2, seed=22)
+        with serve(
+            program,
+            ServingConfig(num_workers=1),
+            evaluator=rctx.evaluator,
+            input_specs=[spec],
+        ) as session:
+            served = session.run_batch(batches, timeout=RESULT_TIMEOUT)
+        reference = compile_fn(program, rctx.evaluator, [spec]).run_batch(batches)
+        for got, want in zip(served, reference):
+            for g, w in zip(got, want):
+                for pg, pw in zip(g.parts, w.parts):
+                    assert np.array_equal(pg.data, pw.data)
+
+    def test_serve_function_requires_specs(self):
+        with pytest.raises(TypeError, match="evaluator"):
+            serve(lambda ev, x: (x,))
+
+    def test_serve_rejects_other_types(self):
+        with pytest.raises(TypeError, match="ExecutionPlan"):
+            serve(42)
+
+    def test_streaming_uses_config_admission_bound(self, square_plan):
+        session = ServingSession(
+            square_plan, ServingConfig(num_workers=0, max_pending=3)
+        )
+        server = session.streaming()
+        assert isinstance(server, StreamingServer)
+        assert server.max_pending == 3
+
+
+class TestLegacyKeywordBridge:
+    def test_executor_kwargs_warn_and_translate(self, square_plan):
+        with pytest.warns(DeprecationWarning, match="legacy serving kwargs"):
+            pool = ShardedExecutor(square_plan, ship_plan=True, fused=True)
+        assert pool.config.ship_plan is True
+        assert pool.config.fused is True
+
+    def test_bare_positional_pool_size_stays_silent(self, square_plan):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            pool = ShardedExecutor(square_plan, 3)
+        assert pool.config.num_workers == 3
+
+    def test_config_plus_legacy_kwargs_is_an_error(self, square_plan):
+        with pytest.raises(TypeError, match="not both"):
+            ShardedExecutor(square_plan, config=ServingConfig(), fused=True)
+
+    def test_positional_size_plus_config_is_an_error(self, square_plan):
+        with pytest.raises(TypeError, match="pool size"):
+            ShardedExecutor(square_plan, 2, config=ServingConfig())
+
+    def test_unknown_kwargs_still_rejected(self, square_plan):
+        with pytest.raises(TypeError, match="unexpected"):
+            ShardedExecutor(square_plan, frobnicate=True)
+
+    def test_serve_legacy_kwargs_warn(self, rctx, square_plan):
+        batches = _batches(rctx, 2, seed=23)
+        reference = square_plan.run_batch(batches)
+        with pytest.warns(DeprecationWarning, match="legacy serving kwargs"):
+            session = serve(square_plan, num_workers=1)
+        with session:
+            served = session.run_batch(batches, timeout=RESULT_TIMEOUT)
+        assert session.config.num_workers == 1
+        for got, want in zip(served, reference):
+            for g, w in zip(got, want):
+                for pg, pw in zip(g.parts, w.parts):
+                    assert np.array_equal(pg.data, pw.data)
+
+    def test_streaming_server_legacy_max_pending_warns(self, square_plan):
+        pool = ShardedExecutor(square_plan, config=ServingConfig(num_workers=0))
+        with pytest.warns(DeprecationWarning, match="legacy serving kwargs"):
+            server = StreamingServer(pool, max_pending=5)
+        assert server.max_pending == 5

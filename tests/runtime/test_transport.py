@@ -1,0 +1,276 @@
+"""Transport seam: shared-memory ring and TCP worker-host sessions.
+
+Every transport must be *invisible* — bit-identical outputs, identical
+ordering, identical fault semantics — while differing only in how bytes
+cross the worker boundary.  These tests drive the shm and tcp
+implementations through the same serving surface the pipe transport
+uses, including host loss mid-batch and the seeded chaos matrix's
+``host_relay`` site.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CtSpec,
+    FaultAction,
+    FaultPlan,
+    FaultPolicy,
+    ServingConfig,
+    ShardedExecutor,
+    available_transports,
+    compile_fn,
+    get_telemetry,
+    serve,
+)
+
+RESULT_TIMEOUT = 120.0
+
+
+def _assert_outputs_equal(got, want, what=""):
+    assert len(got) == len(want), what
+    for i, (g, w) in enumerate(zip(got, want)):
+        assert g.scale == w.scale, f"{what} output {i} scale"
+        for j, (pg, pw) in enumerate(zip(g.parts, w.parts)):
+            assert np.array_equal(pg.data, pw.data), (
+                f"{what} output {i} part {j} differs"
+            )
+
+
+def _assert_batches_equal(got, want, what=""):
+    assert len(got) == len(want), what
+    for i, (g, w) in enumerate(zip(got, want)):
+        _assert_outputs_equal(g, w, f"{what} entry {i}")
+
+
+@pytest.fixture(scope="module")
+def fabric_plan(rctx, gks, rlk):
+    def program(ev, x, y):
+        rot = ev.rotate(x, 1, gks)
+        prod = ev.multiply_relin_rescale(ev.add(rot, y), y, rlk)
+        return prod, ev.multiply(x, y)
+
+    spec = CtSpec(level=rctx.params.num_primes, scale=rctx.params.scale)
+    return compile_fn(program, rctx.evaluator, [spec, spec])
+
+
+def _batches(rctx, n, seed=9):
+    rng = np.random.default_rng(seed)
+    return [
+        [
+            rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots)),
+            rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots)),
+        ]
+        for _ in range(n)
+    ]
+
+
+def test_transport_registry_lists_all_three():
+    assert available_transports() == ("pipe", "shm", "tcp")
+
+
+class TestShmTransport:
+    def test_bit_identity_and_ring_traffic(self, rctx, fabric_plan):
+        batches = _batches(rctx, 5)
+        reference = fabric_plan.run_batch(batches)
+        cfg = ServingConfig(num_workers=2, transport="shm")
+        with ShardedExecutor(fabric_plan, config=cfg) as pool:
+            sharded = pool.run_batch(batches, timeout=RESULT_TIMEOUT)
+            stats = pool.stats()
+            if not stats["inline"]:
+                assert stats["transport"] == "shm"
+                assert stats["transport_stats"]["live_rings"] == 2
+        _assert_batches_equal(sharded, reference)
+
+    def test_no_leaked_segments_after_close(self, rctx, fabric_plan):
+        # A crashed-then-replaced worker AND a clean close must both
+        # free their /dev/shm segments (each endpoint owns one ring).
+        def shm_names():
+            try:
+                return {n for n in os.listdir("/dev/shm")}
+            except FileNotFoundError:  # non-Linux: rings still close()
+                return set()
+
+        before = shm_names()
+        cfg = ServingConfig(num_workers=2, transport="shm")
+        pool = ShardedExecutor(fabric_plan, config=cfg)
+        pool.start()
+        pool.run_batch(_batches(rctx, 2), timeout=RESULT_TIMEOUT)
+        pool.close()
+        assert shm_names() - before == set()
+
+    def test_oversized_payload_falls_back_inline(self, rctx, fabric_plan):
+        # A ring too small for one ciphertext: every payload overflows
+        # and ships inline; results must still be bit-identical.
+        batches = _batches(rctx, 3, seed=11)
+        reference = fabric_plan.run_batch(batches)
+        cfg = ServingConfig(num_workers=2, transport="shm", ring_bytes=256)
+        with ShardedExecutor(fabric_plan, config=cfg) as pool:
+            sharded = pool.run_batch(batches, timeout=RESULT_TIMEOUT)
+        _assert_batches_equal(sharded, reference)
+
+
+class TestTcpTransport:
+    def test_bit_identity_single_host(self, rctx, fabric_plan):
+        batches = _batches(rctx, 5)
+        reference = fabric_plan.run_batch(batches)
+        cfg = ServingConfig(num_workers=2, transport="tcp")
+        with ShardedExecutor(fabric_plan, config=cfg) as pool:
+            sharded = pool.run_batch(batches, timeout=RESULT_TIMEOUT)
+            stats = pool.stats()
+            if not stats["inline"]:
+                assert stats["transport_stats"]["hosts_spawned"] == 1
+                assert stats["transport_stats"]["sessions_opened"] == 1
+        _assert_batches_equal(sharded, reference)
+
+    def test_plan_ships_once_per_host(self, rctx, fabric_plan):
+        # Two hosts, four slots: the serialized plan crosses the wire
+        # exactly twice (content-fingerprint dedup is per host).
+        batches = _batches(rctx, 6, seed=12)
+        reference = fabric_plan.run_batch(batches)
+        cfg = ServingConfig(
+            num_workers=4, transport="tcp", hosts=2, ship_plan=True
+        )
+        with ShardedExecutor(fabric_plan, config=cfg) as pool:
+            sharded = pool.run_batch(batches, timeout=RESULT_TIMEOUT)
+            stats = pool.stats()
+            if not stats["inline"]:
+                ts = stats["transport_stats"]
+                assert ts["hosts_spawned"] == 2
+                assert ts["plan_uploads"] == 2
+        _assert_batches_equal(sharded, reference)
+
+    def test_batched_framing_sends_fewer_frames(self, rctx, fabric_plan):
+        batches = _batches(rctx, 8, seed=13)
+        cfg = ServingConfig(num_workers=2, transport="tcp")
+        with ShardedExecutor(fabric_plan, config=cfg) as pool:
+            pool.run_batch(batches, timeout=RESULT_TIMEOUT)
+            ts = pool.stats().get("transport_stats", {})
+        if ts:
+            assert ts["batch_messages"] is True
+            assert ts["frames_sent"] <= ts["messages_sent"]
+        cfg = ServingConfig(num_workers=2, transport="tcp", batch_messages=False)
+        with ShardedExecutor(fabric_plan, config=cfg) as pool:
+            pool.run_batch(batches, timeout=RESULT_TIMEOUT)
+            ts = pool.stats().get("transport_stats", {})
+        if ts:
+            assert ts["batch_messages"] is False
+            assert ts["frames_sent"] == ts["messages_sent"]
+
+
+class TestHostLoss:
+    def test_scripted_disconnect_reconnects_without_replan(
+        self, rctx, fabric_plan
+    ):
+        """A host_relay disconnect drops the session; the executor
+        requeues the in-flight requests, the transport reconnects to the
+        *same* host process, and the warm plan cache means the plan is
+        not shipped again."""
+        batches = _batches(rctx, 6, seed=14)
+        reference = fabric_plan.run_batch(batches)
+        chaos = FaultPlan(
+            0,
+            scripted={
+                ("host_relay", 2, 0): FaultAction("disconnect", "host_relay")
+            },
+        )
+        cfg = ServingConfig(
+            num_workers=2,
+            transport="tcp",
+            ship_plan=True,
+            chaos=chaos,
+            fault_policy=FaultPolicy(backoff_base_s=0.01),
+        )
+        with ShardedExecutor(fabric_plan, config=cfg) as pool:
+            sharded = pool.run_batch(batches, timeout=RESULT_TIMEOUT)
+            stats = pool.stats()
+            if not stats["inline"]:
+                ts = stats["transport_stats"]
+                assert ts["sessions_opened"] >= 2
+                assert ts["hosts_spawned"] == 1  # same host process
+                assert ts["plan_uploads"] == 1  # fingerprint cache hit
+                assert stats["worker_crashes"] >= 1
+        _assert_batches_equal(sharded, reference)
+
+    def test_host_sigkill_mid_batch_loses_nothing(self, rctx, fabric_plan):
+        """Kill the worker-host process while requests are in flight:
+        every request completes exactly once (order preserved,
+        bit-identical), the crash surfaces as typed WorkerCrash events
+        labelled with the host, and a replacement host is forked."""
+        telemetry = get_telemetry()
+        telemetry.enable(sample_rate=0.0)
+        batches = _batches(rctx, 10, seed=15)
+        reference = fabric_plan.run_batch(batches)
+        cfg = ServingConfig(
+            num_workers=2,
+            transport="tcp",
+            modeled_request_io_s=0.15,
+            fault_policy=FaultPolicy(backoff_base_s=0.01),
+        )
+        try:
+            with serve(fabric_plan, cfg) as session:
+                futures = [session.submit(b) for b in batches]
+                time.sleep(0.4)  # several in flight, more queued
+                if session.stats()["inline"]:
+                    pytest.skip("pool degraded to inline; no host to kill")
+                [host_pid] = session.executor._transport.host_pids()
+                os.kill(host_pid, signal.SIGKILL)
+                outputs = [f.result(timeout=RESULT_TIMEOUT) for f in futures]
+                stats = session.stats()
+            assert stats["completed"] == len(batches)
+            assert stats["errors"] == 0
+            assert stats["worker_crashes"] >= 1
+            assert stats["transport_stats"]["hosts_spawned"] >= 2
+            _assert_batches_equal(outputs, reference)
+            crash_events = [
+                e
+                for e in telemetry.export_events()
+                if e["event"] == "worker_crash"
+            ]
+            assert crash_events
+            assert all(e["host"].startswith("host") for e in crash_events)
+        finally:
+            telemetry.disable()
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("transport", ["shm", "tcp"])
+    def test_seeded_chaos_completes_bit_identical(
+        self, rctx, fabric_plan, transport
+    ):
+        """The seeded matrix — worker crashes plus (for tcp) session
+        disconnects, partial frames, and slow relays — must finish every
+        request exactly once with byte-identical outputs."""
+        batches = _batches(rctx, 8, seed=16)
+        reference = fabric_plan.run_batch(batches)
+        chaos = FaultPlan(
+            23,
+            crash_rate=0.1,
+            disconnect_rate=0.15,
+            partial_frame_rate=0.1,
+            slow_host_rate=0.2,
+            slow_host_s=0.01,
+        )
+        # A session drop crashes BOTH slots, so innocent-bystander
+        # requests accrue attempts too: give the budget headroom — the
+        # invariant under test is exactly-once results, not retry count.
+        cfg = ServingConfig(
+            num_workers=2,
+            transport=transport,
+            chaos=chaos,
+            fault_policy=FaultPolicy(
+                backoff_base_s=0.01, max_attempts=8, crash_loop_threshold=32
+            ),
+            max_crash_respawns=64,
+        )
+        with ShardedExecutor(fabric_plan, config=cfg) as pool:
+            sharded = pool.run_batch(batches, timeout=RESULT_TIMEOUT)
+            stats = pool.stats()
+        assert stats["completed"] == len(batches)
+        _assert_batches_equal(sharded, reference)
