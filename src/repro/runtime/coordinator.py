@@ -13,6 +13,14 @@ changes byte transport, never semantics.
 
 Session shape (documented normatively in ``docs/formats.md``):
 
+0. both directions, before any frame: an HMAC-SHA256
+   challenge/response over a per-transport random ``authkey`` that the
+   host inherits through fork (it never crosses the wire), in the
+   style of :mod:`multiprocessing.connection`.  The host refuses to
+   parse a single session frame — in particular, to unpickle anything
+   — from a peer that cannot answer the challenge, so another local
+   user connecting to the loopback port gets silently disconnected
+   instead of a pickle deserialization surface (CWE-502);
 1. coordinator → host: ``FHL1`` HELLO (version, flags, plan
    fingerprint, pickled worker config);
 2. host → coordinator: ``FHA1`` HELLO-ACK (``need_plan``, host pid) —
@@ -42,6 +50,8 @@ host-side caches ciphertext bytes beyond the in-flight frame.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import os
 import pickle
 import queue
@@ -50,6 +60,7 @@ import socket
 import struct
 import threading
 import time
+import weakref
 from multiprocessing.connection import wait as connection_wait
 
 from repro.ckks.serialization import WireFormatError, pack_frame, read_frame
@@ -61,6 +72,7 @@ __all__ = [
     "SESSION_BATCH_MAGIC",
     "SESSION_CONTROL_MAGIC",
     "SESSION_VERSION",
+    "MAX_SESSION_FRAME_BYTES",
     "WorkerHostServer",
     "TcpTransport",
     "encode_batch",
@@ -81,6 +93,30 @@ _HELLO_FLAG_SHIP_PLAN = 1  # coordinator holds EPL1 bytes for this plan
 _HANDSHAKE_TIMEOUT_S = 30.0
 _SPAWN_ACK_TIMEOUT_S = 30.0
 
+# Hard cap on one session frame's payload.  The length prefix is read
+# before the CRC can vouch for it, so a corrupted u32 must not be able
+# to demand a multi-GiB allocation; the largest legitimate frame is an
+# FPL1 plan upload (tens of MiB), so 256 MiB is generous headroom.
+MAX_SESSION_FRAME_BYTES = 256 << 20
+
+_AUTH_NONCE_BYTES = 32
+
+# Everything a malformed-but-CRC-valid (or simply hostile) session
+# frame can raise while being sliced and unpickled.  Any of these ends
+# the *session* — never the host process (its warm plan cache must
+# survive) and never a pump thread without marking the session dead.
+# WireFormatError subclasses ValueError.
+_SESSION_ERRORS = (
+    ConnectionError,
+    OSError,
+    EOFError,
+    ValueError,
+    IndexError,
+    KeyError,
+    struct.error,
+    pickle.UnpicklingError,
+)
+
 
 # ---------------------------------------------------------------------------
 # Frame plumbing
@@ -97,11 +133,19 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return bytes(buf)
 
 
-def recv_session_frame(sock: socket.socket) -> tuple[bytes, bytes]:
+def recv_session_frame(
+    sock: socket.socket, max_bytes: int = MAX_SESSION_FRAME_BYTES
+) -> tuple[bytes, bytes]:
     """Read one CRC-framed session frame; raises on EOF/truncation and
-    :class:`WireFormatError` on CRC mismatch (both end the session)."""
+    :class:`WireFormatError` on CRC mismatch or an oversized length
+    prefix (all end the session)."""
     header = _recv_exact(sock, 8)
     (length,) = struct.unpack_from("<I", header, 4)
+    if length > max_bytes:
+        raise WireFormatError(
+            f"session frame claims {length} bytes, above the "
+            f"{max_bytes}-byte cap (corrupt length prefix?)"
+        )
     body = _recv_exact(sock, length + 4)
     tag, payload, _ = read_frame(header + body, 0)
     return tag, payload
@@ -159,6 +203,48 @@ def _decode_hello(payload: bytes) -> tuple[int, int, str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Session authentication
+#
+# The listener is loopback-only, but loopback is shared with every
+# other local user: without authentication, anyone who can connect to
+# the port gets a pickle.loads of attacker bytes in the host process
+# (arbitrary code execution, CWE-502).  So before a single frame is
+# parsed, both sides must prove knowledge of a per-transport random
+# authkey that the host inherited through fork — the same model as
+# multiprocessing.connection's deliver/answer_challenge, mutual here.
+# ---------------------------------------------------------------------------
+
+
+def _auth_digest(authkey: bytes, role: bytes, nonce: bytes) -> bytes:
+    return hmac.new(authkey, role + b":" + nonce, hashlib.sha256).digest()
+
+
+def _auth_server(sock: socket.socket, authkey: bytes) -> bool:
+    """Host side: challenge the connecting peer; returns False (never
+    raises into frame parsing) when the peer fails to authenticate."""
+    nonce = os.urandom(_AUTH_NONCE_BYTES)
+    sock.sendall(nonce)
+    reply = _recv_exact(sock, 2 * _AUTH_NONCE_BYTES)
+    digest = reply[:_AUTH_NONCE_BYTES]
+    peer_nonce = reply[_AUTH_NONCE_BYTES:]
+    if not hmac.compare_digest(digest, _auth_digest(authkey, b"coordinator", nonce)):
+        return False
+    sock.sendall(_auth_digest(authkey, b"host", peer_nonce))
+    return True
+
+
+def _auth_client(sock: socket.socket, authkey: bytes) -> None:
+    """Coordinator side: answer the host's challenge, then verify the
+    host's proof (mutual — a squatter on a recycled port fails too)."""
+    nonce = _recv_exact(sock, _AUTH_NONCE_BYTES)
+    my_nonce = os.urandom(_AUTH_NONCE_BYTES)
+    sock.sendall(_auth_digest(authkey, b"coordinator", nonce) + my_nonce)
+    proof = _recv_exact(sock, _AUTH_NONCE_BYTES)
+    if not hmac.compare_digest(proof, _auth_digest(authkey, b"host", my_nonce)):
+        raise WireFormatError("worker host failed session authentication")
+
+
+# ---------------------------------------------------------------------------
 # Worker host (child-process side)
 # ---------------------------------------------------------------------------
 
@@ -177,9 +263,10 @@ class WorkerHostServer:
     cheap and keeps plan shipping once-per-host.
     """
 
-    def __init__(self, plan, host_label: str) -> None:
+    def __init__(self, plan, host_label: str, authkey: bytes) -> None:
         self.plan = plan  # fork-inherited; also supplies the evaluator
         self.host_label = host_label
+        self.authkey = authkey  # fork-inherited; never crosses the wire
         self._plans_by_sig: dict[str, object] = {}
         self._listener: socket.socket | None = None
 
@@ -207,8 +294,17 @@ class WorkerHostServer:
                         break  # orphaned: the coordinator is gone
                     continue
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                # Bounded handshake: an unauthenticated peer can hold
+                # the (one-session-at-a-time) accept loop for at most
+                # the handshake timeout, and is disconnected before any
+                # frame — hence any pickle — is parsed.
+                sock.settimeout(_HANDSHAKE_TIMEOUT_S)
                 try:
-                    if self._serve_session(sock):
+                    try:
+                        authed = _auth_server(sock, self.authkey)
+                    except (TimeoutError, *_SESSION_ERRORS):
+                        authed = False
+                    if authed and self._serve_session(sock):
                         break  # coordinator said bye: host retires
                 finally:
                     try:
@@ -261,8 +357,9 @@ class WorkerHostServer:
 
         try:
             session_plan, cfg = self._negotiate(sock)
-        except (ConnectionError, OSError, WireFormatError, EOFError):
+        except (TimeoutError, *_SESSION_ERRORS):
             return False
+        sock.settimeout(None)  # steady state: blocking frame reads
         ctx = mp.get_context("fork")
         chaos = getattr(cfg, "chaos", None)
         workers: dict[int, tuple] = {}  # slot -> (proc, conn)
@@ -296,7 +393,10 @@ class WorkerHostServer:
                     self._relay_upstream(sock, out, chaos)
         except _SessionDrop:
             pass
-        except (ConnectionError, OSError, WireFormatError, EOFError):
+        except _SESSION_ERRORS:
+            # Includes struct.error / UnpicklingError from a CRC-valid
+            # but malformed frame: drop the session, keep the host (and
+            # its warm plan cache) alive for the reconnect.
             pass
         finally:
             for slot in list(workers):
@@ -433,8 +533,8 @@ def _slot_entry(worker_loop, plan, conn, cfg, inherited) -> None:
     worker_loop(plan, conn, cfg)
 
 
-def _host_main(plan, host_label: str, report_conn) -> None:
-    WorkerHostServer(plan, host_label).run(report_conn)
+def _host_main(plan, host_label: str, report_conn, authkey: bytes) -> None:
+    WorkerHostServer(plan, host_label, authkey).run(report_conn)
 
 
 # ---------------------------------------------------------------------------
@@ -509,7 +609,15 @@ class _HostHandle:
     """One live host process + one session socket + its pump threads."""
 
     def __init__(self, transport: "TcpTransport", host_id: int) -> None:
-        self.transport = transport
+        # Weak: the transport's drop-finalizer strongly holds its host
+        # handles (to close them), so a strong back-reference here would
+        # keep the transport reachable forever and the finalizer dead.
+        self._transport_ref = weakref.ref(transport)
+        # Per-transport immutables, snapshotted so the pump threads and
+        # teardown never need the transport object itself.
+        self.batch_messages = transport.batch_messages
+        self._slot_ids = transport._slot_ids
+        self._authkey = transport._authkey
         self.host_id = host_id
         self.label = f"host{host_id}"
         self.dead = False
@@ -525,6 +633,13 @@ class _HostHandle:
         self.messages_sent = 0
         self.plan_uploaded = False
         self._threads: list[threading.Thread] = []
+
+    @property
+    def transport(self) -> "TcpTransport":
+        t = self._transport_ref()
+        if t is None:
+            raise RuntimeError("tcp transport has been released")
+        return t
 
     # -- bring-up -------------------------------------------------------
 
@@ -542,6 +657,7 @@ class _HostHandle:
             ("127.0.0.1", self.port), timeout=_HANDSHAKE_TIMEOUT_S
         )
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        _auth_client(self.sock, self._authkey)
         ship = t.plan_blob is not None
         send_session_frame(
             self.sock,
@@ -593,7 +709,7 @@ class _HostHandle:
             return
         try:
             with self.send_lock:
-                if self.transport.batch_messages:
+                if self.batch_messages:
                     send_session_frame(
                         self.sock, SESSION_BATCH_MAGIC, encode_batch(items)
                     )
@@ -653,7 +769,10 @@ class _HostHandle:
                             state.proc.up.set()
                     elif op[0] == "down":
                         self._close_slot(op[1])
-        except (ConnectionError, OSError, WireFormatError, EOFError, ValueError):
+        except _SESSION_ERRORS:
+            # Includes struct.error / UnpicklingError from a CRC-valid
+            # but malformed frame — the session dies (finally:), the
+            # pump thread exits cleanly instead of with a traceback.
             pass
         finally:
             self._mark_dead()
@@ -692,7 +811,7 @@ class _HostHandle:
         from repro.runtime.transport import WorkerEndpoint
 
         with self.lock:
-            slot = self.transport._next_slot()
+            slot = next(self._slot_ids)
         delivery_r, delivery_w = ctx.Pipe(duplex=False)
         proc = _SlotProc()
         state = _SlotState(proc, delivery_w)
@@ -785,28 +904,48 @@ class TcpTransport:
         self._assign = 0
         self._ports: dict[int, int] = {}
         self._lock = threading.Lock()
+        # Host bring-up (fork + TCP handshake + spawn-ack waits) runs
+        # under a per-host lock, never the transport lock, so one hung
+        # host can only stall spawns aimed at *its* index — close() and
+        # other hosts' spawns stay responsive.
+        self._index_locks = [threading.Lock() for _ in range(hosts)]
+        # Per-transport session secret; forked hosts inherit it through
+        # process memory, so it authenticates sessions without ever
+        # crossing the wire (see _auth_server/_auth_client).
+        self._authkey = os.urandom(32)
         self._closed = False
         self.sessions_opened = 0
         self.hosts_spawned = 0
         self.plan_uploads = 0
         _transport._LIVE_TRANSPORTS.add(self)
-        import weakref
-
+        # Drop-finalizer over the concrete host-handle list (handles
+        # hold only a weakref back, so this is not a cycle): a pool
+        # that is GC'd without close() still retires its host processes
+        # and sockets.  close() empties the same list in place.
         self._finalizer = weakref.finalize(
-            self, _transport.Transport._finalize_close, weakref.ref(self)
+            self, TcpTransport._finalize_hosts, self._hosts
         )
 
-    # -- host lifecycle -------------------------------------------------
+    @staticmethod
+    def _finalize_hosts(hosts: list) -> None:
+        for index, handle in enumerate(hosts):
+            hosts[index] = None
+            if handle is not None:
+                try:
+                    handle.close(retire_host=True)
+                except Exception:  # noqa: BLE001 — finalizers must not raise
+                    pass
 
-    def _next_slot(self) -> int:
-        return next(self._slot_ids)
+    # -- host lifecycle -------------------------------------------------
 
     def _fork_host(self, label: str):
         report_r, report_w = self._ctx.Pipe(duplex=False)
         # daemon=False: the host forks slot workers (daemonic processes
         # may not have children); it self-terminates when orphaned.
         proc = self._ctx.Process(
-            target=_host_main, args=(self.plan, label, report_w), daemon=False
+            target=_host_main,
+            args=(self.plan, label, report_w, self._authkey),
+            daemon=False,
         )
         proc.start()
         report_w.close()
@@ -846,6 +985,13 @@ class TcpTransport:
         if fresh.plan_uploaded:
             self.plan_uploads += 1
         self._hosts[index] = fresh
+        if self._closed:
+            # close() ran while this bring-up held the index lock past
+            # close()'s acquire timeout: tear the fresh host down
+            # instead of leaking it past the pool's lifetime.
+            self._hosts[index] = None
+            fresh.close(retire_host=True)
+            raise RuntimeError("tcp transport is closed")
         return fresh
 
     # -- Transport surface ----------------------------------------------
@@ -856,6 +1002,11 @@ class TcpTransport:
                 raise RuntimeError("tcp transport is closed")
             index = self._assign % self.num_hosts
             self._assign += 1
+        # Bring-up happens under the per-index lock only: a hung host
+        # blocks spawns for its own index, not close() or other hosts.
+        with self._index_locks[index]:
+            if self._closed:
+                raise RuntimeError("tcp transport is closed")
             last_error: Exception | None = None
             for _ in range(2):  # one retry against a freshly dead host
                 try:
@@ -874,10 +1025,20 @@ class TcpTransport:
             if self._closed:
                 return
             self._closed = True
-            handles, self._hosts = list(self._hosts), [None] * self.num_hosts
-        for handle in handles:
+        for index, index_lock in enumerate(self._index_locks):
+            # Best-effort acquire: a spawn stuck in bring-up holds this
+            # lock for up to two handshake timeouts; _closed is already
+            # set, so that spawn tears its own host down on completion
+            # (see _ensure_host) and close() need not wait for it.
+            acquired = index_lock.acquire(timeout=1.0)
+            try:
+                handle, self._hosts[index] = self._hosts[index], None
+            finally:
+                if acquired:
+                    index_lock.release()
             if handle is not None:
                 handle.close(retire_host=True)
+        self._finalizer.detach()
 
     def host_pids(self) -> list[int]:
         return [

@@ -32,9 +32,14 @@ Three implementations:
   length-prefixed CRC-framed socket session per worker host.
 
 Lifecycle contract (the leak-proofing the serving tests rely on): every
-transport registers itself in a process-wide registry and arranges
-teardown through *both* :func:`weakref.finalize` (object drop) and
-:mod:`atexit` (interpreter exit), so a crashed test run cannot leak
+transport registers itself in a process-wide registry swept by
+:mod:`atexit` (interpreter exit), and every transport that owns OS
+resources additionally registers a :func:`weakref.finalize` over the
+*concrete* resources — the ring list for ``shm`` (each
+:class:`ShmRing` also finalizes its own segment), the host-handle list
+for ``tcp`` — never over a weakref to the transport itself (a
+finalizer that dereferences its own dying object always sees ``None``
+and silently does nothing).  So a crashed test run cannot leak
 ``/dev/shm`` segments or bound ports even when
 :meth:`ShardedExecutor.close` never ran.  ``close()`` is idempotent
 everywhere.
@@ -298,17 +303,12 @@ class Transport:
 
     def __init__(self) -> None:
         self._closed = False
+        # Interpreter-exit sweep.  Subclasses owning OS resources must
+        # ALSO register a weakref.finalize over the concrete resources
+        # (never over a weakref to self: by finalize time the object is
+        # dead and the ref yields None) — see ShmTransport's ring list
+        # and TcpTransport's host-handle list.
         _LIVE_TRANSPORTS.add(self)
-        self._finalizer = weakref.finalize(self, Transport._finalize_close, weakref.ref(self))
-
-    @staticmethod
-    def _finalize_close(ref) -> None:
-        transport = ref()
-        if transport is not None:
-            try:
-                transport.close()
-            except Exception:  # noqa: BLE001 — finalizers must not raise
-                pass
 
     def spawn(self) -> WorkerEndpoint:
         raise NotImplementedError
@@ -365,6 +365,24 @@ class ShmTransport(PipeTransport):
         self._ring_bytes = int(ring_bytes)
         self._rings: list[ShmRing] = []
         self._lock = threading.Lock()
+        # Drop-finalizer over the concrete ring list (rings never refer
+        # back to the transport, so this is not a cycle): a transport
+        # GC'd without close() unlinks its segments deterministically
+        # instead of waiting on each ring's own GC.  close() drains the
+        # same list in place.
+        self._finalizer = weakref.finalize(
+            self, ShmTransport._finalize_rings, self._rings, self._lock
+        )
+
+    @staticmethod
+    def _finalize_rings(rings: list, lock: threading.Lock) -> None:
+        with lock:
+            drained, rings[:] = list(rings), []
+        for ring in drained:
+            try:
+                ring.close()
+            except Exception:  # noqa: BLE001 — finalizers must not raise
+                pass
 
     def spawn(self) -> WorkerEndpoint:
         ring = ShmRing(self._ring_bytes)
@@ -394,9 +412,10 @@ class ShmTransport(PipeTransport):
             return
         super().close()
         with self._lock:
-            rings, self._rings = self._rings, []
+            rings, self._rings[:] = list(self._rings), []
         for ring in rings:
             ring.close()
+        self._finalizer.detach()
 
     def stats(self) -> dict:
         with self._lock:

@@ -10,8 +10,13 @@ uses, including host loss mid-batch and the seeded chaos matrix's
 
 from __future__ import annotations
 
+import gc
+import multiprocessing as mp
 import os
 import signal
+import socket
+import struct
+import threading
 import time
 
 import numpy as np
@@ -237,6 +242,144 @@ class TestHostLoss:
             assert all(e["host"].startswith("host") for e in crash_events)
         finally:
             telemetry.disable()
+
+
+class TestSessionSecurity:
+    """The session socket is loopback but loopback is multi-user: no
+    frame — hence no pickle — may be parsed from an unauthenticated
+    peer, and no hostile bytes may crash the host or allocate GiBs."""
+
+    @staticmethod
+    def _bare_host(fabric_plan):
+        from repro.runtime.coordinator import TcpTransport
+
+        transport = TcpTransport(
+            mp.get_context("fork"), plan=fabric_plan, cfg=None
+        )
+        proc, port = transport._fork_host("sec-test")
+        return transport, proc, port
+
+    @staticmethod
+    def _retire(transport, proc):
+        proc.terminate()
+        proc.join(timeout=5)
+        transport.close()
+
+    def test_mutual_auth_round_trip_and_wrong_key(self):
+        from repro.ckks.serialization import WireFormatError
+        from repro.runtime.coordinator import _auth_client, _auth_server
+
+        key = os.urandom(32)
+
+        def handshake(server_key, client_key):
+            a, b = socket.socketpair()
+            outcome = {}
+
+            def server():
+                outcome["ok"] = _auth_server(a, server_key)
+                if not outcome["ok"]:
+                    a.close()  # what the host's accept loop does
+
+            thread = threading.Thread(target=server)
+            thread.start()
+            try:
+                _auth_client(b, client_key)
+            finally:
+                thread.join()
+                a.close()
+                b.close()
+            return outcome["ok"]
+
+        assert handshake(key, key) is True
+        with pytest.raises((WireFormatError, ConnectionError, OSError)):
+            handshake(key, os.urandom(32))
+
+    def test_unauthenticated_peer_disconnected_before_any_frame(
+        self, fabric_plan
+    ):
+        from repro.runtime.coordinator import _auth_client, _recv_exact
+
+        transport, proc, port = self._bare_host(fabric_plan)
+        try:
+            # Wrong key: the host issues its challenge, sees a bad
+            # digest, and hangs up without parsing a single frame.
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                sock.settimeout(10)
+                nonce = _recv_exact(sock, 32)
+                assert len(nonce) == 32
+                sock.sendall(b"\x00" * 64)
+                assert sock.recv(1) == b""
+            # The host survives and still serves the genuine key.
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                sock.settimeout(10)
+                _auth_client(sock, transport._authkey)
+        finally:
+            self._retire(transport, proc)
+
+    def test_oversized_length_prefix_rejected_before_read(self):
+        from repro.ckks.serialization import WireFormatError
+        from repro.runtime.coordinator import recv_session_frame
+
+        a, b = socket.socketpair()
+        with a, b:
+            # A corrupted u32 claiming ~4 GiB: rejected from the 8-byte
+            # header alone — no body allocation, no blocking read.
+            a.sendall(b"FBT1" + struct.pack("<I", 0xFFFF_FF00))
+            b.settimeout(10)
+            with pytest.raises(WireFormatError):
+                recv_session_frame(b)
+
+    def test_malformed_frame_drops_session_not_host(self, fabric_plan):
+        from repro.runtime.coordinator import (
+            SESSION_ACK_MAGIC,
+            SESSION_BATCH_MAGIC,
+            _auth_client,
+            _encode_hello,
+            SESSION_HELLO_MAGIC,
+            recv_session_frame,
+            send_session_frame,
+        )
+
+        transport, proc, port = self._bare_host(fabric_plan)
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                sock.settimeout(10)
+                _auth_client(sock, transport._authkey)
+                send_session_frame(
+                    sock, SESSION_HELLO_MAGIC, _encode_hello(False, "", None)
+                )
+                tag, _ = recv_session_frame(sock)
+                assert tag == SESSION_ACK_MAGIC
+                # CRC-valid but malformed batch: count says one entry,
+                # payload ends before the entry header (struct.error).
+                send_session_frame(sock, SESSION_BATCH_MAGIC, struct.pack("<I", 1))
+                assert sock.recv(1) == b""  # session dropped…
+            time.sleep(0.2)
+            assert proc.is_alive()  # …but the host (plan cache) lives
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                sock.settimeout(10)
+                _auth_client(sock, transport._authkey)  # and reconnects
+        finally:
+            self._retire(transport, proc)
+
+
+class TestDropFinalizers:
+    def test_shm_transport_drop_without_close_unlinks_segments(self):
+        from repro.runtime.transport import ShmRing, ShmTransport
+
+        transport = ShmTransport(None, None, (), None, ring_bytes=4096)
+        ring = ShmRing(4096)
+        transport._rings.append(ring)
+        path = f"/dev/shm/{ring.name}"
+        if not os.path.exists(path):
+            pytest.skip("no observable /dev/shm on this platform")
+        # Dropped without close(): the transport's finalizer (over the
+        # concrete ring list — a weakref-to-self finalizer would see
+        # None and do nothing) must unlink the segment.
+        del ring
+        del transport
+        gc.collect()
+        assert not os.path.exists(path)
 
 
 class TestChaosMatrix:
