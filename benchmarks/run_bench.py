@@ -58,7 +58,10 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
+import subprocess
 import sys
+import tempfile
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -680,6 +683,96 @@ def _fabric_framing_drain(
     return elapsed, frames
 
 
+def _fabric_remote_attach(plan, batch, reference, repeats: int) -> dict:
+    """Cold start vs. reattach against a genuinely remote worker host.
+
+    Cold start: launch the ``repro.runtime.worker_host`` CLI from
+    nothing and serve one request through it — process start, mutual
+    auth, ``FHL1`` negotiation, ``FPL1`` plan upload, slot spawn.
+    Reattach: a *second* coordinator dials the same (still-live) host —
+    the host's fingerprint-keyed plan cache answers ``need_plan = 0``,
+    so no plan crosses the wire.  Both runs hard-assert the
+    ``plan_uploads`` counter (1 cold, 0 reattach — the
+    reconnect-without-replan contract, checked deterministically rather
+    than by timing) and bit-identical output; the gated
+    ``fabric_remote_attach`` ratio is cold / reattach wall-clock.
+    """
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    def _launch(tmp):
+        portfile = os.path.join(tmp, "port")
+        try:
+            os.unlink(portfile)
+        except FileNotFoundError:
+            pass
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.runtime.worker_host",
+                "--bind",
+                "127.0.0.1:0",
+                "--authkey-file",
+                os.path.join(tmp, "authkey"),
+                "--port-file",
+                portfile,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 60
+        while not os.path.exists(portfile):
+            if proc.poll() is not None or time.monotonic() > deadline:
+                proc.kill()
+                raise RuntimeError("bench worker host failed to start")
+            time.sleep(0.02)
+        with open(portfile) as fh:
+            return proc, int(fh.read().strip())
+
+    def _attach_and_serve(tmp, port, expect_uploads):
+        cfg = ServingConfig(
+            num_workers=1,
+            transport="tcp",
+            hosts=(f"tcp://127.0.0.1:{port}",),
+            ship_plan=True,
+            authkey_file=os.path.join(tmp, "authkey"),
+        )
+        with ShardedExecutor(plan, config=cfg) as pool:
+            out = pool.run_batch([batch], timeout=600)
+            uploads = pool.stats()["transport_stats"]["plan_uploads"]
+        assert uploads == expect_uploads, (
+            f"remote attach expected {expect_uploads} plan upload(s), "
+            f"saw {uploads} — the fingerprint cache contract broke"
+        )
+        _assert_bit_identical(out, reference, "fabric remote attach")
+
+    cold_samples, reattach_samples = [], []
+    with tempfile.TemporaryDirectory() as tmp:
+        with open(os.path.join(tmp, "authkey"), "wb") as fh:
+            fh.write(os.urandom(32))
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            proc, port = _launch(tmp)
+            try:
+                _attach_and_serve(tmp, port, 1)
+                cold_samples.append(time.perf_counter() - t0)
+                t1 = time.perf_counter()
+                _attach_and_serve(tmp, port, 0)
+                reattach_samples.append(time.perf_counter() - t1)
+            finally:
+                proc.terminate()
+                proc.wait(timeout=30)
+    cold_s, reattach_s = min(cold_samples), min(reattach_samples)
+    assert cold_s / reattach_s > 1.0, (
+        f"reattaching to a live host lost to a full cold start "
+        f"({reattach_s:.4f}s vs {cold_s:.4f}s)"
+    )
+    return {"cold_s": cold_s, "reattach_s": reattach_s}
+
+
 def bench_fabric(ctx, repeats: int, workers: int, n_requests: int, quick: bool) -> dict:
     """The cross-machine serving fabric: pipe vs. tcp vs. shm.
 
@@ -695,7 +788,11 @@ def bench_fabric(ctx, repeats: int, workers: int, n_requests: int, quick: bool) 
       ``fabric_shm_large_reply``;
     * ``FBT1`` session framing batched vs. one-frame-per-message over a
       loopback socket — **hard-asserts batching wins** and gates the
-      ratio as ``fabric_tcp_batched_framing``.
+      ratio as ``fabric_tcp_batched_framing``;
+    * cold start vs. reattach against a CLI-spawned **remote** worker
+      host — hard-asserts the reconnect-without-replan contract
+      (``plan_uploads``: 1 cold, 0 reattach) and gates the cold /
+      reattach wall-clock ratio as ``fabric_remote_attach``.
     """
     rng = np.random.default_rng(41)
     slots = ctx.params.slots
@@ -758,6 +855,20 @@ def bench_fabric(ctx, repeats: int, workers: int, n_requests: int, quick: bool) 
         f"({batched_s:.4f}s vs {per_msg_s:.4f}s)"
     )
 
+    # -- remote-host cold start vs. reattach ---------------------------
+    remote = _fabric_remote_attach(
+        plan, batches[0], reference[:1], repeats
+    )
+    results["remote_cold_attach"] = {
+        "best_s": remote["cold_s"],
+        "mean_s": remote["cold_s"],
+    }
+    results["remote_reattach"] = {
+        "best_s": remote["reattach_s"],
+        "mean_s": remote["reattach_s"],
+    }
+    remote_ratio = remote["cold_s"] / remote["reattach_s"]
+
     return {
         "results": results,
         "throughput_rps": throughput,
@@ -774,9 +885,11 @@ def bench_fabric(ctx, repeats: int, workers: int, n_requests: int, quick: bool) 
             "frames_batched": batched_frames,
             "frames_per_message": per_msg_frames,
         },
+        "remote_attach": remote,
         "speedups_x": {
             "fabric_shm_large_reply": shm_ratio,
             "fabric_tcp_batched_framing": framing_ratio,
+            "fabric_remote_attach": remote_ratio,
         },
     }
 
@@ -1426,6 +1539,12 @@ def main(argv: list[str] | None = None) -> int:
             f"{fr['frames_per_message']} frames per-message vs "
             f"{fr['frames_batched']} batched "
             f"({fr['messages_per_frame']} msgs/frame)"
+        )
+        ra = fabric["remote_attach"]
+        print(
+            f"  remote host: cold start {ra['cold_s']*1e3:.0f} ms vs "
+            f"reattach {ra['reattach_s']*1e3:.0f} ms "
+            "(plan_uploads asserted 1 cold / 0 reattach)"
         )
         _finalize(fb_payload, Path(args.fabric_out), args.append_trajectory)
 

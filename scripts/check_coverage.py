@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Coverage-ratchet gate for the serving runtime (``src/repro/runtime``).
+
+CI produces a ``coverage.json`` (``pytest --cov=repro.runtime
+--cov-report=json:coverage.json``) and this gate compares it against the
+committed ratchet file ``coverage_ratchet.json``:
+
+* the measured **total** line-coverage percentage over
+  ``src/repro/runtime`` must not drop below ``min_total_percent``;
+* any per-file floor listed under ``files`` is enforced the same way.
+
+The ratchet only moves up by someone committing a higher floor — the
+gate never auto-raises it, so a PR that *adds* coverage does not start
+failing unrelated follow-ups, while a PR that *loses* coverage fails
+here.  To raise the floor after a coverage improvement::
+
+    python scripts/check_coverage.py coverage.json --suggest
+
+prints the ratchet JSON that pins the new measurement (with a small
+safety margin for runner-to-runner jitter in which lines execute).
+
+Run locally without ``coverage`` installed (the dev image deliberately
+has no network), the gate reports how to get a measurement and exits 0:
+it gates CI, where ``pytest-cov`` is installed fresh, not laptops.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RATCHET_FILE = REPO / "coverage_ratchet.json"
+SCOPE = "src/repro/runtime/"
+
+# Headroom subtracted from a measurement when suggesting a new floor:
+# which lines execute can jitter a little across runners (timing-gated
+# branches, signal handlers), and the ratchet should only fail on real
+# coverage loss.
+SUGGEST_MARGIN = 2.0
+
+
+def _scoped_files(report: dict) -> dict[str, dict]:
+    """The per-file entries of a coverage-json report that fall inside
+    the ratchet's scope, keyed by repo-relative posix path."""
+    scoped = {}
+    for path, entry in report.get("files", {}).items():
+        rel = Path(path).as_posix()
+        # coverage.json paths may be absolute or relative depending on
+        # how pytest was invoked; normalise onto the scope prefix.
+        idx = rel.find(SCOPE)
+        if idx < 0:
+            continue
+        scoped[rel[idx:]] = entry
+    return scoped
+
+
+def _percent(covered: int, statements: int) -> float:
+    return 100.0 if statements == 0 else 100.0 * covered / statements
+
+
+def _measure(report: dict) -> tuple[float, dict[str, float]]:
+    files = _scoped_files(report)
+    if not files:
+        raise SystemExit(
+            f"coverage report has no files under {SCOPE} — was pytest "
+            "run with --cov=repro.runtime?"
+        )
+    covered = sum(f["summary"]["covered_lines"] for f in files.values())
+    statements = sum(f["summary"]["num_statements"] for f in files.values())
+    per_file = {
+        path: f["summary"]["percent_covered"] for path, f in files.items()
+    }
+    return _percent(covered, statements), per_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "report",
+        nargs="?",
+        default="coverage.json",
+        help="coverage JSON report (pytest --cov-report=json:coverage.json)",
+    )
+    parser.add_argument(
+        "--ratchet", default=str(RATCHET_FILE), help="ratchet file to gate against"
+    )
+    parser.add_argument(
+        "--suggest",
+        action="store_true",
+        help="print ratchet JSON pinning the current measurement and exit",
+    )
+    args = parser.parse_args(argv)
+
+    report_path = Path(args.report)
+    if not report_path.exists():
+        print(
+            f"check_coverage: no {report_path} found — run\n"
+            "  pytest tests/runtime tests/integration -q "
+            "--cov=repro.runtime --cov-report=json:coverage.json\n"
+            "(needs pytest-cov; CI installs it). Skipping gate.",
+        )
+        return 0
+
+    report = json.loads(report_path.read_text())
+    total, per_file = _measure(report)
+
+    if args.suggest:
+        suggestion = {
+            "scope": SCOPE,
+            "min_total_percent": round(max(total - SUGGEST_MARGIN, 0.0), 1),
+            "files": {},
+        }
+        print(json.dumps(suggestion, indent=2))
+        return 0
+
+    ratchet = json.loads(Path(args.ratchet).read_text())
+    floor = float(ratchet["min_total_percent"])
+    failures = []
+    if total < floor:
+        failures.append(
+            f"total line coverage of {SCOPE} fell to {total:.1f}% "
+            f"(ratchet floor {floor:.1f}%)"
+        )
+    for path, file_floor in sorted(ratchet.get("files", {}).items()):
+        got = per_file.get(path)
+        if got is None:
+            failures.append(f"{path}: tracked by the ratchet but not measured")
+        elif got < float(file_floor):
+            failures.append(
+                f"{path}: {got:.1f}% < per-file floor {float(file_floor):.1f}%"
+            )
+
+    print(
+        f"check_coverage: {SCOPE} total {total:.1f}% "
+        f"(floor {floor:.1f}%), {len(per_file)} files measured"
+    )
+    worst = sorted(per_file.items(), key=lambda kv: kv[1])[:5]
+    for path, pct in worst:
+        print(f"  lowest: {path} {pct:.1f}%")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print(
+            "Coverage ratchets only move up: restore the lost tests or "
+            "justify lowering coverage_ratchet.json in the same PR.",
+            file=sys.stderr,
+        )
+        return 1
+    print("coverage ratchet OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,7 @@ from repro.runtime.faults import (
     FAULT_MAGIC,
     DeadlineExceeded,
     FaultPolicy,
+    HostUnreachable,
     PoisonRequest,
     RequestError,
     WireCorruption,
@@ -204,6 +205,7 @@ __all__ = [
     "WorkerError",
     "RequestError",
     "WorkerCrash",
+    "HostUnreachable",
     "WorkerHang",
     "DeadlineExceeded",
     "WireCorruption",

@@ -20,8 +20,17 @@ order.  The executor consults it at four well-defined hook points:
   the TCP session — see :mod:`repro.runtime.coordinator`):
   ``disconnect`` (drop the session socket), ``partial`` (write half a
   frame, then drop), ``slow`` (delay the relay with heartbeats already
-  through) — exercises the coordinator's host-loss requeue path and
-  frame-truncation detection.
+  through), ``asym`` (asymmetric latency: delay only the upstream
+  direction, the shape loopback never exhibits), ``reorder`` (hold the
+  reply back and ship it after the batch that follows it), ``duplicate``
+  (deliver the reply twice — the executor's stale-attempt dedup must
+  drop the extra copy) — exercises the coordinator's host-loss requeue
+  path, frame-truncation detection, and delivery-order independence.
+
+For faults below the frame level — delaying, reordering, or duplicating
+whole *frames* on the wire rather than replies inside the host —
+:class:`NetworkShaper` is a deterministic loopback proxy a test can park
+between the coordinator and a worker host.
 
 Decisions are rate-based (one hash draw per ``(seed, site, request_id,
 attempt)``) and can be pinned exactly with ``scripted`` entries for
@@ -38,10 +47,19 @@ would defeat the purpose of graceful degradation).
 from __future__ import annotations
 
 import hashlib
+import socket
 import struct
+import threading
+import time
 from dataclasses import dataclass
 
-__all__ = ["FaultAction", "FaultPlan", "SITES", "flip_frame_byte"]
+__all__ = [
+    "FaultAction",
+    "FaultPlan",
+    "NetworkShaper",
+    "SITES",
+    "flip_frame_byte",
+]
 
 SITES = (
     "pre_dispatch",
@@ -53,7 +71,14 @@ SITES = (
 
 # Fixed draw order within a site: at most one fault fires per decision.
 _PRE_EVALUATE_KINDS = ("crash", "stop", "hang", "slow")
-_HOST_RELAY_KINDS = ("disconnect", "partial", "slow")
+_HOST_RELAY_KINDS = (
+    "disconnect",
+    "partial",
+    "slow",
+    "asym",
+    "reorder",
+    "duplicate",
+)
 
 
 @dataclass(frozen=True)
@@ -78,12 +103,16 @@ class FaultPlan:
         crash_after_rate: probability of a ``post_evaluate`` crash.
         request_flip_rate: probability of a ``pre_dispatch`` byte flip.
         reply_flip_rate: probability of a ``reply_encode`` byte flip.
-        disconnect_rate / partial_frame_rate / slow_host_rate:
+        disconnect_rate / partial_frame_rate / slow_host_rate /
+        asym_latency_rate / reorder_rate / duplicate_rate:
             per-reply probabilities at the TCP coordinator's
             ``host_relay`` site (drawn in that order from one hash, so
             at most one fires per relayed reply).
         hang_s / slow_s: sleep durations for hang/slow injections.
         slow_host_s: relay delay for a ``host_relay`` slow injection.
+        asym_latency_s: upstream-only relay delay for an ``asym``
+            injection (downstream dispatch is never delayed — the
+            asymmetric shape loopback cannot produce).
         scripted: exact overrides — ``{(site, request_id, attempt):
             FaultAction | None}``; ``None`` pins "no fault" at that key.
     """
@@ -102,9 +131,13 @@ class FaultPlan:
         disconnect_rate: float = 0.0,
         partial_frame_rate: float = 0.0,
         slow_host_rate: float = 0.0,
+        asym_latency_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
         hang_s: float = 30.0,
         slow_s: float = 0.05,
         slow_host_s: float = 0.05,
+        asym_latency_s: float = 0.05,
         scripted: dict[tuple[str, int, int], FaultAction | None] | None = None,
     ) -> None:
         rates = (
@@ -118,12 +151,27 @@ class FaultPlan:
             disconnect_rate,
             partial_frame_rate,
             slow_host_rate,
+            asym_latency_rate,
+            reorder_rate,
+            duplicate_rate,
         )
         if any(r < 0 or r > 1 for r in rates):
             raise ValueError("fault rates must be in [0, 1]")
         if sum((crash_rate, stop_rate, hang_rate, slow_rate)) > 1:
             raise ValueError("pre_evaluate rates must sum to <= 1")
-        if sum((disconnect_rate, partial_frame_rate, slow_host_rate)) > 1:
+        if (
+            sum(
+                (
+                    disconnect_rate,
+                    partial_frame_rate,
+                    slow_host_rate,
+                    asym_latency_rate,
+                    reorder_rate,
+                    duplicate_rate,
+                )
+            )
+            > 1
+        ):
             raise ValueError("host_relay rates must sum to <= 1")
         self.seed = seed
         self.crash_rate = crash_rate
@@ -136,9 +184,13 @@ class FaultPlan:
         self.disconnect_rate = disconnect_rate
         self.partial_frame_rate = partial_frame_rate
         self.slow_host_rate = slow_host_rate
+        self.asym_latency_rate = asym_latency_rate
+        self.reorder_rate = reorder_rate
+        self.duplicate_rate = duplicate_rate
         self.hang_s = hang_s
         self.slow_s = slow_s
         self.slow_host_s = slow_host_s
+        self.asym_latency_s = asym_latency_s
         self.scripted = dict(scripted or {})
 
     # ------------------------------------------------------------------
@@ -186,11 +238,23 @@ class FaultPlan:
             edge = 0.0
             for kind, rate in zip(
                 _HOST_RELAY_KINDS,
-                (self.disconnect_rate, self.partial_frame_rate, self.slow_host_rate),
+                (
+                    self.disconnect_rate,
+                    self.partial_frame_rate,
+                    self.slow_host_rate,
+                    self.asym_latency_rate,
+                    self.reorder_rate,
+                    self.duplicate_rate,
+                ),
             ):
                 edge += rate
                 if u < edge:
-                    duration = self.slow_host_s if kind == "slow" else 0.0
+                    if kind == "slow":
+                        duration = self.slow_host_s
+                    elif kind == "asym":
+                        duration = self.asym_latency_s
+                    else:
+                        duration = 0.0
                     return FaultAction(kind, site, duration_s=duration, salt=salt)
             return None
         rate = (
@@ -217,9 +281,13 @@ class FaultPlan:
                 self.disconnect_rate,
                 self.partial_frame_rate,
                 self.slow_host_rate,
+                self.asym_latency_rate,
+                self.reorder_rate,
+                self.duplicate_rate,
                 self.hang_s,
                 self.slow_s,
                 self.slow_host_s,
+                self.asym_latency_s,
                 self.scripted,
             ),
         )
@@ -237,9 +305,13 @@ def _rebuild_plan(
     disconnect_rate,
     partial_frame_rate,
     slow_host_rate,
+    asym_latency_rate,
+    reorder_rate,
+    duplicate_rate,
     hang_s,
     slow_s,
     slow_host_s,
+    asym_latency_s,
     scripted,
 ) -> FaultPlan:
     return FaultPlan(
@@ -254,11 +326,243 @@ def _rebuild_plan(
         disconnect_rate=disconnect_rate,
         partial_frame_rate=partial_frame_rate,
         slow_host_rate=slow_host_rate,
+        asym_latency_rate=asym_latency_rate,
+        reorder_rate=reorder_rate,
+        duplicate_rate=duplicate_rate,
         hang_s=hang_s,
         slow_s=slow_s,
         slow_host_s=slow_host_s,
+        asym_latency_s=asym_latency_s,
         scripted=scripted,
     )
+
+
+# ---------------------------------------------------------------------------
+# Network shaper: deterministic frame-level delivery faults on the wire
+# ---------------------------------------------------------------------------
+
+
+def _shaper_recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("shaper stream closed")
+        buf += chunk
+    return bytes(buf)
+
+
+class NetworkShaper:
+    """A deterministic loopback proxy injecting *delivery* faults.
+
+    Park it between a coordinator and a worker host: the coordinator
+    dials ``shaper.port`` instead of the host, and the shaper relays the
+    session — first the raw (unframed) mutual-auth preamble
+    byte-for-byte, then whole CRC-framed session frames — while
+    injecting the network misbehaviour loopback never exhibits:
+
+    * **asymmetric latency** — ``up_delay_s`` / ``down_delay_s`` delay
+      every frame of one direction only (``up`` = coordinator→host);
+    * **reorder** — hold a frame back one slot, shipping it after its
+      successor;
+    * **duplicate** — deliver a frame twice (intact both times — the
+      receiver's dedup, not its CRC check, is under test).
+
+    Per-frame faults are drawn deterministically from ``seed`` per
+    ``(direction, frame_index)``, or pinned exactly with
+    ``scripted={("up"|"down", index): "reorder"|"duplicate"|None}``.
+    The first ``grace_frames`` frames of each direction never draw a
+    fault: holding back an ``FHL1``/``FHA1``/``FPL1`` negotiation frame
+    would deadlock the handshake rather than exercise recovery
+    (``scripted`` entries still override, for tests that want exactly
+    that).
+    Frame *bytes* are never mutated — corruption is the frame fuzzer's
+    job; the shaper exercises delivery order and timing against intact
+    frames, so every injected fault must be absorbed silently (no
+    session loss, no wrong results).
+    """
+
+    def __init__(
+        self,
+        target: tuple[str, int],
+        *,
+        seed: int = 0,
+        up_delay_s: float = 0.0,
+        down_delay_s: float = 0.0,
+        reorder_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        grace_frames: int = 3,
+        scripted: dict[tuple[str, int], str | None] | None = None,
+    ) -> None:
+        if reorder_rate + duplicate_rate > 1:
+            raise ValueError("shaper fault rates must sum to <= 1")
+        self._target = target
+        self.seed = seed
+        self.grace_frames = grace_frames
+        self.up_delay_s = up_delay_s
+        self.down_delay_s = down_delay_s
+        self.reorder_rate = reorder_rate
+        self.duplicate_rate = duplicate_rate
+        self.scripted = dict(scripted or {})
+        self.frames_relayed = {"up": 0, "down": 0}
+        self.injected = {"reorder": 0, "duplicate": 0}
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._conns: list[socket.socket] = []
+        self._threads: list[threading.Thread] = []
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        accept = threading.Thread(
+            target=self._accept_loop, name="network-shaper-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "NetworkShaper":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- relay ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self._target, timeout=10.0)
+            except OSError:
+                client.close()
+                continue
+            for sock in (client, upstream):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._conns += [client, upstream]
+            worker = threading.Thread(
+                target=self._serve,
+                args=(client, upstream),
+                name="network-shaper-session",
+                daemon=True,
+            )
+            worker.start()
+            self._threads.append(worker)
+
+    def _serve(self, client: socket.socket, upstream: socket.socket) -> None:
+        from repro.runtime.coordinator import _AUTH_NONCE_BYTES
+
+        # The mutual-auth preamble is raw unframed bytes (nonce down,
+        # digest+nonce up, proof down); relay it verbatim before
+        # switching to frame-granular pumping.
+        try:
+            client.sendall(_shaper_recv_exact(upstream, _AUTH_NONCE_BYTES))
+            upstream.sendall(_shaper_recv_exact(client, 2 * _AUTH_NONCE_BYTES))
+            client.sendall(_shaper_recv_exact(upstream, _AUTH_NONCE_BYTES))
+        except (ConnectionError, OSError):
+            for sock in (client, upstream):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            return
+        up = threading.Thread(
+            target=self._pump,
+            args=(client, upstream, "up", self.up_delay_s),
+            name="network-shaper-up",
+            daemon=True,
+        )
+        up.start()
+        self._threads.append(up)
+        self._pump(upstream, client, "down", self.down_delay_s)
+
+    def _read_session_frame(self, src: socket.socket) -> bytes:
+        from repro.runtime.coordinator import MAX_SESSION_FRAME_BYTES
+
+        header = _shaper_recv_exact(src, 8)
+        (length,) = struct.unpack_from("<I", header, 4)
+        if length > MAX_SESSION_FRAME_BYTES:
+            raise ConnectionError("shaper saw an oversized frame")
+        return header + _shaper_recv_exact(src, length + 4)
+
+    def _decide(self, direction: str, index: int) -> str | None:
+        key = (direction, index)
+        if key in self.scripted:
+            return self.scripted[key]
+        if index < self.grace_frames:
+            return None
+        digest = hashlib.blake2b(
+            f"{self.seed}|shaper|{direction}|{index}".encode(), digest_size=8
+        ).digest()
+        u = int.from_bytes(digest, "big") / 2**64
+        if u < self.reorder_rate:
+            return "reorder"
+        if u < self.reorder_rate + self.duplicate_rate:
+            return "duplicate"
+        return None
+
+    def _pump(self, src, dst, direction: str, delay_s: float) -> None:
+        held: bytes | None = None
+        index = 0
+        try:
+            while True:
+                frame = self._read_session_frame(src)
+                fault = self._decide(direction, index)
+                index += 1
+                self.frames_relayed[direction] += 1
+                if delay_s:
+                    time.sleep(delay_s)
+                if fault == "reorder" and held is None:
+                    # Hold this frame one slot; its successor overtakes.
+                    held = frame
+                    self.injected["reorder"] += 1
+                    continue
+                dst.sendall(frame)
+                if fault == "duplicate":
+                    dst.sendall(frame)
+                    self.injected["duplicate"] += 1
+                if held is not None:
+                    dst.sendall(held)
+                    held = None
+        except (ConnectionError, OSError):
+            # One side closed: flush any held frame, then mirror the
+            # close to the other side so EOF semantics survive the hop.
+            if held is not None:
+                try:
+                    dst.sendall(held)
+                except OSError:
+                    pass
+            for sock in (src, dst):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
 
 
 def flip_frame_byte(frame: bytes, action: FaultAction) -> bytes:

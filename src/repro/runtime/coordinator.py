@@ -42,8 +42,24 @@ transport then restarts the host (or reconnects) on the next spawn.
 Requests are therefore never lost and never duplicated across host
 loss, exactly as for single-process crashes.
 
-Contract (see ``docs/architecture.md``): the host is forked from the
-parent (daemonic — it can never outlive the coordinator); slot workers
+Hosts come in two flavours behind one session protocol:
+
+* **fork-local** (the default): :meth:`TcpTransport._fork_host` forks a
+  :class:`WorkerHostServer` that binds an ephemeral loopback port and
+  inherits the plan, the evaluator, and the authkey through fork.
+* **standalone** (:mod:`repro.runtime.worker_host`): a separate OS
+  process with *no* fork relationship, started via its own CLI
+  entrypoint, possibly on another machine.  It inherits nothing: the
+  authkey comes from a file, the evaluator is rebuilt from the
+  :class:`HostEnv` shipped inside the ``FHL1`` hello's worker config,
+  and the plan always arrives as ``FPL1`` bytes (``ship_plan=True`` is
+  mandatory — there is no fork-warmed plan to fall back to).
+  ``ServingConfig(hosts=("tcp://host:port", ...))`` dials such hosts;
+  reconnecting to a surviving one reuses its fingerprint-deduped plan
+  cache, so a reattach never re-uploads the plan.
+
+Contract (see ``docs/architecture.md``): a fork-local host can never
+outlive the coordinator (it watches for re-parenting); slot workers
 run the verbatim :func:`repro.runtime.executor._worker_loop`; nothing
 host-side caches ciphertext bytes beyond the in-flight frame.
 """
@@ -61,6 +77,7 @@ import struct
 import threading
 import time
 import weakref
+from dataclasses import dataclass
 from multiprocessing.connection import wait as connection_wait
 
 from repro.ckks.serialization import WireFormatError, pack_frame, read_frame
@@ -73,10 +90,12 @@ __all__ = [
     "SESSION_CONTROL_MAGIC",
     "SESSION_VERSION",
     "MAX_SESSION_FRAME_BYTES",
+    "HostEnv",
     "WorkerHostServer",
     "TcpTransport",
     "encode_batch",
     "decode_batch",
+    "parse_host_specs",
     "recv_session_frame",
     "send_session_frame",
 ]
@@ -92,6 +111,13 @@ _HELLO_FLAG_SHIP_PLAN = 1  # coordinator holds EPL1 bytes for this plan
 
 _HANDSHAKE_TIMEOUT_S = 30.0
 _SPAWN_ACK_TIMEOUT_S = 30.0
+
+# How long spawn() keeps redialing a remote (standalone) host before
+# giving up with HostUnreachable.  A supervised host that was just
+# killed needs interpreter-startup time to rebind its address; refusing
+# instantly would turn every restart into a tripped breaker.
+_REMOTE_REDIAL_WINDOW_S = 15.0
+_REMOTE_REDIAL_INTERVAL_S = 0.25
 
 # Hard cap on one session frame's payload.  The length prefix is read
 # before the CRC can vouch for it, so a corrupted u32 must not be able
@@ -116,6 +142,60 @@ _SESSION_ERRORS = (
     struct.error,
     pickle.UnpicklingError,
 )
+
+
+@dataclass(frozen=True)
+class HostEnv:
+    """Everything a *standalone* worker host needs to rebuild an
+    evaluator from scratch: the CKKS parameters and the exact RNS prime
+    chain (both plain picklable values, a few hundred bytes total).
+
+    Rides inside the ``FHL1`` hello's pickled worker config — the frame
+    protocol is unchanged; fork-local hosts ignore it (their evaluator
+    is fork-inherited).  The plan's backend is *not* here: ``EPL1``
+    blobs carry their own backend in the META frame.
+    """
+
+    params: object  # CkksParameters
+    primes: tuple  # tuple[NttFriendlyPrime, ...]
+
+    def build_evaluator(self):
+        from repro.ckks.evaluator import Evaluator
+        from repro.rns.basis import RnsBasis
+
+        basis = RnsBasis(degree=self.params.degree, primes=tuple(self.primes))
+        return Evaluator(self.params, basis)
+
+
+def parse_host_specs(hosts) -> list[tuple[str, int] | None]:
+    """Normalize ``ServingConfig.hosts`` into per-index host specs.
+
+    ``int`` means that many fork-local hosts.  A sequence mixes
+    ``"local"`` (fork a loopback host) with ``"tcp://host:port"``
+    (dial a standalone host started via
+    ``python -m repro.runtime.worker_host``).
+    """
+    if isinstance(hosts, int):
+        if hosts < 1:
+            raise ValueError("tcp transport needs at least one host")
+        return [None] * hosts
+    specs: list[tuple[str, int] | None] = []
+    for entry in hosts:
+        if entry == "local":
+            specs.append(None)
+            continue
+        if isinstance(entry, str) and entry.startswith("tcp://"):
+            host, sep, port = entry[len("tcp://") :].rpartition(":")
+            if sep and host and port.isdigit():
+                specs.append((host, int(port)))
+                continue
+        raise ValueError(
+            f"unrecognized host spec {entry!r}; expected 'local' or "
+            "'tcp://host:port'"
+        )
+    if not specs:
+        raise ValueError("tcp transport needs at least one host")
+    return specs
 
 
 # ---------------------------------------------------------------------------
@@ -153,6 +233,22 @@ def recv_session_frame(
 
 def send_session_frame(sock: socket.socket, tag: bytes, payload: bytes) -> None:
     sock.sendall(pack_frame(tag, payload))
+
+
+def _session_loads(data: bytes):
+    """Unpickle a session message with a typed failure mode.
+
+    ``pickle.loads`` on crafted (CRC-valid but malformed) bytes can
+    raise nearly anything — ``AttributeError``, ``TypeError``,
+    ``ImportError`` — not just ``UnpicklingError``.  Funneling every
+    failure into :class:`WireFormatError` (a ``ValueError``, hence in
+    ``_SESSION_ERRORS``) guarantees a malformed message ends the
+    *session*, never the host process or a pump thread.
+    """
+    try:
+        return pickle.loads(data)
+    except Exception as exc:  # noqa: BLE001 — see docstring
+        raise WireFormatError(f"undecodable session message: {exc!r}") from exc
 
 
 def encode_batch(items: list[tuple[int, bytes]]) -> bytes:
@@ -198,7 +294,7 @@ def _decode_hello(payload: bytes) -> tuple[int, int, str, object]:
     offset += sig_len
     (cfg_len,) = struct.unpack_from("<I", payload, offset)
     offset += 4
-    cfg = pickle.loads(payload[offset : offset + cfg_len])
+    cfg = _session_loads(payload[offset : offset + cfg_len])
     return version, flags, sig, cfg
 
 
@@ -257,18 +353,44 @@ class WorkerHostServer:
     """One worker host: accepts coordinator sessions, forks slot workers.
 
     Runs as the body of a forked daemon process
-    (:meth:`TcpTransport._fork_host` starts it).  One session is served
-    at a time; the plan cache (``fingerprint -> deserialized plan``)
-    persists across sessions, which is what makes reconnect-after-drop
-    cheap and keeps plan shipping once-per-host.
+    (:meth:`TcpTransport._fork_host` starts it) — or, with
+    ``plan=None``, as the engine of a *standalone* host
+    (:class:`repro.runtime.worker_host.StandaloneWorkerHost`) that
+    rebuilds its evaluator from the hello's :class:`HostEnv` and only
+    accepts shipped plans.  One session is served at a time; the plan
+    cache (``fingerprint -> deserialized plan``) persists across
+    sessions, which is what makes reconnect-after-drop cheap and keeps
+    plan shipping once-per-host.
     """
 
     def __init__(self, plan, host_label: str, authkey: bytes) -> None:
-        self.plan = plan  # fork-inherited; also supplies the evaluator
+        self.plan = plan  # fork-inherited (None for a standalone host)
         self.host_label = host_label
-        self.authkey = authkey  # fork-inherited; never crosses the wire
+        self.authkey = authkey  # fork-inherited or loaded from a file
         self._plans_by_sig: dict[str, object] = {}
         self._listener: socket.socket | None = None
+        # Session-scoped state the lifecycle hooks below consult: slots
+        # with a request in flight, the drain flag (a standalone host's
+        # SIGTERM sets it), and the last time the session moved bytes.
+        self._busy: set[int] = set()
+        self._draining = False
+        self._last_activity = time.monotonic()
+
+    # -- lifecycle hooks (no-ops for fork-local hosts) ------------------
+
+    def _extra_wait_conns(self) -> list:
+        """Extra waitables multiplexed into the session loop (a
+        standalone host adds its listener so a second coordinator can be
+        refused while a session is live)."""
+        return []
+
+    def _on_extra_ready(self, ready) -> None:
+        """Handle one ready extra waitable."""
+
+    def _session_tick(self) -> None:
+        """Called once per session-loop iteration; raise
+        :class:`_SessionDrop` to end the session (idle timeout, drain
+        complete)."""
 
     # -- process body ---------------------------------------------------
 
@@ -336,18 +458,47 @@ class WorkerHostServer:
                     raise WireFormatError(f"expected FPL1, got {tag!r}")
                 from repro.runtime.plan_io import deserialize_plan
 
-                self._plans_by_sig[sig] = deserialize_plan(
-                    blob, self.plan.evaluator
-                )
+                try:
+                    self._plans_by_sig[sig] = deserialize_plan(
+                        blob, self._session_evaluator(cfg)
+                    )
+                except WireFormatError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 — see _session_loads
+                    # Crafted plan bytes or a crafted HostEnv can raise
+                    # nearly anything; all of it is a wire error that
+                    # ends the session, never the host.
+                    raise WireFormatError(
+                        f"undecodable plan upload: {exc!r}"
+                    ) from exc
             session_plan = self._plans_by_sig[sig]
         else:
             # Warm-fork mode: serve the fork-inherited plan (loopback
             # only; a genuinely remote host requires ship_plan=True).
+            if self.plan is None:
+                raise WireFormatError(
+                    "standalone worker host has no fork-inherited plan; "
+                    "the coordinator must use ship_plan=True"
+                )
             send_session_frame(
                 sock, SESSION_ACK_MAGIC, struct.pack("<BI", 0, os.getpid())
             )
             session_plan = self.plan
         return session_plan, cfg
+
+    def _session_evaluator(self, cfg):
+        """The evaluator plans deserialize against: fork-inherited when
+        the host was forked, rebuilt from the hello's :class:`HostEnv`
+        on a standalone host (which inherited nothing)."""
+        if self.plan is not None:
+            return self.plan.evaluator
+        env = getattr(cfg, "env", None)
+        if env is None:
+            raise WireFormatError(
+                "standalone worker host needs a HostEnv in the hello's "
+                "worker config to rebuild its evaluator"
+            )
+        return env.build_evaluator()
 
     def _serve_session(self, sock: socket.socket) -> bool:
         """Serve one coordinator session; returns True on graceful bye."""
@@ -363,11 +514,19 @@ class WorkerHostServer:
         ctx = mp.get_context("fork")
         chaos = getattr(cfg, "chaos", None)
         workers: dict[int, tuple] = {}  # slot -> (proc, conn)
+        self._busy.clear()
+        self._last_activity = time.monotonic()
         bye = False
         try:
             while True:
-                conns = [sock] + [w[1] for w in workers.values()]
-                ready_list = connection_wait(conns, timeout=0.2)
+                self._session_tick()
+                # A draining host stops reading coordinator frames (no
+                # new requests) but keeps relaying in-flight replies.
+                conns = [w[1] for w in workers.values()]
+                if not self._draining:
+                    conns = [sock, *conns]
+                extra = self._extra_wait_conns()
+                ready_list = connection_wait(conns + extra, timeout=0.2)
                 out: list[tuple[int, bytes]] = []
                 for ready in ready_list:
                     if ready is sock:
@@ -376,6 +535,9 @@ class WorkerHostServer:
                         )
                         if bye:
                             raise _SessionDrop()
+                        continue
+                    if any(ready is item for item in extra):
+                        self._on_extra_ready(ready)
                         continue
                     slot = next(
                         (s for s, w in workers.items() if w[1] is ready), None
@@ -386,11 +548,15 @@ class WorkerHostServer:
                         msg = ready.recv()
                     except (EOFError, OSError):
                         self._reap_slot(workers, slot)
+                        self._busy.discard(slot)
                         out.append((slot, pickle.dumps(("down", slot))))
                         continue
+                    if isinstance(msg, tuple) and len(msg) == 5:
+                        self._busy.discard(slot)  # reply for the request
                     out.append((slot, pickle.dumps(msg)))
                 if out:
                     self._relay_upstream(sock, out, chaos)
+                    self._last_activity = time.monotonic()
         except _SessionDrop:
             pass
         except _SESSION_ERRORS:
@@ -399,6 +565,7 @@ class WorkerHostServer:
             # its warm plan cache) alive for the reconnect.
             pass
         finally:
+            self._busy.clear()
             for slot in list(workers):
                 self._kill_slot(workers, slot)
         return bye
@@ -407,18 +574,25 @@ class WorkerHostServer:
         self, sock, workers, ctx, session_plan, cfg, worker_loop
     ) -> bool:
         tag, payload = recv_session_frame(sock)
+        self._last_activity = time.monotonic()
         if tag == SESSION_BATCH_MAGIC:
             for slot, msg_bytes in decode_batch(payload):
                 entry = workers.get(slot)
                 if entry is None:
                     continue
+                msg = _session_loads(msg_bytes)
                 try:
-                    entry[1].send(pickle.loads(msg_bytes))
+                    entry[1].send(msg)
                 except (BrokenPipeError, OSError):
                     self._reap_slot(workers, slot)
+                    continue
+                if isinstance(msg, tuple) and len(msg) == 4:
+                    self._busy.add(slot)  # a request is now in flight
             return False
         if tag == SESSION_CONTROL_MAGIC:
-            op = pickle.loads(payload)
+            op = _session_loads(payload)
+            if not isinstance(op, tuple) or not op:
+                raise WireFormatError(f"malformed session control op {op!r}")
             if op[0] == "spawn":
                 slot = op[1]
                 parent_conn, child_conn = ctx.Pipe()
@@ -461,6 +635,7 @@ class WorkerHostServer:
         """Ship collected worker messages upstream as one batch,
         consulting the ``host_relay`` chaos site per reply."""
         clean: list[tuple[int, bytes]] = []
+        deferred: list[tuple[int, bytes]] = []  # reorder: ship last
         for slot, msg_bytes in out:
             action = None
             if chaos is not None:
@@ -470,8 +645,21 @@ class WorkerHostServer:
             if action is None:
                 clean.append((slot, msg_bytes))
                 continue
-            if action.kind == "slow":
+            if action.kind in ("slow", "asym"):
+                # "asym" models asymmetric latency: only this upstream
+                # relay is delayed, never the downstream dispatch.
                 time.sleep(action.duration_s)
+                clean.append((slot, msg_bytes))
+                continue
+            if action.kind == "reorder":
+                # The reply is overtaken by everything else relayed this
+                # round (and ships in its own trailing frame).
+                deferred.append((slot, msg_bytes))
+                continue
+            if action.kind == "duplicate":
+                # Delivered twice, intact: the executor's stale-attempt
+                # dedup must drop the second copy.
+                clean.append((slot, msg_bytes))
                 clean.append((slot, msg_bytes))
                 continue
             # disconnect / partial: flush what precedes the fault, then
@@ -491,6 +679,8 @@ class WorkerHostServer:
             raise _SessionDrop()
         if clean:
             send_session_frame(sock, SESSION_BATCH_MAGIC, encode_batch(clean))
+        if deferred:
+            send_session_frame(sock, SESSION_BATCH_MAGIC, encode_batch(deferred))
 
     @staticmethod
     def _reap_slot(workers: dict, slot: int) -> None:
@@ -608,7 +798,12 @@ _FLUSH_SENTINEL = object()
 class _HostHandle:
     """One live host process + one session socket + its pump threads."""
 
-    def __init__(self, transport: "TcpTransport", host_id: int) -> None:
+    def __init__(
+        self,
+        transport: "TcpTransport",
+        host_id: int,
+        spec: tuple[str, int] | None = None,
+    ) -> None:
         # Weak: the transport's drop-finalizer strongly holds its host
         # handles (to close them), so a strong back-reference here would
         # keep the transport reachable forever and the finalizer dead.
@@ -619,6 +814,7 @@ class _HostHandle:
         self._slot_ids = transport._slot_ids
         self._authkey = transport._authkey
         self.host_id = host_id
+        self.spec = spec  # None = fork-local; (host, port) = standalone
         self.label = f"host{host_id}"
         self.dead = False
         self.host_proc = None
@@ -645,16 +841,23 @@ class _HostHandle:
 
     def start(self, *, reuse_proc=None) -> None:
         t = self.transport
-        if reuse_proc is not None and reuse_proc.is_alive():
+        if self.spec is not None:
+            # Standalone host: dial its published address.  There is no
+            # process to fork or reuse — "reconnect" IS a fresh dial,
+            # and the host's plan cache makes it replan-free.
+            address, self.port = self.spec, self.spec[1]
+        elif reuse_proc is not None and reuse_proc.is_alive():
             self.host_proc = reuse_proc
             self.host_pid = reuse_proc.pid
             self.port = t._ports.get(id(reuse_proc))
+            address = ("127.0.0.1", self.port)
         else:
             self.host_proc, self.port = t._fork_host(self.label)
             self.host_pid = self.host_proc.pid
             t._ports[id(self.host_proc)] = self.port
+            address = ("127.0.0.1", self.port)
         self.sock = socket.create_connection(
-            ("127.0.0.1", self.port), timeout=_HANDSHAKE_TIMEOUT_S
+            address, timeout=_HANDSHAKE_TIMEOUT_S
         )
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         _auth_client(self.sock, self._authkey)
@@ -665,9 +868,19 @@ class _HostHandle:
             _encode_hello(ship, t.signature, t.cfg),
         )
         tag, payload = recv_session_frame(self.sock)
+        if tag == SESSION_CONTROL_MAGIC:
+            op = _session_loads(payload)
+            if isinstance(op, tuple) and op and op[0] == "busy":
+                raise ConnectionError(
+                    f"worker host at {address[0]}:{address[1]} is already "
+                    "serving another coordinator"
+                )
+            raise WireFormatError(f"expected FHA1, got control op {op!r}")
         if tag != SESSION_ACK_MAGIC:
             raise WireFormatError(f"expected FHA1, got {tag!r}")
-        need_plan, _host_pid = struct.unpack_from("<BI", payload, 0)
+        need_plan, remote_pid = struct.unpack_from("<BI", payload, 0)
+        if self.host_pid is None:
+            self.host_pid = remote_pid  # standalone host's own report
         if ship and need_plan:
             send_session_frame(self.sock, SESSION_PLAN_MAGIC, t.plan_blob)
             self.plan_uploaded = True
@@ -744,7 +957,7 @@ class _HostHandle:
                 tag, payload = recv_session_frame(self.sock)
                 if tag == SESSION_BATCH_MAGIC:
                     for slot, msg_bytes in decode_batch(payload):
-                        msg = pickle.loads(msg_bytes)
+                        msg = _session_loads(msg_bytes)
                         if (
                             isinstance(msg, tuple)
                             and len(msg) == 2
@@ -760,7 +973,11 @@ class _HostHandle:
                             except (BrokenPipeError, OSError):
                                 pass
                 elif tag == SESSION_CONTROL_MAGIC:
-                    op = pickle.loads(payload)
+                    op = _session_loads(payload)
+                    if not isinstance(op, tuple) or not op:
+                        raise WireFormatError(
+                            f"malformed session control op {op!r}"
+                        )
                     if op[0] == "up":
                         with self.lock:
                             state = self.slots.get(op[1])
@@ -882,23 +1099,36 @@ class TcpTransport:
         cfg,
         plan_blob: bytes | None = None,
         signature: str = "",
-        hosts: int = 1,
+        hosts=1,
         batch_messages: bool = True,
         chaos=None,
+        authkey: bytes | None = None,
     ) -> None:
         from repro.runtime import transport as _transport
 
-        if hosts < 1:
-            raise ValueError("tcp transport needs at least one host")
+        self._host_specs = parse_host_specs(hosts)
+        num_hosts = len(self._host_specs)
         self._ctx = ctx
         self.plan = plan
         self.cfg = cfg
         self.plan_blob = plan_blob
         self.signature = signature or getattr(plan, "signature", "")
-        self.num_hosts = hosts
+        self.num_hosts = num_hosts
         self.batch_messages = batch_messages
         self.chaos = chaos
-        self._hosts: list[_HostHandle | None] = [None] * hosts
+        if any(s is not None for s in self._host_specs):
+            if authkey is None:
+                raise ValueError(
+                    "remote tcp hosts need a shared authkey file "
+                    "(ServingConfig.authkey_file) — a fork-inherited "
+                    "random key cannot cross a process-tree boundary"
+                )
+            if plan_blob is None:
+                raise ValueError(
+                    "remote tcp hosts need ship_plan=True: a standalone "
+                    "host has no fork-inherited plan to fall back to"
+                )
+        self._hosts: list[_HostHandle | None] = [None] * num_hosts
         self._host_ids = iter(range(10**9))
         self._slot_ids = iter(range(10**9))
         self._assign = 0
@@ -908,11 +1138,13 @@ class TcpTransport:
         # under a per-host lock, never the transport lock, so one hung
         # host can only stall spawns aimed at *its* index — close() and
         # other hosts' spawns stay responsive.
-        self._index_locks = [threading.Lock() for _ in range(hosts)]
+        self._index_locks = [threading.Lock() for _ in range(num_hosts)]
         # Per-transport session secret; forked hosts inherit it through
         # process memory, so it authenticates sessions without ever
-        # crossing the wire (see _auth_server/_auth_client).
-        self._authkey = os.urandom(32)
+        # crossing the wire (see _auth_server/_auth_client).  Standalone
+        # hosts cannot inherit — both ends load the same keyfile
+        # (ServingConfig.authkey_file / worker_host --authkey-file).
+        self._authkey = authkey if authkey is not None else os.urandom(32)
         self._closed = False
         self.sessions_opened = 0
         self.hosts_spawned = 0
@@ -961,15 +1193,19 @@ class TcpTransport:
         handle = self._hosts[index]
         if handle is not None and not handle.dead:
             return handle
+        spec = self._host_specs[index]
         reuse = None
         if handle is not None:
             # Session died; reconnect to the host process when it is
             # still alive (plan cache warm — no re-upload), refork when
-            # the host itself is gone.
+            # the host itself is gone.  A standalone host has no local
+            # process either way: reattach is always a fresh dial, and
+            # a dead one surfaces as a dial failure below (falling
+            # through the caller's requeue/retry/breaker path).
             if handle.host_proc is not None and handle.host_proc.is_alive():
                 reuse = handle.host_proc
-            handle.close(retire_host=reuse is None)
-        fresh = _HostHandle(self, next(self._host_ids))
+            handle.close(retire_host=reuse is None and spec is None)
+        fresh = _HostHandle(self, next(self._host_ids), spec=spec)
         try:
             fresh.start(reuse_proc=reuse)
         except (ConnectionError, OSError, WireFormatError):
@@ -979,7 +1215,7 @@ class TcpTransport:
             # listener is already gone (a SIGKILLed process is not
             # waitable for a moment).  Retire it and fork a fresh host.
             fresh.close(retire_host=True)
-            fresh = _HostHandle(self, next(self._host_ids))
+            fresh = _HostHandle(self, next(self._host_ids), spec=spec)
             fresh.start(reuse_proc=None)
         self.sessions_opened += 1
         if fresh.plan_uploaded:
@@ -1007,15 +1243,44 @@ class TcpTransport:
         with self._index_locks[index]:
             if self._closed:
                 raise RuntimeError("tcp transport is closed")
+            spec = self._host_specs[index]
+            # Fork-local hosts get one immediate retry (a freshly dead
+            # host).  Remote hosts get a redial *window*: a supervised
+            # standalone host that just crashed needs a moment to be
+            # restarted on the same address, and "killed then brought
+            # back" is its normal operating mode, not an edge case.
+            deadline = time.monotonic() + (
+                _REMOTE_REDIAL_WINDOW_S if spec is not None else 0.0
+            )
             last_error: Exception | None = None
-            for _ in range(2):  # one retry against a freshly dead host
+            attempts = 0
+            while True:
+                attempts += 1
                 try:
                     handle = self._ensure_host(index)
                     return handle.open_slot(self._ctx)
-                except (BrokenPipeError, ConnectionError, OSError, WireFormatError) as exc:
+                except (
+                    BrokenPipeError,
+                    ConnectionError,
+                    OSError,
+                    WireFormatError,
+                ) as exc:
                     last_error = exc
                     if self._hosts[index] is not None:
                         self._hosts[index]._mark_dead()
+                if attempts >= 2 and time.monotonic() >= deadline:
+                    break
+                if self._closed:
+                    break
+                if spec is not None:
+                    time.sleep(_REMOTE_REDIAL_INTERVAL_S)
+            if spec is not None:
+                from repro.runtime.faults import HostUnreachable
+
+                raise HostUnreachable(
+                    f"remote worker host tcp://{spec[0]}:{spec[1]} is "
+                    f"unreachable: {last_error}"
+                )
             raise RuntimeError(
                 f"could not open a worker slot on host index {index}: {last_error}"
             )
@@ -1051,6 +1316,9 @@ class TcpTransport:
         return {
             "transport": self.name,
             "hosts": self.num_hosts,
+            "remote_hosts": sum(
+                1 for spec in self._host_specs if spec is not None
+            ),
             "hosts_spawned": self.hosts_spawned,
             "sessions_opened": self.sessions_opened,
             "plan_uploads": self.plan_uploads,

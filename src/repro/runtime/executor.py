@@ -165,6 +165,10 @@ class _WorkerConfig:
     fused: bool
     chaos: FaultPlan | None
     heartbeat_s: float | None
+    # HostEnv for standalone worker hosts (tcp transport only): lets a
+    # host with no fork relationship rebuild the evaluator that FPL1
+    # plan bytes deserialize against.  None on same-host transports.
+    env: object | None = None
 
 
 def _wire_worker_loop(plan_blob: bytes, evaluator, conn, cfg: _WorkerConfig) -> None:
@@ -843,12 +847,27 @@ class ShardedExecutor:
         path's plan blob + evaluator, or the warm-fork plan object), so
         transports never reach into plan internals themselves.
         """
+        env = None
+        authkey = None
+        if self.config.transport == "tcp":
+            from repro.runtime.coordinator import HostEnv
+
+            evaluator = self.plan.evaluator
+            env = HostEnv(
+                params=evaluator.params,
+                primes=tuple(evaluator.basis.primes),
+            )
+            if self.config.authkey_file is not None:
+                from repro.runtime.worker_host import load_authkey
+
+                authkey = load_authkey(self.config.authkey_file)
         cfg = _WorkerConfig(
             coeff_bits=self._coeff_bits,
             io_s=self._io_s,
             fused=self.fused,
             chaos=self.chaos,
             heartbeat_s=self.policy.heartbeat_interval_s(),
+            env=env,
         )
         if self._plan_blob is not None:
             target, head = _wire_worker_loop, (self._plan_blob, self.plan.evaluator)
@@ -864,6 +883,7 @@ class ShardedExecutor:
             plan_blob=self._plan_blob,
             signature=getattr(self.plan, "signature", ""),
             hosts=self.config.hosts,
+            authkey=authkey,
             ring_bytes=self.config.ring_bytes,
             batch_messages=self.config.batch_messages,
             chaos=self.chaos,

@@ -23,6 +23,10 @@ what is safe to retry:
   (:attr:`FaultPolicy.max_attempts`).  It is quarantined: it fails alone,
   with the per-attempt causes attached, while the pool keeps serving
   every other request.
+* :class:`HostUnreachable` — a remote worker host (a standalone
+  ``tcp://host:port`` spec) could not be dialed or re-dialed.  The
+  requests it held are retried on surviving hosts; repeated dial
+  failures trip the crash-loop breaker like any other respawn failure.
 
 All of these subclass :class:`RequestError`, which subclasses the legacy
 :class:`WorkerError`, so existing ``except WorkerError`` call sites keep
@@ -63,6 +67,7 @@ __all__ = [
     "DeadlineExceeded",
     "WireCorruption",
     "PoisonRequest",
+    "HostUnreachable",
     "FaultPolicy",
     "FAULT_MAGIC",
     "serialize_fault",
@@ -156,6 +161,16 @@ class PoisonRequest(RequestError):
         self.causes = tuple(causes)
 
 
+class HostUnreachable(RequestError):
+    """A remote worker host could not be dialed (or re-dialed after it
+    dropped).  Retriable: the executor requeues the host's in-flight
+    requests and brings the host back up — on a surviving address if
+    the dead one stays down."""
+
+    code = 6
+    retriable = True
+
+
 _FAULT_TYPES: dict[int, type[RequestError]] = {
     cls.code: cls
     for cls in (
@@ -165,6 +180,7 @@ _FAULT_TYPES: dict[int, type[RequestError]] = {
         DeadlineExceeded,
         WireCorruption,
         PoisonRequest,
+        HostUnreachable,
     )
 }
 

@@ -79,8 +79,17 @@ class ServingConfig:
             default), ``"shm"`` (pipe control + shared-memory ring for
             large payloads), or ``"tcp"`` (worker-host sessions over
             loopback sockets; see ``docs/serving.md``).
-        hosts: worker-host count for the ``tcp`` transport (slots are
+        hosts: worker hosts for the ``tcp`` transport (slots are
             assigned round-robin); ignored by same-host transports.
+            Either an ``int`` count of fork-local hosts, or a tuple of
+            specs mixing ``"local"`` (fork-local) and
+            ``"tcp://host:port"`` (a standalone host started via
+            ``python -m repro.runtime.worker_host``; requires
+            ``ship_plan=True`` and ``authkey_file``).
+        authkey_file: path to the shared session authkey file for
+            remote ``tcp://`` hosts — the same file the standalone
+            host was started with (``--authkey-file``).  ``None`` (the
+            default) keeps the fork-inherited per-run random key.
         ship_plan: serialize the plan once and have each worker (or
             worker host, deduplicated by content fingerprint)
             deserialize its own copy — the cross-machine wire path.
@@ -108,7 +117,8 @@ class ServingConfig:
 
     num_workers: int = 2
     transport: str = "pipe"
-    hosts: int = 1
+    hosts: int | tuple = 1
+    authkey_file: str | None = None
     ship_plan: bool = False
     fused: bool = False
     fault_policy: FaultPolicy | None = None
@@ -130,8 +140,26 @@ class ServingConfig:
                 f"unknown transport {self.transport!r}; "
                 f"known: {', '.join(available_transports())}"
             )
-        if self.hosts < 1:
-            raise ValueError("hosts must be >= 1")
+        if isinstance(self.hosts, list):
+            object.__setattr__(self, "hosts", tuple(self.hosts))
+        if isinstance(self.hosts, int):
+            if self.hosts < 1:
+                raise ValueError("hosts must be >= 1")
+        else:
+            from repro.runtime.coordinator import parse_host_specs
+
+            specs = parse_host_specs(self.hosts)
+            if any(spec is not None for spec in specs):
+                if not self.ship_plan:
+                    raise ValueError(
+                        "remote tcp:// hosts require ship_plan=True — a "
+                        "standalone worker host has no fork-inherited plan"
+                    )
+                if self.authkey_file is None:
+                    raise ValueError(
+                        "remote tcp:// hosts require authkey_file= (the "
+                        "file the worker host was started with)"
+                    )
         if self.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         if self.ring_bytes < 1:

@@ -437,7 +437,8 @@ def create_transport(
     plan=None,
     plan_blob: bytes | None = None,
     signature: str = "",
-    hosts: int = 1,
+    hosts=1,
+    authkey: bytes | None = None,
     ring_bytes: int = DEFAULT_RING_BYTES,
     batch_messages: bool = True,
     chaos=None,
@@ -457,6 +458,7 @@ def create_transport(
             plan_blob=plan_blob,
             signature=signature,
             hosts=hosts,
+            authkey=authkey,
             batch_messages=batch_messages,
             chaos=chaos,
         )

@@ -10,6 +10,11 @@ the reducers differ in cost, not semantics.
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import time
+
 import numpy as np
 import pytest
 
@@ -30,10 +35,57 @@ NUM_PRIMES = 6
 SEED = 1234
 
 
-def _run_pipeline():
+@pytest.fixture(scope="module")
+def remote_host(tmp_path_factory):
+    """A genuinely remote worker host: the CLI entrypoint in its own
+    process, no fork relationship to this test process.  One host
+    serves every pipeline run in the module — reattaching coordinators
+    hit its fingerprint-keyed plan cache instead of re-uploading."""
+    tmp = tmp_path_factory.mktemp("remote-host")
+    keyfile = tmp / "authkey"
+    keyfile.write_bytes(os.urandom(32))
+    portfile = tmp / "port"
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(root, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.runtime.worker_host",
+            "--bind",
+            "127.0.0.1:0",
+            "--authkey-file",
+            str(keyfile),
+            "--port-file",
+            str(portfile),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 60
+    while not portfile.exists():
+        if proc.poll() is not None or time.monotonic() > deadline:
+            raise AssertionError("remote worker host failed to come up")
+        time.sleep(0.05)
+    try:
+        yield int(portfile.read_text().strip()), str(keyfile)
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def _run_pipeline(remote=None):
     """One seeded encrypt/rotate/multiply/rescale/decrypt run; all bytes.
 
-    The same program is executed nine ways — eagerly, through the
+    The same program is executed ten ways — eagerly, through the
     runtime's reference interpreter, through the batched plan executor,
     through the arena-backed fused replayer, through a 2-worker sharded
     pool (ciphertexts crossing the serialization boundary), through a
@@ -41,9 +93,11 @@ def _run_pipeline():
     replays it *fused*, through a pool whose first worker is
     SIGSTOPped mid-request by a scripted chaos plan (hang-killed,
     replaced, request retried), through a shared-memory-ring pool
-    (payloads crossing /dev/shm instead of the pipe), and through a
-    loopback-TCP worker-host session — and all nine must agree
-    byte-for-byte within the run.
+    (payloads crossing /dev/shm instead of the pipe), through a
+    loopback-TCP worker-host session, and (when ``remote`` carries a
+    ``(port, keyfile)`` pair) through a **CLI-spawned standalone worker
+    host** with no fork relationship to this process — and all modes
+    must agree byte-for-byte within the run.
     """
     ctx = CkksContext.create(toy_params(degree=DEGREE, num_primes=NUM_PRIMES), seed=SEED)
     rlk = ctx.relin_keys(levels=[NUM_PRIMES])
@@ -103,7 +157,38 @@ def _run_pipeline():
     with ShardedExecutor(plan, config=tcp_cfg) as tcp_pool:
         ((tcp_rot, tcp_prod),) = tcp_pool.run_batch([[ct_x, ct_y]], timeout=120)
         assert tcp_pool.stats()["transport"] == "tcp"
-    for eager_ct, planned, batched, fused, sharded, shipped, faulted, shmmed, tcped in (
+    # Mode 10: a genuinely remote host — the worker-host CLI process,
+    # which rebuilt its evaluator from the shipped HostEnv and got the
+    # plan as FPL1 bytes.  Its process has no fork relationship to this
+    # one, so agreement here certifies the whole explicit-state path.
+    if remote is not None:
+        remote_port, remote_keyfile = remote
+        remote_cfg = ServingConfig(
+            num_workers=1,
+            transport="tcp",
+            hosts=(f"tcp://127.0.0.1:{remote_port}",),
+            ship_plan=True,
+            authkey_file=remote_keyfile,
+        )
+        with ShardedExecutor(plan, config=remote_cfg) as remote_pool:
+            ((remote_rot, remote_prod),) = remote_pool.run_batch(
+                [[ct_x, ct_y]], timeout=120
+            )
+            assert remote_pool.stats()["transport_stats"]["remote_hosts"] == 1
+    else:
+        remote_rot, remote_prod = tcp_rot, tcp_prod
+    for (
+        eager_ct,
+        planned,
+        batched,
+        fused,
+        sharded,
+        shipped,
+        faulted,
+        shmmed,
+        tcped,
+        remoted,
+    ) in (
         (
             rot,
             plan_rot,
@@ -114,6 +199,7 @@ def _run_pipeline():
             fault_rot,
             shm_rot,
             tcp_rot,
+            remote_rot,
         ),
         (
             prod,
@@ -125,6 +211,7 @@ def _run_pipeline():
             fault_prod,
             shm_prod,
             tcp_prod,
+            remote_prod,
         ),
     ):
         for i, part in enumerate(eager_ct.parts):
@@ -153,6 +240,9 @@ def _run_pipeline():
             assert np.array_equal(part.data, tcped.parts[i].data), (
                 f"tcp transport diverged from eager at part {i}"
             )
+            assert np.array_equal(part.data, remoted.parts[i].data), (
+                f"remote standalone host diverged from eager at part {i}"
+            )
 
     snapshots = {
         "ct_x": [p.data.copy() for p in ct_x.parts],
@@ -170,17 +260,17 @@ def _run_pipeline():
 
 
 @pytest.mark.parametrize("backend", available_backends())
-def test_pipeline_is_correct_under_every_backend(backend):
+def test_pipeline_is_correct_under_every_backend(backend, remote_host):
     with using_backend(backend):
-        snap = _run_pipeline()
+        snap = _run_pipeline(remote=remote_host)
     assert np.max(np.abs(snap["out"].real - snap["expected"])) < 1e-3
 
 
-def test_ciphertexts_bit_identical_across_backends():
+def test_ciphertexts_bit_identical_across_backends(remote_host):
     runs = {}
     for backend in available_backends():
         with using_backend(backend):
-            runs[backend] = _run_pipeline()
+            runs[backend] = _run_pipeline(remote=remote_host)
     names = sorted(runs)
     ref = runs[names[0]]
     for other in names[1:]:

@@ -1,0 +1,345 @@
+"""Standalone worker-host lifecycle: the operator-owned half of the fabric.
+
+A ``StandaloneWorkerHost`` (``python -m repro.runtime.worker_host``) has
+no fork relationship with any coordinator, so its lifecycle is its own:
+it must refuse stale keys without dying, report a bound address clearly,
+time out sessions whose coordinator went quiet, refuse a second
+coordinator explicitly while serving a first, and drain in-flight work
+on SIGTERM instead of dropping it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.ckks.serialization import WireFormatError
+from repro.runtime import (
+    CtSpec,
+    FaultAction,
+    FaultPlan,
+    FaultPolicy,
+    ServingConfig,
+    compile_fn,
+    serve,
+)
+from repro.runtime.coordinator import (
+    SESSION_ACK_MAGIC,
+    SESSION_CONTROL_MAGIC,
+    SESSION_PLAN_MAGIC,
+    HostEnv,
+    _auth_client,
+    _encode_hello,
+    recv_session_frame,
+    send_session_frame,
+)
+from repro.runtime.executor import _WorkerConfig
+from repro.runtime.plan_io import serialize_plan
+from repro.runtime.worker_host import (
+    MIN_AUTHKEY_BYTES,
+    StandaloneWorkerHost,
+    load_authkey,
+    main,
+)
+
+RESULT_TIMEOUT = 120.0
+
+
+@pytest.fixture(scope="module")
+def host_plan(rctx, rlk):
+    def program(ev, x, y):
+        return (ev.multiply_relin_rescale(ev.add(x, y), y, rlk),)
+
+    spec = CtSpec(level=rctx.params.num_primes, scale=rctx.params.scale)
+    return compile_fn(program, rctx.evaluator, [spec, spec])
+
+
+def _batches(rctx, n, seed=21):
+    rng = np.random.default_rng(seed)
+    return [
+        [
+            rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots)),
+            rctx.encrypt(rng.uniform(-1, 1, rctx.params.slots)),
+        ]
+        for _ in range(n)
+    ]
+
+
+def _assert_batches_equal(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        for a, b in zip(g, w):
+            assert a.scale == b.scale
+            for pa, pb in zip(a.parts, b.parts):
+                assert np.array_equal(pa.data, pb.data)
+
+
+def _write_key(tmp_path, name="authkey", key=None):
+    key = key if key is not None else os.urandom(32)
+    path = tmp_path / name
+    path.write_bytes(key)
+    return str(path), key
+
+
+def _threaded_host(authkey, **kwargs):
+    """An in-process StandaloneWorkerHost serving on an ephemeral port
+    from a daemon thread; returns (host, port, thread)."""
+    host = StandaloneWorkerHost(("127.0.0.1", 0), authkey, **kwargs)
+    port = host.bind()
+    thread = threading.Thread(target=host.serve_forever, daemon=True)
+    thread.start()
+    return host, port, thread
+
+
+def _stop_host(host, thread):
+    host.request_drain()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+def _negotiate_session(port, authkey, host_plan):
+    """Dial + authenticate + complete a ship-plan hello, leaving the
+    host inside its session loop.  Returns the connected socket."""
+    env = HostEnv(
+        params=host_plan.evaluator.params,
+        primes=tuple(host_plan.evaluator.basis.primes),
+    )
+    cfg = _WorkerConfig(
+        coeff_bits=0, io_s=0.0, fused=False, chaos=None, heartbeat_s=None, env=env
+    )
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    sock.settimeout(10)
+    _auth_client(sock, authkey)
+    send_session_frame(
+        sock, b"FHL1", _encode_hello(True, host_plan.signature, cfg)
+    )
+    tag, payload = recv_session_frame(sock)
+    assert tag == SESSION_ACK_MAGIC
+    if payload[0]:  # need_plan
+        send_session_frame(sock, SESSION_PLAN_MAGIC, serialize_plan(host_plan))
+    return sock
+
+
+class TestCliEntrypoint:
+    def test_bind_address_in_use_message(self, tmp_path, capsys):
+        keyfile, _ = _write_key(tmp_path)
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            rc = main(
+                ["--bind", f"127.0.0.1:{port}", "--authkey-file", keyfile]
+            )
+        finally:
+            blocker.close()
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert f"cannot bind 127.0.0.1:{port}" in err
+        assert "address already in use" in err
+
+    def test_short_authkey_file_rejected(self, tmp_path, capsys):
+        keyfile = tmp_path / "short"
+        keyfile.write_bytes(b"tiny")
+        rc = main(["--authkey-file", str(keyfile)])
+        assert rc == 2
+        assert "bad --authkey-file" in capsys.readouterr().err
+        with pytest.raises(ValueError, match=str(MIN_AUTHKEY_BYTES)):
+            load_authkey(str(keyfile))
+
+    def test_trailing_newline_in_keyfile_tolerated(self, tmp_path):
+        key = os.urandom(32)
+        keyfile = tmp_path / "key"
+        keyfile.write_bytes(key + b"\n")
+        assert load_authkey(str(keyfile)) == key
+
+
+class TestSessionLifecycle:
+    def test_stale_authkey_rejected_host_survives(self, tmp_path):
+        _, key = _write_key(tmp_path)
+        host, port, thread = _threaded_host(key)
+        try:
+            # A coordinator holding yesterday's key fails the handshake.
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                sock.settimeout(10)
+                with pytest.raises((WireFormatError, ConnectionError, OSError)):
+                    _auth_client(sock, os.urandom(32))
+            # The host neither died nor wedged: the real key still works.
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                sock.settimeout(10)
+                _auth_client(sock, key)
+            assert thread.is_alive()
+        finally:
+            _stop_host(host, thread)
+
+    def test_idle_session_times_out(self, tmp_path, host_plan):
+        _, key = _write_key(tmp_path)
+        host, port, thread = _threaded_host(key, idle_timeout_s=0.5)
+        try:
+            sock = _negotiate_session(port, key, host_plan)
+            # Quiet coordinator: the host drops the session (EOF here)
+            # instead of staying attached forever.
+            start = time.monotonic()
+            assert sock.recv(1) == b""
+            assert time.monotonic() - start < 10
+            sock.close()
+            # The host itself keeps accepting.
+            sock = _negotiate_session(port, key, host_plan)
+            sock.close()
+        finally:
+            _stop_host(host, thread)
+
+    def test_double_attach_second_refused_cleanly(self, tmp_path, host_plan):
+        _, key = _write_key(tmp_path)
+        host, port, thread = _threaded_host(key)
+        first = None
+        try:
+            first = _negotiate_session(port, key, host_plan)
+            # Second coordinator: authenticated, then told "busy" in a
+            # typed FCT1 control frame — not a hang, not a silent drop.
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as second:
+                second.settimeout(10)
+                _auth_client(second, key)
+                tag, payload = recv_session_frame(second)
+                assert tag == SESSION_CONTROL_MAGIC
+                op = pickle.loads(payload)
+                assert op[0] == "busy"
+                assert op[1] == os.getpid()  # the threaded host's pid
+                assert second.recv(1) == b""  # then disconnected
+            # The first session is untouched by the refusal.
+            send_session_frame(first, SESSION_CONTROL_MAGIC, pickle.dumps(("bye",)))
+            assert thread.is_alive()
+        finally:
+            if first is not None:
+                first.close()
+            _stop_host(host, thread)
+
+    def test_bye_ends_session_not_host(self, tmp_path, host_plan):
+        _, key = _write_key(tmp_path)
+        host, port, thread = _threaded_host(key)
+        try:
+            for _ in range(2):  # the second attach proves the host stayed
+                sock = _negotiate_session(port, key, host_plan)
+                send_session_frame(
+                    sock, SESSION_CONTROL_MAGIC, pickle.dumps(("bye",))
+                )
+                sock.close()
+            assert thread.is_alive()
+        finally:
+            _stop_host(host, thread)
+
+
+class TestCliHostServing:
+    @staticmethod
+    def _spawn_cli_host(tmp_path, keyfile, extra_args=()):
+        portfile = tmp_path / "port"
+        env = dict(os.environ)
+        root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        src = os.path.join(root, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.runtime.worker_host",
+                "--bind",
+                "127.0.0.1:0",
+                "--authkey-file",
+                keyfile,
+                "--port-file",
+                str(portfile),
+                *extra_args,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        deadline = time.monotonic() + 30
+        while not portfile.exists():
+            if proc.poll() is not None or time.monotonic() > deadline:
+                stderr = proc.stderr.read().decode(errors="replace")
+                proc.kill()
+                raise AssertionError(f"worker host never published a port: {stderr}")
+            time.sleep(0.05)
+        return proc, int(portfile.read_text().strip())
+
+    def test_scripted_disconnect_reattaches_without_replan(
+        self, tmp_path, rctx, host_plan
+    ):
+        """The acceptance pin for remote hosts: a scripted host_relay
+        disconnect drops the session mid-batch, the coordinator redials
+        the *same* CLI-spawned process, and the host's fingerprint-keyed
+        plan cache answers need_plan=0 — plan_uploads stays at the one
+        cold upload."""
+        keyfile, _ = _write_key(tmp_path)
+        proc, port = self._spawn_cli_host(tmp_path, keyfile)
+        try:
+            batches = _batches(rctx, 6, seed=23)
+            reference = host_plan.run_batch(batches)
+            chaos = FaultPlan(
+                0,
+                scripted={
+                    ("host_relay", 2, 0): FaultAction("disconnect", "host_relay")
+                },
+            )
+            cfg = ServingConfig(
+                num_workers=2,
+                transport="tcp",
+                hosts=(f"tcp://127.0.0.1:{port}",),
+                ship_plan=True,
+                authkey_file=keyfile,
+                chaos=chaos,
+                fault_policy=FaultPolicy(backoff_base_s=0.01),
+            )
+            with serve(host_plan, cfg) as session:
+                outputs = session.run_batch(batches, timeout=RESULT_TIMEOUT)
+                stats = session.stats()
+            ts = stats["transport_stats"]
+            assert ts["remote_hosts"] == 1
+            assert ts["sessions_opened"] >= 2  # the scripted drop + redial
+            assert ts["plan_uploads"] == 1  # reconnect never re-uploads
+            _assert_batches_equal(outputs, reference)
+            assert proc.poll() is None  # the host process survived it all
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+            proc.wait(timeout=30)
+
+    def test_sigterm_drains_in_flight_batch(self, tmp_path, rctx, host_plan):
+        keyfile, _ = _write_key(tmp_path)
+        proc, port = self._spawn_cli_host(tmp_path, keyfile)
+        try:
+            batches = _batches(rctx, 2, seed=22)
+            reference = host_plan.run_batch(batches)
+            cfg = ServingConfig(
+                num_workers=2,
+                transport="tcp",
+                hosts=(f"tcp://127.0.0.1:{port}",),
+                ship_plan=True,
+                authkey_file=keyfile,
+                modeled_request_io_s=0.5,
+            )
+            with serve(host_plan, cfg) as session:
+                futures = [session.submit(b) for b in batches]
+                time.sleep(0.2)  # both requests in flight inside the host
+                proc.send_signal(signal.SIGTERM)
+                # Drain: the in-flight replies are relayed before exit —
+                # nothing is lost, nothing retried.
+                outputs = [f.result(timeout=RESULT_TIMEOUT) for f in futures]
+            _assert_batches_equal(outputs, reference)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
